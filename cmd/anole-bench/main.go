@@ -1,0 +1,113 @@
+// Command anole-bench regenerates every table and figure of the paper's
+// evaluation section (plus this reproduction's ablations) and prints them
+// as text rows. See DESIGN.md §5 for the experiment index and
+// EXPERIMENTS.md for the recorded paper-vs-measured comparison.
+//
+// Usage:
+//
+//	anole-bench [-seed N] [-scale F] [-quick] [-only fig8,table3,...]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"anole/internal/eval"
+)
+
+func main() {
+	if err := run(os.Stdout, os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "anole-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(w io.Writer, args []string) error {
+	fs := flag.NewFlagSet("anole-bench", flag.ContinueOnError)
+	var (
+		seed  = fs.Uint64("seed", 20240777, "root seed for the whole run")
+		scale = fs.Float64("scale", 1.0, "corpus scale in (0,1]; 1 = paper-size 64 clips")
+		quick = fs.Bool("quick", false, "use the reduced quick-lab configuration (overrides -scale)")
+		only  = fs.String("only", "", "comma-separated experiment ids to run (default all): "+
+			"fig3,fig4a,fig4b,fig5,fig6,fig7a,fig7b,fig8,fig10,fig11,table2,table3,table4,selection,offload,continual,ablshift,ablrep,ablcache,ablthermal,ablquant,ablhyst")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	want := map[string]bool{}
+	if *only != "" {
+		for _, id := range strings.Split(*only, ",") {
+			want[strings.TrimSpace(strings.ToLower(id))] = true
+		}
+	}
+	selected := func(id string) bool { return len(want) == 0 || want[id] }
+
+	cfg := eval.DefaultLabConfig(*seed)
+	cfg.Scale = *scale
+	if *quick {
+		cfg = eval.QuickLabConfig(*seed)
+	}
+	start := time.Now()
+	fmt.Fprintf(w, "building lab (seed %d, scale %.2f)...\n", *seed, cfg.Scale)
+	lab, err := eval.NewLab(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "lab ready in %s: %d-model repertoire, %d frames\n\n",
+		time.Since(start).Round(time.Second), lab.Bundle.NumModels(), lab.Corpus.TotalFrames())
+
+	type renderer interface{ Render(io.Writer) }
+	section := func(id string, build func() (renderer, error)) error {
+		if !selected(id) {
+			return nil
+		}
+		t0 := time.Now()
+		res, err := build()
+		if err != nil {
+			return fmt.Errorf("%s: %w", id, err)
+		}
+		res.Render(w)
+		fmt.Fprintf(w, "[%s done in %s]\n\n", id, time.Since(t0).Round(time.Millisecond))
+		return nil
+	}
+
+	experiments := []struct {
+		id    string
+		build func() (renderer, error)
+	}{
+		{"fig3", func() (renderer, error) { return eval.RunFig3(lab, 800) }},
+		{"fig4a", func() (renderer, error) { return eval.RunFig4a(lab, 5, 20) }},
+		{"fig4b", func() (renderer, error) { return eval.RunFig4b(lab, 5) }},
+		{"fig5", func() (renderer, error) { return eval.RunFig5(lab), nil }},
+		{"fig6", func() (renderer, error) { return eval.RunFig6(lab, 300), nil }},
+		{"fig7a", func() (renderer, error) { return eval.RunFig7a(lab, 100) }},
+		{"fig7b", func() (renderer, error) { return eval.RunFig7b(lab, 8, 100) }},
+		{"fig8", func() (renderer, error) { return eval.RunFig8(lab, 10) }},
+		{"table2", func() (renderer, error) { return eval.RunTable2(lab), nil }},
+		{"table3", func() (renderer, error) { return eval.RunTable3(lab) }},
+		{"table4", func() (renderer, error) { return eval.RunTable4(lab), nil }},
+		{"fig10", func() (renderer, error) { return eval.RunFig10(lab, 100) }},
+		{"fig11", func() (renderer, error) { return eval.RunFig11(lab, 400) }},
+		{"selection", func() (renderer, error) { return eval.RunSelection(lab, 0) }},
+		{"offload", func() (renderer, error) { return eval.RunOffload(lab, 600, nil) }},
+		{"continual", func() (renderer, error) { return eval.RunContinual(lab, 120) }},
+		{"ablshift", func() (renderer, error) { return eval.RunAblationShift(*seed, nil) }},
+		{"ablrep", func() (renderer, error) { return eval.RunAblationRepertoire(lab, nil, nil) }},
+		{"ablcache", func() (renderer, error) { return eval.RunAblationCache(lab, 3, 100) }},
+		{"ablthermal", func() (renderer, error) { return eval.RunThermal(lab, 3000) }},
+		{"ablquant", func() (renderer, error) { return eval.RunQuantize(lab, nil, 600) }},
+		{"ablhyst", func() (renderer, error) { return eval.RunHysteresis(lab, 600, nil) }},
+	}
+	for _, e := range experiments {
+		if err := section(e.id, e.build); err != nil {
+			return err
+		}
+	}
+	fmt.Fprintf(w, "all experiments done in %s\n", time.Since(start).Round(time.Second))
+	return nil
+}

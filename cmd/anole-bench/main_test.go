@@ -1,0 +1,28 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+)
+
+func TestRunQuickSingleExperiment(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, []string{"-quick", "-only", "table2,fig5"}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "Table II") || !strings.Contains(out, "Fig. 5") {
+		t.Fatalf("selected experiments missing:\n%s", out)
+	}
+	if strings.Contains(out, "Fig. 8") {
+		t.Fatal("-only did not filter")
+	}
+}
+
+func TestRunBadFlags(t *testing.T) {
+	if err := run(io.Discard, []string{"-scale", "zzz"}); err == nil {
+		t.Fatal("expected flag error")
+	}
+}

@@ -1,0 +1,105 @@
+// Command anole-dataset generates, exports and inspects the synthetic
+// driving corpus, so that profiling, device runs and external analysis
+// can operate on one pinned labeled trace.
+//
+// Usage:
+//
+//	anole-dataset -o corpus.anld [-seed N] [-scale F]   # generate + export
+//	anole-dataset -in corpus.anld                       # summarize
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"anole/internal/stats"
+	"anole/internal/synth"
+)
+
+func main() {
+	if err := run(os.Stdout, os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "anole-dataset:", err)
+		os.Exit(1)
+	}
+}
+
+func run(w io.Writer, args []string) error {
+	fs := flag.NewFlagSet("anole-dataset", flag.ContinueOnError)
+	var (
+		seed  = fs.Uint64("seed", 1, "world seed")
+		scale = fs.Float64("scale", 1.0, "corpus scale in (0,1]")
+		out   = fs.String("o", "", "export the generated corpus to this file")
+		in    = fs.String("in", "", "summarize an existing corpus file instead of generating")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var corpus *synth.Corpus
+	switch {
+	case *in != "":
+		var err error
+		corpus, err = synth.LoadCorpusFile(*in)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "loaded %s\n", *in)
+	default:
+		world, err := synth.NewWorld(synth.DefaultConfig(*seed))
+		if err != nil {
+			return err
+		}
+		corpus = world.GenerateCorpus(synth.DefaultProfiles(*scale))
+		if *out == "" {
+			return fmt.Errorf("nothing to do: pass -o to export or -in to summarize")
+		}
+	}
+
+	summarize(w, corpus)
+
+	if *out != "" {
+		if err := synth.SaveCorpusFile(*out, corpus); err != nil {
+			return err
+		}
+		st, err := os.Stat(*out)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "exported to %s (%d bytes)\n", *out, st.Size())
+	}
+	return nil
+}
+
+func summarize(w io.Writer, corpus *synth.Corpus) {
+	cfg := corpus.World.Config()
+	fmt.Fprintf(w, "world: seed %d, grid %dx%d, feat dim %d, scene shift %.2f\n",
+		cfg.Seed, cfg.GridW, cfg.GridH, cfg.FeatDim, cfg.SceneShift)
+	perDataset := make(map[synth.DatasetID]int)
+	var brightness, objects []float64
+	for _, clip := range corpus.Clips {
+		perDataset[clip.Dataset]++
+		for _, f := range clip.Frames {
+			brightness = append(brightness, f.Brightness)
+			objects = append(objects, float64(len(f.Objects)))
+		}
+	}
+	fmt.Fprintf(w, "clips: %d (", len(corpus.Clips))
+	for ds := synth.DatasetID(0); int(ds) < synth.NumDatasets; ds++ {
+		if n := perDataset[ds]; n > 0 {
+			fmt.Fprintf(w, "%s %d ", ds, n)
+		}
+	}
+	fmt.Fprintf(w, "), %d unseen\n", len(corpus.UnseenClips()))
+	fmt.Fprintf(w, "frames: %d total (%d train / %d val / %d test / %d unseen)\n",
+		corpus.TotalFrames(),
+		len(corpus.Frames(synth.Train)), len(corpus.Frames(synth.Val)),
+		len(corpus.Frames(synth.Test)), len(corpus.Frames(synth.Unseen)))
+	fmt.Fprintf(w, "scenes present in training: %d of %d\n",
+		len(corpus.ScenesPresent()), synth.NumScenes)
+	bs := stats.Summarize(brightness)
+	os := stats.Summarize(objects)
+	fmt.Fprintf(w, "brightness mean %.2f (min %.2f / max %.2f); objects/frame mean %.1f (max %.0f)\n",
+		bs.Mean, bs.Min, bs.Max, os.Mean, os.Max)
+}

@@ -1,0 +1,39 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestGenerateExportSummarize(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "c.anld")
+	var buf bytes.Buffer
+	if err := run(&buf, []string{"-seed", "9", "-scale", "0.1", "-o", path}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "exported to") {
+		t.Fatalf("export not reported:\n%s", buf.String())
+	}
+	var buf2 bytes.Buffer
+	if err := run(&buf2, []string{"-in", path}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf2.String(), "frames:") {
+		t.Fatalf("summary missing:\n%s", buf2.String())
+	}
+}
+
+func TestRunNothingToDo(t *testing.T) {
+	if err := run(io.Discard, nil); err == nil {
+		t.Fatal("expected nothing-to-do error")
+	}
+}
+
+func TestRunMissingInput(t *testing.T) {
+	if err := run(io.Discard, []string{"-in", "/nonexistent.anld"}); err == nil {
+		t.Fatal("missing input accepted")
+	}
+}

@@ -1,0 +1,14 @@
+package main
+
+import (
+	"anole/internal/synth"
+)
+
+func synthNewWorldForTest() (*synth.World, error) {
+	return synth.NewWorld(synth.DefaultConfig(77))
+}
+
+func saveCorpus(path string, w *synth.World) error {
+	corpus := w.GenerateCorpus(synth.DefaultProfiles(0.12))
+	return synth.SaveCorpusFile(path, corpus)
+}

@@ -1,0 +1,90 @@
+// Command anole-profile runs Offline Scene Profiling end to end —
+// generate the synthetic driving corpus, train M_scene, bank the
+// compressed-model repertoire with Algorithm 1, run adaptive scene
+// sampling, train M_decision — and writes the deployable bundle to disk.
+//
+// Usage:
+//
+//	anole-profile [-seed N] [-scale F] [-n MODELS] [-delta F] [-o FILE]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"anole/internal/core"
+	"anole/internal/repo"
+	"anole/internal/synth"
+)
+
+func main() {
+	if err := run(os.Stdout, os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "anole-profile:", err)
+		os.Exit(1)
+	}
+}
+
+func run(w io.Writer, args []string) error {
+	fs := flag.NewFlagSet("anole-profile", flag.ContinueOnError)
+	var (
+		seed   = fs.Uint64("seed", 1, "root seed for world generation and training")
+		scale  = fs.Float64("scale", 1.0, "corpus scale in (0,1]; 1 = paper-size 64 clips")
+		n      = fs.Int("n", 19, "target repertoire size (paper: 19)")
+		delta  = fs.Float64("delta", 0.3, "Algorithm 1 validation-F1 acceptance threshold")
+		out    = fs.String("o", "anole.bundle", "output bundle path")
+		corpus = fs.String("corpus", "", "profile a corpus exported by anole-dataset instead of generating one")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	start := time.Now()
+	var data *synth.Corpus
+	if *corpus != "" {
+		var err error
+		data, err = synth.LoadCorpusFile(*corpus)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "loaded corpus %s\n", *corpus)
+	} else {
+		world, err := synth.NewWorld(synth.DefaultConfig(*seed))
+		if err != nil {
+			return err
+		}
+		data = world.GenerateCorpus(synth.DefaultProfiles(*scale))
+	}
+	fmt.Fprintf(w, "corpus: %d clips, %d frames (%d train / %d val / %d test / %d unseen)\n",
+		len(data.Clips), data.TotalFrames(),
+		len(data.Frames(synth.Train)), len(data.Frames(synth.Val)),
+		len(data.Frames(synth.Test)), len(data.Frames(synth.Unseen)))
+
+	cfg := core.DefaultProfileConfig(*seed)
+	cfg.Repertoire.N = *n
+	cfg.Repertoire.Delta = *delta
+	fmt.Fprintln(w, "profiling (M_scene -> Algorithm 1 -> ASS -> M_decision)...")
+	bundle, err := core.Profile(data, cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "repertoire: %d compressed models\n", bundle.NumModels())
+	for i, info := range bundle.Infos {
+		fmt.Fprintf(w, "  %-6s level k=%d cluster %d  scenes %-3d  valF1 %.3f\n",
+			info.Name, info.Level, info.Cluster, len(info.TrainScenes), info.ValF1)
+		_ = i
+	}
+
+	if err := repo.SaveFile(*out, bundle); err != nil {
+		return err
+	}
+	st, err := os.Stat(*out)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "bundle written to %s (%d bytes) in %s\n",
+		*out, st.Size(), time.Since(start).Round(time.Second))
+	return nil
+}

@@ -1,0 +1,57 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"anole/internal/repo"
+)
+
+func TestRunProfileEndToEnd(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "tiny.bundle")
+	var buf bytes.Buffer
+	err := run(&buf, []string{"-scale", "0.15", "-n", "4", "-delta", "0.03", "-o", out})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "repertoire:") {
+		t.Fatalf("missing repertoire report:\n%s", buf.String())
+	}
+	b, err := repo.LoadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.NumModels() == 0 {
+		t.Fatal("empty bundle")
+	}
+}
+
+func TestRunProfileBadFlags(t *testing.T) {
+	if err := run(io.Discard, []string{"-scale", "x"}); err == nil {
+		t.Fatal("expected flag error")
+	}
+}
+
+func TestRunProfileFromStoredCorpus(t *testing.T) {
+	dir := t.TempDir()
+	corpusPath := filepath.Join(dir, "c.anld")
+	// Export a small corpus via the synth API directly.
+	w, err := synthNewWorldForTest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := saveCorpus(corpusPath, w); err != nil {
+		t.Fatal(err)
+	}
+	out := filepath.Join(dir, "b.bundle")
+	var buf bytes.Buffer
+	if err := run(&buf, []string{"-corpus", corpusPath, "-n", "4", "-delta", "0.03", "-o", out}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "loaded corpus") {
+		t.Fatalf("corpus load not reported:\n%s", buf.String())
+	}
+}

@@ -1,0 +1,27 @@
+package main
+
+import (
+	"io"
+	"strings"
+	"testing"
+)
+
+func TestRunRejectsUnknownDevice(t *testing.T) {
+	err := run(io.Discard, []string{"-bundle", "/nonexistent", "-device", "gpu9000"})
+	if err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestRunRejectsMissingBundle(t *testing.T) {
+	err := run(io.Discard, []string{"-bundle", "/nonexistent.bundle"})
+	if err == nil || !strings.Contains(err.Error(), "repo") {
+		t.Fatalf("expected repo load error, got %v", err)
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	if err := run(io.Discard, []string{"-clips", "notanumber"}); err == nil {
+		t.Fatal("expected flag parse error")
+	}
+}

@@ -1,0 +1,59 @@
+// Command anole-server serves a profiled bundle over HTTP so devices can
+// download M_scene, M_decision and the compressed-model repertoire before
+// going online (the paper's offline cloud↔device path).
+//
+// Endpoints:
+//
+//	GET /v1/manifest — JSON summary of the hosted bundle
+//	GET /v1/bundle   — the binary bundle
+//
+// Usage:
+//
+//	anole-server -bundle anole.bundle [-addr :8080]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"time"
+
+	"anole/internal/repo"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "anole-server:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("anole-server", flag.ContinueOnError)
+	var (
+		bundlePath = fs.String("bundle", "anole.bundle", "bundle file produced by anole-profile")
+		addr       = fs.String("addr", ":8080", "listen address")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	bundle, err := repo.LoadFile(*bundlePath)
+	if err != nil {
+		return err
+	}
+	srv, err := repo.NewServer(bundle)
+	if err != nil {
+		return err
+	}
+	m := srv.Manifest()
+	fmt.Printf("serving %d models (%d bundle bytes) on %s\n", len(m.Models), m.BundleBytes, *addr)
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	return httpSrv.ListenAndServe()
+}

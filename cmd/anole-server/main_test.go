@@ -1,0 +1,15 @@
+package main
+
+import "testing"
+
+func TestRunMissingBundle(t *testing.T) {
+	if err := run([]string{"-bundle", "/nonexistent.bundle"}); err == nil {
+		t.Fatal("missing bundle accepted")
+	}
+}
+
+func TestRunBadFlags(t *testing.T) {
+	if err := run([]string{"-addr"}); err == nil {
+		t.Fatal("expected flag error")
+	}
+}

@@ -1,0 +1,82 @@
+// Command anole-trace summarizes a JSONL decision trace written by
+// anole-run -trace: frame counts, cache behavior, per-model and per-scene
+// usage, and the novelty high-water mark.
+//
+// Usage:
+//
+//	anole-trace -in run.jsonl [-top N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"anole/internal/trace"
+)
+
+func main() {
+	if err := run(os.Stdout, os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "anole-trace:", err)
+		os.Exit(1)
+	}
+}
+
+func run(w io.Writer, args []string) error {
+	fs := flag.NewFlagSet("anole-trace", flag.ContinueOnError)
+	var (
+		in  = fs.String("in", "", "trace file (JSONL) to summarize")
+		top = fs.Int("top", 5, "number of top models/scenes to list")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" {
+		return fmt.Errorf("missing -in")
+	}
+	f, err := os.Open(*in)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	events, err := trace.Read(f)
+	if err != nil {
+		return err
+	}
+	s := trace.Summarize(events)
+	s.Render(w)
+
+	fmt.Fprintf(w, "\ntop models by frames served:\n")
+	for _, kv := range topOf(s.ModelUse, *top) {
+		fmt.Fprintf(w, "  %-10s %6d frames (%.1f%%)\n", kv.k, kv.n, 100*float64(kv.n)/float64(s.Frames))
+	}
+	fmt.Fprintf(w, "top scenes by frames:\n")
+	for _, kv := range topOf(s.SceneUse, *top) {
+		fmt.Fprintf(w, "  %-30s %6d frames\n", kv.k, kv.n)
+	}
+	return nil
+}
+
+type kv struct {
+	k string
+	n int
+}
+
+func topOf(m map[string]int, top int) []kv {
+	out := make([]kv, 0, len(m))
+	for k, n := range m {
+		out = append(out, kv{k, n})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].n != out[j].n {
+			return out[i].n > out[j].n
+		}
+		return out[i].k < out[j].k
+	})
+	if len(out) > top {
+		out = out[:top]
+	}
+	return out
+}

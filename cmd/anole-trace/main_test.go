@@ -1,0 +1,49 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunRequiresInput(t *testing.T) {
+	if err := run(io.Discard, nil); err == nil {
+		t.Fatal("missing -in accepted")
+	}
+}
+
+func TestRunMissingFile(t *testing.T) {
+	if err := run(io.Discard, []string{"-in", "/nonexistent.jsonl"}); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestRunSummarizesTrace(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "t.jsonl")
+	content := `{"frame":0,"scene":"clear/urban/daytime","desired":"M_1","used":"M_1","hit":false,"f1":0.5,"latencyUs":1000}
+{"frame":1,"scene":"clear/urban/daytime","desired":"M_1","used":"M_1","hit":true,"f1":0.7,"latencyUs":900}
+`
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := run(&out, []string{"-in", path}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "2 frames") {
+		t.Fatalf("summary missing frame count:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "M_1") {
+		t.Fatalf("summary missing model usage:\n%s", out.String())
+	}
+}
+
+func TestTopOf(t *testing.T) {
+	got := topOf(map[string]int{"a": 1, "b": 3, "c": 3}, 2)
+	if len(got) != 2 || got[0].k != "b" || got[1].k != "c" {
+		t.Fatalf("topOf: %+v", got)
+	}
+}

@@ -1,0 +1,12 @@
+// Package anole is a from-scratch Go reproduction of "Anole: Adapting
+// Diverse Compressed Models for Cross-scene Prediction on Mobile Devices"
+// (Li et al., ICDCS 2024).
+//
+// The public entry points live under internal/ and are exercised by the
+// binaries in cmd/ and the runnable programs in examples/. See README.md
+// for the architecture overview, DESIGN.md for the system inventory and
+// substitution decisions, and EXPERIMENTS.md for the paper-vs-measured
+// record of every reproduced table and figure. The root-level
+// bench_test.go regenerates each of those artifacts as a testing.B
+// benchmark.
+package anole

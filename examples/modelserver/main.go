@@ -1,0 +1,111 @@
+// Modelserver: the cloud↔device split. The "cloud" half profiles a
+// bundle and serves it over HTTP; the "device" half inspects the
+// manifest, downloads the bundle once, drops the connection, and runs
+// fully offline — the deployment story of the paper's Fig. 2.
+//
+//	go run ./examples/modelserver
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"time"
+
+	"anole/internal/core"
+	"anole/internal/detect"
+	"anole/internal/repo"
+	"anole/internal/sampling"
+	"anole/internal/scene"
+	"anole/internal/synth"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	const seed = 5
+
+	// --- cloud side -------------------------------------------------
+	world, err := synth.NewWorld(synth.DefaultConfig(seed))
+	if err != nil {
+		return err
+	}
+	corpus := world.GenerateCorpus(synth.DefaultProfiles(0.3))
+	fmt.Println("[cloud] profiling bundle...")
+	bundle, err := core.Profile(corpus, core.ProfileConfig{
+		Seed:    seed,
+		Encoder: scene.EncoderConfig{Epochs: 20},
+		Repertoire: scene.RepertoireConfig{
+			N: 8, Delta: 0.05, MaxK: 6,
+			Train: detect.TrainConfig{Epochs: 15},
+		},
+		Sampling: sampling.Config{Kappa: 600, AcceptF1: 0.3},
+	})
+	if err != nil {
+		return err
+	}
+	srv, err := repo.NewServer(bundle)
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{Handler: srv.Handler(), ReadHeaderTimeout: 5 * time.Second}
+	go func() {
+		if err := httpSrv.Serve(ln); err != http.ErrServerClosed {
+			log.Printf("[cloud] serve: %v", err)
+		}
+	}()
+	baseURL := "http://" + ln.Addr().String()
+	fmt.Printf("[cloud] repository listening at %s\n", baseURL)
+
+	// --- device side ------------------------------------------------
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	client := &repo.Client{BaseURL: baseURL}
+
+	manifest, err := client.FetchManifest(ctx)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("[device] manifest: %d models, %d bundle bytes\n",
+		len(manifest.Models), manifest.BundleBytes)
+	for _, m := range manifest.Models {
+		fmt.Printf("[device]   %-5s %-10s valF1 %.2f (%d B weights)\n",
+			m.Name, m.Arch, m.ValF1, m.WeightBytes)
+	}
+
+	downloaded, err := client.FetchBundle(ctx)
+	if err != nil {
+		return err
+	}
+	fmt.Println("[device] bundle downloaded; going offline")
+	if err := httpSrv.Shutdown(context.Background()); err != nil {
+		return err
+	}
+	fmt.Println("[cloud] repository shut down — no cloud from here on")
+
+	// Fully offline inference with the downloaded models.
+	rt, err := core.NewRuntime(downloaded, core.RuntimeConfig{CacheSlots: 4})
+	if err != nil {
+		return err
+	}
+	test := corpus.Frames(synth.Test)
+	for _, f := range test {
+		if _, err := rt.ProcessFrame(f); err != nil {
+			return err
+		}
+	}
+	st := rt.Stats()
+	fmt.Printf("[device] offline run: %d frames, F1 %.3f, miss rate %.2f\n",
+		st.Frames, st.Detection.F1, st.MissRate)
+	return nil
+}

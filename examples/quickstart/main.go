@@ -1,0 +1,81 @@
+// Quickstart: the smallest end-to-end Anole pipeline.
+//
+// It builds a small synthetic driving corpus, runs Offline Scene
+// Profiling (scene encoder → Algorithm 1 repertoire → Thompson sampling →
+// decision model), then streams test frames through the Online Model
+// Inference loop and prints what the scheme did.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"anole/internal/core"
+	"anole/internal/detect"
+	"anole/internal/sampling"
+	"anole/internal/scene"
+	"anole/internal/synth"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	const seed = 42
+
+	// 1. A synthetic driving world and its clip corpus (reduced scale so
+	//    the example finishes in seconds).
+	world, err := synth.NewWorld(synth.DefaultConfig(seed))
+	if err != nil {
+		return err
+	}
+	corpus := world.GenerateCorpus(synth.DefaultProfiles(0.3))
+	fmt.Printf("corpus: %d clips, %d frames\n", len(corpus.Clips), corpus.TotalFrames())
+
+	// 2. Offline Scene Profiling on the cloud side.
+	cfg := core.ProfileConfig{
+		Seed:    seed,
+		Encoder: scene.EncoderConfig{Epochs: 20},
+		Repertoire: scene.RepertoireConfig{
+			N:     8,
+			Delta: 0.05,
+			MaxK:  6,
+			Train: detect.TrainConfig{Epochs: 20},
+		},
+		Sampling: sampling.Config{Kappa: 600, AcceptF1: 0.3},
+	}
+	bundle, err := core.Profile(corpus, cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("profiled a repertoire of %d compressed models:\n", bundle.NumModels())
+	for _, info := range bundle.Infos {
+		fmt.Printf("  %-5s covers %2d scenes (val F1 %.2f)\n", info.Name, len(info.TrainScenes), info.ValF1)
+	}
+
+	// 3. Online Model Inference on the device side.
+	rt, err := core.NewRuntime(bundle, core.RuntimeConfig{CacheSlots: 4})
+	if err != nil {
+		return err
+	}
+	test := corpus.Frames(synth.Test)
+	for i, f := range test {
+		res, err := rt.ProcessFrame(f)
+		if err != nil {
+			return err
+		}
+		if i < 5 {
+			fmt.Printf("frame %d (%s): model %s, confidence %.2f, F1 %.2f\n",
+				i, f.Scene, bundle.Detectors[res.Used].Name, res.Confidence, res.Metrics.F1)
+		}
+	}
+	st := rt.Stats()
+	fmt.Printf("\nprocessed %d frames: overall F1 %.3f, %d model switches, cache miss rate %.2f\n",
+		st.Frames, st.Detection.F1, st.Switches, st.MissRate)
+	return nil
+}

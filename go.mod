@@ -1,0 +1,3 @@
+module anole
+
+go 1.22

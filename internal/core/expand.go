@@ -1,0 +1,225 @@
+package core
+
+import (
+	"fmt"
+
+	"anole/internal/decision"
+	"anole/internal/detect"
+	"anole/internal/sampling"
+	"anole/internal/synth"
+	"anole/internal/tensor"
+	"anole/internal/xrand"
+)
+
+// This file implements the paper's remedy for problem case 3 (§II-B): a
+// test sample x outside every model's distribution has no best-fit model
+// M*; "a remedy for this case is to train new models to deal with x and
+// the like in the future". The device flags low-confidence frames online
+// (UncertaintyBuffer), ships them back to the cloud with the next sync,
+// and the cloud expands the repertoire (ExpandRepertoire): a new
+// compressed model is trained on the flagged distribution and the
+// decision head is retrained with one more class.
+
+// UncertaintyBuffer collects frames outside every known scene —
+// candidate members of U − ∪Ψᵢ. Softmax confidence is notoriously
+// overconfident out of distribution, so flagging uses the bundle's
+// calibrated Novelty score (embedding distance to the nearest known
+// scene centroid). It is not safe for concurrent use.
+type UncertaintyBuffer struct {
+	// Threshold is the novelty score above which a frame is flagged;
+	// 1.0 is the calibrated in-scene 95th percentile, so useful
+	// thresholds sit a bit above it (e.g. 1.5).
+	Threshold float64
+	// Capacity bounds the buffer; once full, new flagged frames are
+	// dropped (the device has bounded storage).
+	Capacity int
+
+	frames  []*synth.Frame
+	flagged int
+	seen    int
+}
+
+// NewUncertaintyBuffer returns a buffer flagging frames whose novelty
+// exceeds threshold, keeping at most capacity of them.
+func NewUncertaintyBuffer(threshold float64, capacity int) (*UncertaintyBuffer, error) {
+	if threshold <= 0 {
+		return nil, fmt.Errorf("core: uncertainty threshold %v must be positive", threshold)
+	}
+	if capacity <= 0 {
+		return nil, fmt.Errorf("core: uncertainty capacity %d", capacity)
+	}
+	return &UncertaintyBuffer{Threshold: threshold, Capacity: capacity}, nil
+}
+
+// Observe inspects one processed frame and buffers it when its novelty
+// exceeds the threshold. It reports whether the frame was flagged.
+func (u *UncertaintyBuffer) Observe(f *synth.Frame, res FrameResult) bool {
+	u.seen++
+	if res.Novelty <= u.Threshold {
+		return false
+	}
+	u.flagged++
+	if len(u.frames) < u.Capacity {
+		u.frames = append(u.frames, f)
+	}
+	return true
+}
+
+// Frames returns the buffered frames (shared slice; treat as read-only).
+func (u *UncertaintyBuffer) Frames() []*synth.Frame { return u.frames }
+
+// FlagRate returns the fraction of observed frames that were flagged.
+func (u *UncertaintyBuffer) FlagRate() float64 {
+	if u.seen == 0 {
+		return 0
+	}
+	return float64(u.flagged) / float64(u.seen)
+}
+
+// Len returns the number of buffered frames.
+func (u *UncertaintyBuffer) Len() int { return len(u.frames) }
+
+// ExpandConfig controls a repertoire expansion.
+type ExpandConfig struct {
+	// Seed roots the expansion's randomness.
+	Seed uint64
+	// Train configures the new compressed model's training (its RNG is
+	// derived from Seed).
+	Train detect.TrainConfig
+	// Sampling configures the decision-training-set rebuild; zero
+	// values inherit sensible defaults.
+	Sampling sampling.Config
+	// Decision configures the decision-head retraining.
+	Decision decision.Config
+	// MinFrames is the minimum buffered-frame count to justify a new
+	// model (default 30).
+	MinFrames int
+}
+
+// ExpandRepertoire is the cloud-side half of the remedy: train a new
+// compressed model on the flagged frames, rebuild the balanced decision
+// training set over the n+1 models (existing pools from trainFrames, the
+// new pool from the flagged frames), retrain the decision head on the
+// frozen encoder, and return a new bundle. The input bundle is not
+// modified; its detectors and encoder are shared by the new bundle.
+func ExpandRepertoire(b *Bundle, flagged, trainFrames []*synth.Frame, cfg ExpandConfig) (*Bundle, error) {
+	if err := b.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.MinFrames <= 0 {
+		cfg.MinFrames = 30
+	}
+	if len(flagged) < cfg.MinFrames {
+		return nil, fmt.Errorf("core: %d flagged frames, need at least %d", len(flagged), cfg.MinFrames)
+	}
+	if len(trainFrames) == 0 {
+		return nil, fmt.Errorf("core: no training frames for pool rebuild")
+	}
+
+	// Train the new specialist on the flagged distribution. (In a real
+	// deployment these frames are labeled cloud-side; the synthetic
+	// frames carry ground truth.)
+	rng := xrand.NewLabeled(cfg.Seed, "expand-detector")
+	tc := cfg.Train
+	tc.RNG = rng
+	newDet := detect.NewDetector(fmt.Sprintf("M_%d", b.NumModels()+1), detect.Compressed, b.FeatDim, rng)
+	if err := newDet.Train(flagged, nil, tc); err != nil {
+		return nil, fmt.Errorf("core: expand: %w", err)
+	}
+
+	detectors := make([]*detect.Detector, 0, b.NumModels()+1)
+	detectors = append(detectors, b.Detectors...)
+	detectors = append(detectors, newDet)
+
+	// Rebuild pools: existing models keep their scene pools; the new
+	// model's pool is the flagged set.
+	pools := make([]sampling.Pool, 0, len(detectors))
+	for i := range b.Detectors {
+		frames := poolOf(b.Infos[i].TrainScenes, trainFrames)
+		if len(frames) == 0 {
+			frames = trainFrames
+		}
+		pools = append(pools, sampling.Pool{ModelIdx: i, Frames: frames})
+	}
+	pools = append(pools, sampling.Pool{ModelIdx: len(detectors) - 1, Frames: flagged})
+
+	sampCfg := cfg.Sampling
+	sampCfg.RNG = xrand.NewLabeled(cfg.Seed, "expand-sampling")
+	sampled, err := sampling.Adaptive(detectors, pools, sampCfg)
+	if err != nil {
+		return nil, fmt.Errorf("core: expand: %w", err)
+	}
+	if len(sampled.Samples) == 0 {
+		return nil, fmt.Errorf("core: expand: sampling accepted nothing; lower Sampling.AcceptF1")
+	}
+
+	decCfg := cfg.Decision
+	decCfg.RNG = xrand.NewLabeled(cfg.Seed, "expand-decision")
+	dec, err := decision.Train(b.Encoder, sampled.Samples, len(detectors), decCfg)
+	if err != nil {
+		return nil, fmt.Errorf("core: expand: %w", err)
+	}
+
+	// Record the new model's dominant scenes for provenance.
+	newScenes := scenesOf(flagged)
+	infos := make([]ModelInfo, 0, len(detectors))
+	infos = append(infos, b.Infos...)
+	infos = append(infos, ModelInfo{
+		Name:        newDet.Name,
+		Level:       0, // level 0 marks continual-expansion origin
+		Cluster:     -1,
+		TrainScenes: newScenes,
+		ValF1:       newDet.EvaluateFrames(flagged).F1,
+	})
+
+	out := &Bundle{
+		Encoder:      b.Encoder,
+		Decision:     dec,
+		Detectors:    detectors,
+		Infos:        infos,
+		FeatDim:      b.FeatDim,
+		Centroids:    b.Centroids,
+		NoveltyScale: b.NoveltyScale,
+	}
+	// The new specialist's scenes are now known: fold their centroid in
+	// so the same scene is not re-flagged as novel.
+	if len(out.Centroids) > 0 {
+		centroid := tensor.NewVector(b.Encoder.EmbedDim())
+		for _, f := range flagged {
+			centroid.AddScaled(1, b.Encoder.Embed(f))
+		}
+		centroid.Scale(1 / float64(len(flagged)))
+		out.Centroids = append(append([]tensor.Vector(nil), b.Centroids...), centroid)
+	}
+	if err := out.Validate(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func poolOf(scenes []int, frames []*synth.Frame) []*synth.Frame {
+	in := make(map[int]bool, len(scenes))
+	for _, s := range scenes {
+		in[s] = true
+	}
+	var out []*synth.Frame
+	for _, f := range frames {
+		if in[f.Scene.Index()] {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+func scenesOf(frames []*synth.Frame) []int {
+	seen := make(map[int]bool)
+	var out []int
+	for _, f := range frames {
+		idx := f.Scene.Index()
+		if !seen[idx] {
+			seen[idx] = true
+			out = append(out, idx)
+		}
+	}
+	return out
+}

@@ -1,0 +1,227 @@
+package core_test
+
+import (
+	"testing"
+
+	"anole/internal/core"
+	"anole/internal/detect"
+	"anole/internal/sampling"
+	"anole/internal/stats"
+	"anole/internal/synth"
+	"anole/internal/testutil"
+	"anole/internal/xrand"
+)
+
+func TestNewUncertaintyBufferValidation(t *testing.T) {
+	if _, err := core.NewUncertaintyBuffer(0, 10); err == nil {
+		t.Fatal("threshold 0 accepted")
+	}
+	if _, err := core.NewUncertaintyBuffer(-1, 10); err == nil {
+		t.Fatal("negative threshold accepted")
+	}
+	if _, err := core.NewUncertaintyBuffer(1.5, 0); err == nil {
+		t.Fatal("capacity 0 accepted")
+	}
+}
+
+func TestUncertaintyBufferFlagsLowConfidence(t *testing.T) {
+	buf, err := core.NewUncertaintyBuffer(1.5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fx := testutil.Shared(t)
+	f := fx.Corpus.Frames(synth.Test)[0]
+	if buf.Observe(f, core.FrameResult{Novelty: 0.2}) {
+		t.Fatal("in-distribution frame flagged")
+	}
+	for i := 0; i < 5; i++ {
+		if !buf.Observe(f, core.FrameResult{Novelty: 3.0}) {
+			t.Fatal("novel frame not flagged")
+		}
+	}
+	if buf.Len() != 3 {
+		t.Fatalf("buffer size %d, want capacity clamp to 3", buf.Len())
+	}
+	wantRate := 5.0 / 6.0
+	if r := buf.FlagRate(); r < wantRate-1e-9 || r > wantRate+1e-9 {
+		t.Fatalf("flag rate %v, want %v", r, wantRate)
+	}
+}
+
+func TestUncertaintyBufferEmptyRate(t *testing.T) {
+	buf, err := core.NewUncertaintyBuffer(1.5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if buf.FlagRate() != 0 {
+		t.Fatal("empty buffer flag rate should be 0")
+	}
+}
+
+// expansionScene is a scene absent from the fixture corpus profiles:
+// KITTI/BDD/SHD never sample foggy toll booths at night.
+var expansionScene = synth.Scene{Weather: synth.Foggy, Location: synth.TollBooth, Time: synth.Night}
+
+func TestExpandRepertoireImprovesOnNovelScene(t *testing.T) {
+	fx := testutil.Shared(t)
+	rng := xrand.New(4242)
+	novel := make([]*synth.Frame, 80)
+	for i := range novel {
+		novel[i] = fx.World.GenerateFrame(expansionScene, 1, rng)
+	}
+	holdout := make([]*synth.Frame, 40)
+	for i := range holdout {
+		holdout[i] = fx.World.GenerateFrame(expansionScene, 1, rng)
+	}
+
+	before := bestFixedF1(fx.Bundle.Detectors, holdout)
+
+	expanded, err := core.ExpandRepertoire(fx.Bundle, novel, fx.Corpus.Frames(synth.Train), core.ExpandConfig{
+		Seed:     4243,
+		Train:    detect.TrainConfig{Epochs: 20},
+		Sampling: sampling.Config{Kappa: 300, AcceptF1: 0.3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if expanded.NumModels() != fx.Bundle.NumModels()+1 {
+		t.Fatalf("expanded to %d models, want +1", expanded.NumModels())
+	}
+	// Original bundle untouched.
+	if err := fx.Bundle.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if fx.Bundle.Decision.N != fx.Bundle.NumModels() {
+		t.Fatal("original decision head mutated")
+	}
+	// Provenance of the new model.
+	last := expanded.Infos[len(expanded.Infos)-1]
+	if last.Level != 0 || last.Cluster != -1 {
+		t.Fatalf("continual provenance not marked: %+v", last)
+	}
+	if len(last.TrainScenes) == 0 || last.TrainScenes[0] != expansionScene.Index() {
+		t.Fatalf("new model scenes: %v", last.TrainScenes)
+	}
+
+	// The expanded runtime must beat the old repertoire's best fixed
+	// model on the novel scene.
+	rt, err := core.NewRuntime(expanded, core.RuntimeConfig{CacheSlots: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var agg stats.PRF1
+	newIdx := expanded.NumModels() - 1
+	usedNew := 0
+	for _, f := range holdout {
+		res, err := rt.ProcessFrame(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		agg = agg.Add(res.Metrics)
+		if res.Desired == newIdx {
+			usedNew++
+		}
+	}
+	if agg.F1 <= before {
+		t.Fatalf("expansion did not help: F1 %v vs best-old %v", agg.F1, before)
+	}
+	// The decision model must route most novel-scene frames to the new
+	// specialist.
+	if float64(usedNew) < 0.5*float64(len(holdout)) {
+		t.Fatalf("new model desired on only %d/%d novel frames", usedNew, len(holdout))
+	}
+}
+
+func TestExpandRepertoireValidation(t *testing.T) {
+	fx := testutil.Shared(t)
+	train := fx.Corpus.Frames(synth.Train)
+	rng := xrand.New(1)
+	few := []*synth.Frame{fx.World.GenerateFrame(expansionScene, 1, rng)}
+
+	if _, err := core.ExpandRepertoire(&core.Bundle{}, few, train, core.ExpandConfig{}); err == nil {
+		t.Fatal("invalid bundle accepted")
+	}
+	if _, err := core.ExpandRepertoire(fx.Bundle, few, train, core.ExpandConfig{MinFrames: 30}); err == nil {
+		t.Fatal("too-few flagged frames accepted")
+	}
+	many := make([]*synth.Frame, 40)
+	for i := range many {
+		many[i] = fx.World.GenerateFrame(expansionScene, 1, rng)
+	}
+	if _, err := core.ExpandRepertoire(fx.Bundle, many, nil, core.ExpandConfig{}); err == nil {
+		t.Fatal("empty train frames accepted")
+	}
+}
+
+func bestFixedF1(dets []*detect.Detector, frames []*synth.Frame) float64 {
+	best := 0.0
+	for _, d := range dets {
+		if f1 := d.EvaluateFrames(frames).F1; f1 > best {
+			best = f1
+		}
+	}
+	return best
+}
+
+func TestQuantizeBundleRoundtrip(t *testing.T) {
+	fx := testutil.Shared(t)
+	qb, err := core.QuantizeBundle(fx.Bundle, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qb.NumModels() != fx.Bundle.NumModels() {
+		t.Fatal("model count changed")
+	}
+	ratio := float64(fx.Bundle.RepertoireWeightBytes()) / float64(qb.RepertoireWeightBytes())
+	if ratio < 6 {
+		t.Fatalf("compression %v, want ~8x", ratio)
+	}
+	// Encoder/decision are shared, untouched.
+	if qb.Encoder != fx.Bundle.Encoder || qb.Decision != fx.Bundle.Decision {
+		t.Fatal("encoder/decision should be shared")
+	}
+	// Quantized bundle still runs.
+	rt, err := core.NewRuntime(qb, core.RuntimeConfig{CacheSlots: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range fx.Corpus.Frames(synth.Test)[:10] {
+		if _, err := rt.ProcessFrame(f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := core.QuantizeBundle(fx.Bundle, 99); err == nil {
+		t.Fatal("invalid bits accepted")
+	}
+}
+
+func TestSwitchHysteresisReducesSwitches(t *testing.T) {
+	// Hysteresis is meant for temporally coherent streams (a real
+	// camera), so test on one contiguous clip rather than the
+	// interleaved test split.
+	fx := testutil.Shared(t)
+	profile := synth.DefaultProfiles(1)[1]
+	profile.FramesPerClip = 300
+	clip := fx.World.GenerateClip(profile, 7777, xrand.New(7778))
+	run := func(h int) core.RunStats {
+		rt, err := core.NewRuntime(fx.Bundle, core.RuntimeConfig{CacheSlots: 3, SwitchHysteresis: h})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, f := range clip.Frames {
+			if _, err := rt.ProcessFrame(f); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return rt.Stats()
+	}
+	plain := run(1)
+	smooth := run(3)
+	if smooth.Switches >= plain.Switches {
+		t.Fatalf("hysteresis did not reduce switches: %d vs %d", smooth.Switches, plain.Switches)
+	}
+	// On a coherent stream, accuracy must not collapse.
+	if smooth.Detection.F1 < plain.Detection.F1-0.08 {
+		t.Fatalf("hysteresis cost too much F1: %v vs %v", smooth.Detection.F1, plain.Detection.F1)
+	}
+}

@@ -1,0 +1,130 @@
+package core
+
+import (
+	"fmt"
+
+	"anole/internal/decision"
+	"anole/internal/detect"
+	"anole/internal/sampling"
+	"anole/internal/scene"
+	"anole/internal/synth"
+	"anole/internal/xrand"
+)
+
+// ProfileConfig parameterizes the full offline scene-profiling pipeline.
+// Sub-config RNGs are ignored; all randomness derives from Seed.
+type ProfileConfig struct {
+	// Seed is the root of every stream used during profiling.
+	Seed uint64
+	// Encoder configures M_scene training (TCM step 1).
+	Encoder scene.EncoderConfig
+	// Repertoire configures Algorithm 1 (TCM step 2).
+	Repertoire scene.RepertoireConfig
+	// Sampling configures adaptive scene sampling (ASS).
+	Sampling sampling.Config
+	// Decision configures M_decision training (TDM).
+	Decision decision.Config
+}
+
+// DefaultProfileConfig returns the configuration used by the experiment
+// harness: a 19-model repertoire as in the paper, modest training budgets
+// sized for the synthetic substrate.
+func DefaultProfileConfig(seed uint64) ProfileConfig {
+	return ProfileConfig{
+		Seed:    seed,
+		Encoder: scene.EncoderConfig{Epochs: 30},
+		Repertoire: scene.RepertoireConfig{
+			N:     19,
+			Delta: 0.3,
+			MaxK:  12,
+			Train: detect.TrainConfig{Epochs: 30},
+		},
+		Sampling: sampling.Config{Kappa: 2500, Theta: 0.95, AcceptF1: 0.4},
+		Decision: decision.Config{Epochs: 60, Hidden: []int{24}, Patience: 8},
+	}
+}
+
+// Profile runs Offline Scene Profiling end to end on the corpus: train
+// M_scene on the training split, bank compressed models with Algorithm 1,
+// build the balanced decision training set with Thompson sampling, and
+// train M_decision. The result is a deployable Bundle.
+func Profile(corpus *synth.Corpus, cfg ProfileConfig) (*Bundle, error) {
+	if corpus == nil || len(corpus.Clips) == 0 {
+		return nil, fmt.Errorf("core: empty corpus")
+	}
+	train := corpus.Frames(synth.Train)
+	val := corpus.Frames(synth.Val)
+	if len(train) == 0 {
+		return nil, fmt.Errorf("core: corpus has no training frames")
+	}
+
+	// TCM step 1: scene representation learning.
+	encCfg := cfg.Encoder
+	encCfg.RNG = xrand.NewLabeled(cfg.Seed, "profile-encoder")
+	enc, err := scene.TrainEncoder(train, val, encCfg)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+
+	// TCM step 2: Algorithm 1 multi-level clustering + model banking.
+	repCfg := cfg.Repertoire
+	repCfg.RNG = xrand.NewLabeled(cfg.Seed, "profile-repertoire")
+	bank, err := scene.TrainCompressedModels(enc, train, val, repCfg)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+
+	// ASS: balanced sampling of the models' implicit distributions.
+	detectors := make([]*detect.Detector, len(bank))
+	pools := make([]sampling.Pool, len(bank))
+	infos := make([]ModelInfo, len(bank))
+	for i, b := range bank {
+		detectors[i] = b.Detector
+		pools[i] = sampling.Pool{ModelIdx: i, Frames: b.PoolFrames(train)}
+		infos[i] = ModelInfo{
+			Name:        b.Detector.Name,
+			Level:       b.Level,
+			Cluster:     b.Cluster,
+			TrainScenes: append([]int(nil), b.TrainScenes...),
+			ValF1:       b.ValF1,
+		}
+	}
+	sampCfg := cfg.Sampling
+	sampCfg.RNG = xrand.NewLabeled(cfg.Seed, "profile-sampling")
+	sampled, err := sampling.Adaptive(detectors, pools, sampCfg)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	if len(sampled.Samples) == 0 {
+		return nil, fmt.Errorf("core: adaptive sampling accepted no samples; lower Sampling.AcceptF1")
+	}
+
+	// TDM: decision model on the frozen encoder.
+	decCfg := cfg.Decision
+	decCfg.RNG = xrand.NewLabeled(cfg.Seed, "profile-decision")
+	dec, err := decision.Train(enc, sampled.Samples, len(detectors), decCfg)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	// Temperature-scale the head on the tail of the sampling output so
+	// suitability probabilities are honest confidences (ranking — and
+	// thus accuracy — is unaffected).
+	if calib := sampled.Samples[len(sampled.Samples)*4/5:]; len(calib) >= 20 {
+		if _, err := dec.CalibrateTemperature(calib); err != nil {
+			return nil, fmt.Errorf("core: %w", err)
+		}
+	}
+
+	bundle := &Bundle{
+		Encoder:   enc,
+		Decision:  dec,
+		Detectors: detectors,
+		Infos:     infos,
+		FeatDim:   train[0].FeatDim(),
+	}
+	bundle.CalibrateNovelty(train)
+	if err := bundle.Validate(); err != nil {
+		return nil, err
+	}
+	return bundle, nil
+}

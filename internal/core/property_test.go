@@ -1,0 +1,123 @@
+package core_test
+
+import (
+	"testing"
+	"testing/quick"
+
+	"anole/internal/core"
+	"anole/internal/modelcache"
+	"anole/internal/synth"
+	"anole/internal/testutil"
+	"anole/internal/xrand"
+)
+
+// Property: across random frame streams, cache sizes and policies, the
+// runtime's statistics stay internally consistent — desired/used counts
+// sum to the frame count, scene durations partition the stream, cache
+// counters cover every frame, and metrics stay in range.
+func TestRuntimeInvariantsProperty(t *testing.T) {
+	fx := testutil.Shared(t)
+	policies := []modelcache.Policy{modelcache.LFU, modelcache.LRU, modelcache.FIFO}
+	check := func(seed uint32) bool {
+		rng := xrand.New(uint64(seed))
+		rt, err := core.NewRuntime(fx.Bundle, core.RuntimeConfig{
+			CacheSlots:       rng.Intn(fx.Bundle.NumModels()) + 1,
+			Policy:           policies[rng.Intn(len(policies))],
+			SwitchHysteresis: rng.Intn(4),
+		})
+		if err != nil {
+			return false
+		}
+		nFrames := rng.Intn(60) + 5
+		for i := 0; i < nFrames; i++ {
+			scene := synth.SceneFromIndex(rng.Intn(synth.NumScenes))
+			f := fx.World.GenerateFrame(scene, rng.Float64()*1.5, rng)
+			res, err := rt.ProcessFrame(f)
+			if err != nil {
+				return false
+			}
+			if res.Desired < 0 || res.Desired >= fx.Bundle.NumModels() {
+				return false
+			}
+			if res.Used < 0 || res.Used >= fx.Bundle.NumModels() {
+				return false
+			}
+			if res.Confidence < 0 || res.Confidence > 1 || res.Novelty < 0 {
+				return false
+			}
+			if res.Metrics.F1 < 0 || res.Metrics.F1 > 1 {
+				return false
+			}
+		}
+		st := rt.Stats()
+		if st.Frames != nFrames {
+			return false
+		}
+		var desired, used, durations int
+		for _, c := range st.DesiredCounts {
+			desired += c
+		}
+		for _, c := range st.UsedCounts {
+			used += c
+		}
+		for _, d := range st.SceneDurations {
+			if d <= 0 {
+				return false
+			}
+			durations += d
+		}
+		if desired != nFrames || used != nFrames || durations != nFrames {
+			return false
+		}
+		if int(st.Cache.Hits+st.Cache.Misses) != nFrames {
+			return false
+		}
+		if st.MissRate < 0 || st.MissRate > 1 {
+			return false
+		}
+		if st.Switches != len(st.SceneDurations)-1 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the uncertainty buffer never exceeds capacity and its flag
+// rate is consistent with what it observed.
+func TestUncertaintyBufferProperty(t *testing.T) {
+	fx := testutil.Shared(t)
+	frame := fx.Corpus.Frames(synth.Test)[0]
+	check := func(seed uint32) bool {
+		rng := xrand.New(uint64(seed))
+		capacity := rng.Intn(10) + 1
+		threshold := rng.Float64()*2 + 0.1
+		buf, err := core.NewUncertaintyBuffer(threshold, capacity)
+		if err != nil {
+			return false
+		}
+		flagged := 0
+		n := rng.Intn(50) + 1
+		for i := 0; i < n; i++ {
+			nov := rng.Float64() * 3
+			if buf.Observe(frame, core.FrameResult{Novelty: nov}) {
+				flagged++
+				if nov <= threshold {
+					return false
+				}
+			} else if nov > threshold {
+				return false
+			}
+		}
+		if buf.Len() > capacity || buf.Len() > flagged {
+			return false
+		}
+		want := float64(flagged) / float64(n)
+		return buf.FlagRate() == want
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

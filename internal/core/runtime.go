@@ -1,0 +1,365 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"anole/internal/detect"
+	"anole/internal/device"
+	"anole/internal/modelcache"
+	"anole/internal/stats"
+	"anole/internal/synth"
+)
+
+// RuntimeConfig controls the on-device inference loop.
+type RuntimeConfig struct {
+	// CacheSlots is the model cache capacity in compressed-model units
+	// (default 5, the knee of Fig. 7b).
+	CacheSlots int
+	// Policy is the eviction policy (default LFU, the paper's choice).
+	Policy modelcache.Policy
+	// Device, when non-nil, charges simulated latency/energy/memory for
+	// every decision, load and inference.
+	Device *device.Simulator
+	// SwitchHysteresis requires a challenger model to rank top-1 for
+	// this many consecutive frames before the runtime switches to it
+	// (≤1 = switch immediately, the paper's per-sample selection).
+	// Hysteresis trades a little selection agility for fewer model
+	// switches and cache loads on noisy decision boundaries.
+	SwitchHysteresis int
+}
+
+// FrameResult reports one processed frame.
+type FrameResult struct {
+	// Desired is the top-ranked model index; Used is the model that
+	// actually ran (differs from Desired on a cache miss).
+	Desired int
+	Used    int
+	// Hit reports whether Desired was already cached.
+	Hit bool
+	// Switched reports whether Desired differs from the previous
+	// frame's Desired (the scene-change signal of Fig. 7a).
+	Switched bool
+	// Metrics is the detection outcome against ground truth.
+	Metrics stats.PRF1
+	// Latency is the simulated end-to-end delay (zero without a device
+	// simulator): decision + (load on admitted miss) + inference.
+	Latency time.Duration
+	// Confidence is the decision model's top suitability probability.
+	Confidence float64
+	// Novelty scores how far the frame sits from every known scene
+	// (see Bundle.Novelty); 0 when the bundle has no calibration.
+	Novelty float64
+}
+
+// RunStats summarizes a runtime's history.
+type RunStats struct {
+	Frames   int
+	Switches int
+	// SceneDurations are the lengths of maximal runs of frames sharing
+	// one desired model — the paper's "scene duration" measured "as the
+	// number of frames without model switching" (Fig. 7a).
+	SceneDurations []int
+	// DesiredCounts is how often each model ranked top-1 (Fig. 4b).
+	DesiredCounts []int
+	// UsedCounts is how often each model actually served a frame.
+	UsedCounts []int
+	// Cache carries hit/miss/eviction counters; MissRate is derived.
+	Cache    modelcache.Stats
+	MissRate float64
+	// Detection aggregates matching counts over all frames.
+	Detection stats.PRF1
+	// TotalLatency sums simulated per-frame latency.
+	TotalLatency time.Duration
+}
+
+// MeanSceneDuration returns the average desired-model run length.
+func (s RunStats) MeanSceneDuration() float64 {
+	if len(s.SceneDurations) == 0 {
+		return 0
+	}
+	var sum int
+	for _, d := range s.SceneDurations {
+		sum += d
+	}
+	return float64(sum) / float64(len(s.SceneDurations))
+}
+
+// Runtime is the Online Model Inference loop. It is not safe for
+// concurrent use (one runtime per device).
+type Runtime struct {
+	bundle     *Bundle
+	cache      *modelcache.Cache
+	dev        *device.Simulator
+	hysteresis int
+
+	prevDesired int
+	runLen      int
+	// committed is the hysteresis-smoothed desired model; candidate and
+	// streak track the current challenger.
+	committed int
+	candidate int
+	streak    int
+	stats     RunStats
+}
+
+// NewRuntime prepares the OMI loop for a downloaded bundle.
+func NewRuntime(b *Bundle, cfg RuntimeConfig) (*Runtime, error) {
+	if err := b.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.CacheSlots <= 0 {
+		cfg.CacheSlots = 5
+	}
+	if cfg.Policy == 0 {
+		cfg.Policy = modelcache.LFU
+	}
+	cache, err := modelcache.New(cfg.CacheSlots, cfg.Policy)
+	if err != nil {
+		return nil, err
+	}
+	return &Runtime{
+		bundle:      b,
+		cache:       cache,
+		dev:         cfg.Device,
+		hysteresis:  cfg.SwitchHysteresis,
+		prevDesired: -1,
+		committed:   -1,
+		candidate:   -1,
+		stats: RunStats{
+			DesiredCounts: make([]int, b.NumModels()),
+			UsedCounts:    make([]int, b.NumModels()),
+		},
+	}, nil
+}
+
+// Bundle returns the runtime's deployed bundle.
+func (r *Runtime) Bundle() *Bundle { return r.bundle }
+
+// ProcessFrame executes the paper's per-frame pipeline: MSS ranks the
+// repertoire with M_decision; CMD resolves the ranking against the LFU
+// cache (on a miss the best cached model serves the frame while the cache
+// updates); MI runs the chosen detector. Ground-truth metrics, cache
+// behavior and simulated latency are recorded.
+func (r *Runtime) ProcessFrame(f *synth.Frame) (FrameResult, error) {
+	if f == nil {
+		return FrameResult{}, fmt.Errorf("core: nil frame")
+	}
+	if f.FeatDim() != r.bundle.FeatDim {
+		return FrameResult{}, fmt.Errorf("core: frame feat dim %d, bundle %d", f.FeatDim(), r.bundle.FeatDim)
+	}
+	var res FrameResult
+
+	// MSS: rank the repertoire for this sample. The scene embedding is
+	// computed once and shared by the decision head and the novelty
+	// score.
+	if r.dev != nil {
+		res.Latency += r.dev.Infer(r.bundle.DecisionCost())
+	}
+	emb := r.bundle.Encoder.EmbedFeature(synth.FrameFeature(f))
+	scores := r.bundle.Decision.ScoresFromEmbedding(emb)
+	rank := stats.RankDescending(scores)
+	res.Desired = r.applyHysteresis(rank[0])
+	res.Confidence = scores[rank[0]]
+	res.Novelty = r.bundle.NoveltyOfEmbedding(emb)
+	if res.Desired != rank[0] {
+		// The smoothed choice leads the ranking used for fallback.
+		rank = prependModel(rank, res.Desired)
+	}
+
+	// CMD: resolve against the cache. On a miss the frame is served by
+	// the best model already resident (the paper's §V-B rule) while the
+	// desired model loads in the background; only the very first frame,
+	// with an empty cache, blocks on its load.
+	coldStart := r.cache.Len() == 0
+	var preResident []bool
+	if !coldStart {
+		preResident = make([]bool, len(r.bundle.Detectors))
+		for i, det := range r.bundle.Detectors {
+			preResident[i] = r.cache.Contains(det.Name)
+		}
+	}
+	desiredName := r.bundle.Detectors[res.Desired].Name
+	hit, evicted, err := r.cache.Request(desiredName, 1)
+	if err != nil {
+		return FrameResult{}, fmt.Errorf("core: cache: %w", err)
+	}
+	res.Hit = hit
+	if r.dev != nil {
+		cells := f.NumCells()
+		for _, name := range evicted {
+			if idx := r.modelIndex(name); idx >= 0 {
+				r.dev.UnloadModel(r.bundle.ModelCost(idx, cells))
+			}
+		}
+		if !hit && r.cache.Contains(desiredName) {
+			cost := r.bundle.ModelCost(res.Desired, cells)
+			if coldStart {
+				res.Latency += r.dev.LoadModel(cost)
+			} else {
+				r.dev.LoadModelAsync(cost)
+			}
+		}
+	}
+
+	// Choose the model serving this frame: on a hit (or cold start) the
+	// desired model; otherwise the highest-ranked model that was
+	// resident before the background load began.
+	res.Used = -1
+	if hit || coldStart {
+		res.Used = res.Desired
+	} else {
+		for _, idx := range rank {
+			if preResident[idx] {
+				res.Used = idx
+				break
+			}
+		}
+	}
+	if res.Used < 0 {
+		// Unreachable: a warm cache always has a resident model.
+		res.Used = res.Desired
+	}
+
+	// MI: local prediction.
+	if r.dev != nil {
+		res.Latency += r.dev.Infer(r.bundle.ModelCost(res.Used, f.NumCells()))
+	}
+	res.Metrics = r.bundle.Detectors[res.Used].EvaluateFrame(f)
+
+	// Bookkeeping.
+	res.Switched = r.prevDesired >= 0 && res.Desired != r.prevDesired
+	if res.Switched {
+		r.stats.Switches++
+		r.stats.SceneDurations = append(r.stats.SceneDurations, r.runLen)
+		r.runLen = 1
+	} else {
+		r.runLen++
+	}
+	r.prevDesired = res.Desired
+	r.stats.Frames++
+	r.stats.DesiredCounts[res.Desired]++
+	r.stats.UsedCounts[res.Used]++
+	r.stats.Detection = r.stats.Detection.Add(res.Metrics)
+	r.stats.TotalLatency += res.Latency
+	return res, nil
+}
+
+// ProcessClip runs every frame of a clip in order and returns the
+// windowed F1 series (window 10, the Fig. 8 protocol).
+func (r *Runtime) ProcessClip(frames []*synth.Frame, window int) ([]float64, error) {
+	if window <= 0 {
+		window = 10
+	}
+	var (
+		out []float64
+		agg stats.PRF1
+		n   int
+	)
+	for _, f := range frames {
+		res, err := r.ProcessFrame(f)
+		if err != nil {
+			return nil, err
+		}
+		agg = agg.Add(res.Metrics)
+		n++
+		if n == window {
+			out = append(out, agg.F1)
+			agg = stats.PRF1{}
+			n = 0
+		}
+	}
+	if n > 0 {
+		out = append(out, agg.F1)
+	}
+	return out, nil
+}
+
+// Stats returns a snapshot of the run, closing the open desired-model run
+// into SceneDurations.
+func (r *Runtime) Stats() RunStats {
+	out := r.stats
+	out.SceneDurations = append([]int(nil), r.stats.SceneDurations...)
+	if r.runLen > 0 {
+		out.SceneDurations = append(out.SceneDurations, r.runLen)
+	}
+	out.DesiredCounts = append([]int(nil), r.stats.DesiredCounts...)
+	out.UsedCounts = append([]int(nil), r.stats.UsedCounts...)
+	out.Cache = r.cache.Stats()
+	out.MissRate = r.cache.MissRate()
+	out.Detection = stats.ComputePRF1(r.stats.Detection.TP, r.stats.Detection.FP, r.stats.Detection.FN)
+	return out
+}
+
+// Name implements the Selector surface shared with the baselines
+// package, so the harness can evaluate Anole uniformly.
+func (r *Runtime) Name() string { return "Anole" }
+
+// Select implements the Selector surface: it advances the cache exactly
+// as ProcessFrame does and returns the model that would serve the frame.
+func (r *Runtime) Select(f *synth.Frame) *detect.Detector {
+	scores := r.bundle.Decision.Scores(f)
+	rank := stats.RankDescending(scores)
+	desiredName := r.bundle.Detectors[rank[0]].Name
+	if _, _, err := r.cache.Request(desiredName, 1); err != nil {
+		return r.bundle.Detectors[rank[0]]
+	}
+	for _, idx := range rank {
+		if r.cache.Contains(r.bundle.Detectors[idx].Name) {
+			return r.bundle.Detectors[idx]
+		}
+	}
+	return r.bundle.Detectors[rank[0]]
+}
+
+// Detectors implements the Selector surface.
+func (r *Runtime) Detectors() []*detect.Detector { return r.bundle.Detectors }
+
+// OverheadFLOPs implements the Selector surface: the per-frame decision
+// cost.
+func (r *Runtime) OverheadFLOPs() int64 { return r.bundle.Decision.FLOPs() }
+
+// applyHysteresis smooths the per-frame top-1 choice: a challenger must
+// win SwitchHysteresis consecutive frames to displace the committed
+// model.
+func (r *Runtime) applyHysteresis(top int) int {
+	if r.hysteresis <= 1 {
+		return top
+	}
+	if r.committed < 0 || top == r.committed {
+		r.committed = top
+		r.candidate, r.streak = -1, 0
+		return r.committed
+	}
+	if top == r.candidate {
+		r.streak++
+	} else {
+		r.candidate, r.streak = top, 1
+	}
+	if r.streak >= r.hysteresis {
+		r.committed = top
+		r.candidate, r.streak = -1, 0
+	}
+	return r.committed
+}
+
+// prependModel moves idx to the front of rank without duplicating it.
+func prependModel(rank []int, idx int) []int {
+	out := make([]int, 0, len(rank))
+	out = append(out, idx)
+	for _, m := range rank {
+		if m != idx {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+func (r *Runtime) modelIndex(name string) int {
+	for i, d := range r.bundle.Detectors {
+		if d.Name == name {
+			return i
+		}
+	}
+	return -1
+}

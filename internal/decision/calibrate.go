@@ -1,0 +1,104 @@
+package decision
+
+import (
+	"fmt"
+	"math"
+
+	"anole/internal/nn"
+	"anole/internal/sampling"
+	"anole/internal/tensor"
+)
+
+// Temperature scaling: softmax heads are systematically overconfident,
+// which matters because the paper uses the suitability probability as a
+// "does a fitting model even exist" signal (§IV-C). CalibrateTemperature
+// finds the temperature T minimizing the negative log-likelihood of
+// softmax(logits/T) on held-out samples, then folds 1/T into the head's
+// final dense layer — mathematically identical to dividing logits at
+// inference, so rankings (and therefore every accuracy result) are
+// untouched while confidences become honest. Folding into the weights
+// means the calibration survives serialization with no format change.
+//
+// CalibrateTemperature returns the temperature it applied.
+func (m *Model) CalibrateTemperature(val []sampling.LabeledFrame) (float64, error) {
+	if len(val) == 0 {
+		return 0, fmt.Errorf("decision: no calibration samples")
+	}
+	// Pre-compute logits once; scaling them is cheap.
+	type sample struct {
+		logits tensor.Vector
+		label  int
+	}
+	samples := make([]sample, 0, len(val))
+	for _, s := range val {
+		if s.ModelIdx < 0 || s.ModelIdx >= m.N {
+			return 0, fmt.Errorf("decision: calibration label %d of %d", s.ModelIdx, m.N)
+		}
+		emb := m.Encoder.Embed(s.Frame)
+		samples = append(samples, sample{logits: m.Head.Forward(emb).Clone(), label: s.ModelIdx})
+	}
+
+	nll := func(temp float64) float64 {
+		var total float64
+		scaled := tensor.NewVector(m.N)
+		for _, s := range samples {
+			for i, v := range s.logits {
+				scaled[i] = v / temp
+			}
+			total += tensor.LogSumExp(scaled) - scaled[s.label]
+		}
+		return total / float64(len(samples))
+	}
+
+	// Golden-section search over a generous temperature range.
+	const (
+		lo, hi = 0.25, 8.0
+		phi    = 0.6180339887498949
+		iters  = 60
+	)
+	a, b := lo, hi
+	c := b - phi*(b-a)
+	d := a + phi*(b-a)
+	fc, fd := nll(c), nll(d)
+	for i := 0; i < iters; i++ {
+		if fc < fd {
+			b, d, fd = d, c, fc
+			c = b - phi*(b-a)
+			fc = nll(c)
+		} else {
+			a, c, fc = c, d, fd
+			d = a + phi*(b-a)
+			fd = nll(d)
+		}
+	}
+	temp := (a + b) / 2
+	if nll(1) <= nll(temp) {
+		// Calibration would not improve likelihood; leave the head
+		// untouched.
+		return 1, nil
+	}
+	if err := scaleFinalDense(m.Head, 1/temp); err != nil {
+		return 0, err
+	}
+	return temp, nil
+}
+
+// scaleFinalDense multiplies the network's last dense layer's weights and
+// bias by alpha (equivalent to scaling the output logits).
+func scaleFinalDense(net *nn.Network, alpha float64) error {
+	params := net.Params()
+	if len(params) < 2 {
+		return fmt.Errorf("decision: head has no dense layer to scale")
+	}
+	// The final dense layer contributes the last two parameter groups
+	// (weights, bias).
+	for _, p := range params[len(params)-2:] {
+		for i := range p.Value {
+			p.Value[i] *= alpha
+		}
+	}
+	if bad := math.IsNaN(alpha) || math.IsInf(alpha, 0) || alpha == 0; bad {
+		return fmt.Errorf("decision: invalid scale %v", alpha)
+	}
+	return nil
+}

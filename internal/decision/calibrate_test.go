@@ -1,0 +1,104 @@
+package decision
+
+import (
+	"math"
+	"testing"
+
+	"anole/internal/sampling"
+	"anole/internal/tensor"
+	"anole/internal/xrand"
+)
+
+func TestCalibrateTemperaturePreservesRanking(t *testing.T) {
+	fx := buildFixture(t, 300)
+	m, err := Train(fx.enc, fx.samples, 2, Config{Epochs: 30, RNG: xrand.New(301)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := xrand.New(302)
+	var probe []*tensor.Vector
+	var before []int
+	for i := 0; i < 30; i++ {
+		f := fx.world.GenerateFrame(fx.sceneA, 1, rng)
+		best, _ := m.Best(f)
+		before = append(before, best)
+		emb := m.Encoder.Embed(f)
+		probe = append(probe, &emb)
+	}
+	temp, err := m.CalibrateTemperature(fx.samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if temp <= 0 || math.IsNaN(temp) {
+		t.Fatalf("temperature %v", temp)
+	}
+	for i, emb := range probe {
+		scores := m.ScoresFromEmbedding(*emb)
+		best := 0
+		for j := 1; j < len(scores); j++ {
+			if scores[j] > scores[best] {
+				best = j
+			}
+		}
+		if best != before[i] {
+			t.Fatalf("calibration changed ranking at probe %d", i)
+		}
+	}
+}
+
+func TestCalibrateTemperatureImprovesNLL(t *testing.T) {
+	fx := buildFixture(t, 303)
+	// Overtrain so the head is confidently wrong off-distribution.
+	m, err := Train(fx.enc, fx.samples, 2, Config{Epochs: 120, RNG: xrand.New(304)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Calibrate on noisy labels: flip a fraction so temperature must
+	// rise above 1 to fit the observed label noise.
+	noisy := append([]sampling.LabeledFrame(nil), fx.samples...)
+	rng := xrand.New(305)
+	for i := range noisy {
+		if rng.Bool(0.3) {
+			noisy[i].ModelIdx = 1 - noisy[i].ModelIdx
+		}
+	}
+	nll := func() float64 {
+		var total float64
+		for _, s := range noisy {
+			scores := m.Scores(s.Frame)
+			p := scores[s.ModelIdx]
+			if p < 1e-12 {
+				p = 1e-12
+			}
+			total -= math.Log(p)
+		}
+		return total / float64(len(noisy))
+	}
+	before := nll()
+	temp, err := m.CalibrateTemperature(noisy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := nll()
+	if after > before+1e-9 {
+		t.Fatalf("calibration worsened NLL: %v -> %v (T=%v)", before, after, temp)
+	}
+	if temp <= 1 {
+		t.Fatalf("noisy labels should push temperature above 1, got %v", temp)
+	}
+}
+
+func TestCalibrateTemperatureValidation(t *testing.T) {
+	fx := buildFixture(t, 306)
+	m, err := Train(fx.enc, fx.samples, 2, Config{Epochs: 5, RNG: xrand.New(307)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.CalibrateTemperature(nil); err == nil {
+		t.Fatal("empty calibration set accepted")
+	}
+	bad := []sampling.LabeledFrame{{Frame: fx.samples[0].Frame, ModelIdx: 9}}
+	if _, err := m.CalibrateTemperature(bad); err == nil {
+		t.Fatal("out-of-range label accepted")
+	}
+}

@@ -1,0 +1,96 @@
+package detect
+
+import (
+	"runtime"
+	"sync"
+
+	"anole/internal/stats"
+	"anole/internal/synth"
+)
+
+// EvaluateFramesParallel scores the detector over frames using `workers`
+// goroutines (≤0 selects GOMAXPROCS). Each worker owns a private clone of
+// the detector — a Detector caches activations and is not safe for
+// concurrent use — and the per-frame matching counts are summed, so the
+// result is exactly EvaluateFrames' (integer counts commute).
+func (d *Detector) EvaluateFramesParallel(frames []*synth.Frame, workers int) stats.PRF1 {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(frames) {
+		workers = len(frames)
+	}
+	if workers <= 1 {
+		return d.EvaluateFrames(frames)
+	}
+
+	partials := make([]stats.PRF1, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		clone := &Detector{Name: d.Name, Arch: d.Arch, Net: d.Net.Clone(), featDim: d.featDim}
+		wg.Add(1)
+		go func(w int, det *Detector) {
+			defer wg.Done()
+			var agg stats.PRF1
+			for i := w; i < len(frames); i += workers {
+				agg = agg.Add(det.EvaluateFrame(frames[i]))
+			}
+			partials[w] = agg
+		}(w, clone)
+	}
+	wg.Wait()
+
+	var total stats.PRF1
+	for _, p := range partials {
+		total = total.Add(p)
+	}
+	return total
+}
+
+// OracleF1 scores the per-frame best model over the given detectors,
+// parallelizing across frames (each worker clones every detector). It
+// returns the aggregate metrics of always picking the best model per
+// frame — the selection upper bound used by the harness.
+func OracleF1(detectors []*Detector, frames []*synth.Frame, workers int) stats.PRF1 {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(frames) {
+		workers = len(frames)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+
+	partials := make([]stats.PRF1, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		clones := make([]*Detector, len(detectors))
+		for i, d := range detectors {
+			clones[i] = &Detector{Name: d.Name, Arch: d.Arch, Net: d.Net.Clone(), featDim: d.featDim}
+		}
+		wg.Add(1)
+		go func(w int, dets []*Detector) {
+			defer wg.Done()
+			var agg stats.PRF1
+			for i := w; i < len(frames); i += workers {
+				bestF1 := -1.0
+				var best stats.PRF1
+				for _, det := range dets {
+					if m := det.EvaluateFrame(frames[i]); m.F1 > bestF1 {
+						bestF1, best = m.F1, m
+					}
+				}
+				agg = agg.Add(best)
+			}
+			partials[w] = agg
+		}(w, clones)
+	}
+	wg.Wait()
+
+	var total stats.PRF1
+	for _, p := range partials {
+		total = total.Add(p)
+	}
+	return total
+}

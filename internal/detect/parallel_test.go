@@ -1,0 +1,79 @@
+package detect
+
+import (
+	"testing"
+
+	"anole/internal/synth"
+	"anole/internal/xrand"
+)
+
+func TestEvaluateFramesParallelMatchesSerial(t *testing.T) {
+	w := newTestWorld(t, 50)
+	rng := xrand.New(51)
+	scene := synth.Scene{Weather: synth.Clear, Location: synth.Urban, Time: synth.Daytime}
+	train := genFrames(w, scene, 80, rng)
+	test := genFrames(w, scene, 60, rng)
+	d := NewDetector("p", Compressed, 8, rng)
+	if err := d.Train(train, nil, TrainConfig{Epochs: 10, RNG: rng}); err != nil {
+		t.Fatal(err)
+	}
+	serial := d.EvaluateFrames(test)
+	for _, workers := range []int{0, 1, 2, 4, 7, 100} {
+		parallel := d.EvaluateFramesParallel(test, workers)
+		if parallel != serial {
+			t.Fatalf("workers=%d: %+v vs %+v", workers, parallel, serial)
+		}
+	}
+}
+
+func TestEvaluateFramesParallelEmpty(t *testing.T) {
+	d := NewDetector("p", Compressed, 8, xrand.New(1))
+	m := d.EvaluateFramesParallel(nil, 4)
+	if m.TP != 0 || m.FP != 0 || m.FN != 0 {
+		t.Fatalf("empty eval: %+v", m)
+	}
+}
+
+func TestOracleF1MatchesSerialOracle(t *testing.T) {
+	w := newTestWorld(t, 52)
+	rng := xrand.New(53)
+	sceneA := synth.Scene{Weather: synth.Clear, Location: synth.Urban, Time: synth.Daytime}
+	sceneB := synth.Scene{Weather: synth.Clear, Location: synth.Highway, Time: synth.Night}
+	var test []*synth.Frame
+	test = append(test, genFrames(w, sceneA, 25, rng)...)
+	test = append(test, genFrames(w, sceneB, 25, rng)...)
+
+	mk := func(s synth.Scene, seed uint64) *Detector {
+		r := xrand.New(seed)
+		d := NewDetector("m", Compressed, 8, r)
+		if err := d.Train(genFrames(w, s, 80, r), nil, TrainConfig{Epochs: 10, RNG: r}); err != nil {
+			t.Fatal(err)
+		}
+		return d
+	}
+	dets := []*Detector{mk(sceneA, 60), mk(sceneB, 61)}
+
+	// Serial reference.
+	var serial struct{ tp, fp, fn int }
+	for _, f := range test {
+		bestF1 := -1.0
+		var best = dets[0].EvaluateFrame(f)
+		bestF1 = best.F1
+		if m := dets[1].EvaluateFrame(f); m.F1 > bestF1 {
+			best = m
+		}
+		serial.tp += best.TP
+		serial.fp += best.FP
+		serial.fn += best.FN
+	}
+	got := OracleF1(dets, test, 4)
+	if got.TP != serial.tp || got.FP != serial.fp || got.FN != serial.fn {
+		t.Fatalf("oracle mismatch: %+v vs %+v", got, serial)
+	}
+	// The oracle must be at least as good as either fixed model.
+	for i, d := range dets {
+		if f1 := d.EvaluateFramesParallel(test, 2).F1; got.F1 < f1 {
+			t.Fatalf("oracle %v below fixed model %d's %v", got.F1, i, f1)
+		}
+	}
+}

@@ -1,0 +1,187 @@
+package eval
+
+import (
+	"fmt"
+	"io"
+
+	"anole/internal/core"
+	"anole/internal/modelcache"
+	"anole/internal/stats"
+)
+
+// Fig7aResult carries the scene-duration boxplots of the synthesized
+// fast-changing clips T1–T6 (Fig. 7a): the lengths of frame runs without
+// a model switch, per clip.
+type Fig7aResult struct {
+	Clips        []stats.Boxplot
+	MeanDuration float64
+	// FracUnder40 is the fraction of runs shorter than 40 frames (the
+	// paper reports over 80%).
+	FracUnder40 float64
+}
+
+// RunFig7a streams T1–T6 through fresh runtimes and summarizes
+// desired-model run lengths.
+func RunFig7a(l *Lab, segment int) (Fig7aResult, error) {
+	if segment <= 0 {
+		segment = 100
+	}
+	clips := l.synthClips(segment)
+	var res Fig7aResult
+	var all []float64
+	for _, frames := range clips {
+		rt, err := core.NewRuntime(l.Bundle, core.RuntimeConfig{CacheSlots: 5})
+		if err != nil {
+			return Fig7aResult{}, err
+		}
+		for _, f := range frames {
+			if _, err := rt.ProcessFrame(f); err != nil {
+				return Fig7aResult{}, err
+			}
+		}
+		durations := toFloats(rt.Stats().SceneDurations)
+		res.Clips = append(res.Clips, stats.BoxplotOf(durations))
+		all = append(all, durations...)
+	}
+	if len(all) > 0 {
+		res.MeanDuration = stats.Mean(all)
+		under := 0
+		for _, d := range all {
+			if d < 40 {
+				under++
+			}
+		}
+		res.FracUnder40 = float64(under) / float64(len(all))
+	}
+	return res, nil
+}
+
+// Render writes one boxplot row per synthesized clip.
+func (r Fig7aResult) Render(w io.Writer) {
+	fmt.Fprintln(w, "Fig. 7a — scene duration (frames without model switching) on T1-T6")
+	fmt.Fprintf(w, "%-5s %-7s %-7s %-8s %-7s %-7s %-7s\n", "clip", "min", "q1", "median", "q3", "max", "mean")
+	for i, b := range r.Clips {
+		fmt.Fprintf(w, "T%-4d %-7.0f %-7.1f %-8.1f %-7.1f %-7.0f %-7.1f\n",
+			i+1, b.Min, b.Q1, b.Median, b.Q3, b.Max, b.Mean)
+	}
+	fmt.Fprintf(w, "mean duration %.1f frames; %.0f%% of runs under 40 frames (paper: >80%%)\n",
+		r.MeanDuration, 100*r.FracUnder40)
+}
+
+// Fig7bRow is one cache size's outcome.
+type Fig7bRow struct {
+	CacheSize int
+	MissRate  float64
+	F1        float64
+}
+
+// Fig7bResult sweeps cache size over the synthesized clips (Fig. 7b).
+type Fig7bResult struct {
+	Rows []Fig7bRow
+}
+
+// RunFig7b measures miss rate and F1 for cache sizes 1..maxSize on the
+// T1–T6 stream.
+func RunFig7b(l *Lab, maxSize, segment int) (Fig7bResult, error) {
+	if maxSize <= 0 {
+		maxSize = 8
+	}
+	if segment <= 0 {
+		segment = 100
+	}
+	clips := l.synthClips(segment)
+	var res Fig7bResult
+	for size := 1; size <= maxSize; size++ {
+		var agg stats.PRF1
+		var hits, misses int64
+		for _, frames := range clips {
+			rt, err := core.NewRuntime(l.Bundle, core.RuntimeConfig{CacheSlots: size})
+			if err != nil {
+				return Fig7bResult{}, err
+			}
+			for _, f := range frames {
+				if _, err := rt.ProcessFrame(f); err != nil {
+					return Fig7bResult{}, err
+				}
+			}
+			st := rt.Stats()
+			agg = agg.Add(st.Detection)
+			hits += st.Cache.Hits
+			misses += st.Cache.Misses
+		}
+		missRate := 0.0
+		if hits+misses > 0 {
+			missRate = float64(misses) / float64(hits+misses)
+		}
+		res.Rows = append(res.Rows, Fig7bRow{CacheSize: size, MissRate: missRate, F1: agg.F1})
+	}
+	return res, nil
+}
+
+// Render writes one row per cache size.
+func (r Fig7bResult) Render(w io.Writer) {
+	fmt.Fprintln(w, "Fig. 7b — cache miss rate and F1 vs cache size (T1-T6)")
+	fmt.Fprintf(w, "%-11s %-10s %-8s\n", "cache size", "miss rate", "F1")
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "%-11d %-10.3f %-8.3f\n", row.CacheSize, row.MissRate, row.F1)
+	}
+}
+
+// AblationCacheRow compares eviction policies at a fixed cache size.
+type AblationCacheRow struct {
+	Policy   string
+	MissRate float64
+	F1       float64
+}
+
+// AblationCacheResult is the LFU/LRU/FIFO comparison (ablation A3).
+type AblationCacheResult struct {
+	CacheSize int
+	Rows      []AblationCacheRow
+}
+
+// RunAblationCache replays the T1–T6 stream under each eviction policy.
+func RunAblationCache(l *Lab, cacheSize, segment int) (AblationCacheResult, error) {
+	if cacheSize <= 0 {
+		cacheSize = 3
+	}
+	if segment <= 0 {
+		segment = 100
+	}
+	clips := l.synthClips(segment)
+	res := AblationCacheResult{CacheSize: cacheSize}
+	for _, policy := range []modelcache.Policy{modelcache.LFU, modelcache.LRU, modelcache.FIFO} {
+		var agg stats.PRF1
+		var hits, misses int64
+		for _, frames := range clips {
+			rt, err := core.NewRuntime(l.Bundle, core.RuntimeConfig{CacheSlots: cacheSize, Policy: policy})
+			if err != nil {
+				return AblationCacheResult{}, err
+			}
+			for _, f := range frames {
+				if _, err := rt.ProcessFrame(f); err != nil {
+					return AblationCacheResult{}, err
+				}
+			}
+			st := rt.Stats()
+			agg = agg.Add(st.Detection)
+			hits += st.Cache.Hits
+			misses += st.Cache.Misses
+		}
+		missRate := 0.0
+		if hits+misses > 0 {
+			missRate = float64(misses) / float64(hits+misses)
+		}
+		res.Rows = append(res.Rows, AblationCacheRow{Policy: policy.String(), MissRate: missRate, F1: agg.F1})
+	}
+	return res, nil
+}
+
+// Render writes one row per policy.
+func (r AblationCacheResult) Render(w io.Writer) {
+	fmt.Fprintf(w, "Ablation A3 — eviction policy at cache size %d (T1-T6)\n", r.CacheSize)
+	fmt.Fprintf(w, "%-8s %-10s %-8s\n", "policy", "miss rate", "F1")
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "%-8s %-10.3f %-8.3f\n", row.Policy, row.MissRate, row.F1)
+	}
+}

@@ -1,0 +1,70 @@
+package eval
+
+import (
+	"fmt"
+	"io"
+
+	"anole/internal/stats"
+)
+
+// Fig5Result carries the dataset-diversity CDFs of Fig. 5: image
+// brightness, image contrast, objects per frame, and object area ratio
+// over every frame of the corpus.
+type Fig5Result struct {
+	Frames     int
+	Brightness []stats.CDFPoint
+	Contrast   []stats.CDFPoint
+	Objects    []stats.CDFPoint
+	AreaRatio  []stats.CDFPoint
+}
+
+// RunFig5 computes the four CDFs over the full corpus.
+func RunFig5(l *Lab) Fig5Result {
+	var brightness, contrast, objects, area []float64
+	for _, clip := range l.Corpus.Clips {
+		for _, f := range clip.Frames {
+			brightness = append(brightness, f.Brightness)
+			contrast = append(contrast, f.Contrast)
+			objects = append(objects, float64(len(f.Objects)))
+			area = append(area, f.AreaRatio())
+		}
+	}
+	return Fig5Result{
+		Frames:     len(brightness),
+		Brightness: stats.CDF(brightness),
+		Contrast:   stats.CDF(contrast),
+		Objects:    stats.CDF(objects),
+		AreaRatio:  stats.CDF(area),
+	}
+}
+
+// Render writes the four CDFs at decile resolution.
+func (r Fig5Result) Render(w io.Writer) {
+	fmt.Fprintf(w, "Fig. 5 — dataset diversity CDFs over %d frames\n", r.Frames)
+	renderCDF(w, "brightness", r.Brightness)
+	renderCDF(w, "contrast", r.Contrast)
+	renderCDF(w, "#objects", r.Objects)
+	renderCDF(w, "area ratio", r.AreaRatio)
+}
+
+func renderCDF(w io.Writer, name string, cdf []stats.CDFPoint) {
+	fmt.Fprintf(w, "  %s:", name)
+	if len(cdf) == 0 {
+		fmt.Fprintln(w, " (empty)")
+		return
+	}
+	for _, q := range []float64{0.1, 0.25, 0.5, 0.75, 0.9} {
+		fmt.Fprintf(w, "  p%.0f=%.3f", q*100, valueAtFrac(cdf, q))
+	}
+	fmt.Fprintln(w)
+}
+
+// valueAtFrac inverts an empirical CDF at the given cumulative fraction.
+func valueAtFrac(cdf []stats.CDFPoint, frac float64) float64 {
+	for _, p := range cdf {
+		if p.Frac >= frac {
+			return p.Value
+		}
+	}
+	return cdf[len(cdf)-1].Value
+}

@@ -1,0 +1,138 @@
+package eval
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"anole/internal/core"
+	"anole/internal/stats"
+	"anole/internal/synth"
+	"anole/internal/xrand"
+)
+
+// Fig6Result carries the confusion matrices of the scene encoder and the
+// decision model on the seen-data validation split (Fig. 6).
+type Fig6Result struct {
+	SceneCM    *stats.ConfusionMatrix
+	DecisionCM *stats.ConfusionMatrix
+	// SceneAccuracy and DecisionDiagonal summarize the two matrices.
+	SceneAccuracy    float64
+	DecisionDiagonal float64
+}
+
+// RunFig6 evaluates both profiling models. maxFrames caps the validation
+// frames scored (0 = all; the decision oracle runs every repertoire model
+// per frame, which is quadratic-ish in repertoire size).
+func RunFig6(l *Lab, maxFrames int) Fig6Result {
+	val := l.Corpus.Frames(synth.Val)
+	if maxFrames > 0 && len(val) > maxFrames {
+		val = val[:maxFrames]
+	}
+	sceneCM := l.Bundle.Encoder.ConfusionOn(val)
+	decCM := l.Bundle.Decision.ConfusionOn(l.Bundle.Detectors, val)
+	return Fig6Result{
+		SceneCM:          sceneCM,
+		DecisionCM:       decCM,
+		SceneAccuracy:    sceneCM.Accuracy(),
+		DecisionDiagonal: decCM.DiagonalMass(),
+	}
+}
+
+// Render writes both matrices (row-normalized) with their summaries.
+// Matrices beyond 24 classes are summarized by their diagonal only, since
+// a full 84×84 grid is unreadable as text.
+func (r Fig6Result) Render(w io.Writer) {
+	fmt.Fprintf(w, "Fig. 6a — M_scene confusion (accuracy %.3f, %d classes)\n",
+		r.SceneAccuracy, r.SceneCM.K)
+	renderMatrix(w, r.SceneCM)
+	fmt.Fprintf(w, "Fig. 6b — M_decision vs oracle best model (mean diagonal %.3f, %d models)\n",
+		r.DecisionDiagonal, r.DecisionCM.K)
+	renderMatrix(w, r.DecisionCM)
+}
+
+func renderMatrix(w io.Writer, cm *stats.ConfusionMatrix) {
+	if cm.K <= 24 {
+		fmt.Fprint(w, cm.String())
+		return
+	}
+	norm := cm.RowNormalized()
+	fmt.Fprint(w, "  diagonal:")
+	for i := 0; i < cm.K; i++ {
+		fmt.Fprintf(w, " %.2f", norm[i][i])
+		if (i+1)%20 == 0 {
+			fmt.Fprint(w, "\n           ")
+		}
+	}
+	fmt.Fprintln(w)
+}
+
+// Fig4bResult is the model-utility distribution: how often each
+// compressed model ranks top-1 over streamed clips, sorted descending,
+// with the fitted power-law exponent (Fig. 4b).
+type Fig4bResult struct {
+	// Ratio[i] is the top-1 share of the i-th most-used model.
+	Ratio []float64
+	// Alpha is the rank-frequency power-law exponent.
+	Alpha float64
+	// Top3Share is the cumulative share of the three most-used models.
+	Top3Share float64
+	Frames    int
+}
+
+// RunFig4b streams `clips` randomly chosen test clips through a fresh
+// runtime and tallies which model the decision ranks first per frame.
+func RunFig4b(l *Lab, clips int) (Fig4bResult, error) {
+	if clips <= 0 {
+		clips = 5
+	}
+	rt, err := core.NewRuntime(l.Bundle, core.RuntimeConfig{CacheSlots: 5})
+	if err != nil {
+		return Fig4bResult{}, err
+	}
+	rng := xrand.NewLabeled(l.Config.Seed, "fig4b")
+	seen := l.Corpus.SeenClips()
+	if len(seen) == 0 {
+		return Fig4bResult{}, fmt.Errorf("eval: no seen clips")
+	}
+	frames := 0
+	for c := 0; c < clips; c++ {
+		clip := seen[rng.Intn(len(seen))]
+		n := len(clip.Frames)
+		for i, f := range clip.Frames {
+			if synth.SplitOf(i, n, true) != synth.Test {
+				continue
+			}
+			if _, err := rt.ProcessFrame(f); err != nil {
+				return Fig4bResult{}, err
+			}
+			frames++
+		}
+	}
+	st := rt.Stats()
+	ratios := make([]float64, len(st.DesiredCounts))
+	for i, c := range st.DesiredCounts {
+		ratios[i] = float64(c) / float64(frames)
+	}
+	sort.Sort(sort.Reverse(sort.Float64Slice(ratios)))
+	top3 := 0.0
+	for i := 0; i < 3 && i < len(ratios); i++ {
+		top3 += ratios[i]
+	}
+	return Fig4bResult{
+		Ratio:     ratios,
+		Alpha:     stats.PowerLawAlpha(ratios),
+		Top3Share: top3,
+		Frames:    frames,
+	}, nil
+}
+
+// Render writes the distribution rows.
+func (r Fig4bResult) Render(w io.Writer) {
+	fmt.Fprintf(w, "Fig. 4b — top-1 model utility over %d frames (sorted)\n", r.Frames)
+	for i, v := range r.Ratio {
+		fmt.Fprintf(w, "rank %-3d %.4f\n", i+1, v)
+	}
+	fmt.Fprintf(w, "power-law exponent %.2f; top-3 models cover %.1f%% of frames\n",
+		r.Alpha, 100*r.Top3Share)
+}

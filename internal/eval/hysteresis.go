@@ -1,0 +1,77 @@
+package eval
+
+import (
+	"fmt"
+	"io"
+
+	"anole/internal/core"
+	"anole/internal/stats"
+	"anole/internal/synth"
+	"anole/internal/xrand"
+)
+
+// HysteresisRow is one smoothing setting's outcome on a coherent stream.
+type HysteresisRow struct {
+	// Hysteresis is the consecutive-win requirement (1 = the paper's
+	// per-sample selection).
+	Hysteresis int
+	F1         float64
+	Switches   int
+	MissRate   float64
+}
+
+// HysteresisResult is the A6 ablation: the paper selects a model on
+// every sample because scenes change fast (§V-A); this sweep quantifies
+// what requiring a challenger to win k consecutive frames trades — fewer
+// switches and cache loads against selection lag at scene boundaries.
+type HysteresisResult struct {
+	Frames int
+	Rows   []HysteresisRow
+}
+
+// RunHysteresis streams freshly generated coherent clips (BDD-like scene
+// dynamics) through runtimes with increasing hysteresis.
+func RunHysteresis(l *Lab, frames int, settings []int) (HysteresisResult, error) {
+	if frames <= 0 {
+		frames = 600
+	}
+	if len(settings) == 0 {
+		settings = []int{1, 2, 3, 5, 8}
+	}
+	profile := synth.DefaultProfiles(1)[1]
+	profile.FramesPerClip = frames
+	clip := l.World.GenerateClip(profile, 8800, xrand.NewLabeled(l.Config.Seed, "hysteresis"))
+
+	res := HysteresisResult{Frames: len(clip.Frames)}
+	for _, h := range settings {
+		rt, err := core.NewRuntime(l.Bundle, core.RuntimeConfig{CacheSlots: 3, SwitchHysteresis: h})
+		if err != nil {
+			return HysteresisResult{}, err
+		}
+		var agg stats.PRF1
+		for _, f := range clip.Frames {
+			fr, err := rt.ProcessFrame(f)
+			if err != nil {
+				return HysteresisResult{}, err
+			}
+			agg = agg.Add(fr.Metrics)
+		}
+		st := rt.Stats()
+		res.Rows = append(res.Rows, HysteresisRow{
+			Hysteresis: h,
+			F1:         agg.F1,
+			Switches:   st.Switches,
+			MissRate:   st.MissRate,
+		})
+	}
+	return res, nil
+}
+
+// Render writes one row per setting.
+func (r HysteresisResult) Render(w io.Writer) {
+	fmt.Fprintf(w, "Ablation A6 — switch hysteresis on a coherent %d-frame stream\n", r.Frames)
+	fmt.Fprintf(w, "%-12s %-8s %-10s %-10s\n", "hysteresis", "F1", "switches", "miss rate")
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "%-12d %-8.3f %-10d %-10.3f\n", row.Hysteresis, row.F1, row.Switches, row.MissRate)
+	}
+}

@@ -1,0 +1,102 @@
+package eval
+
+import (
+	"fmt"
+	"io"
+
+	"anole/internal/core"
+	"anole/internal/stats"
+	"anole/internal/synth"
+)
+
+// QuantizeRow is one precision setting's outcome.
+type QuantizeRow struct {
+	// Bits is the repertoire weight precision (0 = full float64).
+	Bits int
+	// F1 is the Anole runtime's accuracy on the seen test split.
+	F1 float64
+	// RepertoireBytes is the serialized repertoire size.
+	RepertoireBytes int64
+	// Compression is full-precision bytes over this setting's bytes.
+	Compression float64
+}
+
+// QuantizeResult is the A5 ablation: post-training quantization of the
+// compressed repertoire. The paper positions Anole among compression
+// techniques (§VII-A); this measures how far the repertoire's precision
+// can drop before accuracy pays, and what it buys in download size and
+// model-load latency (bytes drive both).
+type QuantizeResult struct {
+	Rows []QuantizeRow
+}
+
+// RunQuantize sweeps weight precision over the lab's bundle and scores
+// each variant on at most maxFrames seen test frames (0 = all).
+func RunQuantize(l *Lab, bitsList []int, maxFrames int) (QuantizeResult, error) {
+	if len(bitsList) == 0 {
+		bitsList = []int{16, 8, 4, 2}
+	}
+	test := l.Corpus.Frames(synth.Test)
+	if len(test) == 0 {
+		return QuantizeResult{}, fmt.Errorf("eval: no test frames")
+	}
+	if maxFrames > 0 && len(test) > maxFrames {
+		test = test[:maxFrames]
+	}
+
+	score := func(b *core.Bundle) (float64, error) {
+		rt, err := core.NewRuntime(b, core.RuntimeConfig{CacheSlots: 5})
+		if err != nil {
+			return 0, err
+		}
+		var agg stats.PRF1
+		for _, f := range test {
+			res, err := rt.ProcessFrame(f)
+			if err != nil {
+				return 0, err
+			}
+			agg = agg.Add(res.Metrics)
+		}
+		return agg.F1, nil
+	}
+
+	fullBytes := l.Bundle.RepertoireWeightBytes()
+	fullF1, err := score(l.Bundle)
+	if err != nil {
+		return QuantizeResult{}, err
+	}
+	res := QuantizeResult{Rows: []QuantizeRow{{
+		Bits: 0, F1: fullF1, RepertoireBytes: fullBytes, Compression: 1,
+	}}}
+	for _, bits := range bitsList {
+		qb, err := core.QuantizeBundle(l.Bundle, bits)
+		if err != nil {
+			return QuantizeResult{}, err
+		}
+		f1, err := score(qb)
+		if err != nil {
+			return QuantizeResult{}, err
+		}
+		qBytes := qb.RepertoireWeightBytes()
+		res.Rows = append(res.Rows, QuantizeRow{
+			Bits:            bits,
+			F1:              f1,
+			RepertoireBytes: qBytes,
+			Compression:     float64(fullBytes) / float64(qBytes),
+		})
+	}
+	return res, nil
+}
+
+// Render writes one row per precision setting.
+func (r QuantizeResult) Render(w io.Writer) {
+	fmt.Fprintln(w, "Ablation A5 — post-training quantization of the repertoire")
+	fmt.Fprintf(w, "%-8s %-8s %-16s %-12s\n", "bits", "F1", "repertoire(B)", "compression")
+	for _, row := range r.Rows {
+		label := fmt.Sprint(row.Bits)
+		if row.Bits == 0 {
+			label = "f64"
+		}
+		fmt.Fprintf(w, "%-8s %-8.3f %-16d %-12.1fx\n", label, row.F1, row.RepertoireBytes, row.Compression)
+	}
+}

@@ -1,0 +1,115 @@
+package eval
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"anole/internal/core"
+	"anole/internal/device"
+	"anole/internal/synth"
+)
+
+// ThermalRow is one method's outcome under sustained load with thermal
+// throttling enabled.
+type ThermalRow struct {
+	Method string
+	// Heat is the final thermal state (>1 = throttling).
+	Heat float64
+	// Throttle is the final throughput multiplier (1 = unthrottled).
+	Throttle float64
+	// SustainedFPS is inferences per busy second at the end of the run.
+	SustainedFPS float64
+	// MeanLatencyMs is the mean per-frame latency over the last quarter
+	// of the stream (after thermals settle).
+	MeanLatencyMs float64
+}
+
+// ThermalResult is the A4 ablation: a passively cooled device (thermal
+// model attached) streams frames at 30 FPS for several simulated minutes.
+// The deep model saturates the chassis and throttles; Anole's small
+// models idle most of each frame period and stay inside the envelope —
+// an effect the paper's powered test rig cannot show but any fanless
+// deployment would.
+type ThermalResult struct {
+	Rows []ThermalRow
+}
+
+// RunThermal streams `frames` frames (33 ms apart) through SDM and
+// through the Anole runtime on a TX2 NX with the default thermal model.
+func RunThermal(l *Lab, frames int) (ThermalResult, error) {
+	if frames <= 0 {
+		frames = 3000
+	}
+	stream := make([]*synth.Frame, 0, frames)
+	test := l.Corpus.Frames(synth.Test)
+	if len(test) == 0 {
+		return ThermalResult{}, fmt.Errorf("eval: no test frames")
+	}
+	for i := 0; i < frames; i++ {
+		stream = append(stream, test[i%len(test)])
+	}
+	const period = 33300 * time.Microsecond
+	cells := l.World.Config().Cells()
+	tail := frames / 4
+
+	var res ThermalResult
+
+	// SDM: one deep inference per frame.
+	sdmSim := device.NewSimulator(device.JetsonTX2NX)
+	sdmSim.EnableThermal(device.DefaultThermal())
+	deep := deepModelCost(l, cells)
+	sdmSim.LoadModel(deep)
+	var sdmTail time.Duration
+	for i := range stream {
+		lat := sdmSim.Infer(deep)
+		sdmSim.Idle(period - lat)
+		if i >= frames-tail {
+			sdmTail += lat
+		}
+	}
+	res.Rows = append(res.Rows, ThermalRow{
+		Method:        "SDM",
+		Heat:          sdmSim.Heat(),
+		Throttle:      sdmSim.ThrottleFactor(),
+		SustainedFPS:  sdmSim.FPS(),
+		MeanLatencyMs: sdmTail.Seconds() * 1e3 / float64(tail),
+	})
+
+	// Anole: decision + compressed inference per frame via the runtime.
+	anoleSim := device.NewSimulator(device.JetsonTX2NX)
+	anoleSim.EnableThermal(device.DefaultThermal())
+	rt, err := core.NewRuntime(l.Bundle, core.RuntimeConfig{CacheSlots: 5, Device: anoleSim})
+	if err != nil {
+		return ThermalResult{}, err
+	}
+	var anoleTail time.Duration
+	for i, f := range stream {
+		fr, err := rt.ProcessFrame(f)
+		if err != nil {
+			return ThermalResult{}, err
+		}
+		anoleSim.Idle(period - fr.Latency)
+		if i >= frames-tail {
+			anoleTail += fr.Latency
+		}
+	}
+	res.Rows = append(res.Rows, ThermalRow{
+		Method:        "Anole",
+		Heat:          anoleSim.Heat(),
+		Throttle:      anoleSim.ThrottleFactor(),
+		SustainedFPS:  anoleSim.FPS(),
+		MeanLatencyMs: anoleTail.Seconds() * 1e3 / float64(tail),
+	})
+	return res, nil
+}
+
+// Render writes one row per method.
+func (r ThermalResult) Render(w io.Writer) {
+	fmt.Fprintln(w, "Ablation A4 — passive cooling: sustained 30 FPS stream on TX2 NX")
+	fmt.Fprintf(w, "%-8s %-7s %-10s %-14s %-14s\n", "method", "heat", "throttle", "busy FPS", "tail ms/frame")
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "%-8s %-7.2f %-10.2f %-14.1f %-14.2f\n",
+			row.Method, row.Heat, row.Throttle, row.SustainedFPS, row.MeanLatencyMs)
+	}
+}

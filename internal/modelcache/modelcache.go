@@ -1,0 +1,256 @@
+// Package modelcache implements the paper's Cache-based Model Deployment
+// (CMD, §V-B): a bounded cache of compressed models resident in GPU
+// memory, evicting Least Frequently Used models when a newly requested
+// model misses. LRU and FIFO policies are included for the cache-policy
+// ablation.
+package modelcache
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Policy selects the eviction discipline.
+type Policy int
+
+// Eviction policies. LFU is the paper's choice, justified by the
+// power-law model-utility distribution of Fig. 4(b).
+const (
+	LFU Policy = iota + 1
+	LRU
+	FIFO
+)
+
+func (p Policy) String() string {
+	switch p {
+	case LFU:
+		return "LFU"
+	case LRU:
+		return "LRU"
+	case FIFO:
+		return "FIFO"
+	default:
+		return fmt.Sprintf("policy(%d)", int(p))
+	}
+}
+
+type entry struct {
+	key      string
+	size     int
+	freq     int   // use count (LFU)
+	lastUsed int64 // logical clock of last use (LRU)
+	inserted int64 // logical clock at insertion (FIFO, tie-break)
+}
+
+// Cache is a bounded model cache. Capacity is expressed in abstract size
+// units (the harness uses "compressed model" units, matching Fig. 7(b)'s
+// x-axis). The zero value is not usable; construct with New. Cache is not
+// safe for concurrent use.
+type Cache struct {
+	capacity int
+	policy   Policy
+	entries  map[string]*entry
+	// history preserves use counts across evictions, so a hot model's
+	// utility survives a temporary eviction (LFU with perfect history;
+	// the paper's CMD tracks model utility over the whole stream).
+	history map[string]int
+	clock   int64
+	used    int
+
+	hits      int64
+	misses    int64
+	evictions int64
+}
+
+// New returns a cache holding at most capacity size units under the given
+// policy.
+func New(capacity int, policy Policy) (*Cache, error) {
+	if capacity <= 0 {
+		return nil, fmt.Errorf("modelcache: capacity %d", capacity)
+	}
+	switch policy {
+	case LFU, LRU, FIFO:
+	default:
+		return nil, fmt.Errorf("modelcache: unknown policy %v", policy)
+	}
+	return &Cache{
+		capacity: capacity,
+		policy:   policy,
+		entries:  make(map[string]*entry),
+		history:  make(map[string]int),
+	}, nil
+}
+
+// MustNew is New that panics on error, for statically valid parameters.
+func MustNew(capacity int, policy Policy) *Cache {
+	c, err := New(capacity, policy)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Capacity returns the configured capacity in size units.
+func (c *Cache) Capacity() int { return c.capacity }
+
+// Used returns the occupied size units.
+func (c *Cache) Used() int { return c.used }
+
+// Len returns the number of cached models.
+func (c *Cache) Len() int { return len(c.entries) }
+
+// Contains reports whether key is cached, without recording a use.
+func (c *Cache) Contains(key string) bool {
+	_, ok := c.entries[key]
+	return ok
+}
+
+// Touch records a use of key (frequency and recency bump) and reports
+// whether it was present.
+func (c *Cache) Touch(key string) bool {
+	e, ok := c.entries[key]
+	if !ok {
+		return false
+	}
+	c.clock++
+	e.freq++
+	c.history[key] = e.freq
+	e.lastUsed = c.clock
+	return true
+}
+
+// Request is the cache's main entry point: it records a hit (touching the
+// entry) when key is cached, or a miss followed by insertion, evicting
+// victims per the policy until the new entry fits. It returns whether the
+// request hit and which keys were evicted. Entries larger than the whole
+// cache are rejected with an error. LFU frequency counts survive
+// eviction (perfect history), so a previously hot model regains its
+// utility standing on re-admission.
+func (c *Cache) Request(key string, size int) (hit bool, evicted []string, err error) {
+	if size <= 0 {
+		return false, nil, fmt.Errorf("modelcache: size %d for %q", size, key)
+	}
+	if c.Touch(key) {
+		c.hits++
+		return true, nil, nil
+	}
+	c.misses++
+	if size > c.capacity {
+		return false, nil, fmt.Errorf("modelcache: %q (size %d) exceeds capacity %d", key, size, c.capacity)
+	}
+	incomingFreq := c.history[key] + 1
+	c.history[key] = incomingFreq
+	for c.used+size > c.capacity {
+		victim := c.victim()
+		if victim == "" {
+			return false, evicted, fmt.Errorf("modelcache: no evictable entry for %q", key)
+		}
+		c.removeEntry(victim)
+		c.evictions++
+		evicted = append(evicted, victim)
+	}
+	c.clock++
+	c.entries[key] = &entry{
+		key:      key,
+		size:     size,
+		freq:     incomingFreq,
+		lastUsed: c.clock,
+		inserted: c.clock,
+	}
+	c.used += size
+	return false, evicted, nil
+}
+
+// Remove drops key from the cache (e.g. when the runtime retires a
+// model), reporting whether it was present. It does not count as an
+// eviction.
+func (c *Cache) Remove(key string) bool {
+	if _, ok := c.entries[key]; !ok {
+		return false
+	}
+	c.removeEntry(key)
+	return true
+}
+
+func (c *Cache) removeEntry(key string) {
+	e := c.entries[key]
+	c.used -= e.size
+	delete(c.entries, key)
+}
+
+// victim picks the eviction candidate under the policy, breaking ties by
+// earliest insertion so eviction order is deterministic.
+func (c *Cache) victim() string {
+	var best *entry
+	for _, e := range c.entries {
+		if best == nil {
+			best = e
+			continue
+		}
+		if less(c.policy, e, best) {
+			best = e
+		}
+	}
+	if best == nil {
+		return ""
+	}
+	return best.key
+}
+
+func less(p Policy, a, b *entry) bool {
+	switch p {
+	case LFU:
+		if a.freq != b.freq {
+			return a.freq < b.freq
+		}
+	case LRU:
+		if a.lastUsed != b.lastUsed {
+			return a.lastUsed < b.lastUsed
+		}
+	case FIFO:
+		// fall through to insertion order
+	}
+	return a.inserted < b.inserted
+}
+
+// Keys returns the cached keys sorted lexicographically (a stable view
+// for tests and logs).
+func (c *Cache) Keys() []string {
+	keys := make([]string, 0, len(c.entries))
+	for k := range c.entries {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Stats reports cumulative hit/miss/eviction counts.
+type Stats struct {
+	Hits      int64
+	Misses    int64
+	Evictions int64
+}
+
+// Stats returns a snapshot of the cache counters.
+func (c *Cache) Stats() Stats {
+	return Stats{Hits: c.hits, Misses: c.misses, Evictions: c.evictions}
+}
+
+// MissRate returns misses / (hits + misses), 0 when idle. This is the
+// Fig. 7(b) y-axis.
+func (c *Cache) MissRate() float64 {
+	total := c.hits + c.misses
+	if total == 0 {
+		return 0
+	}
+	return float64(c.misses) / float64(total)
+}
+
+// Freq returns the recorded use count of key (0 when absent), exposed for
+// tests and the utility-distribution experiment.
+func (c *Cache) Freq(key string) int {
+	if e, ok := c.entries[key]; ok {
+		return e.freq
+	}
+	return 0
+}

@@ -1,0 +1,142 @@
+package netsim
+
+import (
+	"testing"
+	"time"
+
+	"anole/internal/xrand"
+)
+
+func TestConfigValidate(t *testing.T) {
+	good := DefaultConfig(0.5)
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := good
+	bad.Transition[0][0] = 0.5 // row no longer sums to 1
+	if bad.Validate() == nil {
+		t.Fatal("non-stochastic matrix accepted")
+	}
+	bad = good
+	bad.Transition[1][0] = -0.1
+	if bad.Validate() == nil {
+		t.Fatal("negative probability accepted")
+	}
+	bad = good
+	bad.GoodBandwidthMBps = 0
+	if bad.Validate() == nil {
+		t.Fatal("zero bandwidth accepted")
+	}
+}
+
+func TestLinkStartsGood(t *testing.T) {
+	l, err := NewLink(DefaultConfig(0.5), xrand.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.State() != Good {
+		t.Fatalf("initial state %v", l.State())
+	}
+}
+
+func TestTransferLatencyByState(t *testing.T) {
+	cfg := DefaultConfig(1) // never leaves Good
+	l, err := NewLink(cfg, xrand.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, ok := l.Transfer(1<<20, 1<<10) // 1 MiB up
+	if !ok {
+		t.Fatal("good link failed transfer")
+	}
+	// 1 MiB at 6 MB/s ≈ 167 ms + 40 ms RTT.
+	if d < 150*time.Millisecond || d > 300*time.Millisecond {
+		t.Fatalf("good-state transfer %v", d)
+	}
+	// Force degraded and down states.
+	l.state = Degraded
+	d2, ok := l.Transfer(1<<20, 1<<10)
+	if !ok || d2 <= d {
+		t.Fatalf("degraded transfer %v should exceed good %v", d2, d)
+	}
+	l.state = Down
+	if _, ok := l.Transfer(1, 1); ok {
+		t.Fatal("down link completed a transfer")
+	}
+}
+
+func TestMarkovStationaryBehavior(t *testing.T) {
+	// With full stability the link never leaves Good; with zero
+	// stability it spends measurable time degraded/down.
+	stable, err := NewLink(DefaultConfig(1), xrand.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5000; i++ {
+		if stable.Step() != Good {
+			t.Fatal("fully stable link left Good")
+		}
+	}
+	churny, err := NewLink(DefaultConfig(0), xrand.New(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[LinkState]int{}
+	for i := 0; i < 20000; i++ {
+		counts[churny.Step()]++
+	}
+	if counts[Degraded] == 0 || counts[Down] == 0 {
+		t.Fatalf("churny link never degraded: %v", counts)
+	}
+	if churny.DownFraction() <= 0 || churny.DownFraction() > 0.3 {
+		t.Fatalf("down fraction %v", churny.DownFraction())
+	}
+	// More stability → less downtime.
+	mid, err := NewLink(DefaultConfig(0.8), xrand.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20000; i++ {
+		mid.Step()
+	}
+	if mid.DownFraction() >= churny.DownFraction() {
+		t.Fatalf("stability did not reduce downtime: %v vs %v",
+			mid.DownFraction(), churny.DownFraction())
+	}
+}
+
+func TestLinkDeterministic(t *testing.T) {
+	run := func() []LinkState {
+		l, err := NewLink(DefaultConfig(0.3), xrand.New(6))
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := make([]LinkState, 200)
+		for i := range out {
+			out[i] = l.Step()
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("link not deterministic")
+		}
+	}
+}
+
+func TestStateString(t *testing.T) {
+	if Good.String() != "good" || Degraded.String() != "degraded" || Down.String() != "down" {
+		t.Fatal("state names wrong")
+	}
+	if LinkState(9).String() == "" {
+		t.Fatal("unknown state must print")
+	}
+}
+
+func TestNewLinkNilRNG(t *testing.T) {
+	l, err := NewLink(DefaultConfig(0.5), nil)
+	if err != nil || l == nil {
+		t.Fatal("nil rng should default")
+	}
+}

@@ -1,0 +1,56 @@
+package nn_test
+
+import (
+	"fmt"
+
+	"anole/internal/nn"
+	"anole/internal/tensor"
+	"anole/internal/xrand"
+)
+
+// Training a small MLP on XOR with Adam: the canonical smoke test of the
+// library's gradients and optimizer.
+func Example() {
+	rng := xrand.New(42)
+	net := nn.NewMLP(nn.MLPConfig{
+		InDim:      2,
+		Hidden:     []int{8},
+		OutDim:     2,
+		Activation: nn.NewTanh,
+	}, rng)
+
+	samples := []nn.Sample{
+		{X: tensor.Vector{0, 0}, Y: tensor.Vector{1, 0}},
+		{X: tensor.Vector{0, 1}, Y: tensor.Vector{0, 1}},
+		{X: tensor.Vector{1, 0}, Y: tensor.Vector{0, 1}},
+		{X: tensor.Vector{1, 1}, Y: tensor.Vector{1, 0}},
+	}
+	if _, err := nn.Train(net, samples, nil, nn.TrainConfig{
+		Epochs:    400,
+		BatchSize: 4,
+		Optimizer: nn.NewAdam(0.05),
+		RNG:       rng,
+	}); err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("XOR accuracy: %.0f%%\n", 100*nn.Accuracy(net, samples))
+	// Output:
+	// XOR accuracy: 100%
+}
+
+// Post-training quantization snaps weights onto an integer grid; int8
+// shrinks storage ~8x while the function barely moves.
+func ExampleQuantize() {
+	rng := xrand.New(7)
+	net := nn.NewMLP(nn.MLPConfig{InDim: 4, Hidden: []int{16}, OutDim: 2}, rng)
+	q8, err := nn.Quantize(net, 8)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("full %dB -> int8 %dB (bits=%d)\n",
+		net.WeightBytes(), q8.WeightBytes(), q8.QuantBits())
+	// Output:
+	// full 912B -> int8 146B (bits=8)
+}

@@ -1,0 +1,97 @@
+package nn
+
+import (
+	"math"
+
+	"anole/internal/tensor"
+)
+
+// Loss computes a scalar objective and its gradient with respect to the
+// network's raw output (logits for the classification losses).
+type Loss interface {
+	// Eval returns the loss value and writes dLoss/dOutput into grad
+	// (which has the output's length and is overwritten).
+	Eval(output, target tensor.Vector, grad tensor.Vector) float64
+	// Name identifies the loss for logs.
+	Name() string
+}
+
+// SoftmaxCrossEntropy is the fused softmax + categorical cross-entropy
+// loss. The target is a one-hot (or soft) distribution over classes. The
+// fused form keeps the gradient numerically benign: grad = softmax(o) − t.
+// The type is stateless, so one instance may be shared by concurrent
+// trainer workers.
+type SoftmaxCrossEntropy struct{}
+
+// NewSoftmaxCrossEntropy returns the fused classification loss used to
+// train M_scene and M_decision.
+func NewSoftmaxCrossEntropy() *SoftmaxCrossEntropy { return &SoftmaxCrossEntropy{} }
+
+// Eval implements Loss. It reuses grad as softmax scratch space before
+// overwriting it with the gradient.
+func (l *SoftmaxCrossEntropy) Eval(output, target, grad tensor.Vector) float64 {
+	probs := tensor.Softmax(grad, output)
+	var loss float64
+	for i, t := range target {
+		if t > 0 {
+			p := probs[i]
+			if p < 1e-12 {
+				p = 1e-12
+			}
+			loss -= t * math.Log(p)
+		}
+		grad[i] = probs[i] - t
+	}
+	return loss
+}
+
+// Name implements Loss.
+func (l *SoftmaxCrossEntropy) Name() string { return "softmax-xent" }
+
+// BCEWithLogits is element-wise binary cross-entropy on logits, used for
+// the detectors' multi-label objectness/class heads. Gradient per element
+// is sigmoid(o) − t.
+type BCEWithLogits struct{}
+
+// NewBCEWithLogits returns the multi-label detection loss.
+func NewBCEWithLogits() *BCEWithLogits { return &BCEWithLogits{} }
+
+// Eval implements Loss.
+func (l *BCEWithLogits) Eval(output, target, grad tensor.Vector) float64 {
+	var loss float64
+	n := float64(len(output))
+	for i, o := range output {
+		t := target[i]
+		// Numerically stable BCE-with-logits:
+		// max(o,0) - o*t + log(1+exp(-|o|)).
+		loss += math.Max(o, 0) - o*t + math.Log1p(math.Exp(-math.Abs(o)))
+		s := 1 / (1 + math.Exp(-o))
+		grad[i] = (s - t) / n
+	}
+	return loss / n
+}
+
+// Name implements Loss.
+func (l *BCEWithLogits) Name() string { return "bce-logits" }
+
+// MSE is the mean squared error loss, used in tests and for regression
+// probes.
+type MSE struct{}
+
+// NewMSE returns a mean-squared-error loss.
+func NewMSE() *MSE { return &MSE{} }
+
+// Eval implements Loss.
+func (l *MSE) Eval(output, target, grad tensor.Vector) float64 {
+	var loss float64
+	n := float64(len(output))
+	for i, o := range output {
+		d := o - target[i]
+		loss += d * d
+		grad[i] = 2 * d / n
+	}
+	return loss / n
+}
+
+// Name implements Loss.
+func (l *MSE) Name() string { return "mse" }

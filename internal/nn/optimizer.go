@@ -1,0 +1,113 @@
+package nn
+
+import (
+	"math"
+
+	"anole/internal/tensor"
+)
+
+// Optimizer updates network parameters from accumulated gradients. Step
+// consumes the gradients (the caller zeroes them afterwards via
+// Network.ZeroGrad).
+type Optimizer interface {
+	// Step applies one update to params, treating each Param's Grad as
+	// the mini-batch-mean gradient.
+	Step(params []Param)
+	// Reset clears optimizer state (momentum buffers etc.).
+	Reset()
+	// Name identifies the optimizer for logs.
+	Name() string
+}
+
+// SGD is stochastic gradient descent with classical momentum and optional
+// L2 weight decay.
+type SGD struct {
+	LR          float64
+	Momentum    float64
+	WeightDecay float64
+
+	velocity []tensor.Vector
+}
+
+// NewSGD returns an SGD optimizer with the given learning rate and
+// momentum.
+func NewSGD(lr, momentum float64) *SGD {
+	return &SGD{LR: lr, Momentum: momentum}
+}
+
+// Step implements Optimizer.
+func (o *SGD) Step(params []Param) {
+	if len(o.velocity) != len(params) {
+		o.velocity = make([]tensor.Vector, len(params))
+		for i, p := range params {
+			o.velocity[i] = tensor.NewVector(len(p.Value))
+		}
+	}
+	for i, p := range params {
+		v := o.velocity[i]
+		for j := range p.Value {
+			g := p.Grad[j] + o.WeightDecay*p.Value[j]
+			v[j] = o.Momentum*v[j] - o.LR*g
+			p.Value[j] += v[j]
+		}
+	}
+}
+
+// Reset implements Optimizer.
+func (o *SGD) Reset() { o.velocity = nil }
+
+// Name implements Optimizer.
+func (o *SGD) Name() string { return "sgd" }
+
+// Adam is the Adam optimizer (Kingma & Ba) with bias correction.
+type Adam struct {
+	LR          float64
+	Beta1       float64
+	Beta2       float64
+	Eps         float64
+	WeightDecay float64
+
+	m, v []tensor.Vector
+	t    int
+}
+
+// NewAdam returns an Adam optimizer with standard betas (0.9, 0.999).
+func NewAdam(lr float64) *Adam {
+	return &Adam{LR: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8}
+}
+
+// Step implements Optimizer.
+func (o *Adam) Step(params []Param) {
+	if len(o.m) != len(params) {
+		o.m = make([]tensor.Vector, len(params))
+		o.v = make([]tensor.Vector, len(params))
+		for i, p := range params {
+			o.m[i] = tensor.NewVector(len(p.Value))
+			o.v[i] = tensor.NewVector(len(p.Value))
+		}
+		o.t = 0
+	}
+	o.t++
+	bc1 := 1 - math.Pow(o.Beta1, float64(o.t))
+	bc2 := 1 - math.Pow(o.Beta2, float64(o.t))
+	for i, p := range params {
+		m, v := o.m[i], o.v[i]
+		for j := range p.Value {
+			g := p.Grad[j] + o.WeightDecay*p.Value[j]
+			m[j] = o.Beta1*m[j] + (1-o.Beta1)*g
+			v[j] = o.Beta2*v[j] + (1-o.Beta2)*g*g
+			mHat := m[j] / bc1
+			vHat := v[j] / bc2
+			p.Value[j] -= o.LR * mHat / (math.Sqrt(vHat) + o.Eps)
+		}
+	}
+}
+
+// Reset implements Optimizer.
+func (o *Adam) Reset() {
+	o.m, o.v = nil, nil
+	o.t = 0
+}
+
+// Name implements Optimizer.
+func (o *Adam) Name() string { return "adam" }

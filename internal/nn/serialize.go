@@ -1,0 +1,277 @@
+package nn
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+
+	"anole/internal/tensor"
+)
+
+// Binary network format:
+//
+//	magic   [4]byte  "ANLN"
+//	version uint16   (1)
+//	layers  uint16
+//	per layer:
+//	  kind uint8
+//	  dense:       inDim uint32, outDim uint32,
+//	               W row-major float64..., B float64...
+//	  dense-quant: bits uint8, inDim uint32, outDim uint32,
+//	               W scale float64 + int8/int16 values (int8 when
+//	               bits ≤ 8), B likewise
+//	crc32   uint32   (IEEE, over everything after the magic)
+//
+// All integers and floats are little-endian. The format is what
+// internal/repo ships over the wire when devices download models.
+const (
+	netMagic   = "ANLN"
+	netVersion = 1
+)
+
+// WriteTo serializes the network weights to w in the binary format above.
+// It returns the number of bytes written.
+func (n *Network) WriteTo(w io.Writer) (int64, error) {
+	cw := &countingWriter{w: w}
+	if _, err := cw.Write([]byte(netMagic)); err != nil {
+		return cw.n, err
+	}
+	crc := crc32.NewIEEE()
+	mw := io.MultiWriter(cw, crc)
+
+	if err := writeBin(mw, uint16(netVersion), uint16(len(n.layers))); err != nil {
+		return cw.n, err
+	}
+	for _, l := range n.layers {
+		if err := writeBin(mw, uint8(l.kind())); err != nil {
+			return cw.n, err
+		}
+		d, ok := l.(*Dense)
+		if !ok {
+			continue
+		}
+		if d.quantBits > 0 {
+			if err := writeBin(mw, uint8(d.quantBits)); err != nil {
+				return cw.n, err
+			}
+		}
+		if err := writeBin(mw, uint32(d.W.Cols), uint32(d.W.Rows)); err != nil {
+			return cw.n, err
+		}
+		if d.quantBits > 0 {
+			if err := writeQuantized(mw, d.W.Data, d.quantBits); err != nil {
+				return cw.n, err
+			}
+			if err := writeQuantized(mw, d.B, d.quantBits); err != nil {
+				return cw.n, err
+			}
+			continue
+		}
+		if err := writeFloats(mw, d.W.Data); err != nil {
+			return cw.n, err
+		}
+		if err := writeFloats(mw, d.B); err != nil {
+			return cw.n, err
+		}
+	}
+	if err := writeBin(cw, crc.Sum32()); err != nil {
+		return cw.n, err
+	}
+	return cw.n, nil
+}
+
+// ReadNetwork deserializes a network written by WriteTo, verifying the
+// checksum.
+func ReadNetwork(r io.Reader) (*Network, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, 4)
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("nn: read magic: %w", err)
+	}
+	if string(magic) != netMagic {
+		return nil, fmt.Errorf("nn: bad magic %q", magic)
+	}
+	crc := crc32.NewIEEE()
+	tr := io.TeeReader(br, crc)
+
+	var version, layerCount uint16
+	if err := readBin(tr, &version, &layerCount); err != nil {
+		return nil, fmt.Errorf("nn: read header: %w", err)
+	}
+	if version != netVersion {
+		return nil, fmt.Errorf("nn: unsupported version %d", version)
+	}
+	layers := make([]Layer, 0, layerCount)
+	for i := 0; i < int(layerCount); i++ {
+		var kind uint8
+		if err := readBin(tr, &kind); err != nil {
+			return nil, fmt.Errorf("nn: read layer %d kind: %w", i, err)
+		}
+		switch layerKind(kind) {
+		case kindReLU:
+			layers = append(layers, NewReLU())
+		case kindTanh:
+			layers = append(layers, NewTanh())
+		case kindSigmoid:
+			layers = append(layers, NewSigmoid())
+		case kindDense, kindDenseQuant:
+			bits := 0
+			if layerKind(kind) == kindDenseQuant {
+				var b uint8
+				if err := readBin(tr, &b); err != nil {
+					return nil, fmt.Errorf("nn: read layer %d bits: %w", i, err)
+				}
+				if b < 2 || b > 16 {
+					return nil, fmt.Errorf("nn: layer %d has invalid quant bits %d", i, b)
+				}
+				bits = int(b)
+			}
+			var inDim, outDim uint32
+			if err := readBin(tr, &inDim, &outDim); err != nil {
+				return nil, fmt.Errorf("nn: read layer %d dims: %w", i, err)
+			}
+			const maxDim = 1 << 20
+			if inDim == 0 || outDim == 0 || inDim > maxDim || outDim > maxDim {
+				return nil, fmt.Errorf("nn: layer %d has implausible dims %dx%d", i, outDim, inDim)
+			}
+			d := &Dense{quantBits: bits}
+			d.W = tensor.NewMatrix(int(outDim), int(inDim))
+			d.B = make([]float64, outDim)
+			if bits > 0 {
+				if err := readQuantized(tr, d.W.Data, bits); err != nil {
+					return nil, fmt.Errorf("nn: read layer %d weights: %w", i, err)
+				}
+				if err := readQuantized(tr, d.B, bits); err != nil {
+					return nil, fmt.Errorf("nn: read layer %d bias: %w", i, err)
+				}
+			} else {
+				if err := readFloats(tr, d.W.Data); err != nil {
+					return nil, fmt.Errorf("nn: read layer %d weights: %w", i, err)
+				}
+				if err := readFloats(tr, d.B); err != nil {
+					return nil, fmt.Errorf("nn: read layer %d bias: %w", i, err)
+				}
+			}
+			d.gradW = tensor.NewMatrix(int(outDim), int(inDim))
+			d.gradB = make([]float64, outDim)
+			layers = append(layers, d)
+		default:
+			return nil, fmt.Errorf("nn: unknown layer kind %d", kind)
+		}
+	}
+	wantCRC := crc.Sum32()
+	var gotCRC uint32
+	if err := readBin(br, &gotCRC); err != nil {
+		return nil, fmt.Errorf("nn: read checksum: %w", err)
+	}
+	if gotCRC != wantCRC {
+		return nil, fmt.Errorf("nn: checksum mismatch: stored %08x, computed %08x", gotCRC, wantCRC)
+	}
+	return NewNetwork(layers...)
+}
+
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}
+
+func writeBin(w io.Writer, vs ...interface{}) error {
+	for _, v := range vs {
+		if err := binary.Write(w, binary.LittleEndian, v); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func readBin(r io.Reader, vs ...interface{}) error {
+	for _, v := range vs {
+		if err := binary.Read(r, binary.LittleEndian, v); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeFloats(w io.Writer, xs []float64) error {
+	buf := make([]byte, 8*len(xs))
+	for i, x := range xs {
+		binary.LittleEndian.PutUint64(buf[i*8:], math.Float64bits(x))
+	}
+	_, err := w.Write(buf)
+	return err
+}
+
+// writeQuantized stores xs as scale + integers: the values must already
+// lie on the symmetric grid produced by Quantize, so v/scale is integral.
+func writeQuantized(w io.Writer, xs []float64, bits int) error {
+	scale := quantScale(xs, bits)
+	if err := writeBin(w, scale); err != nil {
+		return err
+	}
+	wide := bits > 8
+	size := 1
+	if wide {
+		size = 2
+	}
+	buf := make([]byte, size*len(xs))
+	for i, x := range xs {
+		var q int64
+		if scale != 0 {
+			q = int64(math.Round(x / scale))
+		}
+		if wide {
+			binary.LittleEndian.PutUint16(buf[i*2:], uint16(int16(q)))
+		} else {
+			buf[i] = byte(int8(q))
+		}
+	}
+	_, err := w.Write(buf)
+	return err
+}
+
+func readQuantized(r io.Reader, xs []float64, bits int) error {
+	var scale float64
+	if err := readBin(r, &scale); err != nil {
+		return err
+	}
+	wide := bits > 8
+	size := 1
+	if wide {
+		size = 2
+	}
+	buf := make([]byte, size*len(xs))
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return err
+	}
+	for i := range xs {
+		var q int64
+		if wide {
+			q = int64(int16(binary.LittleEndian.Uint16(buf[i*2:])))
+		} else {
+			q = int64(int8(buf[i]))
+		}
+		xs[i] = float64(q) * scale
+	}
+	return nil
+}
+
+func readFloats(r io.Reader, xs []float64) error {
+	buf := make([]byte, 8*len(xs))
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return err
+	}
+	for i := range xs {
+		xs[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[i*8:]))
+	}
+	return nil
+}

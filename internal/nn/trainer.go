@@ -1,0 +1,249 @@
+package nn
+
+import (
+	"errors"
+	"sync"
+
+	"anole/internal/tensor"
+	"anole/internal/xrand"
+)
+
+// Sample is one supervised training example.
+type Sample struct {
+	X tensor.Vector
+	Y tensor.Vector
+}
+
+// TrainConfig controls a Trainer run. Zero values select sensible
+// defaults (see Train).
+type TrainConfig struct {
+	// Epochs is the maximum number of passes over the training set
+	// (default 20).
+	Epochs int
+	// BatchSize is the mini-batch size (default 32).
+	BatchSize int
+	// Loss is the training objective (default SoftmaxCrossEntropy).
+	// Losses must be stateless; the same instance is shared by all
+	// workers.
+	Loss Loss
+	// Optimizer updates parameters (default Adam with LR 0.01).
+	Optimizer Optimizer
+	// RNG drives shuffling; required for determinism.
+	RNG *xrand.RNG
+	// Patience stops training after this many epochs without validation
+	// improvement; 0 disables early stopping.
+	Patience int
+	// Workers shards each mini-batch's gradient computation across this
+	// many goroutines, each holding a private network clone whose
+	// weights are re-synced from the master every step (default 1).
+	Workers int
+}
+
+// TrainResult reports what a training run did.
+type TrainResult struct {
+	Epochs       int
+	TrainLoss    []float64
+	ValLoss      []float64
+	BestValLoss  float64
+	EarlyStopped bool
+}
+
+// errNoData is returned when the training set is empty.
+var errNoData = errors.New("nn: empty training set")
+
+// Train fits net to train by mini-batch gradient descent, optionally
+// early-stopping on val loss (when val is non-empty and cfg.Patience > 0).
+// When early stopping triggers, the best-validation weights are restored.
+func Train(net *Network, train, val []Sample, cfg TrainConfig) (TrainResult, error) {
+	if len(train) == 0 {
+		return TrainResult{}, errNoData
+	}
+	if cfg.Epochs <= 0 {
+		cfg.Epochs = 20
+	}
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = 32
+	}
+	if cfg.Loss == nil {
+		cfg.Loss = NewSoftmaxCrossEntropy()
+	}
+	if cfg.Optimizer == nil {
+		cfg.Optimizer = NewAdam(0.01)
+	}
+	if cfg.RNG == nil {
+		cfg.RNG = xrand.New(0)
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = 1
+	}
+
+	var (
+		result    TrainResult
+		best      *Network
+		bestLoss  = 0.0
+		badEpochs = 0
+	)
+	order := make([]int, len(train))
+	for i := range order {
+		order[i] = i
+	}
+
+	workers := newWorkerPool(net, cfg.Workers)
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		cfg.RNG.ShuffleInts(order)
+		var epochLoss float64
+		for start := 0; start < len(order); start += cfg.BatchSize {
+			end := start + cfg.BatchSize
+			if end > len(order) {
+				end = len(order)
+			}
+			batch := order[start:end]
+			epochLoss += workers.step(net, train, batch, cfg.Loss, cfg.Optimizer)
+		}
+		result.TrainLoss = append(result.TrainLoss, epochLoss/float64(len(order)))
+		result.Epochs = epoch + 1
+
+		if len(val) == 0 || cfg.Patience <= 0 {
+			continue
+		}
+		vl := MeanLoss(net, val, cfg.Loss)
+		result.ValLoss = append(result.ValLoss, vl)
+		if best == nil || vl < bestLoss {
+			bestLoss = vl
+			best = net.Clone()
+			badEpochs = 0
+			continue
+		}
+		badEpochs++
+		if badEpochs >= cfg.Patience {
+			result.EarlyStopped = true
+			break
+		}
+	}
+	if best != nil {
+		if err := net.CopyWeightsFrom(best); err != nil {
+			return result, err
+		}
+		result.BestValLoss = bestLoss
+	} else if len(result.ValLoss) > 0 {
+		result.BestValLoss = result.ValLoss[len(result.ValLoss)-1]
+	}
+	return result, nil
+}
+
+// MeanLoss evaluates the mean loss of net over samples without touching
+// gradients.
+func MeanLoss(net *Network, samples []Sample, loss Loss) float64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	var total float64
+	grad := tensor.NewVector(net.OutDim())
+	for _, s := range samples {
+		out := net.Forward(s.X)
+		if len(grad) != len(out) {
+			grad = tensor.NewVector(len(out))
+		}
+		total += loss.Eval(out, s.Y, grad)
+	}
+	return total / float64(len(samples))
+}
+
+// Accuracy returns the argmax classification accuracy of net on samples.
+func Accuracy(net *Network, samples []Sample) float64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	correct := 0
+	for _, s := range samples {
+		out := net.Forward(s.X)
+		if out.Argmax() == s.Y.Argmax() {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(samples))
+}
+
+// workerPool shards mini-batch gradient computation across goroutines.
+// Each worker owns a private clone of the master network; before every
+// step the clones copy the master weights, compute sharded gradients, and
+// the master sums them before the optimizer update. With one worker the
+// master network is used directly and no synchronization happens.
+type workerPool struct {
+	clones []*Network
+}
+
+func newWorkerPool(master *Network, workers int) *workerPool {
+	p := &workerPool{}
+	if workers <= 1 {
+		return p
+	}
+	p.clones = make([]*Network, workers)
+	for i := range p.clones {
+		p.clones[i] = master.Clone()
+	}
+	return p
+}
+
+// step computes the mean gradient of loss over train[batch], applies opt,
+// zeroes gradients, and returns the summed batch loss.
+func (p *workerPool) step(master *Network, train []Sample, batch []int, loss Loss, opt Optimizer) float64 {
+	scale := 1 / float64(len(batch))
+	var batchLoss float64
+
+	if len(p.clones) == 0 {
+		grad := tensor.NewVector(master.OutDim())
+		for _, idx := range batch {
+			s := train[idx]
+			out := master.Forward(s.X)
+			if len(grad) != len(out) {
+				grad = tensor.NewVector(len(out))
+			}
+			batchLoss += loss.Eval(out, s.Y, grad)
+			grad.Scale(scale)
+			master.Backward(grad)
+		}
+	} else {
+		nw := len(p.clones)
+		losses := make([]float64, nw)
+		var wg sync.WaitGroup
+		for w := 0; w < nw; w++ {
+			clone := p.clones[w]
+			if err := clone.CopyWeightsFrom(master); err != nil {
+				// Architectures are clones by construction; a
+				// mismatch is a programmer error.
+				panic(err)
+			}
+			clone.ZeroGrad()
+			wg.Add(1)
+			go func(w int, clone *Network) {
+				defer wg.Done()
+				grad := tensor.NewVector(clone.OutDim())
+				for bi := w; bi < len(batch); bi += nw {
+					s := train[batch[bi]]
+					out := clone.Forward(s.X)
+					if len(grad) != len(out) {
+						grad = tensor.NewVector(len(out))
+					}
+					losses[w] += loss.Eval(out, s.Y, grad)
+					grad.Scale(scale)
+					clone.Backward(grad)
+				}
+			}(w, clone)
+		}
+		wg.Wait()
+		masterParams := master.Params()
+		for _, clone := range p.clones {
+			for gi, cp := range clone.Params() {
+				masterParams[gi].Grad.AddScaled(1, cp.Grad)
+			}
+		}
+		for _, l := range losses {
+			batchLoss += l
+		}
+	}
+
+	opt.Step(master.Params())
+	master.ZeroGrad()
+	return batchLoss
+}

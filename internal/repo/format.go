@@ -1,0 +1,431 @@
+// Package repo implements the cloud-side model repository: a binary
+// bundle format carrying M_scene, M_decision and the compressed model
+// repertoire, plus an HTTP server and device-side client so mobile
+// devices can download everything before going online (the paper's
+// offline cloud↔device communication, Fig. 2).
+package repo
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+
+	"anole/internal/core"
+	"anole/internal/decision"
+	"anole/internal/detect"
+	"anole/internal/nn"
+	"anole/internal/scene"
+	"anole/internal/tensor"
+)
+
+// Bundle file format (all little-endian):
+//
+//	magic    [4]byte "ANLB"
+//	version  uint16 (2)
+//	featDim  uint32
+//	embedDim uint32
+//	scenes   uint32, then scenes × int32  (encoder ClassToScene)
+//	encoder  network blob (uint64 length + nn wire format)
+//	decision network blob
+//	novelty  scale float64, centroids uint32, then centroids × embedDim
+//	         float64 (the OOD calibration; zero centroids = uncalibrated)
+//	models   uint16, then per model:
+//	  name      string (uint16 length + bytes)
+//	  archName  string
+//	  level     uint16
+//	  cluster   int16 (-1 marks continual-expansion models)
+//	  valF1     float64
+//	  nScenes   uint32, then nScenes × int32
+//	  network blob
+//	crc32    uint32 (IEEE, over everything after the magic)
+const (
+	bundleMagic   = "ANLB"
+	bundleVersion = 2
+	maxModels     = 1 << 12
+	maxScenes     = 1 << 16
+	maxCentroids  = 1 << 16
+)
+
+// WriteBundle serializes the bundle to w.
+func WriteBundle(w io.Writer, b *core.Bundle) error {
+	if err := b.Validate(); err != nil {
+		return err
+	}
+	if _, err := w.Write([]byte(bundleMagic)); err != nil {
+		return fmt.Errorf("repo: write magic: %w", err)
+	}
+	crc := crc32.NewIEEE()
+	mw := io.MultiWriter(w, crc)
+
+	if err := writeBin(mw,
+		uint16(bundleVersion),
+		uint32(b.FeatDim),
+		uint32(b.Encoder.EmbedDim()),
+	); err != nil {
+		return fmt.Errorf("repo: write header: %w", err)
+	}
+	if err := writeInts(mw, b.Encoder.ClassToScene); err != nil {
+		return fmt.Errorf("repo: write scene map: %w", err)
+	}
+	if err := writeNetBlob(mw, b.Encoder.Net); err != nil {
+		return fmt.Errorf("repo: write encoder: %w", err)
+	}
+	if err := writeNetBlob(mw, b.Decision.Head); err != nil {
+		return fmt.Errorf("repo: write decision head: %w", err)
+	}
+	if err := writeBin(mw, b.NoveltyScale, uint32(len(b.Centroids))); err != nil {
+		return fmt.Errorf("repo: write novelty header: %w", err)
+	}
+	for i, c := range b.Centroids {
+		if len(c) != b.Encoder.EmbedDim() {
+			return fmt.Errorf("repo: centroid %d has dim %d, embed dim %d", i, len(c), b.Encoder.EmbedDim())
+		}
+		if err := writeFloats(mw, c); err != nil {
+			return fmt.Errorf("repo: write centroid %d: %w", i, err)
+		}
+	}
+	if err := writeBin(mw, uint16(len(b.Detectors))); err != nil {
+		return fmt.Errorf("repo: write model count: %w", err)
+	}
+	for i, det := range b.Detectors {
+		info := b.Infos[i]
+		if err := writeString(mw, det.Name); err != nil {
+			return fmt.Errorf("repo: model %d name: %w", i, err)
+		}
+		if err := writeString(mw, det.Arch.Name); err != nil {
+			return fmt.Errorf("repo: model %d arch: %w", i, err)
+		}
+		if err := writeBin(mw, uint16(info.Level), int16(info.Cluster), info.ValF1); err != nil {
+			return fmt.Errorf("repo: model %d meta: %w", i, err)
+		}
+		if err := writeInts(mw, info.TrainScenes); err != nil {
+			return fmt.Errorf("repo: model %d scenes: %w", i, err)
+		}
+		if err := writeNetBlob(mw, det.Net); err != nil {
+			return fmt.Errorf("repo: model %d net: %w", i, err)
+		}
+	}
+	if err := writeBin(w, crc.Sum32()); err != nil {
+		return fmt.Errorf("repo: write checksum: %w", err)
+	}
+	return nil
+}
+
+// ReadBundle deserializes a bundle written by WriteBundle, verifying the
+// checksum and reconstructing the encoder, decision model and detectors.
+func ReadBundle(r io.Reader) (*core.Bundle, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, 4)
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("repo: read magic: %w", err)
+	}
+	if string(magic) != bundleMagic {
+		return nil, fmt.Errorf("repo: bad magic %q", magic)
+	}
+	crc := crc32.NewIEEE()
+	tr := io.TeeReader(br, crc)
+
+	var (
+		version           uint16
+		featDim, embedDim uint32
+	)
+	if err := readBin(tr, &version, &featDim, &embedDim); err != nil {
+		return nil, fmt.Errorf("repo: read header: %w", err)
+	}
+	if version != bundleVersion {
+		return nil, fmt.Errorf("repo: unsupported version %d", version)
+	}
+	classToScene, err := readInts(tr)
+	if err != nil {
+		return nil, fmt.Errorf("repo: read scene map: %w", err)
+	}
+	encNet, err := readNetBlob(tr)
+	if err != nil {
+		return nil, fmt.Errorf("repo: read encoder: %w", err)
+	}
+	headNet, err := readNetBlob(tr)
+	if err != nil {
+		return nil, fmt.Errorf("repo: read decision head: %w", err)
+	}
+	var noveltyScale float64
+	var centroidCount uint32
+	if err := readBin(tr, &noveltyScale, &centroidCount); err != nil {
+		return nil, fmt.Errorf("repo: read novelty header: %w", err)
+	}
+	if centroidCount > maxCentroids {
+		return nil, fmt.Errorf("repo: implausible centroid count %d", centroidCount)
+	}
+	centroids := make([]tensor.Vector, centroidCount)
+	for i := range centroids {
+		c := tensor.NewVector(int(embedDim))
+		if err := readFloats(tr, c); err != nil {
+			return nil, fmt.Errorf("repo: read centroid %d: %w", i, err)
+		}
+		centroids[i] = c
+	}
+	var modelCount uint16
+	if err := readBin(tr, &modelCount); err != nil {
+		return nil, fmt.Errorf("repo: read model count: %w", err)
+	}
+	if modelCount == 0 || int(modelCount) > maxModels {
+		return nil, fmt.Errorf("repo: implausible model count %d", modelCount)
+	}
+
+	enc, err := scene.FromParts(encNet, classToScene, int(embedDim))
+	if err != nil {
+		return nil, fmt.Errorf("repo: rebuild encoder: %w", err)
+	}
+	dec, err := decision.FromParts(enc, headNet)
+	if err != nil {
+		return nil, fmt.Errorf("repo: rebuild decision model: %w", err)
+	}
+
+	detectors := make([]*detect.Detector, modelCount)
+	infos := make([]core.ModelInfo, modelCount)
+	for i := 0; i < int(modelCount); i++ {
+		name, err := readString(tr)
+		if err != nil {
+			return nil, fmt.Errorf("repo: model %d name: %w", i, err)
+		}
+		archName, err := readString(tr)
+		if err != nil {
+			return nil, fmt.Errorf("repo: model %d arch: %w", i, err)
+		}
+		var level uint16
+		var cluster int16
+		var valF1 float64
+		if err := readBin(tr, &level, &cluster, &valF1); err != nil {
+			return nil, fmt.Errorf("repo: model %d meta: %w", i, err)
+		}
+		scenes, err := readInts(tr)
+		if err != nil {
+			return nil, fmt.Errorf("repo: model %d scenes: %w", i, err)
+		}
+		net, err := readNetBlob(tr)
+		if err != nil {
+			return nil, fmt.Errorf("repo: model %d net: %w", i, err)
+		}
+		arch, err := ArchByName(archName)
+		if err != nil {
+			return nil, fmt.Errorf("repo: model %d: %w", i, err)
+		}
+		det, err := detect.FromNetwork(name, arch, int(featDim), net)
+		if err != nil {
+			return nil, fmt.Errorf("repo: model %d: %w", i, err)
+		}
+		detectors[i] = det
+		infos[i] = core.ModelInfo{
+			Name:        name,
+			Level:       int(level),
+			Cluster:     int(cluster),
+			TrainScenes: scenes,
+			ValF1:       valF1,
+		}
+	}
+
+	wantCRC := crc.Sum32()
+	var gotCRC uint32
+	if err := readBin(br, &gotCRC); err != nil {
+		return nil, fmt.Errorf("repo: read checksum: %w", err)
+	}
+	if gotCRC != wantCRC {
+		return nil, fmt.Errorf("repo: checksum mismatch: stored %08x, computed %08x", gotCRC, wantCRC)
+	}
+
+	bundle := &core.Bundle{
+		Encoder:      enc,
+		Decision:     dec,
+		Detectors:    detectors,
+		Infos:        infos,
+		FeatDim:      int(featDim),
+		Centroids:    centroids,
+		NoveltyScale: noveltyScale,
+	}
+	if err := bundle.Validate(); err != nil {
+		return nil, err
+	}
+	return bundle, nil
+}
+
+// SaveFile writes the bundle to path atomically (write to a temp file in
+// the same directory, then rename).
+func SaveFile(path string, b *core.Bundle) error {
+	tmp, err := os.CreateTemp(dirOf(path), ".bundle-*")
+	if err != nil {
+		return fmt.Errorf("repo: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+	if err := WriteBundle(tmp, b); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("repo: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("repo: %w", err)
+	}
+	return nil
+}
+
+// LoadFile reads a bundle from disk.
+func LoadFile(path string) (*core.Bundle, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("repo: %w", err)
+	}
+	defer f.Close()
+	return ReadBundle(f)
+}
+
+// ArchByName resolves a serialized architecture name.
+func ArchByName(name string) (detect.Arch, error) {
+	switch name {
+	case detect.Deep.Name:
+		return detect.Deep, nil
+	case detect.Compressed.Name:
+		return detect.Compressed, nil
+	default:
+		return detect.Arch{}, fmt.Errorf("repo: unknown architecture %q", name)
+	}
+}
+
+func dirOf(path string) string {
+	for i := len(path) - 1; i >= 0; i-- {
+		if path[i] == '/' {
+			return path[:i]
+		}
+	}
+	return "."
+}
+
+func writeBin(w io.Writer, vs ...interface{}) error {
+	for _, v := range vs {
+		if err := binary.Write(w, binary.LittleEndian, v); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func readBin(r io.Reader, vs ...interface{}) error {
+	for _, v := range vs {
+		if err := binary.Read(r, binary.LittleEndian, v); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeString(w io.Writer, s string) error {
+	if len(s) > math.MaxUint16 {
+		return fmt.Errorf("string too long (%d bytes)", len(s))
+	}
+	if err := writeBin(w, uint16(len(s))); err != nil {
+		return err
+	}
+	_, err := w.Write([]byte(s))
+	return err
+}
+
+func readString(r io.Reader) (string, error) {
+	var n uint16
+	if err := readBin(r, &n); err != nil {
+		return "", err
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return "", err
+	}
+	return string(buf), nil
+}
+
+func writeInts(w io.Writer, xs []int) error {
+	if len(xs) > maxScenes {
+		return fmt.Errorf("int list too long (%d)", len(xs))
+	}
+	if err := writeBin(w, uint32(len(xs))); err != nil {
+		return err
+	}
+	for _, x := range xs {
+		if x < math.MinInt32 || x > math.MaxInt32 {
+			return fmt.Errorf("int %d out of int32 range", x)
+		}
+		if err := writeBin(w, int32(x)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func readInts(r io.Reader) ([]int, error) {
+	var n uint32
+	if err := readBin(r, &n); err != nil {
+		return nil, err
+	}
+	if n > maxScenes {
+		return nil, fmt.Errorf("implausible int list length %d", n)
+	}
+	out := make([]int, n)
+	for i := range out {
+		var v int32
+		if err := readBin(r, &v); err != nil {
+			return nil, err
+		}
+		out[i] = int(v)
+	}
+	return out, nil
+}
+
+func writeFloats(w io.Writer, xs []float64) error {
+	buf := make([]byte, 8*len(xs))
+	for i, x := range xs {
+		binary.LittleEndian.PutUint64(buf[i*8:], math.Float64bits(x))
+	}
+	_, err := w.Write(buf)
+	return err
+}
+
+func readFloats(r io.Reader, xs []float64) error {
+	buf := make([]byte, 8*len(xs))
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return err
+	}
+	for i := range xs {
+		xs[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[i*8:]))
+	}
+	return nil
+}
+
+func writeNetBlob(w io.Writer, net *nn.Network) error {
+	var buf bytes.Buffer
+	if _, err := net.WriteTo(&buf); err != nil {
+		return err
+	}
+	if err := writeBin(w, uint64(buf.Len())); err != nil {
+		return err
+	}
+	_, err := w.Write(buf.Bytes())
+	return err
+}
+
+func readNetBlob(r io.Reader) (*nn.Network, error) {
+	var n uint64
+	if err := readBin(r, &n); err != nil {
+		return nil, err
+	}
+	const maxBlob = 1 << 30
+	if n == 0 || n > maxBlob {
+		return nil, fmt.Errorf("implausible network blob size %d", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, err
+	}
+	return nn.ReadNetwork(bytes.NewReader(buf))
+}

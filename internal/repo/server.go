@@ -1,0 +1,158 @@
+package repo
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"anole/internal/core"
+)
+
+// Manifest is the JSON summary a device can inspect before committing to
+// a download.
+type Manifest struct {
+	Models      []ManifestModel `json:"models"`
+	FeatDim     int             `json:"featDim"`
+	EmbedDim    int             `json:"embedDim"`
+	BundleBytes int             `json:"bundleBytes"`
+}
+
+// ManifestModel summarizes one repertoire model.
+type ManifestModel struct {
+	Name        string  `json:"name"`
+	Arch        string  `json:"arch"`
+	Level       int     `json:"level"`
+	Cluster     int     `json:"cluster"`
+	ValF1       float64 `json:"valF1"`
+	WeightBytes int64   `json:"weightBytes"`
+	SceneCount  int     `json:"sceneCount"`
+}
+
+// Server serves a profiled bundle to devices over HTTP:
+//
+//	GET /v1/manifest — JSON Manifest
+//	GET /v1/bundle   — the binary bundle
+//
+// The bundle is serialized once at construction; Server is safe for
+// concurrent use.
+type Server struct {
+	manifest Manifest
+	blob     []byte
+}
+
+// NewServer prepares a server for the bundle.
+func NewServer(b *core.Bundle) (*Server, error) {
+	if err := b.Validate(); err != nil {
+		return nil, err
+	}
+	var buf bytes.Buffer
+	if err := WriteBundle(&buf, b); err != nil {
+		return nil, err
+	}
+	m := Manifest{
+		FeatDim:     b.FeatDim,
+		EmbedDim:    b.Encoder.EmbedDim(),
+		BundleBytes: buf.Len(),
+	}
+	for i, det := range b.Detectors {
+		m.Models = append(m.Models, ManifestModel{
+			Name:        det.Name,
+			Arch:        det.Arch.Name,
+			Level:       b.Infos[i].Level,
+			Cluster:     b.Infos[i].Cluster,
+			ValF1:       b.Infos[i].ValF1,
+			WeightBytes: det.Net.WeightBytes(),
+			SceneCount:  len(b.Infos[i].TrainScenes),
+		})
+	}
+	return &Server{manifest: m, blob: buf.Bytes()}, nil
+}
+
+// Handler returns the HTTP handler serving the repository endpoints.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/manifest", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if err := json.NewEncoder(w).Encode(s.manifest); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/v1/bundle", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		w.Header().Set("Content-Type", "application/octet-stream")
+		w.Header().Set("Content-Length", fmt.Sprint(len(s.blob)))
+		_, _ = w.Write(s.blob)
+	})
+	return mux
+}
+
+// Manifest returns the server's manifest.
+func (s *Server) Manifest() Manifest { return s.manifest }
+
+// Client downloads bundles from a repository server. The zero value uses
+// http.DefaultClient with a 30 s timeout.
+type Client struct {
+	// BaseURL is the repository root, e.g. "http://cloud:8080".
+	BaseURL string
+	// HTTPClient overrides the transport when non-nil.
+	HTTPClient *http.Client
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return &http.Client{Timeout: 30 * time.Second}
+}
+
+// FetchManifest downloads and decodes the repository manifest.
+func (c *Client) FetchManifest(ctx context.Context) (Manifest, error) {
+	var m Manifest
+	body, err := c.get(ctx, "/v1/manifest")
+	if err != nil {
+		return m, err
+	}
+	defer body.Close()
+	if err := json.NewDecoder(body).Decode(&m); err != nil {
+		return m, fmt.Errorf("repo: decode manifest: %w", err)
+	}
+	return m, nil
+}
+
+// FetchBundle downloads and deserializes the full bundle — the device's
+// one-time offline download before inference begins.
+func (c *Client) FetchBundle(ctx context.Context) (*core.Bundle, error) {
+	body, err := c.get(ctx, "/v1/bundle")
+	if err != nil {
+		return nil, err
+	}
+	defer body.Close()
+	return ReadBundle(body)
+}
+
+func (c *Client) get(ctx context.Context, path string) (io.ReadCloser, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+path, nil)
+	if err != nil {
+		return nil, fmt.Errorf("repo: %w", err)
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("repo: fetch %s: %w", path, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		resp.Body.Close()
+		return nil, fmt.Errorf("repo: fetch %s: status %s", path, resp.Status)
+	}
+	return resp.Body, nil
+}

@@ -1,0 +1,241 @@
+package sampling
+
+import (
+	"testing"
+
+	"anole/internal/detect"
+	"anole/internal/stats"
+	"anole/internal/synth"
+	"anole/internal/xrand"
+)
+
+// fixture builds two scene-specialist detectors with pools of very
+// different sizes, so balance effects are visible.
+type fixture struct {
+	models []*detect.Detector
+	pools  []Pool
+}
+
+func buildFixture(t *testing.T, seed uint64, sizeA, sizeB int) fixture {
+	t.Helper()
+	w, err := synth.NewWorld(synth.DefaultConfig(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := xrand.New(seed + 1)
+	sceneA := synth.Scene{Weather: synth.Clear, Location: synth.Urban, Time: synth.Daytime}
+	sceneB := synth.Scene{Weather: synth.Clear, Location: synth.Highway, Time: synth.Night}
+
+	gen := func(s synth.Scene, n int) []*synth.Frame {
+		frames := make([]*synth.Frame, n)
+		for i := range frames {
+			frames[i] = w.GenerateFrame(s, 1.2, rng)
+		}
+		return frames
+	}
+	poolA := gen(sceneA, sizeA)
+	poolB := gen(sceneB, sizeB)
+
+	mkDet := func(name string, frames []*synth.Frame) *detect.Detector {
+		d := detect.NewDetector(name, detect.Compressed, 8, rng)
+		if err := d.Train(frames, nil, detect.TrainConfig{Epochs: 10, RNG: rng}); err != nil {
+			t.Fatal(err)
+		}
+		return d
+	}
+	return fixture{
+		models: []*detect.Detector{mkDet("A", poolA), mkDet("B", poolB)},
+		pools: []Pool{
+			{ModelIdx: 0, Frames: poolA},
+			{ModelIdx: 1, Frames: poolB},
+		},
+	}
+}
+
+func TestWellSampledBound(t *testing.T) {
+	// The bound is the coupon-collector-style count needed to have seen
+	// the pool with confidence theta; it grows with pool size and with
+	// theta.
+	b100 := WellSampledBound(100, 0.95)
+	b1000 := WellSampledBound(1000, 0.95)
+	if b100 <= 0 || b1000 <= b100 {
+		t.Fatalf("bounds: %v, %v", b100, b1000)
+	}
+	if WellSampledBound(100, 0.99) <= b100 {
+		t.Fatal("higher confidence should need more samples")
+	}
+	// n·ln(n) scale sanity: for n=100, θ=0.95 the bound is a few
+	// hundred.
+	if b100 < 100 || b100 > 2000 {
+		t.Fatalf("bound(100, .95) = %v, implausible", b100)
+	}
+}
+
+func TestWellSampledBoundDegenerate(t *testing.T) {
+	if WellSampledBound(0, 0.95) != 0 || WellSampledBound(1, 0.95) != 0 {
+		t.Fatal("degenerate sizes should give 0")
+	}
+	if WellSampledBound(10, 0) != 0 || WellSampledBound(10, 1) != 0 {
+		t.Fatal("degenerate theta should give 0")
+	}
+}
+
+func TestAdaptiveBalancesPools(t *testing.T) {
+	fx := buildFixture(t, 100, 400, 40) // 10x size imbalance
+	cfg := Config{Kappa: 200, RNG: xrand.New(101)}
+	adaptive, err := Adaptive(fx.models, fx.pools, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	random, err := Random(fx.models, fx.pools, Config{Kappa: 200, RNG: xrand.New(102)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	giniA := stats.Gini(toFloat(adaptive.Counts))
+	giniR := stats.Gini(toFloat(random.Counts))
+	if giniA >= giniR {
+		t.Fatalf("adaptive Gini %v not below random %v (counts %v vs %v)",
+			giniA, giniR, adaptive.Counts, random.Counts)
+	}
+}
+
+func TestRandomFollowsPoolSizes(t *testing.T) {
+	fx := buildFixture(t, 103, 300, 30)
+	res, err := Random(fx.models, fx.pools, Config{Kappa: 300, RNG: xrand.New(104)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Counts[0] <= res.Counts[1] {
+		t.Fatalf("random sampling should favor the big pool: %v", res.Counts)
+	}
+}
+
+func TestAdaptiveCollectsUpToKappa(t *testing.T) {
+	fx := buildFixture(t, 105, 120, 120)
+	res, err := Adaptive(fx.models, fx.pools, Config{Kappa: 50, RNG: xrand.New(106)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Samples) == 0 {
+		t.Fatal("no samples collected")
+	}
+	if len(res.Samples) > 50 {
+		t.Fatalf("collected %d > kappa", len(res.Samples))
+	}
+	var sum int
+	for _, c := range res.Counts {
+		sum += c
+	}
+	if sum != res.Rounds {
+		t.Fatalf("selection counts sum %d != rounds %d", sum, res.Rounds)
+	}
+	if sum < len(res.Samples) {
+		t.Fatalf("selections %d below accepted samples %d", sum, len(res.Samples))
+	}
+	accepted := res.AcceptedPerModel(len(fx.models))
+	var accSum int
+	for _, c := range accepted {
+		accSum += c
+	}
+	if accSum != len(res.Samples) {
+		t.Fatalf("accepted sum %d != samples %d", accSum, len(res.Samples))
+	}
+	for _, s := range res.Samples {
+		if s.Frame == nil {
+			t.Fatal("nil frame in samples")
+		}
+		if s.ModelIdx < 0 || s.ModelIdx >= len(fx.models) {
+			t.Fatalf("bad model index %d", s.ModelIdx)
+		}
+	}
+}
+
+func TestAdaptiveSamplesAreAccurate(t *testing.T) {
+	fx := buildFixture(t, 107, 100, 100)
+	cfg := Config{Kappa: 60, AcceptF1: 0.5, RNG: xrand.New(108)}
+	res, err := Adaptive(fx.models, fx.pools, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range res.Samples {
+		if f1 := fx.models[s.ModelIdx].EvaluateFrame(s.Frame).F1; f1 < cfg.AcceptF1 {
+			t.Fatalf("accepted sample with F1 %v < %v", f1, cfg.AcceptF1)
+		}
+	}
+}
+
+func TestAdaptiveStopsWhenAllWellSampled(t *testing.T) {
+	// Tiny pools have tiny well-sampled bounds, so the loop must stop
+	// early rather than spin to MaxRounds.
+	fx := buildFixture(t, 109, 12, 12)
+	res, err := Adaptive(fx.models, fx.pools, Config{Kappa: 100000, MaxRounds: 200000, RNG: xrand.New(110)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bound := WellSampledBound(12, 0.95)
+	for i, c := range res.Counts {
+		if float64(c) > bound+1 {
+			t.Fatalf("pool %d oversampled: %d > bound %v", i, c, bound)
+		}
+	}
+	if res.Rounds >= 200000 {
+		t.Fatal("loop did not terminate early")
+	}
+}
+
+func TestSamplingValidation(t *testing.T) {
+	fx := buildFixture(t, 111, 20, 20)
+	if _, err := Adaptive(fx.models, nil, Config{RNG: xrand.New(1)}); err == nil {
+		t.Fatal("empty pools accepted")
+	}
+	bad := []Pool{{ModelIdx: 9, Frames: fx.pools[0].Frames}}
+	if _, err := Adaptive(fx.models, bad, Config{RNG: xrand.New(1)}); err == nil {
+		t.Fatal("out-of-range model index accepted")
+	}
+	empty := []Pool{{ModelIdx: 0}}
+	if _, err := Random(fx.models, empty, Config{RNG: xrand.New(1)}); err == nil {
+		t.Fatal("empty pool accepted")
+	}
+}
+
+func TestNormalizedCounts(t *testing.T) {
+	r := Result{Counts: []int{2, 4, 1}}
+	norm := r.NormalizedCounts()
+	if norm[1] != 1 || norm[0] != 0.5 || norm[2] != 0.25 {
+		t.Fatalf("normalized: %v", norm)
+	}
+	zero := Result{Counts: []int{0, 0}}
+	for _, v := range zero.NormalizedCounts() {
+		if v != 0 {
+			t.Fatal("zero counts should normalize to zero")
+		}
+	}
+}
+
+func TestAdaptiveDeterministic(t *testing.T) {
+	fx := buildFixture(t, 112, 60, 60)
+	run := func() Result {
+		res, err := Adaptive(fx.models, fx.pools, Config{Kappa: 40, RNG: xrand.New(113)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if len(a.Samples) != len(b.Samples) || a.Rounds != b.Rounds {
+		t.Fatal("adaptive sampling not deterministic")
+	}
+	for i := range a.Counts {
+		if a.Counts[i] != b.Counts[i] {
+			t.Fatal("counts differ across identical runs")
+		}
+	}
+}
+
+func toFloat(xs []int) []float64 {
+	out := make([]float64, len(xs))
+	for i, x := range xs {
+		out[i] = float64(x)
+	}
+	return out
+}

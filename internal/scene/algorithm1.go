@@ -1,0 +1,235 @@
+package scene
+
+import (
+	"fmt"
+	"sync"
+
+	"anole/internal/detect"
+	"anole/internal/synth"
+	"anole/internal/tensor"
+	"anole/internal/xrand"
+)
+
+// BankedModel is one compressed model accepted into the repertoire by
+// Algorithm 1, with the provenance needed by adaptive scene sampling
+// (its training pool Γᵢ) and by the experiment harness.
+type BankedModel struct {
+	// Detector is the trained compressed model Mᵢ.
+	Detector *detect.Detector
+	// Level and Cluster identify which k-means level (k) and which
+	// cluster within it produced the model.
+	Level   int
+	Cluster int
+	// TrainScenes lists the semantic scene indices of the cluster; the
+	// model's training pool Γᵢ is every training frame of these scenes.
+	TrainScenes []int
+	// ValF1 is the validation F1 that passed the δ threshold.
+	ValF1 float64
+}
+
+// RepertoireConfig controls Algorithm 1. Zero values select defaults
+// matching the paper's setup (n = 19 compressed models).
+type RepertoireConfig struct {
+	// N is the target repertoire size (default 19).
+	N int
+	// Delta is the validation-F1 acceptance threshold δ (default 0.3).
+	Delta float64
+	// MaxK bounds the multi-level clustering (default 8); if the bank
+	// is still short of N at MaxK, the repertoire is returned as-is.
+	MaxK int
+	// MinSceneFrames drops semantic scenes with fewer training frames
+	// from clustering (default 4).
+	MinSceneFrames int
+	// Restarts is the k-means restart count (default 4).
+	Restarts int
+	// Train configures each compressed model's training run; its RNG
+	// field is ignored (per-model streams are split from RNG).
+	Train detect.TrainConfig
+	// Workers bounds concurrent model training at each level (default
+	// GOMAXPROCS-friendly 4).
+	Workers int
+	// RNG is required for determinism.
+	RNG *xrand.RNG
+}
+
+func (c *RepertoireConfig) setDefaults() {
+	if c.N <= 0 {
+		c.N = 19
+	}
+	if c.Delta <= 0 {
+		c.Delta = 0.3
+	}
+	if c.MaxK <= 0 {
+		c.MaxK = 8
+	}
+	if c.MinSceneFrames <= 0 {
+		c.MinSceneFrames = 2
+	}
+	if c.Restarts <= 0 {
+		c.Restarts = 4
+	}
+	if c.Workers <= 0 {
+		c.Workers = 4
+	}
+	if c.RNG == nil {
+		c.RNG = xrand.New(0)
+	}
+}
+
+// TrainCompressedModels is Algorithm 1: embed each semantic scene with
+// the encoder, run k-means for k = 2, 3, … over the scene embeddings,
+// train one compressed detector per cluster, and bank every model whose
+// validation F1 exceeds δ, until N models are banked or MaxK is reached.
+// Banked models are named "M_1" … "M_n" in acceptance order.
+func TrainCompressedModels(enc *Encoder, train, val []*synth.Frame, cfg RepertoireConfig) ([]*BankedModel, error) {
+	cfg.setDefaults()
+	if enc == nil {
+		return nil, fmt.Errorf("scene: nil encoder")
+	}
+	if len(train) == 0 {
+		return nil, fmt.Errorf("scene: no training frames")
+	}
+
+	// Group frames by semantic scene and compute per-scene mean
+	// embeddings (the Hᵢ of Algorithm 1).
+	trainByScene := groupByScene(train)
+	valByScene := groupByScene(val)
+	var (
+		sceneIdxs  []int
+		embeddings []tensor.Vector
+	)
+	for _, idx := range sortedKeys(trainByScene) {
+		frames := trainByScene[idx]
+		if len(frames) < cfg.MinSceneFrames {
+			continue
+		}
+		mean := tensor.NewVector(enc.EmbedDim())
+		for _, f := range frames {
+			mean.AddScaled(1, enc.Embed(f))
+		}
+		mean.Scale(1 / float64(len(frames)))
+		sceneIdxs = append(sceneIdxs, idx)
+		embeddings = append(embeddings, mean)
+	}
+	if len(sceneIdxs) < 2 {
+		return nil, fmt.Errorf("scene: only %d scenes have enough frames", len(sceneIdxs))
+	}
+
+	featDim := train[0].FeatDim()
+	var bank []*BankedModel
+	for k := 2; k <= cfg.MaxK && len(bank) < cfg.N; k++ {
+		res, err := KMeans(embeddings, k, cfg.Restarts, cfg.RNG.Split(uint64(k)))
+		if err != nil {
+			return nil, fmt.Errorf("scene: level %d: %w", k, err)
+		}
+		candidates := trainLevel(enc, res, sceneIdxs, trainByScene, valByScene, featDim, k, cfg)
+		for _, cand := range candidates {
+			if cand == nil || cand.ValF1 <= cfg.Delta {
+				continue
+			}
+			if len(bank) >= cfg.N {
+				break
+			}
+			cand.Detector.Name = fmt.Sprintf("M_%d", len(bank)+1)
+			bank = append(bank, cand)
+		}
+	}
+	if len(bank) == 0 {
+		return nil, fmt.Errorf("scene: no cluster model passed delta=%.2f", cfg.Delta)
+	}
+	return bank, nil
+}
+
+// trainLevel trains one candidate model per cluster of a clustering
+// level, in parallel, preserving cluster order in the result.
+func trainLevel(enc *Encoder, res KMeansResult, sceneIdxs []int,
+	trainByScene, valByScene map[int][]*synth.Frame,
+	featDim, level int, cfg RepertoireConfig) []*BankedModel {
+
+	k := len(res.Centroids)
+	out := make([]*BankedModel, k)
+	sem := make(chan struct{}, cfg.Workers)
+	var wg sync.WaitGroup
+	for j := 0; j < k; j++ {
+		var scenes []int
+		for si, assign := range res.Assign {
+			if assign == j {
+				scenes = append(scenes, sceneIdxs[si])
+			}
+		}
+		if len(scenes) == 0 {
+			continue
+		}
+		var trainFrames, valFrames []*synth.Frame
+		for _, s := range scenes {
+			trainFrames = append(trainFrames, trainByScene[s]...)
+			valFrames = append(valFrames, valByScene[s]...)
+		}
+		if len(trainFrames) == 0 {
+			continue
+		}
+		rng := cfg.RNG.Split(uint64(level)<<16 | uint64(j))
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(j int, scenes []int, trainFrames, valFrames []*synth.Frame, rng *xrand.RNG) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			tc := cfg.Train
+			tc.RNG = rng
+			det := detect.NewDetector(fmt.Sprintf("k%d/c%d", level, j), detect.Compressed, featDim, rng)
+			if err := det.Train(trainFrames, valFrames, tc); err != nil {
+				return // cluster too small to train; skip silently
+			}
+			evalFrames := valFrames
+			if len(evalFrames) == 0 {
+				evalFrames = trainFrames
+			}
+			out[j] = &BankedModel{
+				Detector:    det,
+				Level:       level,
+				Cluster:     j,
+				TrainScenes: scenes,
+				ValF1:       det.EvaluateFrames(evalFrames).F1,
+			}
+		}(j, scenes, trainFrames, valFrames, rng)
+	}
+	wg.Wait()
+	return out
+}
+
+// PoolFrames returns the training pool Γᵢ of a banked model: every frame
+// in `frames` whose semantic scene is in the model's cluster.
+func (b *BankedModel) PoolFrames(frames []*synth.Frame) []*synth.Frame {
+	in := make(map[int]bool, len(b.TrainScenes))
+	for _, s := range b.TrainScenes {
+		in[s] = true
+	}
+	var out []*synth.Frame
+	for _, f := range frames {
+		if in[f.Scene.Index()] {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+func groupByScene(frames []*synth.Frame) map[int][]*synth.Frame {
+	m := make(map[int][]*synth.Frame)
+	for _, f := range frames {
+		m[f.Scene.Index()] = append(m[f.Scene.Index()], f)
+	}
+	return m
+}
+
+func sortedKeys(m map[int][]*synth.Frame) []int {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	for i := 1; i < len(keys); i++ {
+		for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
+			keys[j], keys[j-1] = keys[j-1], keys[j]
+		}
+	}
+	return keys
+}

@@ -1,0 +1,44 @@
+package synth_test
+
+import (
+	"fmt"
+
+	"anole/internal/synth"
+	"anole/internal/xrand"
+)
+
+// Semantic scenes are points in the weather × location × time attribute
+// space (the paper's 120 combinations).
+func ExampleScene() {
+	s := synth.Scene{Weather: synth.Foggy, Location: synth.Tunnel, Time: synth.Night}
+	fmt.Println(s, s.Index(), synth.SceneFromIndex(s.Index()) == s)
+	// Output:
+	// foggy/tunnel/night 110 true
+}
+
+// Generating one scene-conditioned frame with ground-truth objects.
+func ExampleWorld_GenerateFrame() {
+	world, err := synth.NewWorld(synth.DefaultConfig(42))
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	f := world.GenerateFrame(synth.Scene{
+		Weather:  synth.Clear,
+		Location: synth.Urban,
+		Time:     synth.Daytime,
+	}, 1, xrand.New(7))
+	fmt.Printf("cells=%d featDim=%d objects=%d\n", f.NumCells(), f.FeatDim(), len(f.Objects))
+	// Output:
+	// cells=64 featDim=8 objects=6
+}
+
+// The 6:2:2 interleaved frame split of seen clips.
+func ExampleSplitOf() {
+	for i := 0; i < 10; i++ {
+		fmt.Print(synth.SplitOf(i, 100, true), " ")
+	}
+	fmt.Println()
+	// Output:
+	// train train train train train train val val test test
+}

@@ -1,0 +1,133 @@
+package synth
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"anole/internal/xrand"
+)
+
+func corpusFixture(t *testing.T) *Corpus {
+	t.Helper()
+	w := testWorld(t, 900)
+	return w.GenerateCorpus(DefaultProfiles(0.15))
+}
+
+func corporaEqual(t *testing.T, a, b *Corpus) {
+	t.Helper()
+	if len(a.Clips) != len(b.Clips) {
+		t.Fatalf("clip counts: %d vs %d", len(a.Clips), len(b.Clips))
+	}
+	if a.World.Config() != b.World.Config() {
+		t.Fatalf("world configs differ: %+v vs %+v", a.World.Config(), b.World.Config())
+	}
+	for ci := range a.Clips {
+		ca, cb := a.Clips[ci], b.Clips[ci]
+		if ca.Dataset != cb.Dataset || ca.ID != cb.ID || ca.Seen != cb.Seen {
+			t.Fatalf("clip %d metadata differs", ci)
+		}
+		if len(ca.Frames) != len(cb.Frames) {
+			t.Fatalf("clip %d frame counts differ", ci)
+		}
+		for fi := range ca.Frames {
+			fa, fb := ca.Frames[fi], cb.Frames[fi]
+			if fa.Scene != fb.Scene || fa.Brightness != fb.Brightness || fa.Contrast != fb.Contrast {
+				t.Fatalf("clip %d frame %d metadata differs", ci, fi)
+			}
+			if len(fa.Objects) != len(fb.Objects) {
+				t.Fatalf("clip %d frame %d object counts differ", ci, fi)
+			}
+			for oi := range fa.Objects {
+				if fa.Objects[oi] != fb.Objects[oi] {
+					t.Fatalf("clip %d frame %d object %d differs", ci, fi, oi)
+				}
+			}
+			for i := range fa.Cells {
+				if fa.Cells[i] != fb.Cells[i] {
+					t.Fatalf("clip %d frame %d cell float %d differs", ci, fi, i)
+				}
+			}
+			if fa.Dataset != fb.Dataset || fa.Clip != fb.Clip || fa.Index != fb.Index {
+				t.Fatalf("clip %d frame %d locator differs", ci, fi)
+			}
+		}
+	}
+}
+
+func TestCorpusRoundtrip(t *testing.T) {
+	corpus := corpusFixture(t)
+	var buf bytes.Buffer
+	if err := corpus.WriteCorpus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCorpus(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	corporaEqual(t, corpus, got)
+
+	// The reconstructed world must generate identically to the
+	// original (same config → same transforms).
+	s := Scene{Weather: Rainy, Location: Highway, Time: Night}
+	fa := corpus.World.GenerateFrame(s, 1, xrand.New(5))
+	fb := got.World.GenerateFrame(s, 1, xrand.New(5))
+	for i := range fa.Cells {
+		if fa.Cells[i] != fb.Cells[i] {
+			t.Fatal("reconstructed world diverges")
+		}
+	}
+	// Splits survive (derived from clip metadata).
+	if len(corpus.Frames(Test)) != len(got.Frames(Test)) {
+		t.Fatal("test split sizes differ")
+	}
+}
+
+func TestCorpusFileRoundtrip(t *testing.T) {
+	corpus := corpusFixture(t)
+	path := filepath.Join(t.TempDir(), "corpus.anld")
+	if err := SaveCorpusFile(path, corpus); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadCorpusFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	corporaEqual(t, corpus, got)
+}
+
+func TestLoadCorpusFileMissing(t *testing.T) {
+	if _, err := LoadCorpusFile(filepath.Join(t.TempDir(), "nope")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestReadCorpusBadMagic(t *testing.T) {
+	if _, err := ReadCorpus(strings.NewReader("NOPEnope")); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+}
+
+func TestReadCorpusCorruption(t *testing.T) {
+	corpus := corpusFixture(t)
+	var buf bytes.Buffer
+	if err := corpus.WriteCorpus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	pristine := buf.Bytes()
+	rng := xrand.New(901)
+	for trial := 0; trial < 60; trial++ {
+		data := append([]byte(nil), pristine...)
+		data[rng.Intn(len(data))] ^= byte(1) << rng.Intn(8)
+		if _, err := ReadCorpus(bytes.NewReader(data)); err == nil {
+			t.Fatal("corruption accepted")
+		}
+	}
+	for trial := 0; trial < 30; trial++ {
+		cut := rng.Intn(len(pristine)-1) + 1
+		if _, err := ReadCorpus(bytes.NewReader(pristine[:cut])); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+}

@@ -1,0 +1,180 @@
+// Package trace records the Online Model Inference loop's per-frame
+// decisions as JSON Lines, so field runs can be analyzed offline (which
+// models served which scenes, where the cache missed, where novelty
+// spiked) and replayed into the experiment harness. The format is
+// append-only and self-describing; a Reader tolerates trailing partial
+// lines from interrupted runs.
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"time"
+
+	"anole/internal/core"
+	"anole/internal/synth"
+)
+
+// Event is one processed frame's record.
+type Event struct {
+	// Frame locates the input within its stream.
+	Frame int `json:"frame"`
+	// Clip and Index locate the source frame in its corpus when known.
+	Clip  int `json:"clip"`
+	Index int `json:"index"`
+	// Scene is the semantic scene (generator metadata; absent in real
+	// deployments, invaluable in analysis).
+	Scene string `json:"scene"`
+	// Desired and Used name the top-ranked and the serving model.
+	Desired string `json:"desired"`
+	Used    string `json:"used"`
+	// Hit, Switched mirror core.FrameResult.
+	Hit      bool `json:"hit"`
+	Switched bool `json:"switched"`
+	// F1 is the frame-level detection score.
+	F1 float64 `json:"f1"`
+	// Confidence and Novelty are the decision signals.
+	Confidence float64 `json:"confidence"`
+	Novelty    float64 `json:"novelty"`
+	// LatencyUS is the simulated latency in microseconds (0 without a
+	// device simulator).
+	LatencyUS int64 `json:"latencyUs"`
+}
+
+// Writer appends events as JSON lines. It is not safe for concurrent
+// use.
+type Writer struct {
+	w     *bufio.Writer
+	enc   *json.Encoder
+	count int
+}
+
+// NewWriter wraps w.
+func NewWriter(w io.Writer) *Writer {
+	bw := bufio.NewWriter(w)
+	return &Writer{w: bw, enc: json.NewEncoder(bw)}
+}
+
+// Record converts one runtime result into an event and appends it.
+func (t *Writer) Record(b *core.Bundle, f *synth.Frame, res core.FrameResult) error {
+	ev := Event{
+		Frame:      t.count,
+		Clip:       f.Clip,
+		Index:      f.Index,
+		Scene:      f.Scene.String(),
+		Desired:    b.Detectors[res.Desired].Name,
+		Used:       b.Detectors[res.Used].Name,
+		Hit:        res.Hit,
+		Switched:   res.Switched,
+		F1:         res.Metrics.F1,
+		Confidence: res.Confidence,
+		Novelty:    res.Novelty,
+		LatencyUS:  res.Latency.Microseconds(),
+	}
+	return t.Append(ev)
+}
+
+// Append writes a pre-built event.
+func (t *Writer) Append(ev Event) error {
+	if err := t.enc.Encode(ev); err != nil {
+		return fmt.Errorf("trace: %w", err)
+	}
+	t.count++
+	return nil
+}
+
+// Count returns the number of events written.
+func (t *Writer) Count() int { return t.count }
+
+// Flush writes buffered events through to the underlying writer.
+func (t *Writer) Flush() error {
+	if err := t.w.Flush(); err != nil {
+		return fmt.Errorf("trace: %w", err)
+	}
+	return nil
+}
+
+// Read decodes every complete event from r. A trailing partial line
+// (interrupted run) is tolerated; malformed interior lines are an error.
+func Read(r io.Reader) ([]Event, error) {
+	var out []Event
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	lastIncomplete := false
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var ev Event
+		if err := json.Unmarshal(line, &ev); err != nil {
+			// Tolerate exactly one trailing bad line.
+			lastIncomplete = true
+			continue
+		}
+		if lastIncomplete {
+			return nil, errors.New("trace: malformed event in the middle of the stream")
+		}
+		out = append(out, ev)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("trace: %w", err)
+	}
+	return out, nil
+}
+
+// Summary aggregates a trace for quick inspection.
+type Summary struct {
+	Frames       int
+	Switches     int
+	Hits, Misses int
+	MeanF1       float64
+	MeanLatency  time.Duration
+	MaxNovelty   float64
+	// ModelUse counts frames served per model name.
+	ModelUse map[string]int
+	// SceneUse counts frames per scene string.
+	SceneUse map[string]int
+}
+
+// Summarize folds events into a Summary.
+func Summarize(events []Event) Summary {
+	s := Summary{ModelUse: make(map[string]int), SceneUse: make(map[string]int)}
+	var f1Sum float64
+	var latSum int64
+	for _, ev := range events {
+		s.Frames++
+		if ev.Switched {
+			s.Switches++
+		}
+		if ev.Hit {
+			s.Hits++
+		} else {
+			s.Misses++
+		}
+		f1Sum += ev.F1
+		latSum += ev.LatencyUS
+		if ev.Novelty > s.MaxNovelty {
+			s.MaxNovelty = ev.Novelty
+		}
+		s.ModelUse[ev.Used]++
+		s.SceneUse[ev.Scene]++
+	}
+	if s.Frames > 0 {
+		s.MeanF1 = f1Sum / float64(s.Frames)
+		s.MeanLatency = time.Duration(latSum/int64(s.Frames)) * time.Microsecond
+	}
+	return s
+}
+
+// Render writes the summary as text.
+func (s Summary) Render(w io.Writer) {
+	fmt.Fprintf(w, "trace: %d frames, %d switches, %d hits / %d misses\n",
+		s.Frames, s.Switches, s.Hits, s.Misses)
+	fmt.Fprintf(w, "mean frame F1 %.3f, mean latency %s, max novelty %.2f\n",
+		s.MeanF1, s.MeanLatency, s.MaxNovelty)
+	fmt.Fprintf(w, "models used: %d distinct over %d scenes\n", len(s.ModelUse), len(s.SceneUse))
+}

@@ -1,0 +1,140 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"anole/internal/core"
+	"anole/internal/synth"
+	"anole/internal/testutil"
+)
+
+func recordedTrace(t *testing.T, frames int) (*bytes.Buffer, []Event) {
+	t.Helper()
+	fx := testutil.Shared(t)
+	rt, err := core.NewRuntime(fx.Bundle, core.RuntimeConfig{CacheSlots: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	test := fx.Corpus.Frames(synth.Test)
+	if frames > len(test) {
+		frames = len(test)
+	}
+	for _, f := range test[:frames] {
+		res, err := rt.ProcessFrame(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Record(fx.Bundle, f, res); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	events, err := Read(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &buf, events
+}
+
+func TestRecordAndRead(t *testing.T) {
+	_, events := recordedTrace(t, 40)
+	if len(events) != 40 {
+		t.Fatalf("events = %d", len(events))
+	}
+	for i, ev := range events {
+		if ev.Frame != i {
+			t.Fatalf("frame numbering: %d at %d", ev.Frame, i)
+		}
+		if ev.Used == "" || ev.Desired == "" || ev.Scene == "" {
+			t.Fatalf("missing fields: %+v", ev)
+		}
+		if ev.F1 < 0 || ev.F1 > 1 {
+			t.Fatalf("f1 %v", ev.F1)
+		}
+	}
+}
+
+func TestReadToleratesTrailingPartialLine(t *testing.T) {
+	buf, _ := recordedTrace(t, 10)
+	truncated := buf.String() + `{"frame": 99, "cli` // interrupted write
+	events, err := Read(strings.NewReader(truncated))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 10 {
+		t.Fatalf("events = %d, want 10", len(events))
+	}
+}
+
+func TestReadRejectsInteriorCorruption(t *testing.T) {
+	buf, _ := recordedTrace(t, 10)
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	lines[4] = "not json"
+	if _, err := Read(strings.NewReader(strings.Join(lines, "\n"))); err == nil {
+		t.Fatal("interior corruption accepted")
+	}
+}
+
+func TestReadEmpty(t *testing.T) {
+	events, err := Read(strings.NewReader(""))
+	if err != nil || len(events) != 0 {
+		t.Fatalf("empty read: %v, %d events", err, len(events))
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	_, events := recordedTrace(t, 60)
+	s := Summarize(events)
+	if s.Frames != 60 {
+		t.Fatalf("frames %d", s.Frames)
+	}
+	if s.Hits+s.Misses != 60 {
+		t.Fatal("hits+misses must cover all frames")
+	}
+	if s.MeanF1 <= 0 || s.MeanF1 > 1 {
+		t.Fatalf("mean F1 %v", s.MeanF1)
+	}
+	if len(s.ModelUse) == 0 || len(s.SceneUse) == 0 {
+		t.Fatal("usage maps empty")
+	}
+	total := 0
+	for _, n := range s.ModelUse {
+		total += n
+	}
+	if total != 60 {
+		t.Fatalf("model use sums to %d", total)
+	}
+	var out bytes.Buffer
+	s.Render(&out)
+	if out.Len() == 0 {
+		t.Fatal("render empty")
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil)
+	if s.Frames != 0 || s.MeanF1 != 0 || s.MeanLatency != time.Duration(0) {
+		t.Fatalf("empty summary: %+v", s)
+	}
+}
+
+func TestWriterCount(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if w.Count() != 0 {
+		t.Fatal("fresh writer count")
+	}
+	if err := w.Append(Event{Frame: 0}); err != nil {
+		t.Fatal(err)
+	}
+	if w.Count() != 1 {
+		t.Fatal("count not advanced")
+	}
+}
