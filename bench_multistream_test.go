@@ -1,0 +1,129 @@
+package anole_test
+
+// Multi-stream runtime benchmarks: N independent frame streams
+// multiplexed over one shared sharded model cache (core.MultiRuntime).
+// The sweep shows how cache contention moves with streams × slots; the
+// vs-sequential benchmark reports the simulated-device speedup of
+// serving four streams concurrently instead of back-to-back, which must
+// clear 1.5x for the multiplexing to pay for its contention.
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"anole/internal/core"
+	"anole/internal/device"
+	"anole/internal/synth"
+)
+
+// dealStreams deals the lab's test frames round-robin into n streams of
+// perStream frames each, wrapping around the fixture when it is shorter
+// than the demand. Frames are read-only inputs, so streams may share
+// them.
+func dealStreams(b *testing.B, n, perStream int) [][]*synth.Frame {
+	b.Helper()
+	frames := lab(b).Corpus.Frames(synth.Test)
+	if len(frames) == 0 {
+		b.Fatal("lab has no test frames")
+	}
+	streams := make([][]*synth.Frame, n)
+	for s := range streams {
+		streams[s] = make([]*synth.Frame, perStream)
+		for i := range streams[s] {
+			streams[s][i] = frames[(s*perStream+i)%len(frames)]
+		}
+	}
+	return streams
+}
+
+// BenchmarkMultiStream_CacheSweep crosses stream count with cache
+// capacity. Reported metrics: wall-clock aggregate throughput on the
+// host, simulated aggregate throughput on the modeled device (streams
+// progress concurrently, so makespan is the slowest stream), and the
+// shared cache's miss rate — the contention signal.
+func BenchmarkMultiStream_CacheSweep(b *testing.B) {
+	const perStream = 100
+	for _, streams := range []int{1, 2, 4} {
+		for _, slots := range []int{2, 5} {
+			b.Run(fmt.Sprintf("streams=%d/slots=%d", streams, slots), func(b *testing.B) {
+				l := lab(b)
+				inputs := dealStreams(b, streams, perStream)
+				var simFPS, missRate float64
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					mrt, err := core.NewMultiRuntime(l.Bundle, core.MultiRuntimeConfig{
+						Streams:    streams,
+						CacheSlots: slots,
+						Device:     &device.JetsonTX2NX,
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+					if _, err := mrt.ProcessStreams(inputs, nil); err != nil {
+						b.Fatal(err)
+					}
+					st := mrt.Stats()
+					missRate = st.MissRate
+					if ms := mrt.SimulatedMakespan().Seconds(); ms > 0 {
+						simFPS = float64(st.Frames) / ms
+					}
+				}
+				wall := b.Elapsed().Seconds()
+				if wall > 0 {
+					b.ReportMetric(float64(streams*perStream*b.N)/wall, "frames/s-wall")
+				}
+				b.ReportMetric(simFPS, "frames/s-simulated")
+				b.ReportMetric(missRate, "miss-rate")
+			})
+		}
+	}
+}
+
+// BenchmarkMultiStream_VsSequential compares four streams served
+// concurrently by one MultiRuntime against the same four streams run
+// back-to-back through fresh single-stream Runtimes on one device. The
+// sequential makespan is the sum of per-run simulated latency; the
+// concurrent makespan is the slowest stream. simulated-speedup is their
+// ratio and must exceed 1.5x — cache contention (shared slots, shared
+// eviction pressure) is what keeps it below the ideal 4x.
+func BenchmarkMultiStream_VsSequential(b *testing.B) {
+	const streams, perStream, slots = 4, 100, 5
+	l := lab(b)
+	inputs := dealStreams(b, streams, perStream)
+	var speedup float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var sequential time.Duration
+		for s := 0; s < streams; s++ {
+			sim := device.NewSimulator(device.JetsonTX2NX)
+			rt, err := core.NewRuntime(l.Bundle, core.RuntimeConfig{CacheSlots: slots, Device: sim})
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, f := range inputs[s] {
+				if _, err := rt.ProcessFrame(f); err != nil {
+					b.Fatal(err)
+				}
+			}
+			sequential += rt.Stats().TotalLatency
+		}
+
+		mrt, err := core.NewMultiRuntime(l.Bundle, core.MultiRuntimeConfig{
+			Streams:    streams,
+			CacheSlots: slots,
+			Device:     &device.JetsonTX2NX,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := mrt.ProcessStreams(inputs, nil); err != nil {
+			b.Fatal(err)
+		}
+		concurrent := mrt.SimulatedMakespan()
+		if concurrent > 0 {
+			speedup = sequential.Seconds() / concurrent.Seconds()
+		}
+	}
+	b.ReportMetric(speedup, "simulated-speedup")
+}

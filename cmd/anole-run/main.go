@@ -6,7 +6,12 @@
 // Usage:
 //
 //	anole-run -bundle anole.bundle [-seed N] [-clips N] [-frames N]
-//	          [-device nano|tx2|laptop] [-cache N]
+//	          [-device nano|tx2|laptop] [-cache N] [-streams N]
+//
+// With -streams N > 1 the run multiplexes N independent frame streams
+// over one shared thread-safe model cache (core.MultiRuntime), printing
+// per-stream and aggregate statistics; -trace then writes one JSONL
+// file per stream, suffixed ".streamK".
 package main
 
 import (
@@ -39,10 +44,14 @@ func run(w io.Writer, args []string) error {
 		frames     = fs.Int("frames", 150, "frames per trace clip")
 		devName    = fs.String("device", "tx2", "device profile: nano, tx2 or laptop")
 		cache      = fs.Int("cache", 5, "model cache capacity in compressed-model slots")
+		streams    = fs.Int("streams", 1, "independent frame streams sharing the model cache")
 		tracePath  = fs.String("trace", "", "write a JSONL decision trace to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *streams < 1 {
+		return fmt.Errorf("-streams must be >= 1, got %d", *streams)
 	}
 
 	bundle, err := repo.LoadFile(*bundlePath)
@@ -62,6 +71,10 @@ func run(w io.Writer, args []string) error {
 	default:
 		return fmt.Errorf("unknown device %q (want nano, tx2 or laptop)", *devName)
 	}
+	if *streams > 1 {
+		return runMulti(w, bundle, profile, *streams, *cache, *clips, *frames, *seed, *tracePath)
+	}
+
 	sim := device.NewSimulator(profile)
 	rt, err := core.NewRuntime(bundle, core.RuntimeConfig{CacheSlots: *cache, Device: sim})
 	if err != nil {
@@ -126,6 +139,91 @@ func run(w io.Writer, args []string) error {
 		sim.ResidentMemoryMB(), sim.PeakMemoryMB(), profile.GPUMemoryMB)
 	if tracer != nil {
 		fmt.Fprintf(w, "trace: %d events written to %s\n", tracer.Count(), *tracePath)
+	}
+	return nil
+}
+
+// runMulti drives the multi-stream path: every stream gets its own
+// generated clip sequence and device simulator, all streams share one
+// sharded model cache.
+func runMulti(w io.Writer, bundle *core.Bundle, profile device.Profile, streams, cache, clips, frames int, seed uint64, tracePath string) error {
+	mrt, err := core.NewMultiRuntime(bundle, core.MultiRuntimeConfig{
+		Streams:    streams,
+		CacheSlots: cache,
+		Device:     &profile,
+	})
+	if err != nil {
+		return err
+	}
+
+	world, err := synth.NewWorld(synth.DefaultConfig(seed))
+	if err != nil {
+		return err
+	}
+	traceProfile := synth.DefaultProfiles(1)[1]
+	traceProfile.FramesPerClip = frames
+	rng := xrand.NewLabeled(seed, "anole-run-trace")
+
+	inputs := make([][]*synth.Frame, streams)
+	for s := 0; s < streams; s++ {
+		for c := 0; c < clips; c++ {
+			// Distinct clip IDs per stream so the streams see different
+			// (but reproducible) scene sequences.
+			id := s*clips + c
+			clip := world.GenerateClip(traceProfile, 9000+id, rng.Split(uint64(id)))
+			inputs[s] = append(inputs[s], clip.Frames...)
+		}
+	}
+
+	var obs core.StreamObserver
+	var tracers []*trace.Writer
+	if tracePath != "" {
+		tracers = make([]*trace.Writer, streams)
+		for s := 0; s < streams; s++ {
+			tf, err := os.Create(fmt.Sprintf("%s.stream%d", tracePath, s))
+			if err != nil {
+				return err
+			}
+			defer tf.Close()
+			tracers[s] = trace.NewWriter(tf)
+			defer tracers[s].Flush()
+		}
+		// Observers run concurrently across streams but sequentially
+		// within one, and each stream writes only its own file.
+		obs = func(stream int, f *synth.Frame, res core.FrameResult) error {
+			return tracers[stream].Record(bundle, f, res)
+		}
+	}
+
+	fmt.Fprintf(w, "streaming %d streams x %d clips x %d frames on %s (cache %d, LFU, %d workers)\n\n",
+		streams, clips, frames, profile.Name, cache, mrt.Workers())
+	if _, err := mrt.ProcessStreams(inputs, obs); err != nil {
+		return err
+	}
+
+	for s := 0; s < streams; s++ {
+		st := mrt.StreamStats(s)
+		sim := mrt.StreamDevice(s)
+		fmt.Fprintf(w, "stream %d: %d frames  F1 %.3f  switches %d  %.1f FPS busy  %.1f J\n",
+			s, st.Frames, st.Detection.F1, st.Switches, sim.FPS(), sim.EnergyJ())
+	}
+
+	agg := mrt.Stats()
+	fmt.Fprintf(w, "\naggregate: frames %d  switches %d  F1 %.3f (P %.3f / R %.3f)\n",
+		agg.Frames, agg.Switches, agg.Detection.F1, agg.Detection.Precision, agg.Detection.Recall)
+	fmt.Fprintf(w, "shared cache: hits %d misses %d evictions %d (miss rate %.2f)\n",
+		agg.Cache.Hits, agg.Cache.Misses, agg.Cache.Evictions, agg.MissRate)
+	makespan := mrt.SimulatedMakespan()
+	if ms := makespan.Seconds(); ms > 0 {
+		fmt.Fprintf(w, "simulated makespan %.1f ms  aggregate %.1f frames/s (vs %.1f sequential)\n",
+			1e3*ms, float64(agg.Frames)/ms, float64(agg.Frames)/agg.TotalLatency.Seconds())
+	}
+	if tracers != nil {
+		total := 0
+		for _, tr := range tracers {
+			total += tr.Count()
+		}
+		fmt.Fprintf(w, "trace: %d events written to %s.stream{0..%d}\n", total, tracePath, streams-1)
 	}
 	return nil
 }

@@ -1,9 +1,22 @@
 package main
 
 import (
+	"fmt"
 	"io"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
+
+	"anole/internal/core"
+	"anole/internal/decision"
+	"anole/internal/detect"
+	"anole/internal/nn"
+	"anole/internal/repo"
+	"anole/internal/scene"
+	"anole/internal/synth"
+	"anole/internal/trace"
+	"anole/internal/xrand"
 )
 
 func TestRunRejectsUnknownDevice(t *testing.T) {
@@ -23,5 +36,112 @@ func TestRunRejectsMissingBundle(t *testing.T) {
 func TestRunRejectsBadFlags(t *testing.T) {
 	if err := run(io.Discard, []string{"-clips", "notanumber"}); err == nil {
 		t.Fatal("expected flag parse error")
+	}
+}
+
+func TestRunRejectsBadStreams(t *testing.T) {
+	err := run(io.Discard, []string{"-streams", "0"})
+	if err == nil || !strings.Contains(err.Error(), "-streams") {
+		t.Fatalf("expected streams validation error, got %v", err)
+	}
+}
+
+// cheapBundlePath saves an untrained but structurally valid bundle whose
+// feature dimension matches synth.DefaultConfig, so run() can stream
+// generated frames through it without paying for profiling.
+func cheapBundlePath(t *testing.T) string {
+	t.Helper()
+	featDim := synth.DefaultConfig(1).FeatDim
+	rng := xrand.NewLabeled(7, "anole-run-test-bundle")
+	const embedDim, models = 4, 3
+	encNet := nn.NewMLP(nn.MLPConfig{
+		InDim: synth.FrameFeatureDim(featDim), Hidden: []int{6, embedDim}, OutDim: 2,
+	}, rng)
+	enc, err := scene.FromParts(encNet, []int{0, 1}, embedDim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	head := nn.NewMLP(nn.MLPConfig{InDim: embedDim, Hidden: []int{5}, OutDim: models}, rng)
+	dec, err := decision.FromParts(enc, head)
+	if err != nil {
+		t.Fatal(err)
+	}
+	detectors := make([]*detect.Detector, models)
+	infos := make([]core.ModelInfo, models)
+	for i := range detectors {
+		detectors[i] = detect.NewDetector(fmt.Sprintf("M_%d", i), detect.Compressed, featDim, rng)
+		infos[i] = core.ModelInfo{
+			Name: detectors[i].Name, Level: i, Cluster: i,
+			TrainScenes: []int{i}, ValF1: 0.5,
+		}
+	}
+	b := &core.Bundle{
+		Encoder:   enc,
+		Decision:  dec,
+		Detectors: detectors,
+		Infos:     infos,
+		FeatDim:   featDim,
+	}
+	if err := b.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "test.bundle")
+	if err := repo.SaveFile(path, b); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunSingleStream(t *testing.T) {
+	path := cheapBundlePath(t)
+	var out strings.Builder
+	err := run(&out, []string{"-bundle", path, "-clips", "1", "-frames", "12", "-cache", "2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"clip 1:", "cache:", "device:"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestRunMultiStream(t *testing.T) {
+	path := cheapBundlePath(t)
+	tracePath := filepath.Join(t.TempDir(), "run.trace")
+	const streams, frames = 3, 15
+	var out strings.Builder
+	err := run(&out, []string{
+		"-bundle", path, "-streams", fmt.Sprint(streams),
+		"-clips", "1", "-frames", fmt.Sprint(frames),
+		"-cache", "2", "-trace", tracePath,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := 0; s < streams; s++ {
+		if !strings.Contains(out.String(), fmt.Sprintf("stream %d:", s)) {
+			t.Errorf("output missing stream %d line:\n%s", s, out.String())
+		}
+	}
+	for _, want := range []string{"aggregate:", "shared cache:", "simulated makespan"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+	// Every stream must have written a complete, readable trace.
+	for s := 0; s < streams; s++ {
+		f, err := os.Open(fmt.Sprintf("%s.stream%d", tracePath, s))
+		if err != nil {
+			t.Fatal(err)
+		}
+		events, err := trace.Read(f)
+		f.Close()
+		if err != nil {
+			t.Fatalf("stream %d trace: %v", s, err)
+		}
+		if len(events) != frames {
+			t.Errorf("stream %d trace has %d events, want %d", s, len(events), frames)
+		}
 	}
 }

@@ -9,4 +9,16 @@
 // record of every reproduced table and figure. The root-level
 // bench_test.go regenerates each of those artifacts as a testing.B
 // benchmark.
+//
+// Concurrency: core.Runtime serves a single frame stream;
+// core.MultiRuntime multiplexes N streams over one shared thread-safe
+// modelcache.Sharded, with each stream running on a cloned bundle
+// (networks cache activations, so Clone-per-goroutine is the rule for
+// nn.Network and everything built on it). A 1-stream MultiRuntime is
+// frame-for-frame identical to Runtime. bench_multistream_test.go
+// sweeps streams x cache slots and measures the aggregate simulated
+// throughput gain over running the same streams sequentially; the
+// concurrency suite is written to pass `go test -race ./...`, and the
+// untrusted-byte decoders (internal/trace, internal/repo) carry fuzz
+// targets — see README.md "Testing".
 package anole

@@ -50,6 +50,33 @@ type Bundle struct {
 	NoveltyScale float64
 }
 
+// Clone returns a per-goroutine replica of a valid bundle: the encoder,
+// decision model and every detector are deep-copied (their networks
+// cache activations and are not safe for concurrent use), while the
+// immutable metadata — Infos, Centroids, NoveltyScale — is shared. The
+// clone's Encoder and Decision.Encoder are the same object, matching the
+// invariant established by Profile and repo.ReadBundle. Clone panics on
+// a bundle that fails Validate; validate first.
+func (b *Bundle) Clone() *Bundle {
+	if err := b.Validate(); err != nil {
+		panic(fmt.Sprintf("core: Clone of invalid bundle: %v", err))
+	}
+	dec := b.Decision.Clone()
+	detectors := make([]*detect.Detector, len(b.Detectors))
+	for i, d := range b.Detectors {
+		detectors[i] = d.Clone()
+	}
+	return &Bundle{
+		Encoder:      dec.Encoder,
+		Decision:     dec,
+		Detectors:    detectors,
+		Infos:        b.Infos,
+		FeatDim:      b.FeatDim,
+		Centroids:    b.Centroids,
+		NoveltyScale: b.NoveltyScale,
+	}
+}
+
 // Novelty scores how far a frame sits from every known scene: the
 // embedding's distance to the nearest scene centroid divided by the
 // calibrated in-scene 95th-percentile distance. Values ≤ 1 are ordinary;

@@ -1,0 +1,257 @@
+package core
+
+import (
+	"fmt"
+	goruntime "runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"anole/internal/device"
+	"anole/internal/modelcache"
+	"anole/internal/stats"
+	"anole/internal/synth"
+)
+
+// MultiRuntimeConfig controls the multi-stream serving loop.
+type MultiRuntimeConfig struct {
+	// Streams is the number of independent frame streams (simulated
+	// dash cams / UAVs) multiplexed over one shared model cache
+	// (default 1).
+	Streams int
+	// CacheSlots is the shared cache capacity in compressed-model units
+	// (default 5), split across CacheShards shards.
+	CacheSlots int
+	// Policy is the eviction policy (default LFU).
+	Policy modelcache.Policy
+	// CacheShards is the shard count of the shared cache (≤0 selects
+	// min(Streams, CacheSlots), so a single stream gets a single shard
+	// and reproduces Runtime's cache behavior exactly).
+	CacheShards int
+	// SwitchHysteresis is applied per stream (see
+	// RuntimeConfig.SwitchHysteresis).
+	SwitchHysteresis int
+	// Workers bounds the goroutines driving streams (≤0 selects
+	// GOMAXPROCS; always capped at Streams). Each in-flight stream is
+	// owned by exactly one worker, so per-stream state needs no locks —
+	// only the shared cache is contended.
+	Workers int
+	// Device, when non-nil, gives every stream its own simulator of
+	// this profile, charging decision, load and inference costs in
+	// simulated time. Streams progress concurrently, so the aggregate
+	// simulated makespan is the maximum per-stream latency, not the
+	// sum.
+	Device *device.Profile
+}
+
+// MultiRuntime serves N independent frame streams over one shared
+// thread-safe model cache. Each stream owns a full Runtime built on a
+// cloned bundle (networks cache activations, so clones keep streams
+// race-free) with private hysteresis and decision state; the cache —
+// the resident-model budget of the shared accelerator — is the only
+// structure streams contend on. Construct with NewMultiRuntime, drive
+// with ProcessStreams.
+type MultiRuntime struct {
+	bundle  *Bundle
+	cache   *modelcache.Sharded
+	streams []*Runtime
+	devs    []*device.Simulator
+	workers int
+}
+
+// NewMultiRuntime validates the bundle once, builds the shared sharded
+// cache, and prepares one cloned runtime per stream.
+func NewMultiRuntime(b *Bundle, cfg MultiRuntimeConfig) (*MultiRuntime, error) {
+	if err := b.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Streams <= 0 {
+		cfg.Streams = 1
+	}
+	if cfg.CacheSlots <= 0 {
+		cfg.CacheSlots = 5
+	}
+	if cfg.Policy == 0 {
+		cfg.Policy = modelcache.LFU
+	}
+	shards := cfg.CacheShards
+	if shards <= 0 {
+		shards = cfg.Streams
+		if shards > cfg.CacheSlots {
+			shards = cfg.CacheSlots
+		}
+	}
+	cache, err := modelcache.NewSharded(cfg.CacheSlots, cfg.Policy, shards)
+	if err != nil {
+		return nil, err
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = goruntime.GOMAXPROCS(0)
+	}
+	if workers > cfg.Streams {
+		workers = cfg.Streams
+	}
+	m := &MultiRuntime{
+		bundle:  b,
+		cache:   cache,
+		streams: make([]*Runtime, cfg.Streams),
+		devs:    make([]*device.Simulator, cfg.Streams),
+		workers: workers,
+	}
+	for i := range m.streams {
+		var dev *device.Simulator
+		if cfg.Device != nil {
+			dev = device.NewSimulator(*cfg.Device)
+		}
+		rt, err := NewRuntime(b.Clone(), RuntimeConfig{
+			Store:            cache,
+			Device:           dev,
+			SwitchHysteresis: cfg.SwitchHysteresis,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("core: stream %d: %w", i, err)
+		}
+		m.streams[i] = rt
+		m.devs[i] = dev
+	}
+	return m, nil
+}
+
+// NumStreams returns the configured stream count.
+func (m *MultiRuntime) NumStreams() int { return len(m.streams) }
+
+// Workers returns the worker-pool size ProcessStreams will use.
+func (m *MultiRuntime) Workers() int { return m.workers }
+
+// Bundle returns the original (shared, read-only) bundle the streams
+// were cloned from.
+func (m *MultiRuntime) Bundle() *Bundle { return m.bundle }
+
+// Cache returns the shared sharded model cache.
+func (m *MultiRuntime) Cache() *modelcache.Sharded { return m.cache }
+
+// StreamDevice returns stream i's device simulator (nil without a
+// Device profile). Read it only after ProcessStreams returns.
+func (m *MultiRuntime) StreamDevice(i int) *device.Simulator { return m.devs[i] }
+
+// StreamObserver is invoked after every processed frame, from the worker
+// goroutine that owns the stream. Calls for one stream are sequential
+// and frame-ordered; calls for different streams are concurrent, so an
+// observer writing shared state must synchronize — per-stream sinks
+// (e.g. one trace.Writer per stream) need no locks. Returning an error
+// aborts the run.
+type StreamObserver func(stream int, f *synth.Frame, res FrameResult) error
+
+// ProcessStreams drives streams[i] through stream i's runtime: per
+// frame, the worker pipelines decision (MSS on the stream's cloned
+// networks) → cache admission (CMD against the shared sharded cache) →
+// inference (MI on the stream's cloned detector). len(streams) must
+// equal NumStreams. It returns the per-stream frame results; on error
+// the first failure is returned and the results are discarded. Each
+// stream is processed by exactly one worker; ProcessStreams itself must
+// not be called concurrently with itself or with Stats.
+func (m *MultiRuntime) ProcessStreams(streams [][]*synth.Frame, obs StreamObserver) ([][]FrameResult, error) {
+	if len(streams) != len(m.streams) {
+		return nil, fmt.Errorf("core: %d frame streams for %d runtime streams", len(streams), len(m.streams))
+	}
+	results := make([][]FrameResult, len(streams))
+
+	var (
+		failed   atomic.Bool
+		errOnce  sync.Once
+		firstErr error
+	)
+	fail := func(err error) {
+		errOnce.Do(func() { firstErr = err })
+		failed.Store(true)
+	}
+
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < m.workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				out := make([]FrameResult, 0, len(streams[i]))
+				for _, f := range streams[i] {
+					if failed.Load() {
+						break
+					}
+					res, err := m.streams[i].ProcessFrame(f)
+					if err != nil {
+						fail(fmt.Errorf("core: stream %d: %w", i, err))
+						break
+					}
+					if obs != nil {
+						if err := obs(i, f, res); err != nil {
+							fail(fmt.Errorf("core: stream %d observer: %w", i, err))
+							break
+						}
+					}
+					out = append(out, res)
+				}
+				results[i] = out
+			}
+		}()
+	}
+	for i := range streams {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return results, nil
+}
+
+// StreamStats returns stream i's RunStats. Its Cache and MissRate
+// fields reflect the shared cache (all streams), while the frame,
+// switch, detection and latency fields are the stream's own.
+func (m *MultiRuntime) StreamStats(i int) RunStats { return m.streams[i].Stats() }
+
+// Stats merges every stream's RunStats into the aggregate view: frame,
+// switch, per-model and detection counters are summed (detection P/R/F1
+// recomputed from the summed counts), scene durations concatenated in
+// stream order, and the cache counters taken once from the shared
+// sharded cache.
+func (m *MultiRuntime) Stats() RunStats {
+	agg := RunStats{
+		DesiredCounts: make([]int, m.bundle.NumModels()),
+		UsedCounts:    make([]int, m.bundle.NumModels()),
+	}
+	for _, rt := range m.streams {
+		s := rt.Stats()
+		agg.Frames += s.Frames
+		agg.Switches += s.Switches
+		agg.SceneDurations = append(agg.SceneDurations, s.SceneDurations...)
+		for j := range s.DesiredCounts {
+			agg.DesiredCounts[j] += s.DesiredCounts[j]
+			agg.UsedCounts[j] += s.UsedCounts[j]
+		}
+		agg.Detection.TP += s.Detection.TP
+		agg.Detection.FP += s.Detection.FP
+		agg.Detection.FN += s.Detection.FN
+		agg.TotalLatency += s.TotalLatency
+	}
+	agg.Detection = stats.ComputePRF1(agg.Detection.TP, agg.Detection.FP, agg.Detection.FN)
+	agg.Cache = m.cache.Stats()
+	agg.MissRate = m.cache.MissRate()
+	return agg
+}
+
+// SimulatedMakespan returns the largest per-stream simulated latency:
+// streams progress concurrently on their own devices, so this — not the
+// sum — is the simulated wall-clock to drain all streams. Aggregate
+// simulated throughput is Stats().Frames divided by this duration.
+func (m *MultiRuntime) SimulatedMakespan() time.Duration {
+	var max time.Duration
+	for _, rt := range m.streams {
+		if s := rt.Stats(); s.TotalLatency > max {
+			max = s.TotalLatency
+		}
+	}
+	return max
+}

@@ -1,0 +1,293 @@
+package core_test
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"anole/internal/core"
+	"anole/internal/device"
+	"anole/internal/synth"
+	"anole/internal/testutil"
+)
+
+// streamFrames deals the shared fixture's test frames into n
+// equally-sized streams, round-robin so every stream sees a scene mix.
+func streamFrames(t *testing.T, n, perStream int) [][]*synth.Frame {
+	t.Helper()
+	fx := testutil.Shared(t)
+	frames := fx.Corpus.Frames(synth.Test)
+	if len(frames) == 0 {
+		t.Fatal("fixture has no test frames")
+	}
+	// Frames are read-only inputs, so wrapping around the corpus (and
+	// sharing frames between streams) is safe.
+	out := make([][]*synth.Frame, n)
+	for s := 0; s < n; s++ {
+		for i := 0; i < perStream; i++ {
+			out[s] = append(out[s], frames[(i*n+s)%len(frames)])
+		}
+	}
+	return out
+}
+
+// TestMultiRuntimeSingleStreamMatchesRuntime is the determinism guard
+// for the refactor: one stream through MultiRuntime (single shard by
+// default) must produce frame-for-frame identical results to the
+// original single-tenant Runtime on the same sequence, including
+// simulated latency, hysteresis smoothing and cache behavior.
+func TestMultiRuntimeSingleStreamMatchesRuntime(t *testing.T) {
+	fx := testutil.Shared(t)
+	frames := streamFrames(t, 1, 120)[0]
+
+	for _, hysteresis := range []int{0, 3} {
+		single, err := core.NewRuntime(fx.Bundle, core.RuntimeConfig{
+			CacheSlots:       3,
+			SwitchHysteresis: hysteresis,
+			Device:           device.NewSimulator(device.JetsonTX2NX),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		multi, err := core.NewMultiRuntime(fx.Bundle, core.MultiRuntimeConfig{
+			Streams:          1,
+			CacheSlots:       3,
+			SwitchHysteresis: hysteresis,
+			Device:           &device.JetsonTX2NX,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if multi.Cache().NumShards() != 1 {
+			t.Fatalf("1 stream defaulted to %d shards, want 1", multi.Cache().NumShards())
+		}
+
+		want := make([]core.FrameResult, 0, len(frames))
+		for _, f := range frames {
+			res, err := single.ProcessFrame(f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want = append(want, res)
+		}
+		got, err := multi.ProcessStreams([][]*synth.Frame{frames}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got[0]) != len(want) {
+			t.Fatalf("hysteresis %d: %d results, want %d", hysteresis, len(got[0]), len(want))
+		}
+		for i := range want {
+			if got[0][i] != want[i] {
+				t.Fatalf("hysteresis %d: frame %d diverged:\n multi %+v\nsingle %+v",
+					hysteresis, i, got[0][i], want[i])
+			}
+		}
+
+		ss, ms := single.Stats(), multi.Stats()
+		if ss.Frames != ms.Frames || ss.Switches != ms.Switches ||
+			ss.Cache != ms.Cache || ss.Detection != ms.Detection ||
+			ss.TotalLatency != ms.TotalLatency {
+			t.Fatalf("hysteresis %d: aggregate stats diverged:\n multi %+v\nsingle %+v", hysteresis, ms, ss)
+		}
+	}
+}
+
+// TestMultiRuntimeConcurrentStreams drives four streams over four
+// workers sharing one cache, asserting the aggregate bookkeeping is
+// exact whatever the interleaving: no frame lost, one cache lookup per
+// frame, residency within capacity, and per-stream totals summing to
+// the aggregate. Run with -race.
+func TestMultiRuntimeConcurrentStreams(t *testing.T) {
+	fx := testutil.Shared(t)
+	const streams, perStream = 4, 60
+	frameSets := streamFrames(t, streams, perStream)
+
+	m, err := core.NewMultiRuntime(fx.Bundle, core.MultiRuntimeConfig{
+		Streams:    streams,
+		CacheSlots: 4,
+		Workers:    streams,
+		Device:     &device.JetsonTX2NX,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var mu sync.Mutex
+	observed := make(map[int]int)
+	results, err := m.ProcessStreams(frameSets, func(stream int, f *synth.Frame, res core.FrameResult) error {
+		if res.Used < 0 || res.Used >= fx.Bundle.NumModels() {
+			return errors.New("used model out of range")
+		}
+		mu.Lock()
+		observed[stream]++
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for s := 0; s < streams; s++ {
+		if len(results[s]) != perStream {
+			t.Fatalf("stream %d: %d results, want %d", s, len(results[s]), perStream)
+		}
+		if observed[s] != perStream {
+			t.Fatalf("stream %d: observer saw %d frames, want %d", s, observed[s], perStream)
+		}
+	}
+
+	agg := m.Stats()
+	if agg.Frames != streams*perStream {
+		t.Fatalf("aggregate frames %d, want %d", agg.Frames, streams*perStream)
+	}
+	cache := m.Cache()
+	if cache.Lookups() != int64(streams*perStream) {
+		t.Fatalf("cache lookups %d, want one per frame (%d)", cache.Lookups(), streams*perStream)
+	}
+	if agg.Cache.Hits+agg.Cache.Misses != cache.Lookups() {
+		t.Fatalf("cache counters unbalanced: %+v vs %d lookups", agg.Cache, cache.Lookups())
+	}
+	if used := cache.Used(); used > cache.Capacity() {
+		t.Fatalf("cache over capacity: %d > %d", used, cache.Capacity())
+	}
+
+	var frames, switches int
+	var tp, fp, fn int
+	for s := 0; s < streams; s++ {
+		ss := m.StreamStats(s)
+		frames += ss.Frames
+		switches += ss.Switches
+		tp += ss.Detection.TP
+		fp += ss.Detection.FP
+		fn += ss.Detection.FN
+		if dev := m.StreamDevice(s); dev == nil || dev.Inferences() == 0 {
+			t.Fatalf("stream %d device simulator idle", s)
+		}
+	}
+	if frames != agg.Frames || switches != agg.Switches ||
+		tp != agg.Detection.TP || fp != agg.Detection.FP || fn != agg.Detection.FN {
+		t.Fatalf("per-stream sums (%d,%d,%d,%d,%d) disagree with aggregate %+v",
+			frames, switches, tp, fp, fn, agg)
+	}
+	if m.SimulatedMakespan() <= 0 || m.SimulatedMakespan() > agg.TotalLatency {
+		t.Fatalf("makespan %v outside (0, total %v]", m.SimulatedMakespan(), agg.TotalLatency)
+	}
+}
+
+// TestMultiRuntimeStreamsAreIsolated runs the same frame sequence on
+// every stream of a wide-open cache (no contention): per-stream state
+// must not leak, so all streams report identical stats.
+func TestMultiRuntimeStreamsAreIsolated(t *testing.T) {
+	fx := testutil.Shared(t)
+	frames := streamFrames(t, 1, 80)[0]
+	const streams = 3
+
+	m, err := core.NewMultiRuntime(fx.Bundle, core.MultiRuntimeConfig{
+		Streams: streams,
+		// Every model fits: cache behavior is identical for all
+		// streams after each model's first admission.
+		CacheSlots:       fx.Bundle.NumModels(),
+		CacheShards:      1,
+		SwitchHysteresis: 2,
+		Workers:          streams,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pre-warm the shared cache with every model so each request is a
+	// hit regardless of stream interleaving; any remaining divergence
+	// between streams is then a per-stream state leak.
+	for _, det := range fx.Bundle.Detectors {
+		if _, _, err := m.Cache().Request(det.Name, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sets := make([][]*synth.Frame, streams)
+	for s := range sets {
+		sets[s] = frames
+	}
+	results, err := m.ProcessStreams(sets, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := 1; s < streams; s++ {
+		st0, st := m.StreamStats(0), m.StreamStats(s)
+		if st0.Frames != st.Frames || st0.Switches != st.Switches || st0.Detection != st.Detection {
+			t.Fatalf("stream %d stats diverged from stream 0:\n%+v\n%+v", s, st, st0)
+		}
+		for i := range results[0] {
+			if results[0][i] != results[s][i] {
+				t.Fatalf("stream %d frame %d diverged: %+v vs %+v", s, i, results[s][i], results[0][i])
+			}
+		}
+	}
+}
+
+func TestMultiRuntimeValidation(t *testing.T) {
+	fx := testutil.Shared(t)
+	if _, err := core.NewMultiRuntime(&core.Bundle{}, core.MultiRuntimeConfig{}); err == nil {
+		t.Fatal("invalid bundle accepted")
+	}
+	m, err := core.NewMultiRuntime(fx.Bundle, core.MultiRuntimeConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumStreams() != 1 || m.Workers() != 1 {
+		t.Fatalf("defaults: %d streams, %d workers", m.NumStreams(), m.Workers())
+	}
+	if _, err := m.ProcessStreams(make([][]*synth.Frame, 2), nil); err == nil {
+		t.Fatal("stream count mismatch accepted")
+	}
+}
+
+func TestMultiRuntimeObserverErrorAborts(t *testing.T) {
+	fx := testutil.Shared(t)
+	frameSets := streamFrames(t, 2, 30)
+	m, err := core.NewMultiRuntime(fx.Bundle, core.MultiRuntimeConfig{Streams: 2, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("sink full")
+	_, err = m.ProcessStreams(frameSets, func(stream int, f *synth.Frame, res core.FrameResult) error {
+		if stream == 1 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("observer error not propagated: %v", err)
+	}
+}
+
+func TestBundleCloneIsDeepAndEquivalent(t *testing.T) {
+	fx := testutil.Shared(t)
+	clone := fx.Bundle.Clone()
+	if err := clone.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if clone.Encoder == fx.Bundle.Encoder || clone.Decision == fx.Bundle.Decision {
+		t.Fatal("clone shares compute state")
+	}
+	if clone.Encoder != clone.Decision.Encoder {
+		t.Fatal("clone broke the shared-encoder invariant")
+	}
+	f := fx.Corpus.Frames(synth.Test)[0]
+	a, b := fx.Bundle.Decision.Scores(f), clone.Decision.Scores(f)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("decision scores diverged at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+	for i := range fx.Bundle.Detectors {
+		if fx.Bundle.Detectors[i] == clone.Detectors[i] {
+			t.Fatalf("detector %d shared", i)
+		}
+		if got, want := clone.Detectors[i].EvaluateFrame(f), fx.Bundle.Detectors[i].EvaluateFrame(f); got != want {
+			t.Fatalf("detector %d diverged: %+v vs %+v", i, got, want)
+		}
+	}
+	if fx.Bundle.Novelty(f) != clone.Novelty(f) {
+		t.Fatal("novelty diverged")
+	}
+}

@@ -11,6 +11,19 @@ import (
 	"anole/internal/synth"
 )
 
+// ModelStore is the cache surface the runtime drives: Request admits or
+// touches the desired model, Contains probes residency for fallback
+// selection, and the counters feed RunStats. Both *modelcache.Cache
+// (single stream) and *modelcache.Sharded (shared across streams)
+// satisfy it.
+type ModelStore interface {
+	Request(key string, size int) (hit bool, evicted []string, err error)
+	Contains(key string) bool
+	Len() int
+	Stats() modelcache.Stats
+	MissRate() float64
+}
+
 // RuntimeConfig controls the on-device inference loop.
 type RuntimeConfig struct {
 	// CacheSlots is the model cache capacity in compressed-model units
@@ -18,6 +31,12 @@ type RuntimeConfig struct {
 	CacheSlots int
 	// Policy is the eviction policy (default LFU, the paper's choice).
 	Policy modelcache.Policy
+	// Store, when non-nil, is the model cache the runtime uses instead
+	// of constructing its own from CacheSlots/Policy. MultiRuntime
+	// passes one shared thread-safe store to every stream; when set,
+	// the Cache and MissRate fields of Stats reflect that shared store,
+	// not this runtime alone.
+	Store ModelStore
 	// Device, when non-nil, charges simulated latency/energy/memory for
 	// every decision, load and inference.
 	Device *device.Simulator
@@ -86,10 +105,11 @@ func (s RunStats) MeanSceneDuration() float64 {
 }
 
 // Runtime is the Online Model Inference loop. It is not safe for
-// concurrent use (one runtime per device).
+// concurrent use (one runtime per device); MultiRuntime multiplexes
+// several of them over one shared cache.
 type Runtime struct {
 	bundle     *Bundle
-	cache      *modelcache.Cache
+	cache      ModelStore
 	dev        *device.Simulator
 	hysteresis int
 
@@ -108,19 +128,23 @@ func NewRuntime(b *Bundle, cfg RuntimeConfig) (*Runtime, error) {
 	if err := b.Validate(); err != nil {
 		return nil, err
 	}
-	if cfg.CacheSlots <= 0 {
-		cfg.CacheSlots = 5
-	}
-	if cfg.Policy == 0 {
-		cfg.Policy = modelcache.LFU
-	}
-	cache, err := modelcache.New(cfg.CacheSlots, cfg.Policy)
-	if err != nil {
-		return nil, err
+	store := cfg.Store
+	if store == nil {
+		if cfg.CacheSlots <= 0 {
+			cfg.CacheSlots = 5
+		}
+		if cfg.Policy == 0 {
+			cfg.Policy = modelcache.LFU
+		}
+		cache, err := modelcache.New(cfg.CacheSlots, cfg.Policy)
+		if err != nil {
+			return nil, err
+		}
+		store = cache
 	}
 	return &Runtime{
 		bundle:      b,
-		cache:       cache,
+		cache:       store,
 		dev:         cfg.Device,
 		hysteresis:  cfg.SwitchHysteresis,
 		prevDesired: -1,

@@ -149,6 +149,14 @@ func FromParts(enc *scene.Encoder, head *nn.Network) (*Model, error) {
 	return &Model{Encoder: enc, Head: head, N: head.OutDim()}, nil
 }
 
+// Clone returns a deep copy of the decision model for use by another
+// goroutine: both the frozen encoder backbone and the head network are
+// cloned (their forward passes cache activations, so one Model is not
+// safe for concurrent use).
+func (m *Model) Clone() *Model {
+	return &Model{Encoder: m.Encoder.Clone(), Head: m.Head.Clone(), N: m.N}
+}
+
 // Scores returns the model-allocation vector v^x for frame f: softmax
 // suitability probabilities over the repertoire. The returned slice is
 // freshly allocated.

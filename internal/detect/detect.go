@@ -71,6 +71,14 @@ func FromNetwork(name string, arch Arch, featDim int, net *nn.Network) (*Detecto
 // FeatDim returns the per-cell feature dimension the detector expects.
 func (d *Detector) FeatDim() int { return d.featDim }
 
+// Clone returns a deep copy of the detector whose network shares no
+// state with the original. A Detector caches activations during the
+// forward pass and is not safe for concurrent use; goroutines that score
+// the same model concurrently must each own a clone.
+func (d *Detector) Clone() *Detector {
+	return &Detector{Name: d.Name, Arch: d.Arch, Net: d.Net.Clone(), featDim: d.featDim}
+}
+
 // FrameFLOPs returns the FLOPs of detecting one full frame with cells
 // grid cells.
 func (d *Detector) FrameFLOPs(cells int) int64 {

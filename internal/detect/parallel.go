@@ -27,7 +27,7 @@ func (d *Detector) EvaluateFramesParallel(frames []*synth.Frame, workers int) st
 	partials := make([]stats.PRF1, workers)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
-		clone := &Detector{Name: d.Name, Arch: d.Arch, Net: d.Net.Clone(), featDim: d.featDim}
+		clone := d.Clone()
 		wg.Add(1)
 		go func(w int, det *Detector) {
 			defer wg.Done()
@@ -67,7 +67,7 @@ func OracleF1(detectors []*Detector, frames []*synth.Frame, workers int) stats.P
 	for w := 0; w < workers; w++ {
 		clones := make([]*Detector, len(detectors))
 		for i, d := range detectors {
-			clones[i] = &Detector{Name: d.Name, Arch: d.Arch, Net: d.Net.Clone(), featDim: d.featDim}
+			clones[i] = d.Clone()
 		}
 		wg.Add(1)
 		go func(w int, dets []*Detector) {

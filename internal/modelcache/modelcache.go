@@ -3,6 +3,12 @@
 // memory, evicting Least Frequently Used models when a newly requested
 // model misses. LRU and FIFO policies are included for the cache-policy
 // ablation.
+//
+// Two cache types are provided. Cache is the single-goroutine original:
+// one device, one stream, no locks. Sharded partitions the same capacity
+// across mutex-guarded shards keyed by model name, with atomic
+// hit/miss/eviction counters, and is safe for concurrent use — it backs
+// core.MultiRuntime, where many streams share one resident-model budget.
 package modelcache
 
 import (
@@ -45,7 +51,8 @@ type entry struct {
 // Cache is a bounded model cache. Capacity is expressed in abstract size
 // units (the harness uses "compressed model" units, matching Fig. 7(b)'s
 // x-axis). The zero value is not usable; construct with New. Cache is not
-// safe for concurrent use.
+// safe for concurrent use; wrap the same policies in a Sharded cache when
+// multiple goroutines share one model budget.
 type Cache struct {
 	capacity int
 	policy   Policy

@@ -1,0 +1,240 @@
+package modelcache
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Sharded is a thread-safe model cache for multi-stream serving: the
+// capacity is partitioned across independent shards, each an ordinary
+// Cache guarded by its own mutex, and model keys are hashed to shards.
+// Concurrent requests for different shards proceed in parallel; requests
+// for the same shard serialize on that shard's lock only.
+//
+// The eviction policy is therefore approximate-global: each shard runs
+// the configured policy over its own resident set, so a globally cold
+// model can outlive a globally hot one that landed in a crowded shard.
+// This is the standard sharding trade-off; the streams×slots benchmark
+// at the repository root measures its cost on the paper's workload. The
+// capacity bound, however, is exact: every shard enforces its slice of
+// the capacity under its lock, so the summed residency never exceeds
+// Capacity.
+//
+// Hit/miss/eviction/lookup counters are maintained atomically outside
+// the shard locks, giving Stats and MissRate a lock-free merged view;
+// ShardStats exposes the exact per-shard breakdown.
+type Sharded struct {
+	shards   []*shard
+	capacity int
+	policy   Policy
+
+	lookups   atomic.Int64
+	hits      atomic.Int64
+	misses    atomic.Int64
+	evictions atomic.Int64
+}
+
+type shard struct {
+	mu sync.Mutex
+	c  *Cache
+}
+
+// NewSharded returns a thread-safe cache of the given total capacity,
+// split over shards (≤0 selects min(capacity, 8); values above capacity
+// are clamped so every shard holds at least one size unit). Capacity is
+// distributed as evenly as possible: the first capacity mod shards
+// shards receive one extra unit.
+func NewSharded(capacity int, policy Policy, shards int) (*Sharded, error) {
+	if capacity <= 0 {
+		return nil, fmt.Errorf("modelcache: capacity %d", capacity)
+	}
+	if shards <= 0 {
+		shards = 8
+	}
+	if shards > capacity {
+		shards = capacity
+	}
+	s := &Sharded{capacity: capacity, policy: policy, shards: make([]*shard, shards)}
+	base, extra := capacity/shards, capacity%shards
+	for i := range s.shards {
+		cap := base
+		if i < extra {
+			cap++
+		}
+		c, err := New(cap, policy)
+		if err != nil {
+			return nil, err
+		}
+		s.shards[i] = &shard{c: c}
+	}
+	return s, nil
+}
+
+// MustNewSharded is NewSharded that panics on error, for statically
+// valid parameters.
+func MustNewSharded(capacity int, policy Policy, shards int) *Sharded {
+	s, err := NewSharded(capacity, policy, shards)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// shardFor hashes key to its shard (FNV-1a, allocation-free).
+func (s *Sharded) shardFor(key string) *shard {
+	const (
+		offset32 = 2166136261
+		prime32  = 16777619
+	)
+	h := uint32(offset32)
+	for i := 0; i < len(key); i++ {
+		h ^= uint32(key[i])
+		h *= prime32
+	}
+	return s.shards[int(h%uint32(len(s.shards)))]
+}
+
+// Capacity returns the total configured capacity in size units.
+func (s *Sharded) Capacity() int { return s.capacity }
+
+// Policy returns the per-shard eviction policy.
+func (s *Sharded) Policy() Policy { return s.policy }
+
+// NumShards returns the shard count.
+func (s *Sharded) NumShards() int { return len(s.shards) }
+
+// Used returns the occupied size units summed over shards. Each shard is
+// read under its lock, but the sum is not a single atomic snapshot; with
+// concurrent writers it is a bound, not an instant.
+func (s *Sharded) Used() int {
+	var used int
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		used += sh.c.Used()
+		sh.mu.Unlock()
+	}
+	return used
+}
+
+// Len returns the number of cached models summed over shards (same
+// snapshot caveat as Used).
+func (s *Sharded) Len() int {
+	var n int
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		n += sh.c.Len()
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// Contains reports whether key is cached, without recording a use.
+func (s *Sharded) Contains(key string) bool {
+	sh := s.shardFor(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.c.Contains(key)
+}
+
+// Touch records a use of key and reports whether it was present. It does
+// not move the lookup counters (mirroring Cache.Touch).
+func (s *Sharded) Touch(key string) bool {
+	sh := s.shardFor(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.c.Touch(key)
+}
+
+// Request behaves like Cache.Request against key's shard: a hit touches
+// the entry; a miss admits it, evicting victims within the shard until
+// it fits. Entries larger than the shard's capacity slice are rejected
+// with an error (with slot-sized models — size 1 — every shard accepts
+// every model). Exactly one lookup, and one hit or one miss, is counted
+// per call with a valid size, so Hits+Misses always equals Lookups.
+func (s *Sharded) Request(key string, size int) (hit bool, evicted []string, err error) {
+	if size <= 0 {
+		return false, nil, fmt.Errorf("modelcache: size %d for %q", size, key)
+	}
+	sh := s.shardFor(key)
+	sh.mu.Lock()
+	hit, evicted, err = sh.c.Request(key, size)
+	sh.mu.Unlock()
+	s.lookups.Add(1)
+	if hit {
+		s.hits.Add(1)
+	} else {
+		s.misses.Add(1)
+	}
+	s.evictions.Add(int64(len(evicted)))
+	return hit, evicted, err
+}
+
+// Remove drops key from its shard, reporting whether it was present. It
+// does not count as an eviction.
+func (s *Sharded) Remove(key string) bool {
+	sh := s.shardFor(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.c.Remove(key)
+}
+
+// Freq returns the recorded use count of key (0 when absent).
+func (s *Sharded) Freq(key string) int {
+	sh := s.shardFor(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.c.Freq(key)
+}
+
+// Keys returns the cached keys across all shards, sorted
+// lexicographically (same snapshot caveat as Used).
+func (s *Sharded) Keys() []string {
+	var keys []string
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		keys = append(keys, sh.c.Keys()...)
+		sh.mu.Unlock()
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Stats returns the merged hit/miss/eviction counters from the atomic
+// fast path (lock-free; equal to the sum of ShardStats once all
+// requests have returned).
+func (s *Sharded) Stats() Stats {
+	return Stats{
+		Hits:      s.hits.Load(),
+		Misses:    s.misses.Load(),
+		Evictions: s.evictions.Load(),
+	}
+}
+
+// Lookups returns the total Request calls with a valid size; it always
+// equals Stats().Hits + Stats().Misses at quiescence.
+func (s *Sharded) Lookups() int64 { return s.lookups.Load() }
+
+// ShardStats returns each shard's own counters, read under the shard
+// locks.
+func (s *Sharded) ShardStats() []Stats {
+	out := make([]Stats, len(s.shards))
+	for i, sh := range s.shards {
+		sh.mu.Lock()
+		out[i] = sh.c.Stats()
+		sh.mu.Unlock()
+	}
+	return out
+}
+
+// MissRate returns misses / lookups from the atomic counters, 0 when
+// idle.
+func (s *Sharded) MissRate() float64 {
+	misses := s.misses.Load()
+	total := s.hits.Load() + misses
+	if total == 0 {
+		return 0
+	}
+	return float64(misses) / float64(total)
+}

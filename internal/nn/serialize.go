@@ -105,6 +105,12 @@ func ReadNetwork(r io.Reader) (*Network, error) {
 		return nil, fmt.Errorf("nn: unsupported version %d", version)
 	}
 	layers := make([]Layer, 0, layerCount)
+	// Cumulative budget across layers: a stream may not claim more
+	// weights in total than one layer is allowed to, or a long chain of
+	// individually-plausible layers still thrashes the allocator before
+	// the truncated payload runs out.
+	const maxWeights = 1 << 24
+	weightBudget := uint64(maxWeights)
 	for i := 0; i < int(layerCount); i++ {
 		var kind uint8
 		if err := readBin(tr, &kind); err != nil {
@@ -137,6 +143,14 @@ func ReadNetwork(r io.Reader) (*Network, error) {
 			if inDim == 0 || outDim == 0 || inDim > maxDim || outDim > maxDim {
 				return nil, fmt.Errorf("nn: layer %d has implausible dims %dx%d", i, outDim, inDim)
 			}
+			// Bound the product too: each dimension can be plausible
+			// while the weight matrix they claim together is not
+			// (found by FuzzReadBundle — 2^20 × 2^20 floats is 8 TB).
+			weights := uint64(inDim) * uint64(outDim)
+			if weights > weightBudget {
+				return nil, fmt.Errorf("nn: layer %d claims %d weights, over budget", i, weights)
+			}
+			weightBudget -= weights
 			d := &Dense{quantBits: bits}
 			d.W = tensor.NewMatrix(int(outDim), int(inDim))
 			d.B = make([]float64, outDim)
@@ -155,6 +169,8 @@ func ReadNetwork(r io.Reader) (*Network, error) {
 					return nil, fmt.Errorf("nn: read layer %d bias: %w", i, err)
 				}
 			}
+			// Gradient buffers only after the payload actually decoded:
+			// truncated inputs should fail before the second allocation.
 			d.gradW = tensor.NewMatrix(int(outDim), int(inDim))
 			d.gradB = make([]float64, outDim)
 			layers = append(layers, d)

@@ -49,6 +49,10 @@ const (
 	maxModels     = 1 << 12
 	maxScenes     = 1 << 16
 	maxCentroids  = 1 << 16
+	// maxDim bounds featDim/embedDim read from untrusted bytes, so a
+	// corrupted header cannot demand a gigantic centroid allocation
+	// before the checksum is ever verified.
+	maxDim = 1 << 16
 )
 
 // WriteBundle serializes the bundle to w.
@@ -140,6 +144,12 @@ func ReadBundle(r io.Reader) (*core.Bundle, error) {
 	if version != bundleVersion {
 		return nil, fmt.Errorf("repo: unsupported version %d", version)
 	}
+	if featDim == 0 || featDim > maxDim {
+		return nil, fmt.Errorf("repo: implausible feature dim %d", featDim)
+	}
+	if embedDim == 0 || embedDim > maxDim {
+		return nil, fmt.Errorf("repo: implausible embedding dim %d", embedDim)
+	}
 	classToScene, err := readInts(tr)
 	if err != nil {
 		return nil, fmt.Errorf("repo: read scene map: %w", err)
@@ -159,6 +169,9 @@ func ReadBundle(r io.Reader) (*core.Bundle, error) {
 	}
 	if centroidCount > maxCentroids {
 		return nil, fmt.Errorf("repo: implausible centroid count %d", centroidCount)
+	}
+	if total := uint64(centroidCount) * uint64(embedDim); total > 1<<22 {
+		return nil, fmt.Errorf("repo: implausible centroid payload (%d floats)", total)
 	}
 	centroids := make([]tensor.Vector, centroidCount)
 	for i := range centroids {
@@ -423,9 +436,12 @@ func readNetBlob(r io.Reader) (*nn.Network, error) {
 	if n == 0 || n > maxBlob {
 		return nil, fmt.Errorf("implausible network blob size %d", n)
 	}
-	buf := make([]byte, n)
-	if _, err := io.ReadFull(r, buf); err != nil {
+	// Copy incrementally rather than pre-allocating n bytes: a
+	// corrupted length field on a truncated stream then fails at EOF
+	// without ever committing the full claimed allocation.
+	var buf bytes.Buffer
+	if _, err := io.CopyN(&buf, r, int64(n)); err != nil {
 		return nil, err
 	}
-	return nn.ReadNetwork(bytes.NewReader(buf))
+	return nn.ReadNetwork(&buf)
 }

@@ -101,12 +101,21 @@ func (s *Server) Handler() http.Handler {
 func (s *Server) Manifest() Manifest { return s.manifest }
 
 // Client downloads bundles from a repository server. The zero value uses
-// http.DefaultClient with a 30 s timeout.
+// http.DefaultClient with a 30 s timeout and no retries. Client is safe
+// for concurrent use.
 type Client struct {
 	// BaseURL is the repository root, e.g. "http://cloud:8080".
 	BaseURL string
 	// HTTPClient overrides the transport when non-nil.
 	HTTPClient *http.Client
+	// Retries is the number of additional attempts after a failed
+	// fetch (default 0). Transport errors — including client-side
+	// timeouts against a stalled server — and 5xx statuses are
+	// retried; other statuses are not. A cancelled context always
+	// stops immediately.
+	Retries int
+	// RetryDelay spaces attempts (default 100ms when Retries > 0).
+	RetryDelay time.Duration
 }
 
 func (c *Client) httpClient() *http.Client {
@@ -142,17 +151,45 @@ func (c *Client) FetchBundle(ctx context.Context) (*core.Bundle, error) {
 }
 
 func (c *Client) get(ctx context.Context, path string) (io.ReadCloser, error) {
+	delay := c.RetryDelay
+	if delay <= 0 {
+		delay = 100 * time.Millisecond
+	}
+	var lastErr error
+	for attempt := 0; attempt <= c.Retries; attempt++ {
+		if attempt > 0 {
+			select {
+			case <-ctx.Done():
+				return nil, fmt.Errorf("repo: fetch %s: %w", path, ctx.Err())
+			case <-time.After(delay):
+			}
+		}
+		body, retryable, err := c.fetchOnce(ctx, path)
+		if err == nil {
+			return body, nil
+		}
+		lastErr = err
+		if !retryable || ctx.Err() != nil {
+			break
+		}
+	}
+	return nil, lastErr
+}
+
+// fetchOnce performs a single GET; retryable reports whether a failure
+// is worth another attempt (transport errors and 5xx responses).
+func (c *Client) fetchOnce(ctx context.Context, path string) (body io.ReadCloser, retryable bool, err error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+path, nil)
 	if err != nil {
-		return nil, fmt.Errorf("repo: %w", err)
+		return nil, false, fmt.Errorf("repo: %w", err)
 	}
 	resp, err := c.httpClient().Do(req)
 	if err != nil {
-		return nil, fmt.Errorf("repo: fetch %s: %w", path, err)
+		return nil, true, fmt.Errorf("repo: fetch %s: %w", path, err)
 	}
 	if resp.StatusCode != http.StatusOK {
 		resp.Body.Close()
-		return nil, fmt.Errorf("repo: fetch %s: status %s", path, resp.Status)
+		return nil, resp.StatusCode >= 500, fmt.Errorf("repo: fetch %s: status %s", path, resp.Status)
 	}
-	return resp.Body, nil
+	return resp.Body, false, nil
 }

@@ -132,6 +132,24 @@ func TrainEncoder(train, val []*synth.Frame, cfg EncoderConfig) (*Encoder, error
 	}, nil
 }
 
+// Clone returns a deep copy of the encoder sharing no mutable state: the
+// backbone network (whose forward pass caches activations, making one
+// Encoder unsafe for concurrent use) is cloned and the class maps are
+// copied. Each goroutine embedding frames concurrently must own a clone.
+func (e *Encoder) Clone() *Encoder {
+	sceneToClass := make(map[int]int, len(e.sceneToClass))
+	for scene, cls := range e.sceneToClass {
+		sceneToClass[scene] = cls
+	}
+	return &Encoder{
+		Net:          e.Net.Clone(),
+		ClassToScene: append([]int(nil), e.ClassToScene...),
+		sceneToClass: sceneToClass,
+		embedLayers:  e.embedLayers,
+		embedDim:     e.embedDim,
+	}
+}
+
 // EmbedDim returns the embedding dimensionality.
 func (e *Encoder) EmbedDim() int { return e.embedDim }
 

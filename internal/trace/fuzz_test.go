@@ -1,0 +1,54 @@
+package trace
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+)
+
+// FuzzTraceReader feeds arbitrary byte streams — malformed JSON,
+// truncated lines, binary garbage, oversized lines — into the JSONL
+// reader. Read must either return events or an error; it must never
+// panic, and whatever it accepts must survive Summarize/Render.
+func FuzzTraceReader(f *testing.F) {
+	// A well-formed two-event trace, as a Writer would emit it.
+	var well bytes.Buffer
+	w := NewWriter(&well)
+	if err := w.Append(Event{Frame: 0, Scene: "city/clear/day", Desired: "M_1", Used: "M_1", Hit: true, F1: 0.8}); err != nil {
+		f.Fatal(err)
+	}
+	if err := w.Append(Event{Frame: 1, Scene: "rural/rain/night", Desired: "M_2", Used: "M_1", Switched: true, LatencyUS: 1234}); err != nil {
+		f.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		f.Fatal(err)
+	}
+	full := well.String()
+
+	f.Add([]byte(full))
+	f.Add([]byte(full[:len(full)-7])) // trailing partial line (interrupted run)
+	f.Add([]byte("not json\n" + full))
+	f.Add([]byte(full + "{\"frame\": oops}\n" + full))
+	f.Add([]byte("{}\n{}\n"))
+	f.Add([]byte("\n\n\n"))
+	f.Add([]byte{0xff, 0xfe, 0x00, '\n', '{'})
+	f.Add([]byte(`{"frame":-1,"f1":1e308,"latencyUs":-9223372036854775808}` + "\n"))
+	f.Add([]byte(strings.Repeat("x", 4096) + "\n"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		events, err := Read(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Whatever Read accepts must be summarizable and renderable.
+		s := Summarize(events)
+		if s.Frames != len(events) {
+			t.Fatalf("summary counted %d frames for %d events", s.Frames, len(events))
+		}
+		if s.Hits+s.Misses != s.Frames {
+			t.Fatalf("hits %d + misses %d != frames %d", s.Hits, s.Misses, s.Frames)
+		}
+		s.Render(io.Discard)
+	})
+}
