@@ -1,0 +1,235 @@
+package anole_test
+
+// Prefetch evaluation: the sweep behind DESIGN.md §3's prefetching row.
+// Both the benchmark and the deterministic regression test drive a
+// runtime over a cyclic scene workload (A→B→…→A, each scene held for a
+// block of frames) — the recurring-transition setting Anole targets,
+// and the smallest workload whose switches a first-order Markov model
+// predicts perfectly after one lap. The cycle visits one more model
+// than the cache holds, so the demand-only arm thrashes (every switch
+// is a cold miss) while the prefetch arm warms the next model during
+// the current block.
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"anole/internal/core"
+	"anole/internal/netsim"
+	"anole/internal/prefetch"
+	"anole/internal/synth"
+	"anole/internal/testutil"
+	"anole/internal/xrand"
+)
+
+// probeReps finds one representative frame for each of k distinct
+// desired models by streaming frames through a throwaway runtime whose
+// cache holds the whole repertoire (so misses never perturb ranking).
+// The decision module ranks on frame features alone, so a frame's
+// desired model is stable under repetition.
+func probeReps(tb testing.TB, b *core.Bundle, frames []*synth.Frame, k int) []*synth.Frame {
+	tb.Helper()
+	rt, err := core.NewRuntime(b, core.RuntimeConfig{CacheSlots: len(b.Detectors)})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	reps := make([]*synth.Frame, 0, k)
+	seen := make(map[int]bool, k)
+	for _, f := range frames {
+		res, err := rt.ProcessFrame(f)
+		if err != nil {
+			tb.Fatal(err)
+		}
+		if !seen[res.Desired] {
+			seen[res.Desired] = true
+			reps = append(reps, f)
+			if len(reps) == k {
+				return reps
+			}
+		}
+	}
+	tb.Fatalf("corpus elicits only %d distinct desired models, need %d", len(reps), k)
+	return nil
+}
+
+// blockWorkload builds the cyclic workload: k scenes visited round-robin
+// for `cycles` laps, each held for blockLen frames.
+func blockWorkload(tb testing.TB, b *core.Bundle, frames []*synth.Frame, k, blockLen, cycles int) []*synth.Frame {
+	tb.Helper()
+	reps := probeReps(tb, b, frames, k)
+	out := make([]*synth.Frame, 0, k*blockLen*cycles)
+	for c := 0; c < cycles; c++ {
+		for _, f := range reps {
+			for j := 0; j < blockLen; j++ {
+				out = append(out, f)
+			}
+		}
+	}
+	return out
+}
+
+// lockedLinkConfig returns a link pinned to one state whose bandwidth is
+// calibrated so the largest model transfers in just under transferTicks
+// frame intervals. Pinning removes link randomness from the comparison,
+// and calibrating to the repertoire keeps the sweep meaningful at any
+// model scale: what matters to prefetching is transfer time measured in
+// frames of lead time, not absolute megabytes.
+func lockedLinkConfig(models []prefetch.Model, state netsim.LinkState, transferTicks int, interval time.Duration) netsim.Config {
+	var maxBytes int64
+	for _, m := range models {
+		if m.Bytes > maxBytes {
+			maxBytes = m.Bytes
+		}
+	}
+	const rtt = 40 * time.Millisecond
+	budget := (time.Duration(transferTicks)*interval - rtt) * 9 / 10
+	bw := float64(maxBytes) / (budget.Seconds() * (1 << 20))
+	var row [3]float64
+	row[state] = 1
+	return netsim.Config{
+		GoodBandwidthMBps:     bw,
+		GoodRTT:               rtt,
+		DegradedBandwidthMBps: bw,
+		DegradedRTT:           rtt,
+		Transition:            [3][3]float64{row, row, row},
+	}
+}
+
+// newLinkRuntime wires a runtime to a fresh simulated link. topK -1 is
+// the demand-only arm: cold misses still pay the link, nothing is
+// prefetched.
+func newLinkRuntime(tb testing.TB, b *core.Bundle, net netsim.Config, slots, topK int, seed uint64) *core.Runtime {
+	tb.Helper()
+	link, err := netsim.NewLink(net, xrand.New(seed))
+	if err != nil {
+		tb.Fatal(err)
+	}
+	lf, err := prefetch.NewLinkFetcher(link, core.PrefetchModels(b), prefetch.DefaultFrameInterval)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	rt, err := core.NewRuntime(b, core.RuntimeConfig{
+		CacheSlots: slots,
+		Prefetch:   &prefetch.Config{Fetcher: lf, TopK: topK},
+	})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return rt
+}
+
+// runWorkload streams the workload and returns settled stats.
+func runWorkload(tb testing.TB, rt *core.Runtime, workload []*synth.Frame) core.RunStats {
+	tb.Helper()
+	defer rt.Close()
+	for _, f := range workload {
+		if _, err := rt.ProcessFrame(f); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	rt.Close() // settle in-flight prefetch counters before the snapshot
+	return rt.Stats()
+}
+
+// TestPrefetchReducesStallsOnDegradedLink is the acceptance check for
+// the prefetching subsystem: on a link locked to its Degraded state,
+// turning prediction on must cut both the mean switch stall and the
+// cold-miss rate well below the demand-only arm. The workload cycles
+// three scenes over a two-slot cache, so demand-only misses on every
+// switch; the prefetch arm pays only the first lap, before the
+// transition model has seen the cycle.
+func TestPrefetchReducesStallsOnDegradedLink(t *testing.T) {
+	fx := testutil.Shared(t)
+	const (
+		slots    = 2
+		blockLen = 12
+		cycles   = 8
+	)
+	frames := fx.Corpus.Frames(synth.Test)
+	workload := blockWorkload(t, fx.Bundle, frames, slots+1, blockLen, cycles)
+	net := lockedLinkConfig(core.PrefetchModels(fx.Bundle), netsim.Degraded, 6, prefetch.DefaultFrameInterval)
+
+	run := func(topK int) core.RunStats {
+		return runWorkload(t, newLinkRuntime(t, fx.Bundle, net, slots, topK, 7), workload)
+	}
+	off := run(-1)
+	on := run(2)
+
+	if off.Switches == 0 || on.Switches != off.Switches {
+		t.Fatalf("switch counts diverge: on %d, off %d", on.Switches, off.Switches)
+	}
+	// Demand-only thrashes: three models round-robin through two slots.
+	if off.ColdMisses < off.Switches {
+		t.Fatalf("demand-only arm should miss every switch: %d misses, %d switches",
+			off.ColdMisses, off.Switches)
+	}
+	if on.ColdMisses*2 >= off.ColdMisses {
+		t.Fatalf("prefetch did not cut cold misses: on %d, off %d", on.ColdMisses, off.ColdMisses)
+	}
+	if on.FetchStall*2 >= off.FetchStall {
+		t.Fatalf("prefetch did not cut fetch stall: on %v, off %v", on.FetchStall, off.FetchStall)
+	}
+	rt := newLinkRuntime(t, fx.Bundle, net, slots, 2, 7)
+	st := runWorkloadWithScheduler(t, rt, workload)
+	if st.Completed == 0 || st.PrefetchedBytes == 0 {
+		t.Fatalf("no completed prefetches: %+v", st)
+	}
+}
+
+// runWorkloadWithScheduler replays the workload and returns the
+// scheduler counters (captured before Close detaches them).
+func runWorkloadWithScheduler(tb testing.TB, rt *core.Runtime, workload []*synth.Frame) prefetch.SchedulerStats {
+	tb.Helper()
+	sched := rt.Prefetcher()
+	if sched == nil {
+		tb.Fatal("runtime has no scheduler")
+	}
+	runWorkload(tb, rt, workload)
+	return sched.Stats()
+}
+
+// BenchmarkPrefetchSweep reports mean switch stall and cold-miss rate
+// across link quality × cache slots × prefetch on/off, on the shared
+// paper-scale lab. The good link transfers a model in ~2 frames of lead
+// time, the degraded link in ~6; blocks are 12 frames, so both leave
+// room for a correct prediction to land.
+func BenchmarkPrefetchSweep(b *testing.B) {
+	l := lab(b)
+	frames := l.Corpus.Frames(synth.Test)
+	models := core.PrefetchModels(l.Bundle)
+	links := []struct {
+		name  string
+		state netsim.LinkState
+		ticks int
+	}{
+		{"good", netsim.Good, 2},
+		{"degraded", netsim.Degraded, 6},
+	}
+	arms := []struct {
+		name string
+		topK int
+	}{
+		{"off", -1},
+		{"on", 2},
+	}
+	for _, link := range links {
+		net := lockedLinkConfig(models, link.state, link.ticks, prefetch.DefaultFrameInterval)
+		for _, slots := range []int{2, 3} {
+			workload := blockWorkload(b, l.Bundle, frames, slots+1, 12, 8)
+			for _, arm := range arms {
+				name := fmt.Sprintf("link=%s/slots=%d/prefetch=%s", link.name, slots, arm.name)
+				b.Run(name, func(b *testing.B) {
+					var st core.RunStats
+					for i := 0; i < b.N; i++ {
+						rt := newLinkRuntime(b, l.Bundle, net, slots, arm.topK, 7)
+						st = runWorkload(b, rt, workload)
+					}
+					switches := float64(max(1, st.Switches))
+					b.ReportMetric(float64(st.FetchStall.Milliseconds())/switches, "stall-ms/switch")
+					b.ReportMetric(float64(st.ColdMisses)/switches, "cold-miss/switch")
+				})
+			}
+		}
+	}
+}

@@ -7,14 +7,27 @@
 //
 //	anole-run -bundle anole.bundle [-seed N] [-clips N] [-frames N]
 //	          [-device nano|tx2|laptop] [-cache N] [-streams N]
+//	          [-prefetch] [-prefetch-budget BYTES] [-link-stability P]
+//	          [-json FILE|-]
 //
 // With -streams N > 1 the run multiplexes N independent frame streams
 // over one shared thread-safe model cache (core.MultiRuntime), printing
 // per-stream and aggregate statistics; -trace then writes one JSONL
 // file per stream, suffixed ".streamK".
+//
+// With -prefetch the model cache sits behind a simulated device↔cloud
+// link (netsim, self-transition stability -link-stability): a desired
+// model that is not resident stalls its frame on an on-demand fetch,
+// and a scene-transition Markov model prefetches the likeliest next
+// models in the background, within -prefetch-budget bytes per plan.
+//
+// -json writes the aggregate statistics — cache hit/miss/eviction and
+// prefetch counters included — as one JSON object to a file, or to
+// stdout with "-".
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -22,6 +35,8 @@ import (
 
 	"anole/internal/core"
 	"anole/internal/device"
+	"anole/internal/netsim"
+	"anole/internal/prefetch"
 	"anole/internal/repo"
 	"anole/internal/synth"
 	"anole/internal/trace"
@@ -46,6 +61,10 @@ func run(w io.Writer, args []string) error {
 		cache      = fs.Int("cache", 5, "model cache capacity in compressed-model slots")
 		streams    = fs.Int("streams", 1, "independent frame streams sharing the model cache")
 		tracePath  = fs.String("trace", "", "write a JSONL decision trace to this file")
+		prefetchOn = fs.Bool("prefetch", false, "serve model bytes over a simulated device-cloud link with transition-aware prefetching")
+		pfBudget   = fs.Int64("prefetch-budget", 0, "max bytes in flight per prefetch plan (0 = unlimited)")
+		stability  = fs.Float64("link-stability", 0.7, "link-state self-transition probability in [0,1] (with -prefetch)")
+		jsonPath   = fs.String("json", "", "write aggregate stats JSON to this file (\"-\" for stdout)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -71,12 +90,19 @@ func run(w io.Writer, args []string) error {
 	default:
 		return fmt.Errorf("unknown device %q (want nano, tx2 or laptop)", *devName)
 	}
+	var pfCfg *prefetch.Config
+	if *prefetchOn {
+		pfCfg, err = linkPrefetchConfig(bundle, *stability, *pfBudget, *seed)
+		if err != nil {
+			return err
+		}
+	}
 	if *streams > 1 {
-		return runMulti(w, bundle, profile, *streams, *cache, *clips, *frames, *seed, *tracePath)
+		return runMulti(w, bundle, profile, *streams, *cache, *clips, *frames, *seed, *tracePath, pfCfg, *jsonPath)
 	}
 
 	sim := device.NewSimulator(profile)
-	rt, err := core.NewRuntime(bundle, core.RuntimeConfig{CacheSlots: *cache, Device: sim})
+	rt, err := core.NewRuntime(bundle, core.RuntimeConfig{CacheSlots: *cache, Device: sim, Prefetch: pfCfg})
 	if err != nil {
 		return err
 	}
@@ -125,6 +151,10 @@ func run(w io.Writer, args []string) error {
 		fmt.Fprintf(w, "clip %d: mean frame F1 %.3f over %d frames\n", c+1, mean, len(clip.Frames))
 	}
 
+	// Drain any background prefetches so the counters are settled, then
+	// snapshot.
+	sched := rt.Prefetcher()
+	rt.Close()
 	st := rt.Stats()
 	fmt.Fprintf(w, "\nframes %d  switches %d  mean scene duration %.1f frames\n",
 		st.Frames, st.Switches, st.MeanSceneDuration())
@@ -132,6 +162,7 @@ func run(w io.Writer, args []string) error {
 		st.Detection.F1, st.Detection.Precision, st.Detection.Recall)
 	fmt.Fprintf(w, "cache: hits %d misses %d evictions %d (miss rate %.2f)\n",
 		st.Cache.Hits, st.Cache.Misses, st.Cache.Evictions, st.MissRate)
+	printPrefetch(w, st, sched)
 	fmt.Fprintf(w, "device: mean latency %.1f ms/frame, %.1f FPS busy, %.2f W avg, %.1f J total\n",
 		float64(st.TotalLatency.Milliseconds())/float64(st.Frames),
 		sim.FPS(), sim.AveragePowerW(), sim.EnergyJ())
@@ -140,17 +171,114 @@ func run(w io.Writer, args []string) error {
 	if tracer != nil {
 		fmt.Fprintf(w, "trace: %d events written to %s\n", tracer.Count(), *tracePath)
 	}
-	return nil
+	return writeReport(w, *jsonPath, buildReport(st, sched))
+}
+
+// report is the aggregate-statistics JSON document behind -json.
+type report struct {
+	Frames            int     `json:"frames"`
+	Switches          int     `json:"switches"`
+	MeanSceneDuration float64 `json:"meanSceneDuration"`
+	F1                float64 `json:"f1"`
+	Precision         float64 `json:"precision"`
+	Recall            float64 `json:"recall"`
+	TotalLatencyMs    float64 `json:"totalLatencyMs"`
+	CacheHits         int64   `json:"cacheHits"`
+	CacheMisses       int64   `json:"cacheMisses"`
+	CacheEvictions    int64   `json:"cacheEvictions"`
+	MissRate          float64 `json:"missRate"`
+	Prefetches        int64   `json:"prefetches"`
+	PrefetchHits      int64   `json:"prefetchHits"`
+	PrefetchWasted    int64   `json:"prefetchWasted"`
+	ColdMisses        int     `json:"coldMisses"`
+	FetchStallMs      float64 `json:"fetchStallMs"`
+	// Scheduler is present only when -prefetch was set.
+	Scheduler *prefetch.SchedulerStats `json:"scheduler,omitempty"`
+}
+
+func buildReport(st core.RunStats, sched *prefetch.Scheduler) report {
+	rep := report{
+		Frames:            st.Frames,
+		Switches:          st.Switches,
+		MeanSceneDuration: st.MeanSceneDuration(),
+		F1:                st.Detection.F1,
+		Precision:         st.Detection.Precision,
+		Recall:            st.Detection.Recall,
+		TotalLatencyMs:    1e3 * st.TotalLatency.Seconds(),
+		CacheHits:         st.Cache.Hits,
+		CacheMisses:       st.Cache.Misses,
+		CacheEvictions:    st.Cache.Evictions,
+		MissRate:          st.MissRate,
+		Prefetches:        st.Cache.Prefetches,
+		PrefetchHits:      st.Cache.PrefetchHits,
+		PrefetchWasted:    st.Cache.PrefetchWasted,
+		ColdMisses:        st.ColdMisses,
+		FetchStallMs:      1e3 * st.FetchStall.Seconds(),
+	}
+	if sched != nil {
+		ps := sched.Stats()
+		rep.Scheduler = &ps
+	}
+	return rep
+}
+
+// writeReport emits the JSON document to path ("-" = the run's output
+// writer); an empty path writes nothing.
+func writeReport(w io.Writer, path string, rep report) error {
+	if path == "" {
+		return nil
+	}
+	out, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	out = append(out, '\n')
+	if path == "-" {
+		_, err = w.Write(out)
+		return err
+	}
+	return os.WriteFile(path, out, 0o644)
+}
+
+// printPrefetch summarizes the link and prefetch behavior of a run (a
+// no-op without -prefetch).
+func printPrefetch(w io.Writer, st core.RunStats, sched *prefetch.Scheduler) {
+	if sched == nil {
+		return
+	}
+	ps := sched.Stats()
+	fmt.Fprintf(w, "link: cold misses %d  demand stall %.1f ms total (%.1f ms/switch)\n",
+		st.ColdMisses, 1e3*st.FetchStall.Seconds(),
+		1e3*st.FetchStall.Seconds()/max(1, float64(st.Switches)))
+	fmt.Fprintf(w, "prefetch: issued %d completed %d cancelled %d failed %d  cache prefetch hits %d wasted %d\n",
+		ps.Issued, ps.Completed, ps.Cancelled, ps.Failed,
+		st.Cache.PrefetchHits, st.Cache.PrefetchWasted)
+}
+
+// linkPrefetchConfig builds the prefetch configuration used by
+// -prefetch: a simulated link of the given stability carrying
+// paper-scale model payloads, ticked once per processed frame.
+func linkPrefetchConfig(bundle *core.Bundle, stability float64, budget int64, seed uint64) (*prefetch.Config, error) {
+	link, err := netsim.NewLink(netsim.DefaultConfig(stability), xrand.NewLabeled(seed, "anole-run-link"))
+	if err != nil {
+		return nil, err
+	}
+	lf, err := prefetch.NewLinkFetcher(link, core.PrefetchModels(bundle), prefetch.DefaultFrameInterval)
+	if err != nil {
+		return nil, err
+	}
+	return &prefetch.Config{Fetcher: lf, BudgetBytes: budget}, nil
 }
 
 // runMulti drives the multi-stream path: every stream gets its own
 // generated clip sequence and device simulator, all streams share one
 // sharded model cache.
-func runMulti(w io.Writer, bundle *core.Bundle, profile device.Profile, streams, cache, clips, frames int, seed uint64, tracePath string) error {
+func runMulti(w io.Writer, bundle *core.Bundle, profile device.Profile, streams, cache, clips, frames int, seed uint64, tracePath string, pfCfg *prefetch.Config, jsonPath string) error {
 	mrt, err := core.NewMultiRuntime(bundle, core.MultiRuntimeConfig{
 		Streams:    streams,
 		CacheSlots: cache,
 		Device:     &profile,
+		Prefetch:   pfCfg,
 	})
 	if err != nil {
 		return err
@@ -208,11 +336,16 @@ func runMulti(w io.Writer, bundle *core.Bundle, profile device.Profile, streams,
 			s, st.Frames, st.Detection.F1, st.Switches, sim.FPS(), sim.EnergyJ())
 	}
 
+	// Drain the shared scheduler before snapshotting the aggregate, so
+	// cache and scheduler counters are settled.
+	sched := mrt.Prefetcher()
+	mrt.Close()
 	agg := mrt.Stats()
 	fmt.Fprintf(w, "\naggregate: frames %d  switches %d  F1 %.3f (P %.3f / R %.3f)\n",
 		agg.Frames, agg.Switches, agg.Detection.F1, agg.Detection.Precision, agg.Detection.Recall)
 	fmt.Fprintf(w, "shared cache: hits %d misses %d evictions %d (miss rate %.2f)\n",
 		agg.Cache.Hits, agg.Cache.Misses, agg.Cache.Evictions, agg.MissRate)
+	printPrefetch(w, agg, sched)
 	makespan := mrt.SimulatedMakespan()
 	if ms := makespan.Seconds(); ms > 0 {
 		fmt.Fprintf(w, "simulated makespan %.1f ms  aggregate %.1f frames/s (vs %.1f sequential)\n",
@@ -225,5 +358,5 @@ func runMulti(w io.Writer, bundle *core.Bundle, profile device.Profile, streams,
 		}
 		fmt.Fprintf(w, "trace: %d events written to %s.stream{0..%d}\n", total, tracePath, streams-1)
 	}
-	return nil
+	return writeReport(w, jsonPath, buildReport(agg, sched))
 }

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"os"
@@ -103,6 +104,98 @@ func TestRunSingleStream(t *testing.T) {
 		if !strings.Contains(out.String(), want) {
 			t.Errorf("output missing %q:\n%s", want, out.String())
 		}
+	}
+}
+
+func TestRunSingleStreamPrefetchJSON(t *testing.T) {
+	path := cheapBundlePath(t)
+	jsonPath := filepath.Join(t.TempDir(), "stats.json")
+	var out strings.Builder
+	err := run(&out, []string{
+		"-bundle", path, "-clips", "2", "-frames", "30", "-cache", "2",
+		"-prefetch", "-link-stability", "0.9", "-prefetch-budget", "100000000",
+		"-json", jsonPath,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"link: cold misses", "prefetch: issued"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+	raw, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep report
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatalf("stats JSON: %v\n%s", err, raw)
+	}
+	if rep.Frames != 60 {
+		t.Fatalf("frames %d, want 60", rep.Frames)
+	}
+	if rep.ColdMisses == 0 || rep.FetchStallMs <= 0 {
+		t.Fatalf("no link activity in report: %+v", rep)
+	}
+	if rep.Scheduler == nil {
+		t.Fatal("report missing scheduler stats")
+	}
+	if rep.CacheHits+rep.CacheMisses == 0 {
+		t.Fatal("report missing cache counters")
+	}
+}
+
+func TestRunJSONToStdout(t *testing.T) {
+	path := cheapBundlePath(t)
+	var out strings.Builder
+	err := run(&out, []string{
+		"-bundle", path, "-clips", "1", "-frames", "10", "-cache", "2", "-json", "-",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The JSON object is the tail of the output.
+	idx := strings.Index(out.String(), "{")
+	if idx < 0 {
+		t.Fatalf("no JSON in output:\n%s", out.String())
+	}
+	var rep report
+	if err := json.Unmarshal([]byte(out.String()[idx:]), &rep); err != nil {
+		t.Fatalf("stats JSON: %v", err)
+	}
+	if rep.Frames != 10 || rep.Scheduler != nil {
+		t.Fatalf("unexpected report: %+v", rep)
+	}
+}
+
+func TestRunMultiStreamPrefetchJSON(t *testing.T) {
+	path := cheapBundlePath(t)
+	jsonPath := filepath.Join(t.TempDir(), "stats.json")
+	var out strings.Builder
+	err := run(&out, []string{
+		"-bundle", path, "-streams", "2", "-clips", "1", "-frames", "25",
+		"-cache", "2", "-prefetch", "-json", jsonPath,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "link: cold misses") {
+		t.Errorf("output missing link summary:\n%s", out.String())
+	}
+	raw, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep report
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatalf("stats JSON: %v\n%s", err, raw)
+	}
+	if rep.Frames != 50 || rep.Scheduler == nil {
+		t.Fatalf("unexpected report: %+v", rep)
+	}
+	if rep.ColdMisses == 0 {
+		t.Fatal("no cold misses across streams")
 	}
 }
 

@@ -9,6 +9,7 @@ import (
 
 	"anole/internal/device"
 	"anole/internal/modelcache"
+	"anole/internal/prefetch"
 	"anole/internal/stats"
 	"anole/internal/synth"
 )
@@ -42,6 +43,15 @@ type MultiRuntimeConfig struct {
 	// simulated makespan is the maximum per-stream latency, not the
 	// sum.
 	Device *device.Profile
+	// Prefetch, when non-nil, builds ONE shared prefetch.Scheduler over
+	// the shared cache (the Fetcher field must be set) and attaches it
+	// to every stream: model bytes travel the device↔cloud link, absent
+	// desired models stall their frame on an on-demand fetch, and
+	// predicted switch targets are prefetched in the background. Every
+	// processed frame — across all streams — advances the shared link
+	// clock one tick, so the link services one frame-time of transfer
+	// per frame of aggregate work. Call Close to drain the scheduler.
+	Prefetch *prefetch.Config
 }
 
 // MultiRuntime serves N independent frame streams over one shared
@@ -57,6 +67,9 @@ type MultiRuntime struct {
 	streams []*Runtime
 	devs    []*device.Simulator
 	workers int
+	// pf is the shared prefetch scheduler (nil without Prefetch); the
+	// MultiRuntime owns it and Close drains it.
+	pf *prefetch.Scheduler
 }
 
 // NewMultiRuntime validates the bundle once, builds the shared sharded
@@ -99,6 +112,13 @@ func NewMultiRuntime(b *Bundle, cfg MultiRuntimeConfig) (*MultiRuntime, error) {
 		devs:    make([]*device.Simulator, cfg.Streams),
 		workers: workers,
 	}
+	if cfg.Prefetch != nil {
+		sched, err := prefetch.NewScheduler(*cfg.Prefetch, cache, PrefetchModels(b))
+		if err != nil {
+			return nil, err
+		}
+		m.pf = sched
+	}
 	for i := range m.streams {
 		var dev *device.Simulator
 		if cfg.Device != nil {
@@ -108,6 +128,7 @@ func NewMultiRuntime(b *Bundle, cfg MultiRuntimeConfig) (*MultiRuntime, error) {
 			Store:            cache,
 			Device:           dev,
 			SwitchHysteresis: cfg.SwitchHysteresis,
+			Prefetcher:       m.pf,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("core: stream %d: %w", i, err)
@@ -130,6 +151,22 @@ func (m *MultiRuntime) Bundle() *Bundle { return m.bundle }
 
 // Cache returns the shared sharded model cache.
 func (m *MultiRuntime) Cache() *modelcache.Sharded { return m.cache }
+
+// Prefetcher returns the shared prefetch scheduler (nil when
+// prefetching is disabled).
+func (m *MultiRuntime) Prefetcher() *prefetch.Scheduler { return m.pf }
+
+// Close drains the shared prefetch scheduler and detaches it from every
+// stream. Safe without prefetching; call after the last ProcessStreams.
+func (m *MultiRuntime) Close() {
+	for _, rt := range m.streams {
+		rt.Close()
+	}
+	if m.pf != nil {
+		m.pf.Close()
+		m.pf = nil
+	}
+}
 
 // StreamDevice returns stream i's device simulator (nil without a
 // Device profile). Read it only after ProcessStreams returns.
@@ -235,6 +272,8 @@ func (m *MultiRuntime) Stats() RunStats {
 		agg.Detection.FP += s.Detection.FP
 		agg.Detection.FN += s.Detection.FN
 		agg.TotalLatency += s.TotalLatency
+		agg.ColdMisses += s.ColdMisses
+		agg.FetchStall += s.FetchStall
 	}
 	agg.Detection = stats.ComputePRF1(agg.Detection.TP, agg.Detection.FP, agg.Detection.FN)
 	agg.Cache = m.cache.Stats()

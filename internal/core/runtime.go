@@ -1,12 +1,14 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
 	"anole/internal/detect"
 	"anole/internal/device"
 	"anole/internal/modelcache"
+	"anole/internal/prefetch"
 	"anole/internal/stats"
 	"anole/internal/synth"
 )
@@ -46,6 +48,22 @@ type RuntimeConfig struct {
 	// Hysteresis trades a little selection agility for fewer model
 	// switches and cache loads on noisy decision boundaries.
 	SwitchHysteresis int
+	// Prefetch, when non-nil, makes the runtime build its own
+	// prefetch.Scheduler from this config (the Fetcher field must be
+	// set): model bytes then travel the device↔cloud link, absent
+	// desired models pay an on-demand fetch stall, and predicted next
+	// models are prefetched in the background after each switch. The
+	// runtime owns the scheduler; call Close to drain it. When no Store
+	// is supplied the private cache becomes a single-shard
+	// modelcache.Sharded, since prefetch completions insert from
+	// background goroutines.
+	Prefetch *prefetch.Config
+	// Prefetcher, when non-nil, attaches a pre-built (possibly shared)
+	// scheduler instead; it takes precedence over Prefetch and is NOT
+	// closed by Runtime.Close — its owner closes it. The scheduler's
+	// store must be the same cache this runtime resolves requests
+	// against.
+	Prefetcher *prefetch.Scheduler
 }
 
 // FrameResult reports one processed frame.
@@ -62,8 +80,14 @@ type FrameResult struct {
 	// Metrics is the detection outcome against ground truth.
 	Metrics stats.PRF1
 	// Latency is the simulated end-to-end delay (zero without a device
-	// simulator): decision + (load on admitted miss) + inference.
+	// simulator): decision + (load on admitted miss) + inference, plus
+	// FetchStall when the desired model had to come over the link.
 	Latency time.Duration
+	// FetchStall is the time this frame spent waiting for the desired
+	// model's bytes on the device↔cloud link (zero without a prefetch
+	// scheduler, and zero when the model was already resident — warm or
+	// prefetched).
+	FetchStall time.Duration
 	// Confidence is the decision model's top suitability probability.
 	Confidence float64
 	// Novelty scores how far the frame sits from every known scene
@@ -90,6 +114,12 @@ type RunStats struct {
 	Detection stats.PRF1
 	// TotalLatency sums simulated per-frame latency.
 	TotalLatency time.Duration
+	// ColdMisses counts frames whose desired model was absent from the
+	// cache and had to be fetched over the link; FetchStall is the total
+	// time those fetches stalled frames. Both stay zero without a
+	// prefetch scheduler.
+	ColdMisses int
+	FetchStall time.Duration
 }
 
 // MeanSceneDuration returns the average desired-model run length.
@@ -112,6 +142,10 @@ type Runtime struct {
 	cache      ModelStore
 	dev        *device.Simulator
 	hysteresis int
+	// pf, when non-nil, gates model residency on the device↔cloud link;
+	// ownsPF marks a scheduler built by NewRuntime (closed by Close).
+	pf     *prefetch.Scheduler
+	ownsPF bool
 
 	prevDesired int
 	runLen      int
@@ -136,13 +170,24 @@ func NewRuntime(b *Bundle, cfg RuntimeConfig) (*Runtime, error) {
 		if cfg.Policy == 0 {
 			cfg.Policy = modelcache.LFU
 		}
-		cache, err := modelcache.New(cfg.CacheSlots, cfg.Policy)
-		if err != nil {
-			return nil, err
+		if cfg.Prefetch != nil || cfg.Prefetcher != nil {
+			// Prefetch completions insert from background goroutines, so
+			// a prefetching runtime's private store must be thread-safe;
+			// one shard reproduces Cache's eviction behavior under a lock.
+			sharded, err := modelcache.NewSharded(cfg.CacheSlots, cfg.Policy, 1)
+			if err != nil {
+				return nil, err
+			}
+			store = sharded
+		} else {
+			cache, err := modelcache.New(cfg.CacheSlots, cfg.Policy)
+			if err != nil {
+				return nil, err
+			}
+			store = cache
 		}
-		store = cache
 	}
-	return &Runtime{
+	r := &Runtime{
 		bundle:      b,
 		cache:       store,
 		dev:         cfg.Device,
@@ -154,7 +199,51 @@ func NewRuntime(b *Bundle, cfg RuntimeConfig) (*Runtime, error) {
 			DesiredCounts: make([]int, b.NumModels()),
 			UsedCounts:    make([]int, b.NumModels()),
 		},
-	}, nil
+	}
+	switch {
+	case cfg.Prefetcher != nil:
+		r.pf = cfg.Prefetcher
+	case cfg.Prefetch != nil:
+		ps, ok := store.(prefetch.Store)
+		if !ok {
+			return nil, fmt.Errorf("core: prefetch needs a store with Prefetch/Contains, have %T", store)
+		}
+		sched, err := prefetch.NewScheduler(*cfg.Prefetch, ps, PrefetchModels(b))
+		if err != nil {
+			return nil, err
+		}
+		r.pf = sched
+		r.ownsPF = true
+	}
+	return r, nil
+}
+
+// PrefetchModels lists the bundle's repertoire as prefetch.Model
+// entries. Bytes is the paper-scale over-the-wire size (WeightBytes ×
+// device.BytesScale) — the same size the device simulator charges for
+// loads — so link transfer times and load latencies describe one model.
+func PrefetchModels(b *Bundle) []prefetch.Model {
+	out := make([]prefetch.Model, b.NumModels())
+	for i, d := range b.Detectors {
+		cost := device.ModelCost{WeightBytes: d.Net.WeightBytes()}
+		out[i] = prefetch.Model{Name: d.Name, Bytes: int64(cost.ScaledBytes())}
+	}
+	return out
+}
+
+// Prefetcher returns the attached prefetch scheduler (nil when
+// prefetching is disabled).
+func (r *Runtime) Prefetcher() *prefetch.Scheduler { return r.pf }
+
+// Close drains a prefetch scheduler the runtime built for itself
+// (RuntimeConfig.Prefetch) and detaches it. A shared scheduler injected
+// via RuntimeConfig.Prefetcher is only detached — its owner closes it.
+// Safe to call on runtimes without prefetching.
+func (r *Runtime) Close() {
+	if r.ownsPF && r.pf != nil {
+		r.pf.Close()
+	}
+	r.pf = nil
 }
 
 // Bundle returns the runtime's deployed bundle.
@@ -173,6 +262,11 @@ func (r *Runtime) ProcessFrame(f *synth.Frame) (FrameResult, error) {
 		return FrameResult{}, fmt.Errorf("core: frame feat dim %d, bundle %d", f.FeatDim(), r.bundle.FeatDim)
 	}
 	var res FrameResult
+	if r.pf != nil {
+		// One frame elapses on the link clock per processed frame, so
+		// background transfers progress at the link's simulated rate.
+		r.pf.Tick()
+	}
 
 	// MSS: rank the repertoire for this sample. The scene embedding is
 	// computed once and shared by the decision head and the novelty
@@ -204,9 +298,44 @@ func (r *Runtime) ProcessFrame(f *synth.Frame) (FrameResult, error) {
 		}
 	}
 	desiredName := r.bundle.Detectors[res.Desired].Name
-	hit, evicted, err := r.cache.Request(desiredName, 1)
-	if err != nil {
-		return FrameResult{}, fmt.Errorf("core: cache: %w", err)
+
+	// With a prefetch scheduler the desired model's bytes must cross the
+	// link before admission: a resident model (warm or prefetched) is
+	// free, an absent one pays an on-demand fetch whose stall is charged
+	// to this frame. The fetch routes through the scheduler so it
+	// preempts any background prefetches (the miss path owns the link).
+	demandLoaded, demandFailed := false, false
+	if r.pf != nil && !r.cache.Contains(desiredName) {
+		r.stats.ColdMisses++
+		stall, ferr := r.pf.DemandFetch(context.Background(), res.Desired)
+		if ferr != nil {
+			// Link unreachable: the bytes never arrived, so this frame is
+			// served by the best resident fallback below.
+			demandFailed = true
+		} else {
+			demandLoaded = true
+			res.FetchStall = stall
+			res.Latency += stall
+			r.stats.FetchStall += stall
+			if r.dev != nil {
+				r.dev.Idle(stall)
+			}
+		}
+	}
+	var (
+		hit     bool
+		evicted []string
+	)
+	if demandFailed {
+		if coldStart {
+			return FrameResult{}, fmt.Errorf("core: model %q unreachable with an empty cache", desiredName)
+		}
+	} else {
+		var err error
+		hit, evicted, err = r.cache.Request(desiredName, 1)
+		if err != nil {
+			return FrameResult{}, fmt.Errorf("core: cache: %w", err)
+		}
 	}
 	res.Hit = hit
 	if r.dev != nil {
@@ -218,7 +347,9 @@ func (r *Runtime) ProcessFrame(f *synth.Frame) (FrameResult, error) {
 		}
 		if !hit && r.cache.Contains(desiredName) {
 			cost := r.bundle.ModelCost(res.Desired, cells)
-			if coldStart {
+			if coldStart || demandLoaded {
+				// A demand-fetched model serves this very frame, so its
+				// device load is synchronous, like the cold-start load.
 				res.Latency += r.dev.LoadModel(cost)
 			} else {
 				r.dev.LoadModelAsync(cost)
@@ -226,11 +357,12 @@ func (r *Runtime) ProcessFrame(f *synth.Frame) (FrameResult, error) {
 		}
 	}
 
-	// Choose the model serving this frame: on a hit (or cold start) the
-	// desired model; otherwise the highest-ranked model that was
-	// resident before the background load began.
+	// Choose the model serving this frame: on a hit (or cold start, or
+	// after a demand fetch already stalled the frame for the desired
+	// bytes) the desired model; otherwise the highest-ranked model that
+	// was resident before the background load began.
 	res.Used = -1
-	if hit || coldStart {
+	if hit || coldStart || demandLoaded {
 		res.Used = res.Desired
 	} else {
 		for _, idx := range rank {
@@ -253,6 +385,15 @@ func (r *Runtime) ProcessFrame(f *synth.Frame) (FrameResult, error) {
 
 	// Bookkeeping.
 	res.Switched = r.prevDesired >= 0 && res.Desired != r.prevDesired
+	if r.pf != nil {
+		if res.Switched {
+			r.pf.Observe(r.prevDesired, res.Desired)
+		}
+		if res.Switched || r.stats.Frames == 0 {
+			// Warm the cache toward the likeliest next switch targets.
+			r.pf.Plan(res.Desired)
+		}
+	}
 	if res.Switched {
 		r.stats.Switches++
 		r.stats.SceneDurations = append(r.stats.SceneDurations, r.runLen)

@@ -46,6 +46,13 @@ type entry struct {
 	freq     int   // use count (LFU)
 	lastUsed int64 // logical clock of last use (LRU)
 	inserted int64 // logical clock at insertion (FIFO, tie-break)
+	// prefetched marks entries admitted speculatively by Prefetch;
+	// unused stays true until the entry's first real use (Touch or a
+	// Request hit). pinnedUntil protects an unused prefetched entry
+	// from eviction while clock < pinnedUntil (its first-use window).
+	prefetched  bool
+	unused      bool
+	pinnedUntil int64
 }
 
 // Cache is a bounded model cache. Capacity is expressed in abstract size
@@ -63,11 +70,24 @@ type Cache struct {
 	history map[string]int
 	clock   int64
 	used    int
+	// pinWindow is the first-use protection span, in logical-clock
+	// ticks, granted to prefetched entries (see Prefetch).
+	pinWindow int64
 
 	hits      int64
 	misses    int64
 	evictions int64
+
+	prefetches     int64
+	prefetchHits   int64
+	prefetchWasted int64
 }
+
+// DefaultPinWindow is the first-use protection window, in logical-clock
+// ticks (every Touch and every admission advance the clock by one),
+// granted to prefetched entries: within the window an unused prefetched
+// entry is evicted only when no unpinned victim exists.
+const DefaultPinWindow = 64
 
 // New returns a cache holding at most capacity size units under the given
 // policy.
@@ -81,10 +101,11 @@ func New(capacity int, policy Policy) (*Cache, error) {
 		return nil, fmt.Errorf("modelcache: unknown policy %v", policy)
 	}
 	return &Cache{
-		capacity: capacity,
-		policy:   policy,
-		entries:  make(map[string]*entry),
-		history:  make(map[string]int),
+		capacity:  capacity,
+		policy:    policy,
+		entries:   make(map[string]*entry),
+		history:   make(map[string]int),
+		pinWindow: DefaultPinWindow,
 	}, nil
 }
 
@@ -113,7 +134,9 @@ func (c *Cache) Contains(key string) bool {
 }
 
 // Touch records a use of key (frequency and recency bump) and reports
-// whether it was present.
+// whether it was present. The first use of a prefetched entry counts as
+// a prefetch hit — the model was warmed before it was needed — and
+// releases its eviction pin.
 func (c *Cache) Touch(key string) bool {
 	e, ok := c.entries[key]
 	if !ok {
@@ -123,7 +146,66 @@ func (c *Cache) Touch(key string) bool {
 	e.freq++
 	c.history[key] = e.freq
 	e.lastUsed = c.clock
+	if e.prefetched && e.unused {
+		e.unused = false
+		e.pinnedUntil = 0
+		c.prefetchHits++
+	}
 	return true
+}
+
+// SetPinWindow sets the first-use protection window of future Prefetch
+// admissions, in logical-clock ticks (≤0 disables pinning). The default
+// is DefaultPinWindow.
+func (c *Cache) SetPinWindow(n int) {
+	if n < 0 {
+		n = 0
+	}
+	c.pinWindow = int64(n)
+}
+
+// Prefetch speculatively admits key ahead of an anticipated request. It
+// differs from Request in three ways: it does not move the hit/miss
+// counters (a prefetch is not a lookup), it will not evict a pinned
+// entry or the most recently used one to make room (admission is
+// best-effort and reports admitted = false when only protected victims
+// remain), and the new entry is itself
+// pinned against eviction until its first use or until the pin window
+// expires. A key that is already resident is left untouched (admitted =
+// false, no use recorded). Entries larger than the cache are rejected
+// with an error.
+func (c *Cache) Prefetch(key string, size int) (admitted bool, evicted []string, err error) {
+	if size <= 0 {
+		return false, nil, fmt.Errorf("modelcache: size %d for %q", size, key)
+	}
+	if _, ok := c.entries[key]; ok {
+		return false, nil, nil
+	}
+	if size > c.capacity {
+		return false, nil, fmt.Errorf("modelcache: %q (size %d) exceeds capacity %d", key, size, c.capacity)
+	}
+	for c.used+size > c.capacity {
+		victim := c.victimSpeculative()
+		if victim == "" {
+			return false, evicted, nil
+		}
+		c.evictEntry(victim)
+		evicted = append(evicted, victim)
+	}
+	c.clock++
+	c.entries[key] = &entry{
+		key:         key,
+		size:        size,
+		freq:        c.history[key], // no use recorded yet
+		lastUsed:    c.clock,
+		inserted:    c.clock,
+		prefetched:  true,
+		unused:      true,
+		pinnedUntil: c.clock + c.pinWindow,
+	}
+	c.used += size
+	c.prefetches++
+	return true, evicted, nil
 }
 
 // Request is the cache's main entry point: it records a hit (touching the
@@ -152,8 +234,7 @@ func (c *Cache) Request(key string, size int) (hit bool, evicted []string, err e
 		if victim == "" {
 			return false, evicted, fmt.Errorf("modelcache: no evictable entry for %q", key)
 		}
-		c.removeEntry(victim)
-		c.evictions++
+		c.evictEntry(victim)
 		evicted = append(evicted, victim)
 	}
 	c.clock++
@@ -185,16 +266,66 @@ func (c *Cache) removeEntry(key string) {
 	delete(c.entries, key)
 }
 
+// evictEntry removes key as an eviction, counting a wasted prefetch when
+// the entry was warmed but never used.
+func (c *Cache) evictEntry(key string) {
+	if e := c.entries[key]; e != nil && e.prefetched && e.unused {
+		c.prefetchWasted++
+	}
+	c.removeEntry(key)
+	c.evictions++
+}
+
+// pinned reports whether e is inside its prefetch first-use window.
+func (c *Cache) pinned(e *entry) bool {
+	return e.unused && e.pinnedUntil > c.clock
+}
+
 // victim picks the eviction candidate under the policy, breaking ties by
-// earliest insertion so eviction order is deterministic.
+// earliest insertion so eviction order is deterministic. Entries inside
+// their prefetch pin window are spared while any unpinned candidate
+// exists; when every entry is pinned the policy runs over all of them,
+// so an on-demand admission never fails for pinning alone.
 func (c *Cache) victim() string {
+	if v := c.victimUnpinned(); v != "" {
+		return v
+	}
+	return c.victimAmong(func(*entry) bool { return true })
+}
+
+// victimUnpinned picks the policy victim among unpinned entries only,
+// returning "" when none exists.
+func (c *Cache) victimUnpinned() string {
+	return c.victimAmong(func(e *entry) bool { return !c.pinned(e) })
+}
+
+// victimSpeculative selects a victim for speculative admission. Pinned
+// entries are protected, and so is the most recently used entry: a
+// prefetch must never displace the model serving the current scene,
+// even when the policy's long-run ranking (LFU frequency, say) puts
+// that model last. Demand insertion (Request) is not so constrained.
+func (c *Cache) victimSpeculative() string {
+	mru := c.mostRecentlyUsed()
+	return c.victimAmong(func(e *entry) bool { return !c.pinned(e) && e != mru })
+}
+
+func (c *Cache) mostRecentlyUsed() *entry {
 	var best *entry
 	for _, e := range c.entries {
-		if best == nil {
+		if best == nil || e.lastUsed > best.lastUsed {
 			best = e
+		}
+	}
+	return best
+}
+
+func (c *Cache) victimAmong(ok func(*entry) bool) string {
+	var best *entry
+	for _, e := range c.entries {
+		if !ok(e) {
 			continue
 		}
-		if less(c.policy, e, best) {
+		if best == nil || less(c.policy, e, best) {
 			best = e
 		}
 	}
@@ -231,16 +362,30 @@ func (c *Cache) Keys() []string {
 	return keys
 }
 
-// Stats reports cumulative hit/miss/eviction counts.
+// Stats reports cumulative hit/miss/eviction counts plus the prefetch
+// counters: speculative admissions, first uses of a warmed entry (the
+// switch was served warm), and warmed entries evicted before any use.
 type Stats struct {
 	Hits      int64
 	Misses    int64
 	Evictions int64
+
+	Prefetches     int64
+	PrefetchHits   int64
+	PrefetchWasted int64
 }
 
 // Stats returns a snapshot of the cache counters.
 func (c *Cache) Stats() Stats {
-	return Stats{Hits: c.hits, Misses: c.misses, Evictions: c.evictions}
+	return Stats{
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Evictions: c.evictions,
+
+		Prefetches:     c.prefetches,
+		PrefetchHits:   c.prefetchHits,
+		PrefetchWasted: c.prefetchWasted,
+	}
 }
 
 // MissRate returns misses / (hits + misses), 0 when idle. This is the

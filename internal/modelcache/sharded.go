@@ -171,6 +171,33 @@ func (s *Sharded) Request(key string, size int) (hit bool, evicted []string, err
 	return hit, evicted, err
 }
 
+// Prefetch behaves like Cache.Prefetch against key's shard: a
+// speculative admission that leaves the hit/miss counters alone, never
+// displaces a pinned entry, and pins the new entry until its first use
+// window expires. Safe to call from background prefetch goroutines
+// while other goroutines Request.
+func (s *Sharded) Prefetch(key string, size int) (admitted bool, evicted []string, err error) {
+	if size <= 0 {
+		return false, nil, fmt.Errorf("modelcache: size %d for %q", size, key)
+	}
+	sh := s.shardFor(key)
+	sh.mu.Lock()
+	admitted, evicted, err = sh.c.Prefetch(key, size)
+	sh.mu.Unlock()
+	s.evictions.Add(int64(len(evicted)))
+	return admitted, evicted, err
+}
+
+// SetPinWindow sets the prefetch first-use protection window on every
+// shard (see Cache.SetPinWindow).
+func (s *Sharded) SetPinWindow(n int) {
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		sh.c.SetPinWindow(n)
+		sh.mu.Unlock()
+	}
+}
+
 // Remove drops key from its shard, reporting whether it was present. It
 // does not count as an eviction.
 func (s *Sharded) Remove(key string) bool {
@@ -201,15 +228,26 @@ func (s *Sharded) Keys() []string {
 	return keys
 }
 
-// Stats returns the merged hit/miss/eviction counters from the atomic
-// fast path (lock-free; equal to the sum of ShardStats once all
-// requests have returned).
+// Stats returns the merged counters: hit/miss/eviction come from the
+// atomic fast path (lock-free; equal to the sum of ShardStats once all
+// requests have returned), while the prefetch counters are summed from
+// the shards under their locks (prefetch accounting lives inside the
+// per-shard caches, where first-use detection happens).
 func (s *Sharded) Stats() Stats {
-	return Stats{
+	out := Stats{
 		Hits:      s.hits.Load(),
 		Misses:    s.misses.Load(),
 		Evictions: s.evictions.Load(),
 	}
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		st := sh.c.Stats()
+		sh.mu.Unlock()
+		out.Prefetches += st.Prefetches
+		out.PrefetchHits += st.PrefetchHits
+		out.PrefetchWasted += st.PrefetchWasted
+	}
+	return out
 }
 
 // Lookups returns the total Request calls with a valid size; it always

@@ -140,3 +140,76 @@ func TestNewLinkNilRNG(t *testing.T) {
 		t.Fatal("nil rng should default")
 	}
 }
+
+// stationary computes the chain's stationary distribution by power
+// iteration on the transition matrix.
+func stationary(tr [3][3]float64) [3]float64 {
+	pi := [3]float64{1, 0, 0}
+	for iter := 0; iter < 10000; iter++ {
+		var next [3]float64
+		for i := 0; i < 3; i++ {
+			for j := 0; j < 3; j++ {
+				next[j] += pi[i] * tr[i][j]
+			}
+		}
+		pi = next
+	}
+	return pi
+}
+
+// TestEmpiricalStationaryMatchesMatrix checks the simulated chain
+// against the analytic stationary distribution of its configured
+// matrix: over many steps the empirical state frequencies must agree
+// within a sampling tolerance.
+func TestEmpiricalStationaryMatchesMatrix(t *testing.T) {
+	for _, stability := range []float64{0, 0.5, 0.8} {
+		cfg := DefaultConfig(stability)
+		want := stationary(cfg.Transition)
+		l, err := NewLink(cfg, xrand.New(11))
+		if err != nil {
+			t.Fatal(err)
+		}
+		const steps = 200000
+		var counts [3]int
+		for i := 0; i < steps; i++ {
+			counts[l.Step()]++
+		}
+		for s := 0; s < 3; s++ {
+			got := float64(counts[s]) / steps
+			if diff := got - want[s]; diff < -0.01 || diff > 0.01 {
+				t.Errorf("stability %.1f state %v: empirical %.4f, stationary %.4f",
+					stability, LinkState(s), got, want[s])
+			}
+		}
+	}
+}
+
+// TestTransferMonotoneInPayload checks that, in each up state, transfer
+// time strictly increases with payload size.
+func TestTransferMonotoneInPayload(t *testing.T) {
+	l, err := NewLink(DefaultConfig(0.5), xrand.New(12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sizes := []int64{1 << 10, 1 << 14, 1 << 18, 1 << 22, 1 << 26}
+	for _, state := range []LinkState{Good, Degraded} {
+		l.state = state
+		prev := time.Duration(-1)
+		for _, size := range sizes {
+			d, ok := l.Transfer(256, size)
+			if !ok {
+				t.Fatalf("state %v transfer failed", state)
+			}
+			if d <= prev {
+				t.Fatalf("state %v: %d bytes took %v, not above %v", state, size, d, prev)
+			}
+			prev = d
+		}
+		// Upload bytes count against the same budget.
+		small, _ := l.Transfer(256, 1<<20)
+		big, _ := l.Transfer(1<<20, 1<<20)
+		if big <= small {
+			t.Fatalf("state %v: upload bytes not charged (%v vs %v)", state, big, small)
+		}
+	}
+}

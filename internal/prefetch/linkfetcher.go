@@ -1,0 +1,278 @@
+package prefetch
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"anole/internal/netsim"
+)
+
+// ErrLinkDown reports a background fetch attempted while the simulated
+// link is in the Down state.
+var ErrLinkDown = errors.New("prefetch: link down")
+
+// requestBytes is the uplink cost of one model request (headers only;
+// the payload flows downlink).
+const requestBytes = 256
+
+// DefaultFrameInterval is the simulated wall-clock per frame tick,
+// matching the 10 FPS camera streams of the paper's field runs.
+const DefaultFrameInterval = 100 * time.Millisecond
+
+// pendingXfer is one in-flight simulated transfer. Channel transfers
+// (done) park a FetchModel goroutine; callback transfers (notify) were
+// registered through StartBackground and complete synchronously inside
+// the Tick that passes their deadline.
+type pendingXfer struct {
+	deadline time.Duration // sim-clock completion time
+	done     chan struct{}
+	size     int64
+	notify   func(bytes int64, err error)
+}
+
+// LinkFetcher is a Fetcher that moves model bytes over a simulated
+// netsim.Link in frame-tick time. Each Tick advances the simulated
+// clock by one frame interval and steps the link's Markov chain;
+// background transfers complete when the clock passes their deadline,
+// and an outage (Down) tick pushes every in-flight deadline out by one
+// interval — bytes don't move while the link is down.
+//
+// The miss path (FetchModelNow) never blocks on ticks: it computes the
+// stall — including waiting out an outage — advances the clock by it,
+// and returns immediately, so the caller can charge the stall as frame
+// latency.
+//
+// LinkFetcher owns its Link after construction: the link is stepped
+// only through Tick/FetchModelNow, under the fetcher's lock, making the
+// pair safe for concurrent use. Callers must not touch the Link
+// directly afterwards.
+type LinkFetcher struct {
+	mu      sync.Mutex
+	link    *netsim.Link
+	sizes   map[string]int64
+	every   time.Duration
+	now     time.Duration
+	pending []*pendingXfer
+
+	transfers int64
+	simBytes  int64
+	downFails int64
+}
+
+// NewLinkFetcher wraps link for the given repertoire. frameInterval ≤ 0
+// selects DefaultFrameInterval.
+func NewLinkFetcher(link *netsim.Link, models []Model, frameInterval time.Duration) (*LinkFetcher, error) {
+	if link == nil {
+		return nil, errors.New("prefetch: nil link")
+	}
+	if len(models) == 0 {
+		return nil, errors.New("prefetch: empty repertoire")
+	}
+	if frameInterval <= 0 {
+		frameInterval = DefaultFrameInterval
+	}
+	sizes := make(map[string]int64, len(models))
+	for _, m := range models {
+		if m.Bytes <= 0 {
+			return nil, fmt.Errorf("prefetch: model %q has %d bytes", m.Name, m.Bytes)
+		}
+		sizes[m.Name] = m.Bytes
+	}
+	return &LinkFetcher{link: link, sizes: sizes, every: frameInterval}, nil
+}
+
+// Interval returns the simulated duration of one Tick.
+func (f *LinkFetcher) Interval() time.Duration { return f.every }
+
+// Now returns the simulated clock.
+func (f *LinkFetcher) Now() time.Duration {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.now
+}
+
+// State returns the link's current state.
+func (f *LinkFetcher) State() netsim.LinkState {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.link.State()
+}
+
+// Transferred reports completed transfers and their payload bytes
+// (background and demand combined).
+func (f *LinkFetcher) Transferred() (count, bytes int64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.transfers, f.simBytes
+}
+
+// Tick advances the simulated clock one frame interval and steps the
+// link chain, completing due transfers. Callback transfers registered
+// through StartBackground are notified before Tick returns, so a caller
+// driving the clock observes their effects (e.g. the scheduler's cache
+// insert) deterministically in frame-tick time. Implements Ticker.
+func (f *LinkFetcher) Tick() {
+	f.mu.Lock()
+	f.now += f.every
+	if f.link.Step() == netsim.Down {
+		for _, p := range f.pending {
+			p.deadline += f.every
+		}
+	}
+	due := f.collectDueLocked()
+	f.mu.Unlock()
+	notifyDue(due)
+}
+
+// collectDueLocked completes due transfers: channel waiters are released
+// in place and callback transfers are returned for notification outside
+// the lock (their transfer counters are settled here, under it).
+func (f *LinkFetcher) collectDueLocked() []*pendingXfer {
+	kept := f.pending[:0]
+	var due []*pendingXfer
+	for _, p := range f.pending {
+		switch {
+		case p.deadline > f.now:
+			kept = append(kept, p)
+		case p.notify != nil:
+			f.transfers++
+			f.simBytes += p.size
+			due = append(due, p)
+		default:
+			close(p.done)
+		}
+	}
+	f.pending = kept
+	return due
+}
+
+func notifyDue(due []*pendingXfer) {
+	for _, p := range due {
+		p.notify(p.size, nil)
+	}
+}
+
+// StartBackground registers a background transfer at the link's current
+// state and returns immediately; when a later Tick (or a demand fetch's
+// clock advance) passes the transfer's deadline, done is invoked
+// synchronously from that call before it returns, with the payload size.
+// A Down link fails registration with ErrLinkDown. The returned cancel
+// reports whether the transfer was still pending — when it returns
+// false, done has run or is about to. Implements BackgroundStarter.
+func (f *LinkFetcher) StartBackground(name string, done func(bytes int64, err error)) (func() bool, error) {
+	f.mu.Lock()
+	size, ok := f.sizes[name]
+	if !ok {
+		f.mu.Unlock()
+		return nil, fmt.Errorf("prefetch: unknown model %q", name)
+	}
+	d, up := f.link.Transfer(requestBytes, size)
+	if !up {
+		f.downFails++
+		f.mu.Unlock()
+		return nil, ErrLinkDown
+	}
+	p := &pendingXfer{deadline: f.now + d, size: size, notify: done}
+	f.pending = append(f.pending, p)
+	f.mu.Unlock()
+	cancel := func() bool {
+		f.mu.Lock()
+		defer f.mu.Unlock()
+		for i, q := range f.pending {
+			if q == p {
+				f.pending = append(f.pending[:i], f.pending[i+1:]...)
+				return true
+			}
+		}
+		return false
+	}
+	return cancel, nil
+}
+
+// FetchModel is the background path: it registers a transfer at the
+// link's current state and blocks until enough Ticks pass (or ctx is
+// cancelled). A Down link fails immediately with ErrLinkDown — the
+// scheduler will simply re-plan later.
+func (f *LinkFetcher) FetchModel(ctx context.Context, name string) (int64, time.Duration, error) {
+	f.mu.Lock()
+	size, ok := f.sizes[name]
+	if !ok {
+		f.mu.Unlock()
+		return 0, 0, fmt.Errorf("prefetch: unknown model %q", name)
+	}
+	d, up := f.link.Transfer(requestBytes, size)
+	if !up {
+		f.downFails++
+		f.mu.Unlock()
+		return 0, 0, ErrLinkDown
+	}
+	p := &pendingXfer{deadline: f.now + d, done: make(chan struct{})}
+	f.pending = append(f.pending, p)
+	f.mu.Unlock()
+
+	select {
+	case <-p.done:
+		f.mu.Lock()
+		f.transfers++
+		f.simBytes += size
+		f.mu.Unlock()
+		return size, d, nil
+	case <-ctx.Done():
+		f.mu.Lock()
+		for i, q := range f.pending {
+			if q == p {
+				f.pending = append(f.pending[:i], f.pending[i+1:]...)
+				break
+			}
+		}
+		f.mu.Unlock()
+		return 0, 0, ctx.Err()
+	}
+}
+
+// demandDownCap bounds how many frame intervals a demand fetch will
+// wait out an outage before giving up.
+const demandDownCap = 10000
+
+// FetchModelNow is the miss path: the device has no model to run, so it
+// waits for the link — stepping frame intervals through an outage if
+// necessary — transfers, and returns the whole stall at once. The
+// simulated clock advances by the stall, which also lets concurrently
+// registered background transfers complete on time.
+func (f *LinkFetcher) FetchModelNow(ctx context.Context, name string) (int64, time.Duration, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, 0, err
+	}
+	f.mu.Lock()
+	size, ok := f.sizes[name]
+	if !ok {
+		f.mu.Unlock()
+		return 0, 0, fmt.Errorf("prefetch: unknown model %q", name)
+	}
+	var stall time.Duration
+	for waited := 0; f.link.State() == netsim.Down; waited++ {
+		if waited >= demandDownCap {
+			f.downFails++
+			f.mu.Unlock()
+			return 0, 0, fmt.Errorf("prefetch: link down for %d frames fetching %q", demandDownCap, name)
+		}
+		f.now += f.every
+		stall += f.every
+		for _, p := range f.pending {
+			p.deadline += f.every
+		}
+		f.link.Step()
+	}
+	d, _ := f.link.Transfer(requestBytes, size)
+	f.now += d
+	stall += d
+	due := f.collectDueLocked()
+	f.transfers++
+	f.simBytes += size
+	f.mu.Unlock()
+	notifyDue(due)
+	return size, stall, nil
+}

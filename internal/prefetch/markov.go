@@ -1,0 +1,145 @@
+// Package prefetch anticipates model switches and warms the model cache
+// ahead of them, hiding the device↔cloud fetch latency that motivates
+// Anole (§I): a moving device crosses scenes faster than it can pull the
+// matching compressed model over a degraded wireless link, so the next
+// model must already be resident when the decision model switches to it.
+//
+// Three pieces compose:
+//
+//   - Markov, an online scene-transition model learned incrementally
+//     from the runtime's observed model-switch sequence, predicting the
+//     likeliest next models;
+//   - Scheduler, which turns those predictions into background fetches
+//     into the cache — budgeted, cancellable, and always yielding to the
+//     on-demand miss path;
+//   - LinkFetcher, a Fetcher that moves the bytes over a simulated
+//     netsim.Link in frame-tick time (repo.Client is the real-HTTP
+//     Fetcher for device deployments).
+//
+// All types are safe for concurrent use; core.MultiRuntime shares one
+// Scheduler across every stream.
+package prefetch
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Prediction is one candidate next model with its estimated transition
+// probability.
+type Prediction struct {
+	Model int
+	Prob  float64
+}
+
+// Markov is an online first-order model of the switch sequence: a
+// row-normalized transition matrix over model indices with Laplace
+// smoothing, updated in O(1) per observed switch. It is safe for
+// concurrent use.
+type Markov struct {
+	mu     sync.RWMutex
+	n      int
+	alpha  float64
+	counts []float64 // n×n, row-major
+	rowSum []float64
+	obs    int64
+}
+
+// NewMarkov creates a transition model over n models. alpha is the
+// Laplace pseudo-count added to every cell (≤0 selects 1); it keeps
+// unseen transitions at a small nonzero probability so a cold-start
+// model still ranks candidates.
+func NewMarkov(n int, alpha float64) (*Markov, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("prefetch: %d models", n)
+	}
+	if alpha <= 0 {
+		alpha = 1
+	}
+	return &Markov{
+		n:      n,
+		alpha:  alpha,
+		counts: make([]float64, n*n),
+		rowSum: make([]float64, n),
+	}, nil
+}
+
+// NumModels returns the matrix dimension.
+func (m *Markov) NumModels() int { return m.n }
+
+// Observations returns the number of recorded transitions.
+func (m *Markov) Observations() int64 {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.obs
+}
+
+// Observe records one switch from model `from` to model `to`.
+// Out-of-range indices and self-transitions are ignored (the runtime's
+// switch sequence contains no self-transitions by construction).
+func (m *Markov) Observe(from, to int) {
+	if from < 0 || from >= m.n || to < 0 || to >= m.n || from == to {
+		return
+	}
+	m.mu.Lock()
+	m.counts[from*m.n+to]++
+	m.rowSum[from]++
+	m.obs++
+	m.mu.Unlock()
+}
+
+// Prob returns the smoothed transition probability P(to | from):
+// (count + alpha) / (rowSum + alpha·n).
+func (m *Markov) Prob(from, to int) float64 {
+	if from < 0 || from >= m.n || to < 0 || to >= m.n {
+		return 0
+	}
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return (m.counts[from*m.n+to] + m.alpha) / (m.rowSum[from] + m.alpha*float64(m.n))
+}
+
+// Row returns the full smoothed distribution over next models given
+// `from` (a fresh slice summing to 1).
+func (m *Markov) Row(from int) []float64 {
+	out := make([]float64, m.n)
+	if from < 0 || from >= m.n {
+		return out
+	}
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	denom := m.rowSum[from] + m.alpha*float64(m.n)
+	for j := 0; j < m.n; j++ {
+		out[j] = (m.counts[from*m.n+j] + m.alpha) / denom
+	}
+	return out
+}
+
+// TopK returns the k likeliest next models given the current one, in
+// descending probability (ties broken by model index for determinism).
+// The current model itself is excluded — prefetching what is already
+// running is never useful. k is clamped to n-1.
+func (m *Markov) TopK(current, k int) []Prediction {
+	if current < 0 || current >= m.n || k <= 0 {
+		return nil
+	}
+	row := m.Row(current)
+	preds := make([]Prediction, 0, m.n-1)
+	for j, p := range row {
+		if j == current {
+			continue
+		}
+		preds = append(preds, Prediction{Model: j, Prob: p})
+	}
+	sort.SliceStable(preds, func(a, b int) bool {
+		if preds[a].Prob != preds[b].Prob {
+			return preds[a].Prob > preds[b].Prob
+		}
+		return preds[a].Model < preds[b].Model
+	})
+	if k > len(preds) {
+		k = len(preds)
+	}
+	return preds[:k]
+}

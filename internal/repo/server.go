@@ -3,10 +3,13 @@ package repo
 import (
 	"bytes"
 	"context"
+	"crypto/sha256"
 	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
+	"net/url"
+	"strings"
 	"time"
 
 	"anole/internal/core"
@@ -34,14 +37,32 @@ type ManifestModel struct {
 
 // Server serves a profiled bundle to devices over HTTP:
 //
-//	GET /v1/manifest — JSON Manifest
-//	GET /v1/bundle   — the binary bundle
+//	GET /v1/manifest     — JSON Manifest
+//	GET /v1/bundle       — the binary bundle
+//	GET /v1/model/{name} — one model's serialized network
 //
-// The bundle is serialized once at construction; Server is safe for
-// concurrent use.
+// Every response carries a strong ETag (content checksum); a request
+// whose If-None-Match matches is answered 304 Not Modified with no
+// body, so devices revalidate a cached bundle or model for the cost of
+// the headers. All payloads are serialized once at construction; Server
+// is safe for concurrent use.
 type Server struct {
-	manifest Manifest
-	blob     []byte
+	manifest     Manifest
+	manifestJSON []byte
+	manifestTag  string
+	blob         []byte
+	blobTag      string
+	models       map[string]blobWithTag
+}
+
+type blobWithTag struct {
+	data []byte
+	etag string
+}
+
+// etagFor returns the strong ETag of a payload: the quoted hex SHA-256.
+func etagFor(data []byte) string {
+	return fmt.Sprintf("%q", fmt.Sprintf("%x", sha256.Sum256(data)))
 }
 
 // NewServer prepares a server for the bundle.
@@ -58,6 +79,7 @@ func NewServer(b *core.Bundle) (*Server, error) {
 		EmbedDim:    b.Encoder.EmbedDim(),
 		BundleBytes: buf.Len(),
 	}
+	models := make(map[string]blobWithTag, len(b.Detectors))
 	for i, det := range b.Detectors {
 		m.Models = append(m.Models, ManifestModel{
 			Name:        det.Name,
@@ -68,31 +90,82 @@ func NewServer(b *core.Bundle) (*Server, error) {
 			WeightBytes: det.Net.WeightBytes(),
 			SceneCount:  len(b.Infos[i].TrainScenes),
 		})
+		var mbuf bytes.Buffer
+		if _, err := det.Net.WriteTo(&mbuf); err != nil {
+			return nil, fmt.Errorf("repo: serialize model %q: %w", det.Name, err)
+		}
+		models[det.Name] = blobWithTag{data: mbuf.Bytes(), etag: etagFor(mbuf.Bytes())}
 	}
-	return &Server{manifest: m, blob: buf.Bytes()}, nil
+	mjson, err := json.Marshal(m)
+	if err != nil {
+		return nil, fmt.Errorf("repo: encode manifest: %w", err)
+	}
+	return &Server{
+		manifest:     m,
+		manifestJSON: mjson,
+		manifestTag:  etagFor(mjson),
+		blob:         buf.Bytes(),
+		blobTag:      etagFor(buf.Bytes()),
+		models:       models,
+	}, nil
+}
+
+// serveBlob answers a GET with the payload and its ETag, or 304 when
+// the request's If-None-Match already names this content.
+func serveBlob(w http.ResponseWriter, r *http.Request, contentType, etag string, data []byte) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	w.Header().Set("ETag", etag)
+	if inm := r.Header.Get("If-None-Match"); inm != "" && etagMatches(inm, etag) {
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
+	w.Header().Set("Content-Type", contentType)
+	w.Header().Set("Content-Length", fmt.Sprint(len(data)))
+	_, _ = w.Write(data)
+}
+
+// etagMatches reports whether an If-None-Match header names the given
+// ETag: "*" matches anything, otherwise any listed tag must equal it
+// (weak-validator W/ prefixes are accepted — byte-identical content is
+// trivially semantically equivalent).
+func etagMatches(header, etag string) bool {
+	if strings.TrimSpace(header) == "*" {
+		return true
+	}
+	for _, part := range strings.Split(header, ",") {
+		tag := strings.TrimSpace(part)
+		tag = strings.TrimPrefix(tag, "W/")
+		if tag == etag {
+			return true
+		}
+	}
+	return false
 }
 
 // Handler returns the HTTP handler serving the repository endpoints.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/manifest", func(w http.ResponseWriter, r *http.Request) {
-		if r.Method != http.MethodGet {
-			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
-			return
-		}
-		w.Header().Set("Content-Type", "application/json")
-		if err := json.NewEncoder(w).Encode(s.manifest); err != nil {
-			http.Error(w, err.Error(), http.StatusInternalServerError)
-		}
+		serveBlob(w, r, "application/json", s.manifestTag, s.manifestJSON)
 	})
 	mux.HandleFunc("/v1/bundle", func(w http.ResponseWriter, r *http.Request) {
-		if r.Method != http.MethodGet {
-			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		serveBlob(w, r, "application/octet-stream", s.blobTag, s.blob)
+	})
+	mux.HandleFunc("/v1/model/", func(w http.ResponseWriter, r *http.Request) {
+		name, err := url.PathUnescape(strings.TrimPrefix(r.URL.Path, "/v1/model/"))
+		if err != nil {
+			http.Error(w, "bad model name", http.StatusBadRequest)
 			return
 		}
-		w.Header().Set("Content-Type", "application/octet-stream")
-		w.Header().Set("Content-Length", fmt.Sprint(len(s.blob)))
-		_, _ = w.Write(s.blob)
+		mb, ok := s.models[name]
+		if !ok {
+			http.Error(w, "unknown model", http.StatusNotFound)
+			return
+		}
+		serveBlob(w, r, "application/octet-stream", mb.etag, mb.data)
 	})
 	return mux
 }
@@ -150,7 +223,74 @@ func (c *Client) FetchBundle(ctx context.Context) (*core.Bundle, error) {
 	return ReadBundle(body)
 }
 
+// FetchBundleConditional revalidates a previously downloaded bundle:
+// with the ETag of the cached copy the server answers 304 Not Modified
+// and no payload travels (bundle nil, notModified true). On a miss (or
+// an empty etag) it behaves like FetchBundle and returns the new ETag
+// for the next revalidation.
+func (c *Client) FetchBundleConditional(ctx context.Context, etag string) (b *core.Bundle, newETag string, notModified bool, err error) {
+	body, newETag, notModified, err := c.getConditional(ctx, "/v1/bundle", etag)
+	if err != nil || notModified {
+		return nil, newETag, notModified, err
+	}
+	defer body.Close()
+	b, err = ReadBundle(body)
+	return b, newETag, false, err
+}
+
+// modelPath returns the per-model endpoint path for a model name.
+func modelPath(name string) string { return "/v1/model/" + url.PathEscape(name) }
+
+// FetchModel downloads one model's serialized network from the
+// per-model endpoint, reporting the payload size and the wall-clock
+// transfer time. Together with FetchModelNow it structurally satisfies
+// the prefetch package's Fetcher interface, so a Client can back a
+// prefetch scheduler directly: over a real HTTP link the background and
+// demand paths cost the same wall-clock time.
+func (c *Client) FetchModel(ctx context.Context, name string) (int64, time.Duration, error) {
+	start := time.Now()
+	body, err := c.get(ctx, modelPath(name))
+	if err != nil {
+		return 0, 0, err
+	}
+	defer body.Close()
+	n, err := io.Copy(io.Discard, body)
+	if err != nil {
+		return 0, 0, fmt.Errorf("repo: read model %q: %w", name, err)
+	}
+	return n, time.Since(start), nil
+}
+
+// FetchModelNow is the demand-path twin of FetchModel; for an HTTP
+// client the two are the same wall-clock operation.
+func (c *Client) FetchModelNow(ctx context.Context, name string) (int64, time.Duration, error) {
+	return c.FetchModel(ctx, name)
+}
+
+// FetchModelConditional revalidates one cached model by ETag: a 304
+// returns (nil, etag, true, nil) for the cost of the headers; otherwise
+// the serialized network and its new ETag are returned.
+func (c *Client) FetchModelConditional(ctx context.Context, name, etag string) (data []byte, newETag string, notModified bool, err error) {
+	body, newETag, notModified, err := c.getConditional(ctx, modelPath(name), etag)
+	if err != nil || notModified {
+		return nil, newETag, notModified, err
+	}
+	defer body.Close()
+	data, err = io.ReadAll(body)
+	if err != nil {
+		return nil, newETag, false, fmt.Errorf("repo: read model %q: %w", name, err)
+	}
+	return data, newETag, false, nil
+}
+
 func (c *Client) get(ctx context.Context, path string) (io.ReadCloser, error) {
+	body, _, _, err := c.getConditional(ctx, path, "")
+	return body, err
+}
+
+// getConditional performs the retrying GET; a non-empty etag is sent as
+// If-None-Match, and a 304 answer yields notModified with a nil body.
+func (c *Client) getConditional(ctx context.Context, path, etag string) (io.ReadCloser, string, bool, error) {
 	delay := c.RetryDelay
 	if delay <= 0 {
 		delay = 100 * time.Millisecond
@@ -160,36 +300,44 @@ func (c *Client) get(ctx context.Context, path string) (io.ReadCloser, error) {
 		if attempt > 0 {
 			select {
 			case <-ctx.Done():
-				return nil, fmt.Errorf("repo: fetch %s: %w", path, ctx.Err())
+				return nil, "", false, fmt.Errorf("repo: fetch %s: %w", path, ctx.Err())
 			case <-time.After(delay):
 			}
 		}
-		body, retryable, err := c.fetchOnce(ctx, path)
+		body, newETag, notModified, retryable, err := c.fetchOnce(ctx, path, etag)
 		if err == nil {
-			return body, nil
+			return body, newETag, notModified, nil
 		}
 		lastErr = err
 		if !retryable || ctx.Err() != nil {
 			break
 		}
 	}
-	return nil, lastErr
+	return nil, "", false, lastErr
 }
 
 // fetchOnce performs a single GET; retryable reports whether a failure
 // is worth another attempt (transport errors and 5xx responses).
-func (c *Client) fetchOnce(ctx context.Context, path string) (body io.ReadCloser, retryable bool, err error) {
+func (c *Client) fetchOnce(ctx context.Context, path, etag string) (body io.ReadCloser, newETag string, notModified, retryable bool, err error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+path, nil)
 	if err != nil {
-		return nil, false, fmt.Errorf("repo: %w", err)
+		return nil, "", false, false, fmt.Errorf("repo: %w", err)
+	}
+	if etag != "" {
+		req.Header.Set("If-None-Match", etag)
 	}
 	resp, err := c.httpClient().Do(req)
 	if err != nil {
-		return nil, true, fmt.Errorf("repo: fetch %s: %w", path, err)
+		return nil, "", false, true, fmt.Errorf("repo: fetch %s: %w", path, err)
+	}
+	newETag = resp.Header.Get("ETag")
+	if etag != "" && resp.StatusCode == http.StatusNotModified {
+		resp.Body.Close()
+		return nil, newETag, true, false, nil
 	}
 	if resp.StatusCode != http.StatusOK {
 		resp.Body.Close()
-		return nil, resp.StatusCode >= 500, fmt.Errorf("repo: fetch %s: status %s", path, resp.Status)
+		return nil, "", false, resp.StatusCode >= 500, fmt.Errorf("repo: fetch %s: status %s", path, resp.Status)
 	}
-	return resp.Body, false, nil
+	return resp.Body, newETag, false, false, nil
 }
