@@ -1,0 +1,295 @@
+package anole_test
+
+// Chaos evaluation: the fault-injected device↔cloud path behind
+// DESIGN.md's "Failure model & degraded mode" section. The regression
+// tests drive the same cyclic scene workload as bench_prefetch_test.go
+// over a link wrapped in a seeded fault injector, and assert the
+// resilience contract: every frame is served (fallbacks counted, none
+// dropped), corrupted payloads are quarantined before any cache
+// admission, and recovery to the decided model after an outage is
+// bounded by the degraded-mode backoff cap. The benchmark sweeps outage
+// rate × corruption rate × breaker on/off.
+//
+// CI runs the tests under -race across a fixed seed matrix via
+// ANOLE_CHAOS_SEED; every assertion below is seed-independent (the
+// fault schedule changes, the contract does not).
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"testing"
+
+	"anole/internal/breaker"
+	"anole/internal/core"
+	"anole/internal/faults"
+	"anole/internal/netsim"
+	"anole/internal/prefetch"
+	"anole/internal/synth"
+	"anole/internal/testutil"
+	"anole/internal/xrand"
+)
+
+// chaosSeed is the fault-schedule seed, overridable so CI can matrix
+// over several schedules.
+func chaosSeed() uint64 {
+	if v := os.Getenv("ANOLE_CHAOS_SEED"); v != "" {
+		if n, err := strconv.ParseUint(v, 10, 64); err == nil {
+			return n
+		}
+	}
+	return 7
+}
+
+// chaosRuntime wires a runtime to a degraded-locked link wrapped in a
+// fault injector, with the demand path failing fast during outages so
+// degraded mode engages instead of freezing frames.
+func chaosRuntime(tb testing.TB, b *core.Bundle, net netsim.Config, slots, topK int, fcfg faults.Config, withBreaker bool) (*core.Runtime, *faults.Link, *prefetch.LinkFetcher) {
+	tb.Helper()
+	link, err := netsim.NewLink(net, xrand.New(fcfg.Seed))
+	if err != nil {
+		tb.Fatal(err)
+	}
+	flink := faults.WrapLink(link, fcfg)
+	lf, err := prefetch.NewLinkFetcher(flink, core.PrefetchModels(b), prefetch.DefaultFrameInterval)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	lf.SetDemandDownLimit(0)
+	pfCfg := &prefetch.Config{Fetcher: lf, TopK: topK}
+	if withBreaker {
+		pfCfg.Breaker = breaker.New(breaker.Config{
+			FailureThreshold: 5,
+			Cooldown:         20 * lf.Interval(),
+			Now:              lf.Now,
+		})
+	}
+	rt, err := core.NewRuntime(b, core.RuntimeConfig{
+		CacheSlots:          slots,
+		Prefetch:            pfCfg,
+		DegradedRetryFrames: 2,
+		DegradedRetryCap:    16,
+	})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return rt, flink, lf
+}
+
+// TestChaosServesEveryFrame is the resilience acceptance check: at a
+// 30% per-frame outage rate and 5% transfer corruption on the degraded
+// link, 100% of frames must still be served — by the decided model or a
+// counted fallback — and no corrupted payload may reach the cache.
+func TestChaosServesEveryFrame(t *testing.T) {
+	fx := testutil.Shared(t)
+	const (
+		slots    = 2
+		blockLen = 10
+		cycles   = 10
+	)
+	frames := fx.Corpus.Frames(synth.Test)
+	workload := blockWorkload(t, fx.Bundle, frames, slots+1, blockLen, cycles)
+	net := lockedLinkConfig(core.PrefetchModels(fx.Bundle), netsim.Degraded, 6, prefetch.DefaultFrameInterval)
+
+	rt, flink, lf := chaosRuntime(t, fx.Bundle, net, slots, 2, faults.Config{
+		Seed:        chaosSeed(),
+		GraceSteps:  2, // the cold-start fetch has no fallback
+		OutageRate:  0.3,
+		CorruptRate: 0.05,
+	}, true)
+	sched := rt.Prefetcher()
+	defer rt.Close()
+
+	served := 0
+	for i, f := range workload {
+		res, err := rt.ProcessFrame(f)
+		if err != nil {
+			t.Fatalf("frame %d dropped: %v", i, err)
+		}
+		if res.Used < 0 {
+			t.Fatalf("frame %d served by no model", i)
+		}
+		served++
+	}
+	rt.Close()
+	if served != len(workload) {
+		t.Fatalf("served %d of %d frames", served, len(workload))
+	}
+
+	st := rt.Stats()
+	fst := flink.Stats()
+	lst := lf.Stats()
+	ps := sched.Stats()
+	if fst.Outages == 0 {
+		t.Fatalf("chaos never bit: %+v", fst)
+	}
+	if st.DegradedFrames == 0 {
+		t.Fatal("no degraded frames across a 30 percent outage run")
+	}
+	if st.FallbackServed < st.DegradedFrames {
+		t.Fatalf("fallback served %d < degraded %d: every degraded frame is a fallback",
+			st.FallbackServed, st.DegradedFrames)
+	}
+	// A degraded frame is never also a decided-model frame, so the two
+	// populations partition the run: served = decided + fallback.
+	if st.DegradedFrames > st.Frames {
+		t.Fatalf("degraded %d exceeds frames %d", st.DegradedFrames, st.Frames)
+	}
+	// Quarantine invariant: every cache prefetch admission corresponds to
+	// a clean completed background transfer — corrupted arrivals fail the
+	// fetch instead of completing it, so they can never be admitted. (The
+	// cache may refuse a completion that raced a demand fetch, so the
+	// bound is one-sided.)
+	if st.Cache.Prefetches > ps.Completed {
+		t.Fatalf("cache admitted %d prefetches but only %d background transfers completed cleanly",
+			st.Cache.Prefetches, ps.Completed)
+	}
+	if lst.Corrupted > 0 && lst.Transfers == 0 {
+		t.Fatal("all transfers corrupted yet the run survived without any clean bytes")
+	}
+	t.Logf("chaos seed %d: %d frames, %d degraded, %d fallback-served, %d outages (%d steps), %d corrupted, %d quarantined, breaker opens %d",
+		chaosSeed(), st.Frames, st.DegradedFrames, st.FallbackServed,
+		fst.Outages, fst.OutageSteps, lst.Corrupted, lst.Quarantined, ps.BreakerOpens)
+}
+
+// TestChaosCorruptionIsQuarantined turns corruption up to certainty
+// levels and checks the quarantine path end to end: corrupted demand
+// payloads are refetched (never returned), corrupted background
+// payloads fail the prefetch (never admitted).
+func TestChaosCorruptionIsQuarantined(t *testing.T) {
+	fx := testutil.Shared(t)
+	const slots = 2
+	frames := fx.Corpus.Frames(synth.Test)
+	workload := blockWorkload(t, fx.Bundle, frames, slots+1, 10, 6)
+	net := lockedLinkConfig(core.PrefetchModels(fx.Bundle), netsim.Degraded, 6, prefetch.DefaultFrameInterval)
+
+	rt, _, lf := chaosRuntime(t, fx.Bundle, net, slots, 2, faults.Config{
+		Seed:        chaosSeed(),
+		GraceSteps:  2,
+		CorruptRate: 0.5,
+	}, false)
+	sched := rt.Prefetcher()
+	defer rt.Close()
+	for i, f := range workload {
+		if _, err := rt.ProcessFrame(f); err != nil {
+			t.Fatalf("frame %d dropped: %v", i, err)
+		}
+	}
+	rt.Close()
+	st := rt.Stats()
+	lst := lf.Stats()
+	ps := sched.Stats()
+	if lst.Corrupted == 0 {
+		t.Fatal("50% corruption never bit")
+	}
+	if lst.Quarantined == 0 {
+		t.Fatal("no demand payload was quarantined and refetched")
+	}
+	if st.Cache.Prefetches > ps.Completed {
+		t.Fatalf("cache admitted %d prefetches, clean completions %d", st.Cache.Prefetches, ps.Completed)
+	}
+}
+
+// TestChaosRecoveryBounded places scripted outages at known frames and
+// asserts the mean recovery — frames from link restoration to the
+// decided model serving again — stays within the degraded-mode backoff
+// cap (16 frames here) plus the probe frame. Fully deterministic: the
+// injector has no random rates, outages come from ForceOutage.
+func TestChaosRecoveryBounded(t *testing.T) {
+	fx := testutil.Shared(t)
+	const (
+		slots       = 2
+		outageLen   = 30
+		outages     = 4
+		recoveryCap = 16 + 1
+	)
+	frames := fx.Corpus.Frames(synth.Test)
+	workload := blockWorkload(t, fx.Bundle, frames, slots+1, 8, 40)
+	net := lockedLinkConfig(core.PrefetchModels(fx.Bundle), netsim.Degraded, 6, prefetch.DefaultFrameInterval)
+
+	rt, flink, _ := chaosRuntime(t, fx.Bundle, net, slots, 2, faults.Config{Seed: chaosSeed()}, true)
+	defer rt.Close()
+
+	next := 0
+	serve := func(n int) {
+		t.Helper()
+		for i := 0; i < n && next < len(workload); i++ {
+			if _, err := rt.ProcessFrame(workload[next]); err != nil {
+				t.Fatalf("frame %d dropped: %v", next, err)
+			}
+			next++
+		}
+	}
+	recover := func() int {
+		t.Helper()
+		for i := 0; next < len(workload); i++ {
+			res, err := rt.ProcessFrame(workload[next])
+			if err != nil {
+				t.Fatalf("frame %d dropped: %v", next, err)
+			}
+			next++
+			if !res.Degraded && res.Used == res.Desired {
+				return i
+			}
+		}
+		t.Fatal("workload ended before recovery")
+		return -1
+	}
+
+	serve(40) // warm up: transition model has seen the cycle
+	total := 0
+	for o := 0; o < outages; o++ {
+		flink.ForceOutage(outageLen)
+		serve(outageLen)
+		r := recover()
+		if r > recoveryCap {
+			t.Fatalf("outage %d: recovery took %d frames, want <= %d", o, r, recoveryCap)
+		}
+		total += r
+		serve(30) // settle before the next outage
+	}
+	mean := float64(total) / float64(outages)
+	if mean > float64(recoveryCap) {
+		t.Fatalf("mean recovery %.1f frames, want <= %d", mean, recoveryCap)
+	}
+	if st := rt.Stats(); st.DegradedFrames == 0 {
+		t.Fatal("scripted outages never engaged degraded mode")
+	}
+	t.Logf("mean recovery %.1f frames over %d outages (cap %d)", mean, outages, recoveryCap)
+}
+
+// BenchmarkChaosSweep reports degraded-frame rate, fallback rate and
+// per-frame stall across outage rate × corruption rate × breaker
+// on/off on the degraded-locked link.
+func BenchmarkChaosSweep(b *testing.B) {
+	l := lab(b)
+	frames := l.Corpus.Frames(synth.Test)
+	models := core.PrefetchModels(l.Bundle)
+	net := lockedLinkConfig(models, netsim.Degraded, 6, prefetch.DefaultFrameInterval)
+	const slots = 2
+	workload := blockWorkload(b, l.Bundle, frames, slots+1, 10, 8)
+
+	for _, outage := range []float64{0.1, 0.3} {
+		for _, corrupt := range []float64{0, 0.05} {
+			for _, brk := range []bool{false, true} {
+				name := fmt.Sprintf("outage=%.2f/corrupt=%.2f/breaker=%v", outage, corrupt, brk)
+				b.Run(name, func(b *testing.B) {
+					var st core.RunStats
+					for i := 0; i < b.N; i++ {
+						rt, _, _ := chaosRuntime(b, l.Bundle, net, slots, 2, faults.Config{
+							Seed:        chaosSeed(),
+							GraceSteps:  2,
+							OutageRate:  outage,
+							CorruptRate: corrupt,
+						}, brk)
+						st = runWorkload(b, rt, workload)
+					}
+					nf := float64(max(1, st.Frames))
+					b.ReportMetric(float64(st.DegradedFrames)/nf, "degraded/frame")
+					b.ReportMetric(float64(st.FallbackServed)/nf, "fallback/frame")
+					b.ReportMetric(float64(st.FetchStall.Milliseconds())/nf, "stall-ms/frame")
+				})
+			}
+		}
+	}
+}

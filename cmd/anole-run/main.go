@@ -8,6 +8,8 @@
 //	anole-run -bundle anole.bundle [-seed N] [-clips N] [-frames N]
 //	          [-device nano|tx2|laptop] [-cache N] [-streams N]
 //	          [-prefetch] [-prefetch-budget BYTES] [-link-stability P]
+//	          [-chaos] [-outage-rate P] [-corrupt-rate P]
+//	          [-breaker-threshold N] [-breaker-cooldown FRAMES]
 //	          [-json FILE|-]
 //
 // With -streams N > 1 the run multiplexes N independent frame streams
@@ -21,6 +23,15 @@
 // and a scene-transition Markov model prefetches the likeliest next
 // models in the background, within -prefetch-budget bytes per plan.
 //
+// With -chaos (implies -prefetch) a deterministic seeded fault injector
+// wraps the link: outage bursts (-outage-rate) and corrupted transfers
+// (-corrupt-rate). The demand path fails fast during outages, a circuit
+// breaker (-breaker-threshold failures to open, -breaker-cooldown frames
+// to half-open) pauses background prefetching while the path is bad, and
+// the runtime serves stale resident models in degraded mode — every
+// frame is still served; degradedFrames / fallbackServed / breakerOpens
+// in the -json report count the damage.
+//
 // -json writes the aggregate statistics — cache hit/miss/eviction and
 // prefetch counters included — as one JSON object to a file, or to
 // stdout with "-".
@@ -32,9 +43,12 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"time"
 
+	"anole/internal/breaker"
 	"anole/internal/core"
 	"anole/internal/device"
+	"anole/internal/faults"
 	"anole/internal/netsim"
 	"anole/internal/prefetch"
 	"anole/internal/repo"
@@ -64,6 +78,11 @@ func run(w io.Writer, args []string) error {
 		prefetchOn = fs.Bool("prefetch", false, "serve model bytes over a simulated device-cloud link with transition-aware prefetching")
 		pfBudget   = fs.Int64("prefetch-budget", 0, "max bytes in flight per prefetch plan (0 = unlimited)")
 		stability  = fs.Float64("link-stability", 0.7, "link-state self-transition probability in [0,1] (with -prefetch)")
+		chaosOn    = fs.Bool("chaos", false, "inject deterministic seeded faults on the device-cloud link (implies -prefetch)")
+		outageRate = fs.Float64("outage-rate", 0.3, "per-frame probability of starting a link outage burst (with -chaos)")
+		crptRate   = fs.Float64("corrupt-rate", 0.05, "per-transfer probability of payload corruption (with -chaos)")
+		brkThresh  = fs.Int("breaker-threshold", 5, "consecutive fetch failures before the circuit breaker opens (with -chaos)")
+		brkCool    = fs.Int("breaker-cooldown", 20, "frames an open breaker waits before a half-open probe (with -chaos)")
 		jsonPath   = fs.String("json", "", "write aggregate stats JSON to this file (\"-\" for stdout)")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -71,6 +90,9 @@ func run(w io.Writer, args []string) error {
 	}
 	if *streams < 1 {
 		return fmt.Errorf("-streams must be >= 1, got %d", *streams)
+	}
+	if *chaosOn {
+		*prefetchOn = true
 	}
 
 	bundle, err := repo.LoadFile(*bundlePath)
@@ -92,7 +114,16 @@ func run(w io.Writer, args []string) error {
 	}
 	var pfCfg *prefetch.Config
 	if *prefetchOn {
-		pfCfg, err = linkPrefetchConfig(bundle, *stability, *pfBudget, *seed)
+		var chaos *chaosConfig
+		if *chaosOn {
+			chaos = &chaosConfig{
+				OutageRate:       *outageRate,
+				CorruptRate:      *crptRate,
+				BreakerThreshold: *brkThresh,
+				BreakerCooldown:  *brkCool,
+			}
+		}
+		pfCfg, err = linkPrefetchConfig(bundle, *stability, *pfBudget, *seed, chaos)
 		if err != nil {
 			return err
 		}
@@ -192,6 +223,12 @@ type report struct {
 	PrefetchWasted    int64   `json:"prefetchWasted"`
 	ColdMisses        int     `json:"coldMisses"`
 	FetchStallMs      float64 `json:"fetchStallMs"`
+	// Resilience counters: frames served stale in degraded mode, frames
+	// served by any model other than the decided one, and circuit-breaker
+	// open transitions. Frames == served frames always — nothing drops.
+	DegradedFrames int   `json:"degradedFrames"`
+	FallbackServed int   `json:"fallbackServed"`
+	BreakerOpens   int64 `json:"breakerOpens"`
 	// Scheduler is present only when -prefetch was set.
 	Scheduler *prefetch.SchedulerStats `json:"scheduler,omitempty"`
 }
@@ -214,10 +251,13 @@ func buildReport(st core.RunStats, sched *prefetch.Scheduler) report {
 		PrefetchWasted:    st.Cache.PrefetchWasted,
 		ColdMisses:        st.ColdMisses,
 		FetchStallMs:      1e3 * st.FetchStall.Seconds(),
+		DegradedFrames:    st.DegradedFrames,
+		FallbackServed:    st.FallbackServed,
 	}
 	if sched != nil {
 		ps := sched.Stats()
 		rep.Scheduler = &ps
+		rep.BreakerOpens = ps.BreakerOpens
 	}
 	return rep
 }
@@ -253,21 +293,57 @@ func printPrefetch(w io.Writer, st core.RunStats, sched *prefetch.Scheduler) {
 	fmt.Fprintf(w, "prefetch: issued %d completed %d cancelled %d failed %d  cache prefetch hits %d wasted %d\n",
 		ps.Issued, ps.Completed, ps.Cancelled, ps.Failed,
 		st.Cache.PrefetchHits, st.Cache.PrefetchWasted)
+	if st.DegradedFrames > 0 || ps.BreakerOpens > 0 || ps.SkippedBreaker > 0 {
+		fmt.Fprintf(w, "resilience: degraded frames %d  fallback served %d  breaker opens %d (plans skipped %d)\n",
+			st.DegradedFrames, st.FallbackServed, ps.BreakerOpens, ps.SkippedBreaker)
+	}
+}
+
+// chaosConfig carries the -chaos knobs into linkPrefetchConfig.
+type chaosConfig struct {
+	OutageRate       float64
+	CorruptRate      float64
+	BreakerThreshold int
+	BreakerCooldown  int // frames
 }
 
 // linkPrefetchConfig builds the prefetch configuration used by
 // -prefetch: a simulated link of the given stability carrying
-// paper-scale model payloads, ticked once per processed frame.
-func linkPrefetchConfig(bundle *core.Bundle, stability float64, budget int64, seed uint64) (*prefetch.Config, error) {
+// paper-scale model payloads, ticked once per processed frame. With
+// chaos non-nil the link is wrapped in a seeded fault injector and the
+// scheduler gets a circuit breaker on the simulated link clock; the
+// demand path then fails fast during outages so degraded mode engages
+// instead of stalling frames.
+func linkPrefetchConfig(bundle *core.Bundle, stability float64, budget int64, seed uint64, chaos *chaosConfig) (*prefetch.Config, error) {
 	link, err := netsim.NewLink(netsim.DefaultConfig(stability), xrand.NewLabeled(seed, "anole-run-link"))
 	if err != nil {
 		return nil, err
 	}
-	lf, err := prefetch.NewLinkFetcher(link, core.PrefetchModels(bundle), prefetch.DefaultFrameInterval)
+	var medium netsim.Medium = link
+	if chaos != nil {
+		medium = faults.WrapLink(link, faults.Config{
+			Seed: seed,
+			// The very first frame blocks on its fetch with an empty
+			// cache; one grace step lets it through before injection.
+			GraceSteps:  1,
+			OutageRate:  chaos.OutageRate,
+			CorruptRate: chaos.CorruptRate,
+		})
+	}
+	lf, err := prefetch.NewLinkFetcher(medium, core.PrefetchModels(bundle), prefetch.DefaultFrameInterval)
 	if err != nil {
 		return nil, err
 	}
-	return &prefetch.Config{Fetcher: lf, BudgetBytes: budget}, nil
+	cfg := &prefetch.Config{Fetcher: lf, BudgetBytes: budget}
+	if chaos != nil {
+		lf.SetDemandDownLimit(0)
+		cfg.Breaker = breaker.New(breaker.Config{
+			FailureThreshold: chaos.BreakerThreshold,
+			Cooldown:         time.Duration(chaos.BreakerCooldown) * lf.Interval(),
+			Now:              lf.Now,
+		})
+	}
+	return cfg, nil
 }
 
 // runMulti drives the multi-stream path: every stream gets its own

@@ -146,6 +146,42 @@ func TestRunSingleStreamPrefetchJSON(t *testing.T) {
 	}
 }
 
+func TestRunChaosJSON(t *testing.T) {
+	path := cheapBundlePath(t)
+	jsonPath := filepath.Join(t.TempDir(), "stats.json")
+	var out strings.Builder
+	err := run(&out, []string{
+		"-bundle", path, "-clips", "2", "-frames", "30", "-cache", "2",
+		"-chaos", "-outage-rate", "0.4", "-corrupt-rate", "0.1",
+		"-breaker-threshold", "2", "-breaker-cooldown", "10",
+		"-link-stability", "0.5", "-json", jsonPath,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep report
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatalf("stats JSON: %v\n%s", err, raw)
+	}
+	// -chaos implies -prefetch; every frame must still be processed.
+	if rep.Frames != 60 {
+		t.Fatalf("frames %d, want 60", rep.Frames)
+	}
+	if rep.Scheduler == nil {
+		t.Fatal("report missing scheduler stats")
+	}
+	// The counters must be present in the JSON even when zero.
+	for _, key := range []string{"degradedFrames", "fallbackServed", "breakerOpens"} {
+		if !strings.Contains(string(raw), key) {
+			t.Errorf("report JSON missing %q:\n%s", key, raw)
+		}
+	}
+}
+
 func TestRunJSONToStdout(t *testing.T) {
 	path := cheapBundlePath(t)
 	var out strings.Builder

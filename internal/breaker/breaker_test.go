@@ -1,0 +1,157 @@
+package breaker
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock is an injectable monotonic clock for deterministic cooldown
+// tests.
+type fakeClock struct {
+	mu  sync.Mutex
+	now time.Duration
+}
+
+func (c *fakeClock) Now() time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.now += d
+	c.mu.Unlock()
+}
+
+func newTestBreaker(threshold int, cooldown time.Duration) (*Breaker, *fakeClock) {
+	clk := &fakeClock{}
+	return New(Config{FailureThreshold: threshold, Cooldown: cooldown, Now: clk.Now}), clk
+}
+
+func TestBreakerOpensAtThreshold(t *testing.T) {
+	b, _ := newTestBreaker(3, time.Second)
+	for i := 0; i < 2; i++ {
+		b.Failure()
+		if got := b.State(); got != Closed {
+			t.Fatalf("after %d failures: state %v, want closed", i+1, got)
+		}
+	}
+	b.Failure()
+	if got := b.State(); got != Open {
+		t.Fatalf("after threshold failures: state %v, want open", got)
+	}
+	if b.Allow() {
+		t.Fatal("open breaker admitted traffic")
+	}
+	if b.Opens() != 1 {
+		t.Fatalf("opens %d, want 1", b.Opens())
+	}
+}
+
+func TestBreakerSuccessResetsFailureCount(t *testing.T) {
+	b, _ := newTestBreaker(3, time.Second)
+	b.Failure()
+	b.Failure()
+	b.Success()
+	b.Failure()
+	b.Failure()
+	if got := b.State(); got != Closed {
+		t.Fatalf("non-consecutive failures opened the breaker: %v", got)
+	}
+}
+
+func TestBreakerHalfOpenProbe(t *testing.T) {
+	b, clk := newTestBreaker(1, time.Second)
+	b.Failure()
+	if got := b.State(); got != Open {
+		t.Fatalf("state %v, want open", got)
+	}
+	if b.Allow() {
+		t.Fatal("open breaker admitted before cooldown")
+	}
+	clk.Advance(time.Second)
+	if got := b.State(); got != HalfOpen {
+		t.Fatalf("after cooldown: state %v, want half-open", got)
+	}
+	if !b.Allow() {
+		t.Fatal("half-open breaker rejected the probe")
+	}
+	// Probe success closes.
+	b.Success()
+	if got := b.State(); got != Closed {
+		t.Fatalf("after probe success: state %v, want closed", got)
+	}
+
+	// Probe failure reopens and counts another trip.
+	b.Failure()
+	clk.Advance(time.Second)
+	b.Failure() // half-open → open
+	if got := b.State(); got != Open {
+		t.Fatalf("after probe failure: state %v, want open", got)
+	}
+	if b.Opens() != 3 {
+		t.Fatalf("opens %d, want 3", b.Opens())
+	}
+}
+
+// TestBreakerFailureWhileOpenRefreshesCooldown: the probe should happen
+// a full cooldown after the LAST failure, not the first.
+func TestBreakerFailureWhileOpenRefreshesCooldown(t *testing.T) {
+	b, clk := newTestBreaker(1, time.Second)
+	b.Failure() // opens at t=0
+	clk.Advance(500 * time.Millisecond)
+	b.Failure() // still open; cooldown restarts at t=0.5s
+	clk.Advance(700 * time.Millisecond)
+	if got := b.State(); got != Open {
+		t.Fatalf("cooldown not refreshed: state %v at t=1.2s, want open until t=1.5s", got)
+	}
+	clk.Advance(300 * time.Millisecond)
+	if got := b.State(); got != HalfOpen {
+		t.Fatalf("state %v at t=1.5s, want half-open", got)
+	}
+}
+
+func TestBreakerDefaults(t *testing.T) {
+	b := New(Config{})
+	for i := 0; i < 4; i++ {
+		b.Failure()
+	}
+	if got := b.State(); got != Closed {
+		t.Fatalf("default threshold tripped early: %v", got)
+	}
+	b.Failure()
+	if got := b.State(); got != Open {
+		t.Fatalf("default threshold did not trip at 5: %v", got)
+	}
+}
+
+// TestBreakerConcurrent hammers the breaker from many goroutines; run
+// with -race to prove the locking.
+func TestBreakerConcurrent(t *testing.T) {
+	b, clk := newTestBreaker(4, 10*time.Millisecond)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				if b.Allow() {
+					if (g+i)%3 == 0 {
+						b.Failure()
+					} else {
+						b.Success()
+					}
+				}
+				if i%50 == 0 {
+					clk.Advance(5 * time.Millisecond)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if b.Opens() < 0 {
+		t.Fatal("negative opens")
+	}
+}

@@ -1,0 +1,158 @@
+package core_test
+
+import (
+	"testing"
+	"time"
+
+	"anole/internal/core"
+	"anole/internal/faults"
+	"anole/internal/netsim"
+	"anole/internal/prefetch"
+	"anole/internal/synth"
+	"anole/internal/testutil"
+	"anole/internal/xrand"
+)
+
+// faultyLinkConfig builds a prefetch.Config whose link is wrapped in a
+// fault injector with no random rates — outages are scripted through the
+// returned faults.Link — and whose demand path fails fast when the link
+// is down, so degraded mode engages instead of stalling frames.
+func faultyLinkConfig(t *testing.T, b *core.Bundle, topK int) (*prefetch.Config, *faults.Link) {
+	t.Helper()
+	link, err := netsim.NewLink(netsim.DefaultConfig(1), xrand.New(99))
+	if err != nil {
+		t.Fatal(err)
+	}
+	flink := faults.WrapLink(link, faults.Config{Seed: 1})
+	lf, err := prefetch.NewLinkFetcher(flink, core.PrefetchModels(b), 100*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lf.SetDemandDownLimit(0)
+	return &prefetch.Config{Fetcher: lf, TopK: topK}, flink
+}
+
+// cyclicFrames repeats the test split to the requested length.
+func cyclicFrames(t *testing.T, n int) []*synth.Frame {
+	t.Helper()
+	fx := testutil.Shared(t)
+	base := fx.Corpus.Frames(synth.Test)
+	if len(base) == 0 {
+		t.Fatal("fixture has no test frames")
+	}
+	out := make([]*synth.Frame, n)
+	for i := range out {
+		out[i] = base[i%len(base)]
+	}
+	return out
+}
+
+func TestRuntimeDegradedModeServesEveryFrame(t *testing.T) {
+	fx := testutil.Shared(t)
+	pfCfg, flink := faultyLinkConfig(t, fx.Bundle, 2)
+	rt, err := core.NewRuntime(fx.Bundle, core.RuntimeConfig{
+		CacheSlots:          1,
+		Prefetch:            pfCfg,
+		DegradedRetryFrames: 2,
+		DegradedRetryCap:    8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+	frames := cyclicFrames(t, 200)
+
+	// Warm up on a healthy link, then kill it.
+	const warmup, outage = 10, 80
+	for _, f := range frames[:warmup] {
+		if _, err := rt.ProcessFrame(f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	flink.ForceOutage(outage)
+	served := 0
+	for _, f := range frames[warmup : warmup+outage] {
+		res, err := rt.ProcessFrame(f)
+		if err != nil {
+			t.Fatalf("frame dropped during outage: %v", err)
+		}
+		served++
+		if res.Degraded && res.Used == res.Desired {
+			t.Fatal("degraded frame claims to have served the decided model")
+		}
+	}
+	if served != outage {
+		t.Fatalf("served %d of %d outage frames", served, outage)
+	}
+	st := rt.Stats()
+	if st.DegradedFrames == 0 {
+		t.Fatal("no degraded frames across an 80-frame outage with a 1-slot cache")
+	}
+	if st.FallbackServed < st.DegradedFrames {
+		t.Fatalf("fallback served %d < degraded %d: every degraded frame is a fallback",
+			st.FallbackServed, st.DegradedFrames)
+	}
+
+	// The outage has been consumed; recovery to the decided model must be
+	// bounded by the backoff cap (8 frames) plus the probe frame itself.
+	recovered := -1
+	for i, f := range frames[warmup+outage:] {
+		res, err := rt.ProcessFrame(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Degraded && res.Used == res.Desired {
+			recovered = i
+			break
+		}
+	}
+	if recovered < 0 {
+		t.Fatal("never recovered to the decided model after the outage")
+	}
+	if recovered > 8+1 {
+		t.Fatalf("recovery took %d frames, want <= cap(8)+1", recovered)
+	}
+}
+
+func TestRuntimeDegradedBackoffSkipsLinkProbes(t *testing.T) {
+	fx := testutil.Shared(t)
+	pfCfg, flink := faultyLinkConfig(t, fx.Bundle, 0)
+	rt, err := core.NewRuntime(fx.Bundle, core.RuntimeConfig{
+		CacheSlots:          1,
+		Prefetch:            pfCfg,
+		DegradedRetryFrames: 2,
+		DegradedRetryCap:    8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+	frames := cyclicFrames(t, 160)
+
+	const warmup = 10
+	for _, f := range frames[:warmup] {
+		if _, err := rt.ProcessFrame(f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	probesBefore := rt.Stats().ColdMisses
+	flink.ForceOutage(1 << 20) // permanent for this test
+	for _, f := range frames[warmup:] {
+		if _, err := rt.ProcessFrame(f); err != nil {
+			t.Fatalf("frame dropped during outage: %v", err)
+		}
+	}
+	st := rt.Stats()
+	probes := st.ColdMisses - probesBefore
+	if st.DegradedFrames == 0 {
+		t.Fatal("no degraded frames under a permanent outage")
+	}
+	if probes == 0 {
+		t.Fatal("backoff never probed the link at all")
+	}
+	// Exponential backoff (cap 8) must make probes rare relative to
+	// degraded frames: without it every degraded frame would probe.
+	if probes*2 >= st.DegradedFrames {
+		t.Fatalf("%d probes for %d degraded frames: backoff not engaging", probes, st.DegradedFrames)
+	}
+}

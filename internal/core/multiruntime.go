@@ -52,6 +52,10 @@ type MultiRuntimeConfig struct {
 	// clock one tick, so the link services one frame-time of transfer
 	// per frame of aggregate work. Call Close to drain the scheduler.
 	Prefetch *prefetch.Config
+	// DegradedRetryFrames and DegradedRetryCap are applied per stream
+	// (see the RuntimeConfig fields of the same names).
+	DegradedRetryFrames int
+	DegradedRetryCap    int
 }
 
 // MultiRuntime serves N independent frame streams over one shared
@@ -125,10 +129,12 @@ func NewMultiRuntime(b *Bundle, cfg MultiRuntimeConfig) (*MultiRuntime, error) {
 			dev = device.NewSimulator(*cfg.Device)
 		}
 		rt, err := NewRuntime(b.Clone(), RuntimeConfig{
-			Store:            cache,
-			Device:           dev,
-			SwitchHysteresis: cfg.SwitchHysteresis,
-			Prefetcher:       m.pf,
+			Store:               cache,
+			Device:              dev,
+			SwitchHysteresis:    cfg.SwitchHysteresis,
+			Prefetcher:          m.pf,
+			DegradedRetryFrames: cfg.DegradedRetryFrames,
+			DegradedRetryCap:    cfg.DegradedRetryCap,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("core: stream %d: %w", i, err)
@@ -274,6 +280,8 @@ func (m *MultiRuntime) Stats() RunStats {
 		agg.TotalLatency += s.TotalLatency
 		agg.ColdMisses += s.ColdMisses
 		agg.FetchStall += s.FetchStall
+		agg.DegradedFrames += s.DegradedFrames
+		agg.FallbackServed += s.FallbackServed
 	}
 	agg.Detection = stats.ComputePRF1(agg.Detection.TP, agg.Detection.FP, agg.Detection.FN)
 	agg.Cache = m.cache.Stats()

@@ -64,6 +64,16 @@ type RuntimeConfig struct {
 	// store must be the same cache this runtime resolves requests
 	// against.
 	Prefetcher *prefetch.Scheduler
+	// DegradedRetryFrames and DegradedRetryCap control the stale-serve
+	// hysteresis entered when the decided model cannot be fetched: after
+	// a failed demand fetch the runtime serves the best resident model
+	// and waits DegradedRetryFrames frames (default 4) before probing
+	// the link again, doubling the wait on every consecutive failure up
+	// to DegradedRetryCap frames (default 32). The cap bounds recovery:
+	// once the link is restored, at most DegradedRetryCap frames pass
+	// before a probe succeeds and the decided model serves again.
+	DegradedRetryFrames int
+	DegradedRetryCap    int
 }
 
 // FrameResult reports one processed frame.
@@ -93,6 +103,11 @@ type FrameResult struct {
 	// Novelty scores how far the frame sits from every known scene
 	// (see Bundle.Novelty); 0 when the bundle has no calibration.
 	Novelty float64
+	// Degraded marks a frame served in degraded mode: the decided model
+	// was absent and the link could not deliver it (or the runtime was
+	// waiting out a failed fetch's backoff window), so a stale resident
+	// model served the frame.
+	Degraded bool
 }
 
 // RunStats summarizes a runtime's history.
@@ -120,6 +135,14 @@ type RunStats struct {
 	// prefetch scheduler.
 	ColdMisses int
 	FetchStall time.Duration
+	// DegradedFrames counts frames served in degraded mode (the decided
+	// model was unfetchable and a stale resident model served instead);
+	// FallbackServed counts every frame whose serving model differed
+	// from the decided one — degraded frames plus ordinary
+	// load-in-background fallbacks. No frame is ever dropped: each one
+	// is served by the decided model or counted here.
+	DegradedFrames int
+	FallbackServed int
 }
 
 // MeanSceneDuration returns the average desired-model run length.
@@ -146,6 +169,14 @@ type Runtime struct {
 	// ownsPF marks a scheduler built by NewRuntime (closed by Close).
 	pf     *prefetch.Scheduler
 	ownsPF bool
+	// Degraded-mode state: retryBase/retryCap are the configured backoff
+	// bounds; degradedWait is the frames left before the next link
+	// probe; degradedStreak counts consecutive failed probes (drives the
+	// doubling).
+	retryBase      int
+	retryCap       int
+	degradedWait   int
+	degradedStreak int
 
 	prevDesired int
 	runLen      int
@@ -187,11 +218,24 @@ func NewRuntime(b *Bundle, cfg RuntimeConfig) (*Runtime, error) {
 			store = cache
 		}
 	}
+	retryBase := cfg.DegradedRetryFrames
+	if retryBase <= 0 {
+		retryBase = 4
+	}
+	retryCap := cfg.DegradedRetryCap
+	if retryCap <= 0 {
+		retryCap = 32
+	}
+	if retryCap < retryBase {
+		retryCap = retryBase
+	}
 	r := &Runtime{
 		bundle:      b,
 		cache:       store,
 		dev:         cfg.Device,
 		hysteresis:  cfg.SwitchHysteresis,
+		retryBase:   retryBase,
+		retryCap:    retryCap,
 		prevDesired: -1,
 		committed:   -1,
 		candidate:   -1,
@@ -304,23 +348,48 @@ func (r *Runtime) ProcessFrame(f *synth.Frame) (FrameResult, error) {
 	// free, an absent one pays an on-demand fetch whose stall is charged
 	// to this frame. The fetch routes through the scheduler so it
 	// preempts any background prefetches (the miss path owns the link).
+	//
+	// When the fetch fails, the runtime enters degraded mode: the frame
+	// is served by the best resident fallback below and subsequent
+	// frames skip the link probe for an exponentially growing (capped)
+	// window, so a dead link costs one stall per window instead of one
+	// per frame. Any successful fetch — or the model turning up resident
+	// via a background prefetch — exits degraded mode; the cap bounds
+	// how long after link restoration the decided model returns.
 	demandLoaded, demandFailed := false, false
-	if r.pf != nil && !r.cache.Contains(desiredName) {
-		r.stats.ColdMisses++
-		stall, ferr := r.pf.DemandFetch(context.Background(), res.Desired)
-		if ferr != nil {
-			// Link unreachable: the bytes never arrived, so this frame is
-			// served by the best resident fallback below.
-			demandFailed = true
-		} else {
-			demandLoaded = true
-			res.FetchStall = stall
-			res.Latency += stall
-			r.stats.FetchStall += stall
-			if r.dev != nil {
-				r.dev.Idle(stall)
+	if r.pf != nil {
+		if !r.cache.Contains(desiredName) {
+			if r.degradedWait > 0 && !coldStart {
+				r.degradedWait--
+				demandFailed = true
+				res.Degraded = true
+			} else {
+				r.stats.ColdMisses++
+				stall, ferr := r.pf.DemandFetch(context.Background(), res.Desired)
+				if ferr != nil {
+					// Link unreachable: back off before the next probe.
+					demandFailed = true
+					res.Degraded = true
+					r.noteDemandFailure()
+				} else {
+					demandLoaded = true
+					r.degradedWait, r.degradedStreak = 0, 0
+					res.FetchStall = stall
+					res.Latency += stall
+					r.stats.FetchStall += stall
+					if r.dev != nil {
+						r.dev.Idle(stall)
+					}
+				}
 			}
+		} else {
+			// The decided model is resident; whatever failures came
+			// before, the runtime is serving decided again.
+			r.degradedWait, r.degradedStreak = 0, 0
 		}
+	}
+	if res.Degraded {
+		r.stats.DegradedFrames++
 	}
 	var (
 		hit     bool
@@ -375,6 +444,9 @@ func (r *Runtime) ProcessFrame(f *synth.Frame) (FrameResult, error) {
 	if res.Used < 0 {
 		// Unreachable: a warm cache always has a resident model.
 		res.Used = res.Desired
+	}
+	if res.Used != res.Desired {
+		r.stats.FallbackServed++
 	}
 
 	// MI: local prediction.
@@ -483,6 +555,21 @@ func (r *Runtime) Detectors() []*detect.Detector { return r.bundle.Detectors }
 // OverheadFLOPs implements the Selector surface: the per-frame decision
 // cost.
 func (r *Runtime) OverheadFLOPs() int64 { return r.bundle.Decision.FLOPs() }
+
+// noteDemandFailure advances the degraded-mode backoff: the wait before
+// the next link probe doubles with every consecutive failure, capped at
+// retryCap frames.
+func (r *Runtime) noteDemandFailure() {
+	r.degradedStreak++
+	wait := r.retryBase
+	for i := 1; i < r.degradedStreak && wait < r.retryCap; i++ {
+		wait *= 2
+	}
+	if wait > r.retryCap {
+		wait = r.retryCap
+	}
+	r.degradedWait = wait
+}
 
 // applyHysteresis smooths the per-frame top-1 choice: a challenger must
 // win SwitchHysteresis consecutive frames to displace the committed

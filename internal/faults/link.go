@@ -1,0 +1,96 @@
+package faults
+
+import (
+	"time"
+
+	"anole/internal/netsim"
+)
+
+// Link wraps a netsim.Medium with seeded forced outages and payload
+// corruption. During a forced burst the link reports Down from State,
+// Step and Transfer, whatever the underlying Markov chain says; layered
+// on the chain's natural churn this produces flapping connectivity.
+// Corruption is decided per transfer through CorruptTransfer, which
+// prefetch.LinkFetcher consults when registering a transfer.
+//
+// Like the Link it wraps, a faults.Link is not safe for concurrent use
+// on its own; prefetch.LinkFetcher owns it after construction and steps
+// it under the fetcher's lock.
+type Link struct {
+	inner  netsim.Medium
+	inj    *injector
+	forced int // remaining steps of the current forced outage
+}
+
+var _ netsim.Medium = (*Link)(nil)
+
+// WrapLink wraps inner with the fault schedule derived from cfg.
+func WrapLink(inner netsim.Medium, cfg Config) *Link {
+	if cfg.OutageMeanSteps <= 0 {
+		cfg.OutageMeanSteps = 5
+	}
+	return &Link{inner: inner, inj: newInjector(cfg, "faults-link")}
+}
+
+// State returns the effective link state: Down during a forced outage,
+// otherwise whatever the wrapped link reports.
+func (l *Link) State() netsim.LinkState {
+	if l.forced > 0 {
+		return netsim.Down
+	}
+	return l.inner.State()
+}
+
+// Step advances both the wrapped chain and the outage schedule one frame
+// interval. The chain always steps — a forced outage masks the state, it
+// does not freeze the underlying weather — and a new burst may start
+// with probability OutageRate once the grace window has passed.
+func (l *Link) Step() netsim.LinkState {
+	s := l.inner.Step()
+	l.inj.steps++
+	if l.forced > 0 {
+		l.forced--
+		l.inj.stats.OutageSteps++
+		return netsim.Down
+	}
+	if l.inj.active() && l.inj.cfg.OutageRate > 0 && l.inj.rng.Bool(l.inj.cfg.OutageRate) {
+		// The burst includes this step.
+		l.forced = l.inj.geometric(l.inj.cfg.OutageMeanSteps) - 1
+		l.inj.stats.Outages++
+		l.inj.stats.OutageSteps++
+		return netsim.Down
+	}
+	return s
+}
+
+// Transfer fails (ok=false) during a forced outage, otherwise defers to
+// the wrapped link.
+func (l *Link) Transfer(upBytes, downBytes int64) (time.Duration, bool) {
+	if l.forced > 0 {
+		return 0, false
+	}
+	return l.inner.Transfer(upBytes, downBytes)
+}
+
+// CorruptTransfer reports whether the next registered transfer's payload
+// should arrive damaged; the draw both decides and counts the fault.
+// Implements prefetch.TransferCorrupter.
+func (l *Link) CorruptTransfer() bool {
+	return l.inj.corruptPayload()
+}
+
+// ForceOutage starts a scripted outage of exactly steps Step calls,
+// regardless of rates — deterministic tests use it to place an outage
+// at a known frame and measure recovery.
+func (l *Link) ForceOutage(steps int) {
+	if steps <= 0 {
+		return
+	}
+	if l.forced == 0 {
+		l.inj.stats.Outages++
+	}
+	l.forced = steps
+}
+
+// Stats returns the fault counters so far.
+func (l *Link) Stats() Stats { return l.inj.stats }

@@ -1,0 +1,211 @@
+package faults
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Transport wraps an http.RoundTripper with the HTTP half of the fault
+// schedule: connection-refused outage bursts, synthesized 5xx bursts,
+// pre-response stalls, truncated bodies and bit-flipped payloads. It is
+// safe for concurrent use — fault decisions serialize on a mutex, so
+// with a sequential client (repo.Client retry loops are sequential) the
+// schedule is deterministic in request order.
+type Transport struct {
+	base http.RoundTripper
+
+	mu       sync.Mutex
+	inj      *injector
+	outage   int // remaining requests of the current outage burst
+	errBurst int // remaining requests of the current 5xx burst
+}
+
+var _ http.RoundTripper = (*Transport)(nil)
+
+// ErrInjectedOutage marks a transport error synthesized by the injector;
+// clients see it as an ordinary (retryable) connection failure.
+var ErrInjectedOutage = fmt.Errorf("faults: injected link outage")
+
+// WrapTransport wraps base (nil selects http.DefaultTransport) with the
+// fault schedule derived from cfg.
+func WrapTransport(base http.RoundTripper, cfg Config) *Transport {
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	if cfg.OutageMeanSteps <= 0 {
+		cfg.OutageMeanSteps = 5
+	}
+	if cfg.ErrorBurstMean <= 0 {
+		cfg.ErrorBurstMean = 3
+	}
+	return &Transport{base: base, inj: newInjector(cfg, "faults-transport")}
+}
+
+// verdict is one request's drawn fault plan.
+type verdict struct {
+	outage   bool
+	syn5xx   bool
+	stall    bool
+	truncate bool
+	corrupt  bool
+}
+
+// decide draws this request's faults under the mutex; each request is
+// one injector step.
+func (t *Transport) decide() verdict {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.inj.steps++
+	var v verdict
+	if !t.inj.active() {
+		return v
+	}
+	cfg := &t.inj.cfg
+	switch {
+	case t.outage > 0:
+		t.outage--
+		t.inj.stats.OutageSteps++
+		v.outage = true
+		return v
+	case cfg.OutageRate > 0 && t.inj.rng.Bool(cfg.OutageRate):
+		t.outage = t.inj.geometric(cfg.OutageMeanSteps) - 1
+		t.inj.stats.Outages++
+		t.inj.stats.OutageSteps++
+		v.outage = true
+		return v
+	}
+	if cfg.StallRate > 0 && cfg.Stall > 0 && t.inj.rng.Bool(cfg.StallRate) {
+		t.inj.stats.Stalled++
+		v.stall = true
+	}
+	switch {
+	case t.errBurst > 0:
+		t.errBurst--
+		t.inj.stats.Errors++
+		v.syn5xx = true
+		return v
+	case cfg.ErrorRate > 0 && t.inj.rng.Bool(cfg.ErrorRate):
+		t.errBurst = t.inj.geometric(cfg.ErrorBurstMean) - 1
+		t.inj.stats.Errors++
+		v.syn5xx = true
+		return v
+	}
+	if cfg.TruncateRate > 0 && t.inj.rng.Bool(cfg.TruncateRate) {
+		t.inj.stats.Truncated++
+		v.truncate = true
+		return v // truncation and corruption are mutually exclusive
+	}
+	v.corrupt = t.inj.corruptPayload()
+	return v
+}
+
+// RoundTrip implements http.RoundTripper over the fault plan.
+func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	v := t.decide()
+	if v.stall {
+		select {
+		case <-req.Context().Done():
+			return nil, req.Context().Err()
+		case <-time.After(t.inj.cfg.Stall):
+		}
+	}
+	if v.outage {
+		return nil, ErrInjectedOutage
+	}
+	if v.syn5xx {
+		return synthesized(req, http.StatusServiceUnavailable), nil
+	}
+	resp, err := t.base.RoundTrip(req)
+	if err != nil || resp.StatusCode != http.StatusOK || resp.Body == nil {
+		return resp, err
+	}
+	switch {
+	case v.truncate:
+		resp.Body = truncateBody(resp.Body, resp.ContentLength)
+	case v.corrupt:
+		if err := flipBit(resp); err != nil {
+			resp.Body.Close()
+			return nil, err
+		}
+	}
+	return resp, nil
+}
+
+// Stats returns the fault counters so far.
+func (t *Transport) Stats() Stats {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.inj.stats
+}
+
+// synthesized fabricates an in-band error response, as a flaky proxy or
+// overloaded server would emit.
+func synthesized(req *http.Request, status int) *http.Response {
+	body := fmt.Sprintf("%d %s (injected)", status, http.StatusText(status))
+	return &http.Response{
+		StatusCode:    status,
+		Status:        fmt.Sprintf("%d %s", status, http.StatusText(status)),
+		Proto:         "HTTP/1.1",
+		ProtoMajor:    1,
+		ProtoMinor:    1,
+		Header:        make(http.Header),
+		Body:          io.NopCloser(strings.NewReader(body)),
+		ContentLength: int64(len(body)),
+		Request:       req,
+	}
+}
+
+// truncateBody cuts the body short: after about half the advertised
+// payload the reader fails with io.ErrUnexpectedEOF, as if the peer
+// dropped the connection mid-stream.
+func truncateBody(body io.ReadCloser, contentLength int64) io.ReadCloser {
+	limit := contentLength / 2
+	if limit <= 0 {
+		limit = 1
+	}
+	return &truncatedReader{inner: body, remaining: limit}
+}
+
+type truncatedReader struct {
+	inner     io.ReadCloser
+	remaining int64
+}
+
+func (r *truncatedReader) Read(p []byte) (int, error) {
+	if r.remaining <= 0 {
+		return 0, io.ErrUnexpectedEOF
+	}
+	if int64(len(p)) > r.remaining {
+		p = p[:r.remaining]
+	}
+	n, err := r.inner.Read(p)
+	r.remaining -= int64(n)
+	if err == io.EOF {
+		err = io.ErrUnexpectedEOF
+	}
+	return n, err
+}
+
+func (r *truncatedReader) Close() error { return r.inner.Close() }
+
+// flipBit buffers the body and flips one bit in the middle, preserving
+// Content-Length so the damage is invisible to the transport and only a
+// content checksum can catch it.
+func flipBit(resp *http.Response) error {
+	data, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return fmt.Errorf("faults: buffer body for corruption: %w", err)
+	}
+	if len(data) > 0 {
+		data[len(data)/2] ^= 0x10
+	}
+	resp.Body = io.NopCloser(bytes.NewReader(data))
+	resp.ContentLength = int64(len(data))
+	return nil
+}

@@ -240,3 +240,62 @@ func TestPrefetchNeverEvictsMostRecentlyUsed(t *testing.T) {
 		t.Fatal("single-slot prefetch displaced the in-use model")
 	}
 }
+
+// TestPrefetchPinSurvivesEvictionSweep: a pinned prefetched entry must
+// outlive a full eviction sweep — enough newcomer admissions to churn
+// every other slot several times over — and only become a victim once
+// its first-use window has lapsed.
+func TestPrefetchPinSurvivesEvictionSweep(t *testing.T) {
+	c := MustNew(4, LFU)
+	c.SetPinWindow(100)
+	if _, _, err := c.Prefetch("pinned", 1); err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []string{"a", "b", "c"} {
+		if _, _, err := c.Request(k, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Sweep: 12 distinct newcomers, three full turnovers of the three
+	// unpinned slots. The pin (freq 0, LFU's prime victim otherwise)
+	// must divert every eviction.
+	for i := 0; i < 12; i++ {
+		_, evicted, err := c.Request(sweepKey(i), 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, v := range evicted {
+			if v == "pinned" {
+				t.Fatalf("sweep admission %d evicted the pinned entry", i)
+			}
+		}
+		if !c.Contains("pinned") {
+			t.Fatalf("pinned entry gone after sweep admission %d", i)
+		}
+	}
+	if st := c.Stats(); st.PrefetchWasted != 0 {
+		t.Fatalf("pinned entry counted wasted mid-window: %+v", st)
+	}
+
+	// Burn the rest of the window on an unrelated key; the pin expires
+	// and the entry becomes an ordinary freq-0 victim.
+	for i := 0; i < 100; i++ {
+		c.Touch(sweepKey(11))
+	}
+	_, evicted, err := c.Request("closer", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, v := range evicted {
+		found = found || v == "pinned"
+	}
+	if !found {
+		t.Fatalf("expired pin not evicted, evicted %v", evicted)
+	}
+	if st := c.Stats(); st.PrefetchWasted != 1 {
+		t.Fatalf("expired unused prefetch must count wasted: %+v", st)
+	}
+}
+
+func sweepKey(i int) string { return string(rune('k')) + string(rune('0'+i/10)) + string(rune('0'+i%10)) }

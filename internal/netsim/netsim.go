@@ -93,6 +93,18 @@ func (c Config) Validate() error {
 	return nil
 }
 
+// Medium is the link surface a transfer simulator consumes: the
+// instantaneous state, the per-frame Markov step, and the cost of one
+// transfer at the current state. Link implements it directly; fault
+// injectors (internal/faults) wrap one Medium in another, so everything
+// above the link — prefetch.LinkFetcher in particular — works unchanged
+// over a faulty link.
+type Medium interface {
+	State() LinkState
+	Step() LinkState
+	Transfer(upBytes, downBytes int64) (time.Duration, bool)
+}
+
 // Link is the stateful Markov link. It is not safe for concurrent use.
 type Link struct {
 	cfg   Config
@@ -102,6 +114,8 @@ type Link struct {
 	steps    int
 	downtime int
 }
+
+var _ Medium = (*Link)(nil)
 
 // NewLink creates a link starting in the Good state.
 func NewLink(cfg Config, rng *xrand.RNG) (*Link, error) {

@@ -14,6 +14,19 @@ import (
 // link is in the Down state.
 var ErrLinkDown = errors.New("prefetch: link down")
 
+// ErrCorrupt reports a transfer whose payload arrived damaged — the
+// device's checksum rejected the bytes, so they were quarantined
+// (discarded, never admitted to any store). The background path surfaces
+// it to the scheduler as an ordinary failure; the demand path retries
+// in place.
+var ErrCorrupt = errors.New("prefetch: transfer corrupted (checksum mismatch)")
+
+// TransferCorrupter is implemented by links that can deliver damaged
+// payloads (faults.Link). The fetcher consults it once per registered
+// transfer; a corrupted transfer completes with ErrCorrupt instead of
+// clean bytes. Links that never corrupt simply don't implement it.
+type TransferCorrupter interface{ CorruptTransfer() bool }
+
 // requestBytes is the uplink cost of one model request (headers only;
 // the payload flows downlink).
 const requestBytes = 256
@@ -31,6 +44,10 @@ type pendingXfer struct {
 	done     chan struct{}
 	size     int64
 	notify   func(bytes int64, err error)
+	// err is the transfer's predetermined outcome (ErrCorrupt for a
+	// payload the injector damaged), fixed at registration and read only
+	// after completion.
+	err error
 }
 
 // LinkFetcher is a Fetcher that moves model bytes over a simulated
@@ -51,20 +68,28 @@ type pendingXfer struct {
 // directly afterwards.
 type LinkFetcher struct {
 	mu      sync.Mutex
-	link    *netsim.Link
+	link    netsim.Medium
 	sizes   map[string]int64
 	every   time.Duration
 	now     time.Duration
 	pending []*pendingXfer
+	// downLimit bounds how many frame intervals a demand fetch waits out
+	// an outage before failing with ErrLinkDown (SetDemandDownLimit).
+	downLimit int
 
-	transfers int64
-	simBytes  int64
-	downFails int64
+	transfers   int64
+	simBytes    int64
+	downFails   int64
+	corrupted   int64
+	quarantined int64
 }
 
 // NewLinkFetcher wraps link for the given repertoire. frameInterval ≤ 0
-// selects DefaultFrameInterval.
-func NewLinkFetcher(link *netsim.Link, models []Model, frameInterval time.Duration) (*LinkFetcher, error) {
+// selects DefaultFrameInterval. A link that also implements
+// TransferCorrupter (faults.Link) can deliver damaged payloads; the
+// fetcher quarantines them — corrupt bytes never reach a caller or a
+// cache.
+func NewLinkFetcher(link netsim.Medium, models []Model, frameInterval time.Duration) (*LinkFetcher, error) {
 	if link == nil {
 		return nil, errors.New("prefetch: nil link")
 	}
@@ -81,7 +106,21 @@ func NewLinkFetcher(link *netsim.Link, models []Model, frameInterval time.Durati
 		}
 		sizes[m.Name] = m.Bytes
 	}
-	return &LinkFetcher{link: link, sizes: sizes, every: frameInterval}, nil
+	return &LinkFetcher{link: link, sizes: sizes, every: frameInterval, downLimit: demandDownCap}, nil
+}
+
+// SetDemandDownLimit bounds how many frame intervals FetchModelNow will
+// wait out an outage before failing with ErrLinkDown (default 10000;
+// 0 fails immediately). Chaos and degraded-mode runs set a small limit
+// so an outage costs a bounded stall and the runtime falls back to a
+// resident model instead of freezing the frame.
+func (f *LinkFetcher) SetDemandDownLimit(n int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if n < 0 {
+		n = 0
+	}
+	f.downLimit = n
 }
 
 // Interval returns the simulated duration of one Tick.
@@ -101,12 +140,41 @@ func (f *LinkFetcher) State() netsim.LinkState {
 	return f.link.State()
 }
 
-// Transferred reports completed transfers and their payload bytes
+// Transferred reports completed clean transfers and their payload bytes
 // (background and demand combined).
 func (f *LinkFetcher) Transferred() (count, bytes int64) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	return f.transfers, f.simBytes
+}
+
+// LinkStats is a snapshot of the fetcher's transfer counters.
+type LinkStats struct {
+	// Transfers / Bytes count clean completed transfers and their
+	// payload total.
+	Transfers int64
+	Bytes     int64
+	// DownFails counts fetches refused or abandoned because the link was
+	// down.
+	DownFails int64
+	// Corrupted counts transfers whose payload arrived damaged and was
+	// quarantined (discarded before any admission); Quarantined counts
+	// the demand-path refetches those corruptions forced.
+	Corrupted   int64
+	Quarantined int64
+}
+
+// Stats returns a snapshot of the fetcher's counters.
+func (f *LinkFetcher) Stats() LinkStats {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return LinkStats{
+		Transfers:   f.transfers,
+		Bytes:       f.simBytes,
+		DownFails:   f.downFails,
+		Corrupted:   f.corrupted,
+		Quarantined: f.quarantined,
+	}
 }
 
 // Tick advances the simulated clock one frame interval and steps the
@@ -129,7 +197,9 @@ func (f *LinkFetcher) Tick() {
 
 // collectDueLocked completes due transfers: channel waiters are released
 // in place and callback transfers are returned for notification outside
-// the lock (their transfer counters are settled here, under it).
+// the lock (their transfer counters are settled here, under it). A
+// transfer predetermined to arrive corrupt is quarantined: it counts as
+// a corruption, not a transfer, and completes with ErrCorrupt.
 func (f *LinkFetcher) collectDueLocked() []*pendingXfer {
 	kept := f.pending[:0]
 	var due []*pendingXfer
@@ -138,8 +208,12 @@ func (f *LinkFetcher) collectDueLocked() []*pendingXfer {
 		case p.deadline > f.now:
 			kept = append(kept, p)
 		case p.notify != nil:
-			f.transfers++
-			f.simBytes += p.size
+			if p.err != nil {
+				f.corrupted++
+			} else {
+				f.transfers++
+				f.simBytes += p.size
+			}
 			due = append(due, p)
 		default:
 			close(p.done)
@@ -151,8 +225,28 @@ func (f *LinkFetcher) collectDueLocked() []*pendingXfer {
 
 func notifyDue(due []*pendingXfer) {
 	for _, p := range due {
-		p.notify(p.size, nil)
+		if p.err != nil {
+			p.notify(0, p.err)
+		} else {
+			p.notify(p.size, nil)
+		}
 	}
+}
+
+// registerLocked creates a transfer at the link's current state, drawing
+// its corruption outcome from the link's injector when it has one; f.mu
+// held. ok=false when the link is down.
+func (f *LinkFetcher) registerLocked(size int64, done chan struct{}, notify func(int64, error)) (*pendingXfer, bool) {
+	d, up := f.link.Transfer(requestBytes, size)
+	if !up {
+		return nil, false
+	}
+	p := &pendingXfer{deadline: f.now + d, size: size, done: done, notify: notify}
+	if c, ok := f.link.(TransferCorrupter); ok && c.CorruptTransfer() {
+		p.err = ErrCorrupt
+	}
+	f.pending = append(f.pending, p)
+	return p, true
 }
 
 // StartBackground registers a background transfer at the link's current
@@ -169,14 +263,12 @@ func (f *LinkFetcher) StartBackground(name string, done func(bytes int64, err er
 		f.mu.Unlock()
 		return nil, fmt.Errorf("prefetch: unknown model %q", name)
 	}
-	d, up := f.link.Transfer(requestBytes, size)
+	p, up := f.registerLocked(size, nil, done)
 	if !up {
 		f.downFails++
 		f.mu.Unlock()
 		return nil, ErrLinkDown
 	}
-	p := &pendingXfer{deadline: f.now + d, size: size, notify: done}
-	f.pending = append(f.pending, p)
 	f.mu.Unlock()
 	cancel := func() bool {
 		f.mu.Lock()
@@ -195,7 +287,8 @@ func (f *LinkFetcher) StartBackground(name string, done func(bytes int64, err er
 // FetchModel is the background path: it registers a transfer at the
 // link's current state and blocks until enough Ticks pass (or ctx is
 // cancelled). A Down link fails immediately with ErrLinkDown — the
-// scheduler will simply re-plan later.
+// scheduler will simply re-plan later — and a corrupted arrival fails
+// with ErrCorrupt after the transfer time has elapsed.
 func (f *LinkFetcher) FetchModel(ctx context.Context, name string) (int64, time.Duration, error) {
 	f.mu.Lock()
 	size, ok := f.sizes[name]
@@ -203,19 +296,23 @@ func (f *LinkFetcher) FetchModel(ctx context.Context, name string) (int64, time.
 		f.mu.Unlock()
 		return 0, 0, fmt.Errorf("prefetch: unknown model %q", name)
 	}
-	d, up := f.link.Transfer(requestBytes, size)
+	p, up := f.registerLocked(size, make(chan struct{}), nil)
 	if !up {
 		f.downFails++
 		f.mu.Unlock()
 		return 0, 0, ErrLinkDown
 	}
-	p := &pendingXfer{deadline: f.now + d, done: make(chan struct{})}
-	f.pending = append(f.pending, p)
+	d := p.deadline - f.now
 	f.mu.Unlock()
 
 	select {
 	case <-p.done:
 		f.mu.Lock()
+		if p.err != nil {
+			f.corrupted++
+			f.mu.Unlock()
+			return 0, d, p.err
+		}
 		f.transfers++
 		f.simBytes += size
 		f.mu.Unlock()
@@ -233,15 +330,24 @@ func (f *LinkFetcher) FetchModel(ctx context.Context, name string) (int64, time.
 	}
 }
 
-// demandDownCap bounds how many frame intervals a demand fetch will
-// wait out an outage before giving up.
+// demandDownCap is the default bound on how many frame intervals a
+// demand fetch will wait out an outage before giving up
+// (SetDemandDownLimit overrides it).
 const demandDownCap = 10000
+
+// demandCorruptCap bounds how many corrupted arrivals one demand fetch
+// will quarantine and refetch before giving up; at any corruption rate
+// below certainty the retry loop terminates long before this.
+const demandCorruptCap = 100
 
 // FetchModelNow is the miss path: the device has no model to run, so it
 // waits for the link — stepping frame intervals through an outage if
-// necessary — transfers, and returns the whole stall at once. The
-// simulated clock advances by the stall, which also lets concurrently
-// registered background transfers complete on time.
+// necessary, up to the demand down limit — transfers, and returns the
+// whole stall at once. A payload that arrives corrupted is quarantined
+// and refetched in place, the extra transfer time joining the stall; the
+// caller only ever sees clean bytes. The simulated clock advances by the
+// stall, which also lets concurrently registered background transfers
+// complete on time.
 func (f *LinkFetcher) FetchModelNow(ctx context.Context, name string) (int64, time.Duration, error) {
 	if err := ctx.Err(); err != nil {
 		return 0, 0, err
@@ -253,26 +359,51 @@ func (f *LinkFetcher) FetchModelNow(ctx context.Context, name string) (int64, ti
 		return 0, 0, fmt.Errorf("prefetch: unknown model %q", name)
 	}
 	var stall time.Duration
-	for waited := 0; f.link.State() == netsim.Down; waited++ {
-		if waited >= demandDownCap {
-			f.downFails++
+	waited := 0
+	for attempt := 0; ; attempt++ {
+		for f.link.State() == netsim.Down {
+			if waited >= f.downLimit {
+				f.downFails++
+				f.mu.Unlock()
+				return 0, stall, fmt.Errorf("prefetch: %w after %d frames fetching %q", ErrLinkDown, waited, name)
+			}
+			waited++
+			f.now += f.every
+			stall += f.every
+			for _, p := range f.pending {
+				p.deadline += f.every
+			}
+			f.link.Step()
+		}
+		d, up := f.link.Transfer(requestBytes, size)
+		if !up {
+			// The link can drop between the outage wait and the transfer
+			// (a fault injector forcing Down mid-loop); re-enter the wait.
+			continue
+		}
+		f.now += d
+		stall += d
+		corrupt := false
+		if c, ok := f.link.(TransferCorrupter); ok && c.CorruptTransfer() {
+			corrupt = true
+		}
+		if !corrupt {
+			due := f.collectDueLocked()
+			f.transfers++
+			f.simBytes += size
 			f.mu.Unlock()
-			return 0, 0, fmt.Errorf("prefetch: link down for %d frames fetching %q", demandDownCap, name)
+			notifyDue(due)
+			return size, stall, nil
 		}
-		f.now += f.every
-		stall += f.every
-		for _, p := range f.pending {
-			p.deadline += f.every
+		// Quarantine: the bytes failed their checksum and are discarded;
+		// pay the wasted transfer and fetch again.
+		f.corrupted++
+		f.quarantined++
+		if attempt+1 >= demandCorruptCap {
+			due := f.collectDueLocked()
+			f.mu.Unlock()
+			notifyDue(due)
+			return 0, stall, fmt.Errorf("prefetch: %w %d times fetching %q", ErrCorrupt, demandCorruptCap, name)
 		}
-		f.link.Step()
 	}
-	d, _ := f.link.Transfer(requestBytes, size)
-	f.now += d
-	stall += d
-	due := f.collectDueLocked()
-	f.transfers++
-	f.simBytes += size
-	f.mu.Unlock()
-	notifyDue(due)
-	return size, stall, nil
 }

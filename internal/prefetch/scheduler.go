@@ -7,6 +7,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"anole/internal/breaker"
 )
 
 // Fetcher moves one model's bytes from the repository to the device.
@@ -87,6 +89,14 @@ type Config struct {
 	MaxInFlight int
 	// Smoothing is the Markov Laplace pseudo-count (≤0 selects 1).
 	Smoothing float64
+	// Breaker, when non-nil, is the circuit breaker shared with the
+	// fetch path. Every fetch outcome — background or demand — feeds it;
+	// while it is open, Plan issues no prefetches (the link is known
+	// bad, speculative traffic would only pile failures on it). The
+	// demand path still fetches — a miss has no alternative — and a
+	// successful fetch while the breaker is half-open closes it, which
+	// resumes prefetching: recovery needs no extra machinery.
+	Breaker *breaker.Breaker
 }
 
 // SchedulerStats is a snapshot of the scheduler's counters.
@@ -101,6 +111,11 @@ type SchedulerStats struct {
 	Failed    int64
 	// SkippedBudget counts predictions dropped by BudgetBytes.
 	SkippedBudget int64
+	// SkippedBreaker counts Plans dropped whole because the shared
+	// circuit breaker was open; BreakerOpens is how many times that
+	// breaker has tripped (both zero without a breaker).
+	SkippedBreaker int64
+	BreakerOpens   int64
 	// PrefetchedBytes is the payload total of completed prefetches.
 	PrefetchedBytes int64
 	// DemandFetches / DemandFailures / DemandBytes / DemandStall
@@ -142,6 +157,7 @@ type Scheduler struct {
 
 	issued, completed, cancelled, failed atomic.Int64
 	skippedBudget, prefetchedBytes       atomic.Int64
+	skippedBreaker                       atomic.Int64
 	demandFetches, demandFailures        atomic.Int64
 	demandBytes, demandStallNs           atomic.Int64
 }
@@ -208,6 +224,13 @@ func (s *Scheduler) Tick() {
 // dropped — the miss path owns the link.
 func (s *Scheduler) Plan(current int) {
 	if s.cfg.TopK < 0 {
+		return
+	}
+	if br := s.cfg.Breaker; br != nil && !br.Allow() {
+		// The link is known bad; speculative traffic would only pile
+		// failures on it. The demand path still probes, and its first
+		// success closes the breaker, resuming prefetching here.
+		s.skippedBreaker.Add(1)
 		return
 	}
 	preds := s.markov.TopK(current, s.cfg.TopK)
@@ -291,6 +314,7 @@ func (s *Scheduler) startLocked(idx int) {
 			delete(s.inflight, idx)
 		}
 		s.mu.Unlock()
+		s.recordOutcome(err)
 		switch {
 		case err == nil:
 			// Slot-unit admission, matching the runtime's Request size.
@@ -320,10 +344,28 @@ func (s *Scheduler) startBackgroundLocked(bs BackgroundStarter, idx int) {
 	s.issued.Add(1)
 	if err != nil {
 		s.failed.Add(1)
+		s.recordOutcome(err)
 		return
 	}
 	fl.cancelBG = cancel
 	s.inflight[idx] = fl
+}
+
+// recordOutcome feeds one fetch outcome to the shared breaker (a no-op
+// without one). Cancellations are neither success nor failure — they say
+// nothing about the link.
+func (s *Scheduler) recordOutcome(err error) {
+	br := s.cfg.Breaker
+	if br == nil {
+		return
+	}
+	switch {
+	case err == nil:
+		br.Success()
+	case errors.Is(err, context.Canceled):
+	default:
+		br.Failure()
+	}
 }
 
 // finishBackground settles one tick-synchronous flight. It runs inside
@@ -345,6 +387,7 @@ func (s *Scheduler) finishBackground(idx int, fl *flight, bytes int64, err error
 		s.cancelled.Add(1)
 		return
 	}
+	s.recordOutcome(err)
 	if err != nil {
 		s.failed.Add(1)
 		return
@@ -383,6 +426,7 @@ func (s *Scheduler) DemandFetch(ctx context.Context, model int) (time.Duration, 
 	}()
 
 	bytes, d, err := s.cfg.Fetcher.FetchModelNow(ctx, s.models[model].Name)
+	s.recordOutcome(err)
 	if err != nil {
 		s.demandFailures.Add(1)
 		return 0, err
@@ -403,12 +447,13 @@ func (s *Scheduler) Contains(model int) bool {
 
 // Stats returns a snapshot of the scheduler counters.
 func (s *Scheduler) Stats() SchedulerStats {
-	return SchedulerStats{
+	st := SchedulerStats{
 		Issued:          s.issued.Load(),
 		Completed:       s.completed.Load(),
 		Cancelled:       s.cancelled.Load(),
 		Failed:          s.failed.Load(),
 		SkippedBudget:   s.skippedBudget.Load(),
+		SkippedBreaker:  s.skippedBreaker.Load(),
 		PrefetchedBytes: s.prefetchedBytes.Load(),
 		DemandFetches:   s.demandFetches.Load(),
 		DemandFailures:  s.demandFailures.Load(),
@@ -416,7 +461,15 @@ func (s *Scheduler) Stats() SchedulerStats {
 		DemandStall:     time.Duration(s.demandStallNs.Load()),
 		Observations:    s.markov.Observations(),
 	}
+	if s.cfg.Breaker != nil {
+		st.BreakerOpens = s.cfg.Breaker.Opens()
+	}
+	return st
 }
+
+// Breaker returns the scheduler's shared circuit breaker (nil without
+// one).
+func (s *Scheduler) Breaker() *breaker.Breaker { return s.cfg.Breaker }
 
 // Close cancels every in-flight prefetch and waits for the background
 // goroutines to drain. The scheduler is unusable afterwards.

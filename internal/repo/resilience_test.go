@@ -1,0 +1,361 @@
+package repo
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"anole/internal/breaker"
+	"anole/internal/testutil"
+)
+
+// truncatingHandler serves the inner handler's responses but cuts the
+// first `cut` bodies short mid-stream: the advertised Content-Length is
+// honest, the bytes are not, so the client's read fails partway.
+type truncatingHandler struct {
+	inner http.Handler
+	cut   atomic.Int64
+	hits  atomic.Int64
+}
+
+func (h *truncatingHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	h.hits.Add(1)
+	if h.cut.Add(-1) < 0 {
+		h.inner.ServeHTTP(w, r)
+		return
+	}
+	rec := httptest.NewRecorder()
+	h.inner.ServeHTTP(rec, r)
+	body := rec.Body.Bytes()
+	w.Header().Set("Content-Length", fmt.Sprint(len(body)))
+	w.WriteHeader(rec.Code)
+	// Write half the payload and return: the server closes the
+	// connection with the response incomplete.
+	w.Write(body[:len(body)/2])
+	if f, ok := w.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+func TestClientRetriesMidStreamTruncation(t *testing.T) {
+	fx := testutil.Shared(t)
+	srv, err := NewServer(fx.Bundle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := &truncatingHandler{inner: srv.Handler()}
+	h.cut.Store(1)
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+
+	// Without retries the truncated body is a hard failure…
+	noRetry := Client{BaseURL: ts.URL}
+	if _, err := noRetry.FetchBundle(context.Background()); err == nil {
+		t.Fatal("truncated fetch succeeded without retries")
+	}
+
+	// …with one retry the second, whole response recovers the fetch.
+	h.cut.Store(1)
+	h.hits.Store(0)
+	c := Client{BaseURL: ts.URL, Retries: 2, RetryDelay: time.Millisecond}
+	b, err := c.FetchBundle(context.Background())
+	if err != nil {
+		t.Fatalf("retry did not recover from mid-stream truncation: %v", err)
+	}
+	if err := b.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := h.hits.Load(); got != 2 {
+		t.Fatalf("server saw %d attempts, want 2 (truncated + whole)", got)
+	}
+}
+
+func TestManifestCarriesContentDigests(t *testing.T) {
+	fx := testutil.Shared(t)
+	srv, err := NewServer(fx.Bundle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	c := Client{BaseURL: ts.URL}
+	m, err := c.FetchManifest(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.BundleSHA256) != 64 {
+		t.Fatalf("bundle digest %q, want 64 hex chars", m.BundleSHA256)
+	}
+	data, err := c.get(context.Background(), "/v1/bundle")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if digestFor(data) != m.BundleSHA256 {
+		t.Fatal("bundle digest does not match the served payload")
+	}
+	if len(m.Models) == 0 {
+		t.Fatal("manifest lists no models")
+	}
+	for _, mm := range m.Models {
+		if len(mm.SHA256) != 64 {
+			t.Fatalf("model %q digest %q, want 64 hex chars", mm.Name, mm.SHA256)
+		}
+		payload, err := c.FetchModelVerified(context.Background(), mm.Name, mm.SHA256)
+		if err != nil {
+			t.Fatalf("verified fetch of %q against its manifest digest: %v", mm.Name, err)
+		}
+		if int64(len(payload)) == 0 {
+			t.Fatalf("model %q payload empty", mm.Name)
+		}
+	}
+	if got := c.Quarantined(); got != 0 {
+		t.Fatalf("%d payloads quarantined on a clean path", got)
+	}
+}
+
+// corruptingHandler flips one byte in the first `bad` response bodies,
+// preserving length — only a content digest can catch it.
+type corruptingHandler struct {
+	inner http.Handler
+	bad   atomic.Int64
+}
+
+func (h *corruptingHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	rec := httptest.NewRecorder()
+	h.inner.ServeHTTP(rec, r)
+	body := rec.Body.Bytes()
+	if h.bad.Add(-1) >= 0 && len(body) > 0 {
+		body = bytes.Clone(body)
+		body[len(body)/2] ^= 0x01
+	}
+	w.Header().Set("Content-Length", fmt.Sprint(len(body)))
+	w.WriteHeader(rec.Code)
+	w.Write(body)
+}
+
+func TestClientFetchModelVerifiedQuarantinesCorruption(t *testing.T) {
+	fx := testutil.Shared(t)
+	srv, err := NewServer(fx.Bundle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := &corruptingHandler{inner: srv.Handler()}
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+
+	c := Client{BaseURL: ts.URL, VerifyRetries: 2}
+	m, err := c.FetchManifest(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	name, digest := m.Models[0].Name, m.Models[0].SHA256
+
+	// One corrupted response: quarantined, refetched, served clean.
+	h.bad.Store(1)
+	data, err := c.FetchModelVerified(context.Background(), name, digest)
+	if err != nil {
+		t.Fatalf("refetch after quarantine failed: %v", err)
+	}
+	if digestFor(data) != digest {
+		t.Fatal("returned payload does not match the digest")
+	}
+	if got := c.Quarantined(); got != 1 {
+		t.Fatalf("quarantined %d, want 1", got)
+	}
+
+	// Persistent corruption: every fetch is quarantined; corrupt bytes
+	// are never returned.
+	h.bad.Store(1 << 30)
+	if _, err := c.FetchModelVerified(context.Background(), name, digest); err == nil {
+		t.Fatal("persistently corrupted model fetch succeeded")
+	} else if !strings.Contains(err.Error(), "quarantined") {
+		t.Fatalf("error %q does not mention quarantine", err)
+	}
+	if got := c.Quarantined(); got != 1+int64(c.verifyRetries())+1 {
+		t.Fatalf("quarantined %d, want %d", got, 1+c.verifyRetries()+1)
+	}
+}
+
+func TestClientBundleChecksumQuarantine(t *testing.T) {
+	fx := testutil.Shared(t)
+	srv, err := NewServer(fx.Bundle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := &corruptingHandler{inner: srv.Handler()}
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+
+	// The bundle format's own checksum rejects the damaged payload; the
+	// client quarantines and refetches.
+	h.bad.Store(1)
+	c := Client{BaseURL: ts.URL}
+	b, err := c.FetchBundle(context.Background())
+	if err != nil {
+		t.Fatalf("refetch after bundle quarantine failed: %v", err)
+	}
+	if err := b.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Quarantined(); got != 1 {
+		t.Fatalf("quarantined %d, want 1", got)
+	}
+}
+
+func TestClientBreakerFailsFastAndRecovers(t *testing.T) {
+	fx := testutil.Shared(t)
+	srv, err := NewServer(fx.Bundle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var broken atomic.Bool
+	var hits atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		if broken.Load() {
+			http.Error(w, "down", http.StatusServiceUnavailable)
+			return
+		}
+		srv.Handler().ServeHTTP(w, r)
+	}))
+	defer ts.Close()
+
+	var mu sync.Mutex
+	var now time.Duration
+	clock := func() time.Duration { mu.Lock(); defer mu.Unlock(); return now }
+	advance := func(d time.Duration) { mu.Lock(); now += d; mu.Unlock() }
+
+	br := breaker.New(breaker.Config{FailureThreshold: 2, Cooldown: time.Second, Now: clock})
+	c := Client{BaseURL: ts.URL, Breaker: br}
+
+	// Two failures open the breaker.
+	broken.Store(true)
+	for i := 0; i < 2; i++ {
+		if _, err := c.FetchManifest(context.Background()); err == nil {
+			t.Fatal("fetch against a 503 server succeeded")
+		}
+	}
+	if br.State() != breaker.Open {
+		t.Fatalf("breaker %v after threshold failures, want open", br.State())
+	}
+
+	// While open, fetches fail fast without touching the server.
+	before := hits.Load()
+	if _, err := c.FetchManifest(context.Background()); !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("err = %v, want ErrBreakerOpen", err)
+	}
+	if hits.Load() != before {
+		t.Fatal("open breaker let a request through")
+	}
+
+	// After the cooldown the half-open probe goes through; its success
+	// closes the breaker.
+	broken.Store(false)
+	advance(2 * time.Second)
+	if _, err := c.FetchManifest(context.Background()); err != nil {
+		t.Fatalf("half-open probe failed: %v", err)
+	}
+	if br.State() != breaker.Closed {
+		t.Fatalf("breaker %v after probe success, want closed", br.State())
+	}
+}
+
+func TestClientBreakerIgnoresCallerCancellation(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		<-r.Context().Done()
+	}))
+	defer ts.Close()
+
+	br := breaker.New(breaker.Config{FailureThreshold: 1})
+	c := Client{BaseURL: ts.URL, Breaker: br}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	if _, err := c.FetchManifest(ctx); err == nil {
+		t.Fatal("cancelled fetch succeeded")
+	}
+	// The caller gave up; that says nothing about the path, so the
+	// breaker must not trip.
+	if br.State() != breaker.Closed {
+		t.Fatalf("breaker %v after caller cancellation, want closed", br.State())
+	}
+}
+
+func TestClientAttemptTimeoutBoundsStalls(t *testing.T) {
+	fx := testutil.Shared(t)
+	srv, err := NewServer(fx.Bundle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := &stallOnceHandler{inner: srv.Handler(), stall: time.Hour, stalled: make(map[string]bool)}
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+
+	// No overall HTTP timeout: only AttemptTimeout cuts the stall.
+	c := Client{
+		BaseURL:        ts.URL,
+		HTTPClient:     &http.Client{},
+		AttemptTimeout: 100 * time.Millisecond,
+		Retries:        1,
+		RetryDelay:     time.Millisecond,
+	}
+	start := time.Now()
+	if _, err := c.FetchManifest(context.Background()); err != nil {
+		t.Fatalf("retry after attempt timeout failed: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("stalled attempt was not cut by AttemptTimeout (%v)", elapsed)
+	}
+}
+
+func TestClientBackoffSchedule(t *testing.T) {
+	c := Client{RetryDelay: 100 * time.Millisecond, BackoffFactor: 2, MaxRetryDelay: 500 * time.Millisecond}
+	want := []time.Duration{
+		100 * time.Millisecond,
+		200 * time.Millisecond,
+		400 * time.Millisecond,
+		500 * time.Millisecond, // capped
+		500 * time.Millisecond,
+	}
+	for i, w := range want {
+		if got := c.attemptDelay(i + 1); got != w {
+			t.Fatalf("attempt %d delay %v, want %v", i+1, got, w)
+		}
+	}
+}
+
+func TestClientBackoffJitterIsSeededAndBounded(t *testing.T) {
+	mk := func() *Client {
+		return &Client{
+			RetryDelay:    100 * time.Millisecond,
+			BackoffFactor: 1,
+			JitterFrac:    0.5,
+			JitterSeed:    7,
+		}
+	}
+	a, b := mk(), mk()
+	varied := false
+	for i := 1; i <= 50; i++ {
+		da, db := a.attemptDelay(i), b.attemptDelay(i)
+		if da != db {
+			t.Fatalf("attempt %d: same seed produced %v vs %v", i, da, db)
+		}
+		if da < 50*time.Millisecond || da > 150*time.Millisecond {
+			t.Fatalf("attempt %d delay %v outside ±50%% jitter band", i, da)
+		}
+		if da != 100*time.Millisecond {
+			varied = true
+		}
+	}
+	if !varied {
+		t.Fatal("jitter never moved the delay")
+	}
+}

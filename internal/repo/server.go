@@ -5,14 +5,20 @@ import (
 	"context"
 	"crypto/sha256"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"math"
 	"net/http"
 	"net/url"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
+	"anole/internal/breaker"
 	"anole/internal/core"
+	"anole/internal/xrand"
 )
 
 // Manifest is the JSON summary a device can inspect before committing to
@@ -22,6 +28,11 @@ type Manifest struct {
 	FeatDim     int             `json:"featDim"`
 	EmbedDim    int             `json:"embedDim"`
 	BundleBytes int             `json:"bundleBytes"`
+	// BundleSHA256 is the hex SHA-256 of the bundle payload. Unlike the
+	// transport-level ETag it travels inside the manifest, so a device
+	// can verify downloaded content end-to-end — through any proxy or
+	// cache — against what the repository intended to serve.
+	BundleSHA256 string `json:"bundleSha256"`
 }
 
 // ManifestModel summarizes one repertoire model.
@@ -33,6 +44,10 @@ type ManifestModel struct {
 	ValF1       float64 `json:"valF1"`
 	WeightBytes int64   `json:"weightBytes"`
 	SceneCount  int     `json:"sceneCount"`
+	// SHA256 is the hex digest of this model's serialized network, for
+	// client-side verification of per-model downloads (see
+	// Client.FetchModelVerified).
+	SHA256 string `json:"sha256"`
 }
 
 // Server serves a profiled bundle to devices over HTTP:
@@ -60,9 +75,16 @@ type blobWithTag struct {
 	etag string
 }
 
-// etagFor returns the strong ETag of a payload: the quoted hex SHA-256.
+// digestFor returns the hex SHA-256 of a payload — the manifest's
+// content digest.
+func digestFor(data []byte) string {
+	return fmt.Sprintf("%x", sha256.Sum256(data))
+}
+
+// etagFor returns the strong ETag of a payload: the quoted hex SHA-256
+// (the same digest the manifest carries, in transport dress).
 func etagFor(data []byte) string {
-	return fmt.Sprintf("%q", fmt.Sprintf("%x", sha256.Sum256(data)))
+	return fmt.Sprintf("%q", digestFor(data))
 }
 
 // NewServer prepares a server for the bundle.
@@ -75,12 +97,17 @@ func NewServer(b *core.Bundle) (*Server, error) {
 		return nil, err
 	}
 	m := Manifest{
-		FeatDim:     b.FeatDim,
-		EmbedDim:    b.Encoder.EmbedDim(),
-		BundleBytes: buf.Len(),
+		FeatDim:      b.FeatDim,
+		EmbedDim:     b.Encoder.EmbedDim(),
+		BundleBytes:  buf.Len(),
+		BundleSHA256: digestFor(buf.Bytes()),
 	}
 	models := make(map[string]blobWithTag, len(b.Detectors))
 	for i, det := range b.Detectors {
+		var mbuf bytes.Buffer
+		if _, err := det.Net.WriteTo(&mbuf); err != nil {
+			return nil, fmt.Errorf("repo: serialize model %q: %w", det.Name, err)
+		}
 		m.Models = append(m.Models, ManifestModel{
 			Name:        det.Name,
 			Arch:        det.Arch.Name,
@@ -89,11 +116,8 @@ func NewServer(b *core.Bundle) (*Server, error) {
 			ValF1:       b.Infos[i].ValF1,
 			WeightBytes: det.Net.WeightBytes(),
 			SceneCount:  len(b.Infos[i].TrainScenes),
+			SHA256:      digestFor(mbuf.Bytes()),
 		})
-		var mbuf bytes.Buffer
-		if _, err := det.Net.WriteTo(&mbuf); err != nil {
-			return nil, fmt.Errorf("repo: serialize model %q: %w", det.Name, err)
-		}
 		models[det.Name] = blobWithTag{data: mbuf.Bytes(), etag: etagFor(mbuf.Bytes())}
 	}
 	mjson, err := json.Marshal(m)
@@ -173,9 +197,14 @@ func (s *Server) Handler() http.Handler {
 // Manifest returns the server's manifest.
 func (s *Server) Manifest() Manifest { return s.manifest }
 
+// ErrBreakerOpen reports a fetch refused because the client's circuit
+// breaker is open: recent attempts failed, so the client fails fast
+// instead of stacking more load on a struggling path.
+var ErrBreakerOpen = errors.New("repo: circuit breaker open")
+
 // Client downloads bundles from a repository server. The zero value uses
 // http.DefaultClient with a 30 s timeout and no retries. Client is safe
-// for concurrent use.
+// for concurrent use, but must not be copied after first use.
 type Client struct {
 	// BaseURL is the repository root, e.g. "http://cloud:8080".
 	BaseURL string
@@ -183,12 +212,90 @@ type Client struct {
 	HTTPClient *http.Client
 	// Retries is the number of additional attempts after a failed
 	// fetch (default 0). Transport errors — including client-side
-	// timeouts against a stalled server — and 5xx statuses are
-	// retried; other statuses are not. A cancelled context always
-	// stops immediately.
+	// timeouts against a stalled server and bodies that fail or cut
+	// short mid-stream — and 5xx statuses are retried; other statuses
+	// are not. A cancelled context always stops immediately.
 	Retries int
-	// RetryDelay spaces attempts (default 100ms when Retries > 0).
-	RetryDelay time.Duration
+	// RetryDelay spaces attempts (default 100ms when Retries > 0); each
+	// further attempt multiplies it by BackoffFactor (default 2 —
+	// exponential backoff; 1 keeps the spacing constant), capped at
+	// MaxRetryDelay (default 2s).
+	RetryDelay    time.Duration
+	BackoffFactor float64
+	MaxRetryDelay time.Duration
+	// JitterFrac spreads every delay by a uniform factor in [1-f, 1+f]
+	// (0 = none, clamped to 1). Jitter decorrelates retry storms across
+	// a fleet of devices; the stream is seeded from JitterSeed, so a
+	// given client's schedule is reproducible.
+	JitterFrac float64
+	JitterSeed uint64
+	// AttemptTimeout bounds each individual attempt, connect through
+	// last body byte (0 = only HTTPClient's own timeout applies). With
+	// it, a stalled server costs one attempt, not the whole fetch.
+	AttemptTimeout time.Duration
+	// Breaker, when non-nil, is consulted before every attempt and fed
+	// every attempt's outcome. While open, fetches fail fast with an
+	// error wrapping ErrBreakerOpen. Sharing one breaker between the
+	// client and a prefetch scheduler makes demand failures pause
+	// speculative traffic too.
+	Breaker *breaker.Breaker
+	// VerifyRetries is how many refetches a checksum-failed payload
+	// earns (default 2). A payload whose digest or checksum does not
+	// match is quarantined — counted and discarded, never returned.
+	VerifyRetries int
+
+	jitterMu    sync.Mutex
+	jitter      *xrand.RNG
+	quarantined atomic.Int64
+}
+
+// Quarantined reports how many fetched payloads failed verification and
+// were discarded.
+func (c *Client) Quarantined() int64 { return c.quarantined.Load() }
+
+// verifyRetries returns the quarantine refetch budget.
+func (c *Client) verifyRetries() int {
+	if c.VerifyRetries > 0 {
+		return c.VerifyRetries
+	}
+	return 2
+}
+
+// attemptDelay returns the backoff before retry `attempt` (1-based):
+// RetryDelay · BackoffFactor^(attempt-1), capped at MaxRetryDelay, then
+// jittered.
+func (c *Client) attemptDelay(attempt int) time.Duration {
+	base := c.RetryDelay
+	if base <= 0 {
+		base = 100 * time.Millisecond
+	}
+	factor := c.BackoffFactor
+	if factor == 0 {
+		factor = 2
+	}
+	if factor < 1 {
+		factor = 1
+	}
+	d := float64(base) * math.Pow(factor, float64(attempt-1))
+	limit := c.MaxRetryDelay
+	if limit <= 0 {
+		limit = 2 * time.Second
+	}
+	if d > float64(limit) {
+		d = float64(limit)
+	}
+	if f := c.JitterFrac; f > 0 {
+		if f > 1 {
+			f = 1
+		}
+		c.jitterMu.Lock()
+		if c.jitter == nil {
+			c.jitter = xrand.NewLabeled(c.JitterSeed, "repo-client-jitter")
+		}
+		d *= 1 + c.jitter.Range(-f, f)
+		c.jitterMu.Unlock()
+	}
+	return time.Duration(d)
 }
 
 func (c *Client) httpClient() *http.Client {
@@ -201,26 +308,38 @@ func (c *Client) httpClient() *http.Client {
 // FetchManifest downloads and decodes the repository manifest.
 func (c *Client) FetchManifest(ctx context.Context) (Manifest, error) {
 	var m Manifest
-	body, err := c.get(ctx, "/v1/manifest")
+	data, err := c.get(ctx, "/v1/manifest")
 	if err != nil {
 		return m, err
 	}
-	defer body.Close()
-	if err := json.NewDecoder(body).Decode(&m); err != nil {
+	if err := json.Unmarshal(data, &m); err != nil {
 		return m, fmt.Errorf("repo: decode manifest: %w", err)
 	}
 	return m, nil
 }
 
 // FetchBundle downloads and deserializes the full bundle — the device's
-// one-time offline download before inference begins.
+// one-time offline download before inference begins. A payload the
+// bundle format's checksum rejects is quarantined and refetched up to
+// VerifyRetries times; corrupt bytes are never returned.
 func (c *Client) FetchBundle(ctx context.Context) (*core.Bundle, error) {
-	body, err := c.get(ctx, "/v1/bundle")
-	if err != nil {
-		return nil, err
+	var lastErr error
+	for attempt := 0; attempt <= c.verifyRetries(); attempt++ {
+		data, err := c.get(ctx, "/v1/bundle")
+		if err != nil {
+			return nil, err
+		}
+		b, err := ReadBundle(bytes.NewReader(data))
+		if err == nil {
+			return b, nil
+		}
+		c.quarantined.Add(1)
+		lastErr = err
+		if ctx.Err() != nil {
+			break
+		}
 	}
-	defer body.Close()
-	return ReadBundle(body)
+	return nil, fmt.Errorf("repo: bundle quarantined after %d fetches: %w", c.verifyRetries()+1, lastErr)
 }
 
 // FetchBundleConditional revalidates a previously downloaded bundle:
@@ -229,12 +348,11 @@ func (c *Client) FetchBundle(ctx context.Context) (*core.Bundle, error) {
 // an empty etag) it behaves like FetchBundle and returns the new ETag
 // for the next revalidation.
 func (c *Client) FetchBundleConditional(ctx context.Context, etag string) (b *core.Bundle, newETag string, notModified bool, err error) {
-	body, newETag, notModified, err := c.getConditional(ctx, "/v1/bundle", etag)
+	data, newETag, notModified, err := c.getConditional(ctx, "/v1/bundle", etag)
 	if err != nil || notModified {
 		return nil, newETag, notModified, err
 	}
-	defer body.Close()
-	b, err = ReadBundle(body)
+	b, err = ReadBundle(bytes.NewReader(data))
 	return b, newETag, false, err
 }
 
@@ -249,16 +367,33 @@ func modelPath(name string) string { return "/v1/model/" + url.PathEscape(name) 
 // demand paths cost the same wall-clock time.
 func (c *Client) FetchModel(ctx context.Context, name string) (int64, time.Duration, error) {
 	start := time.Now()
-	body, err := c.get(ctx, modelPath(name))
+	data, err := c.get(ctx, modelPath(name))
 	if err != nil {
 		return 0, 0, err
 	}
-	defer body.Close()
-	n, err := io.Copy(io.Discard, body)
-	if err != nil {
-		return 0, 0, fmt.Errorf("repo: read model %q: %w", name, err)
+	return int64(len(data)), time.Since(start), nil
+}
+
+// FetchModelVerified downloads one model's bytes and verifies them
+// against the manifest's hex SHA-256 digest. A mismatched payload is
+// quarantined — counted and discarded, never returned — and refetched
+// up to VerifyRetries times, so a bit-flip on the path costs a retry,
+// not a poisoned cache. An empty digest skips verification.
+func (c *Client) FetchModelVerified(ctx context.Context, name, sha256hex string) ([]byte, error) {
+	for attempt := 0; attempt <= c.verifyRetries(); attempt++ {
+		data, err := c.get(ctx, modelPath(name))
+		if err != nil {
+			return nil, err
+		}
+		if sha256hex == "" || digestFor(data) == sha256hex {
+			return data, nil
+		}
+		c.quarantined.Add(1)
+		if ctx.Err() != nil {
+			break
+		}
 	}
-	return n, time.Since(start), nil
+	return nil, fmt.Errorf("repo: model %q quarantined after %d fetches: digest mismatch", name, c.verifyRetries()+1)
 }
 
 // FetchModelNow is the demand-path twin of FetchModel; for an HTTP
@@ -271,42 +406,36 @@ func (c *Client) FetchModelNow(ctx context.Context, name string) (int64, time.Du
 // returns (nil, etag, true, nil) for the cost of the headers; otherwise
 // the serialized network and its new ETag are returned.
 func (c *Client) FetchModelConditional(ctx context.Context, name, etag string) (data []byte, newETag string, notModified bool, err error) {
-	body, newETag, notModified, err := c.getConditional(ctx, modelPath(name), etag)
-	if err != nil || notModified {
-		return nil, newETag, notModified, err
-	}
-	defer body.Close()
-	data, err = io.ReadAll(body)
-	if err != nil {
-		return nil, newETag, false, fmt.Errorf("repo: read model %q: %w", name, err)
-	}
-	return data, newETag, false, nil
+	return c.getConditional(ctx, modelPath(name), etag)
 }
 
-func (c *Client) get(ctx context.Context, path string) (io.ReadCloser, error) {
-	body, _, _, err := c.getConditional(ctx, path, "")
-	return body, err
+func (c *Client) get(ctx context.Context, path string) ([]byte, error) {
+	data, _, _, err := c.getConditional(ctx, path, "")
+	return data, err
 }
 
 // getConditional performs the retrying GET; a non-empty etag is sent as
-// If-None-Match, and a 304 answer yields notModified with a nil body.
-func (c *Client) getConditional(ctx context.Context, path, etag string) (io.ReadCloser, string, bool, error) {
-	delay := c.RetryDelay
-	if delay <= 0 {
-		delay = 100 * time.Millisecond
-	}
+// If-None-Match, and a 304 answer yields notModified with nil data. The
+// whole body is buffered inside the retry loop, so failures while
+// reading it mid-stream — a dropped connection, a truncated payload —
+// are retried exactly like connect failures.
+func (c *Client) getConditional(ctx context.Context, path, etag string) (data []byte, newETag string, notModified bool, err error) {
 	var lastErr error
 	for attempt := 0; attempt <= c.Retries; attempt++ {
 		if attempt > 0 {
 			select {
 			case <-ctx.Done():
 				return nil, "", false, fmt.Errorf("repo: fetch %s: %w", path, ctx.Err())
-			case <-time.After(delay):
+			case <-time.After(c.attemptDelay(attempt)):
 			}
 		}
-		body, newETag, notModified, retryable, err := c.fetchOnce(ctx, path, etag)
+		if br := c.Breaker; br != nil && !br.Allow() {
+			return nil, "", false, fmt.Errorf("repo: fetch %s: %w", path, ErrBreakerOpen)
+		}
+		data, newETag, notModified, retryable, err := c.fetchOnce(ctx, path, etag)
+		c.recordOutcome(ctx, retryable, err)
 		if err == nil {
-			return body, newETag, notModified, nil
+			return data, newETag, notModified, nil
 		}
 		lastErr = err
 		if !retryable || ctx.Err() != nil {
@@ -316,9 +445,33 @@ func (c *Client) getConditional(ctx context.Context, path, etag string) (io.Read
 	return nil, "", false, lastErr
 }
 
-// fetchOnce performs a single GET; retryable reports whether a failure
-// is worth another attempt (transport errors and 5xx responses).
-func (c *Client) fetchOnce(ctx context.Context, path, etag string) (body io.ReadCloser, newETag string, notModified, retryable bool, err error) {
+// recordOutcome feeds one attempt's result to the breaker (no-op
+// without one). Only link-health signals move it: a clean response is a
+// success; a retryable failure (transport error, per-attempt timeout,
+// 5xx, damaged body) a failure — unless the caller's own context ended,
+// which says nothing about the path. Non-retryable statuses mean the
+// server answered and leave the breaker alone.
+func (c *Client) recordOutcome(ctx context.Context, retryable bool, err error) {
+	if c.Breaker == nil {
+		return
+	}
+	switch {
+	case err == nil:
+		c.Breaker.Success()
+	case retryable && ctx.Err() == nil:
+		c.Breaker.Failure()
+	}
+}
+
+// fetchOnce performs a single GET, reading the entire body; retryable
+// reports whether a failure is worth another attempt (transport errors,
+// 5xx responses, and bodies that fail or come up short mid-stream).
+func (c *Client) fetchOnce(ctx context.Context, path, etag string) (data []byte, newETag string, notModified, retryable bool, err error) {
+	if c.AttemptTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, c.AttemptTimeout)
+		defer cancel()
+	}
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+path, nil)
 	if err != nil {
 		return nil, "", false, false, fmt.Errorf("repo: %w", err)
@@ -330,14 +483,21 @@ func (c *Client) fetchOnce(ctx context.Context, path, etag string) (body io.Read
 	if err != nil {
 		return nil, "", false, true, fmt.Errorf("repo: fetch %s: %w", path, err)
 	}
+	defer resp.Body.Close()
 	newETag = resp.Header.Get("ETag")
 	if etag != "" && resp.StatusCode == http.StatusNotModified {
-		resp.Body.Close()
 		return nil, newETag, true, false, nil
 	}
 	if resp.StatusCode != http.StatusOK {
-		resp.Body.Close()
 		return nil, "", false, resp.StatusCode >= 500, fmt.Errorf("repo: fetch %s: status %s", path, resp.Status)
 	}
-	return resp.Body, newETag, false, false, nil
+	data, err = io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, "", false, true, fmt.Errorf("repo: read %s body: %w", path, err)
+	}
+	if resp.ContentLength >= 0 && int64(len(data)) != resp.ContentLength {
+		return nil, "", false, true,
+			fmt.Errorf("repo: fetch %s: truncated body (%d of %d bytes)", path, len(data), resp.ContentLength)
+	}
+	return data, newETag, false, false, nil
 }
