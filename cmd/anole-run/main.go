@@ -10,7 +10,7 @@
 //	          [-prefetch] [-prefetch-budget BYTES] [-link-stability P]
 //	          [-chaos] [-outage-rate P] [-corrupt-rate P]
 //	          [-breaker-threshold N] [-breaker-cooldown FRAMES]
-//	          [-json FILE|-]
+//	          [-metrics-addr HOST:PORT] [-json FILE|-]
 //
 // With -streams N > 1 the run multiplexes N independent frame streams
 // over one shared thread-safe model cache (core.MultiRuntime), printing
@@ -32,6 +32,14 @@
 // frame is still served; degradedFrames / fallbackServed / breakerOpens
 // in the -json report count the damage.
 //
+// Every run drives a telemetry registry and a frame-pipeline span
+// tracer: -json includes the full anole_* counter set (flattened) plus
+// the retained per-frame stage spans, and -metrics-addr serves live
+// Prometheus-text /metrics, JSON /debug/spans and /debug/pprof on the
+// given address (use 127.0.0.1:0 for an ephemeral port) while the run
+// executes. With -prefetch the span clock is the simulated link clock,
+// so span timestamps are deterministic for a fixed seed.
+//
 // -json writes the aggregate statistics — cache hit/miss/eviction and
 // prefetch counters included — as one JSON object to a file, or to
 // stdout with "-".
@@ -42,6 +50,9 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"time"
 
@@ -53,9 +64,16 @@ import (
 	"anole/internal/prefetch"
 	"anole/internal/repo"
 	"anole/internal/synth"
+	"anole/internal/telemetry"
 	"anole/internal/trace"
 	"anole/internal/xrand"
 )
+
+// testHookMetricsSettled, when set by a test, is invoked after the run's
+// counters have settled (scheduler drained, report written) with the
+// debug listener's address, while the listener is still serving — the
+// window in which live /metrics must agree with the -json report.
+var testHookMetricsSettled func(addr string)
 
 func main() {
 	if err := run(os.Stdout, os.Args[1:]); err != nil {
@@ -67,23 +85,24 @@ func main() {
 func run(w io.Writer, args []string) error {
 	fs := flag.NewFlagSet("anole-run", flag.ContinueOnError)
 	var (
-		bundlePath = fs.String("bundle", "anole.bundle", "bundle file produced by anole-profile")
-		seed       = fs.Uint64("seed", 1, "seed of the world the bundle was profiled on")
-		clips      = fs.Int("clips", 3, "number of trace clips to stream")
-		frames     = fs.Int("frames", 150, "frames per trace clip")
-		devName    = fs.String("device", "tx2", "device profile: nano, tx2 or laptop")
-		cache      = fs.Int("cache", 5, "model cache capacity in compressed-model slots")
-		streams    = fs.Int("streams", 1, "independent frame streams sharing the model cache")
-		tracePath  = fs.String("trace", "", "write a JSONL decision trace to this file")
-		prefetchOn = fs.Bool("prefetch", false, "serve model bytes over a simulated device-cloud link with transition-aware prefetching")
-		pfBudget   = fs.Int64("prefetch-budget", 0, "max bytes in flight per prefetch plan (0 = unlimited)")
-		stability  = fs.Float64("link-stability", 0.7, "link-state self-transition probability in [0,1] (with -prefetch)")
-		chaosOn    = fs.Bool("chaos", false, "inject deterministic seeded faults on the device-cloud link (implies -prefetch)")
-		outageRate = fs.Float64("outage-rate", 0.3, "per-frame probability of starting a link outage burst (with -chaos)")
-		crptRate   = fs.Float64("corrupt-rate", 0.05, "per-transfer probability of payload corruption (with -chaos)")
-		brkThresh  = fs.Int("breaker-threshold", 5, "consecutive fetch failures before the circuit breaker opens (with -chaos)")
-		brkCool    = fs.Int("breaker-cooldown", 20, "frames an open breaker waits before a half-open probe (with -chaos)")
-		jsonPath   = fs.String("json", "", "write aggregate stats JSON to this file (\"-\" for stdout)")
+		bundlePath  = fs.String("bundle", "anole.bundle", "bundle file produced by anole-profile")
+		seed        = fs.Uint64("seed", 1, "seed of the world the bundle was profiled on")
+		clips       = fs.Int("clips", 3, "number of trace clips to stream")
+		frames      = fs.Int("frames", 150, "frames per trace clip")
+		devName     = fs.String("device", "tx2", "device profile: nano, tx2 or laptop")
+		cache       = fs.Int("cache", 5, "model cache capacity in compressed-model slots")
+		streams     = fs.Int("streams", 1, "independent frame streams sharing the model cache")
+		tracePath   = fs.String("trace", "", "write a JSONL decision trace to this file")
+		prefetchOn  = fs.Bool("prefetch", false, "serve model bytes over a simulated device-cloud link with transition-aware prefetching")
+		pfBudget    = fs.Int64("prefetch-budget", 0, "max bytes in flight per prefetch plan (0 = unlimited)")
+		stability   = fs.Float64("link-stability", 0.7, "link-state self-transition probability in [0,1] (with -prefetch)")
+		chaosOn     = fs.Bool("chaos", false, "inject deterministic seeded faults on the device-cloud link (implies -prefetch)")
+		outageRate  = fs.Float64("outage-rate", 0.3, "per-frame probability of starting a link outage burst (with -chaos)")
+		crptRate    = fs.Float64("corrupt-rate", 0.05, "per-transfer probability of payload corruption (with -chaos)")
+		brkThresh   = fs.Int("breaker-threshold", 5, "consecutive fetch failures before the circuit breaker opens (with -chaos)")
+		brkCool     = fs.Int("breaker-cooldown", 20, "frames an open breaker waits before a half-open probe (with -chaos)")
+		metricsAddr = fs.String("metrics-addr", "", "serve live /metrics, /debug/spans and /debug/pprof on this address during the run (e.g. 127.0.0.1:0)")
+		jsonPath    = fs.String("json", "", "write aggregate stats JSON to this file (\"-\" for stdout)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -112,7 +131,9 @@ func run(w io.Writer, args []string) error {
 	default:
 		return fmt.Errorf("unknown device %q (want nano, tx2 or laptop)", *devName)
 	}
+	reg := telemetry.NewRegistry()
 	var pfCfg *prefetch.Config
+	var lf *prefetch.LinkFetcher
 	if *prefetchOn {
 		var chaos *chaosConfig
 		if *chaosOn {
@@ -123,17 +144,62 @@ func run(w io.Writer, args []string) error {
 				BreakerCooldown:  *brkCool,
 			}
 		}
-		pfCfg, err = linkPrefetchConfig(bundle, *stability, *pfBudget, *seed, chaos)
+		pfCfg, lf, err = linkPrefetchConfig(bundle, *stability, *pfBudget, *seed, chaos, reg)
 		if err != nil {
 			return err
 		}
 	}
+	// Span clock: the simulated link clock when a link exists (span
+	// timestamps then deterministic for a fixed seed), wall time
+	// otherwise.
+	var spanClock func() time.Duration
+	if lf != nil {
+		spanClock = lf.Now
+	}
+	spans := telemetry.NewTracer(0, spanClock)
+
+	var metricsURL string
+	if *metricsAddr != "" {
+		ln, err := net.Listen("tcp", *metricsAddr)
+		if err != nil {
+			return err
+		}
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", telemetry.MetricsHandler(reg))
+		mux.Handle("/debug/spans", telemetry.SpansHandler(spans))
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		srv := &http.Server{Handler: mux}
+		go srv.Serve(ln)
+		defer srv.Close()
+		metricsURL = ln.Addr().String()
+		fmt.Fprintf(w, "debug: serving /metrics, /debug/spans, /debug/pprof on http://%s\n", metricsURL)
+	}
+	settled := func() {
+		if testHookMetricsSettled != nil && metricsURL != "" {
+			testHookMetricsSettled(metricsURL)
+		}
+	}
+
 	if *streams > 1 {
-		return runMulti(w, bundle, profile, *streams, *cache, *clips, *frames, *seed, *tracePath, pfCfg, *jsonPath)
+		if err := runMulti(w, bundle, profile, *streams, *cache, *clips, *frames, *seed, *tracePath, pfCfg, *jsonPath, reg, spans); err != nil {
+			return err
+		}
+		settled()
+		return nil
 	}
 
 	sim := device.NewSimulator(profile)
-	rt, err := core.NewRuntime(bundle, core.RuntimeConfig{CacheSlots: *cache, Device: sim, Prefetch: pfCfg})
+	rt, err := core.NewRuntime(bundle, core.RuntimeConfig{
+		CacheSlots: *cache,
+		Device:     sim,
+		Prefetch:   pfCfg,
+		Metrics:    reg,
+		Tracer:     spans,
+	})
 	if err != nil {
 		return err
 	}
@@ -202,7 +268,20 @@ func run(w io.Writer, args []string) error {
 	if tracer != nil {
 		fmt.Fprintf(w, "trace: %d events written to %s\n", tracer.Count(), *tracePath)
 	}
-	return writeReport(w, *jsonPath, buildReport(st, sched))
+	if err := writeReport(w, *jsonPath, buildReport(st, sched, pfBreaker(pfCfg), reg, spans)); err != nil {
+		return err
+	}
+	settled()
+	return nil
+}
+
+// pfBreaker extracts the circuit breaker from a prefetch configuration
+// (nil without -chaos).
+func pfBreaker(cfg *prefetch.Config) *breaker.Breaker {
+	if cfg == nil {
+		return nil
+	}
+	return cfg.Breaker
 }
 
 // report is the aggregate-statistics JSON document behind -json.
@@ -224,16 +303,28 @@ type report struct {
 	ColdMisses        int     `json:"coldMisses"`
 	FetchStallMs      float64 `json:"fetchStallMs"`
 	// Resilience counters: frames served stale in degraded mode, frames
-	// served by any model other than the decided one, and circuit-breaker
-	// open transitions. Frames == served frames always — nothing drops.
-	DegradedFrames int   `json:"degradedFrames"`
-	FallbackServed int   `json:"fallbackServed"`
-	BreakerOpens   int64 `json:"breakerOpens"`
+	// served by any model other than the decided one, circuit-breaker
+	// open transitions and half-open probes, and background prefetches
+	// cancelled (preempted by demand fetches or shutdown). Frames ==
+	// served frames always — nothing drops.
+	DegradedFrames        int   `json:"degradedFrames"`
+	FallbackServed        int   `json:"fallbackServed"`
+	BreakerOpens          int64 `json:"breakerOpens"`
+	BreakerHalfOpenProbes int64 `json:"breakerHalfOpenProbes"`
+	PrefetchCancelled     int64 `json:"prefetchCancelled"`
 	// Scheduler is present only when -prefetch was set.
 	Scheduler *prefetch.SchedulerStats `json:"scheduler,omitempty"`
+	// Metrics is the run's full telemetry counter set, flattened with
+	// telemetry.Map (histograms expand to _count/_sum/_p50/_p95/_p99).
+	// Live /metrics (-metrics-addr) serves exactly these values once the
+	// run settles.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+	// Spans are the retained per-frame pipeline-stage spans, oldest
+	// first (the tracer keeps the most recent telemetry.DefaultSpanBuffer).
+	Spans []telemetry.Span `json:"spans,omitempty"`
 }
 
-func buildReport(st core.RunStats, sched *prefetch.Scheduler) report {
+func buildReport(st core.RunStats, sched *prefetch.Scheduler, brk *breaker.Breaker, reg *telemetry.Registry, spans *telemetry.Tracer) report {
 	rep := report{
 		Frames:            st.Frames,
 		Switches:          st.Switches,
@@ -258,6 +349,16 @@ func buildReport(st core.RunStats, sched *prefetch.Scheduler) report {
 		ps := sched.Stats()
 		rep.Scheduler = &ps
 		rep.BreakerOpens = ps.BreakerOpens
+		rep.PrefetchCancelled = ps.Cancelled
+	}
+	if brk != nil {
+		rep.BreakerHalfOpenProbes = brk.HalfOpens()
+	}
+	if reg != nil {
+		rep.Metrics = telemetry.Map(reg)
+	}
+	if spans != nil {
+		rep.Spans = spans.Snapshot()
 	}
 	return rep
 }
@@ -313,11 +414,13 @@ type chaosConfig struct {
 // chaos non-nil the link is wrapped in a seeded fault injector and the
 // scheduler gets a circuit breaker on the simulated link clock; the
 // demand path then fails fast during outages so degraded mode engages
-// instead of stalling frames.
-func linkPrefetchConfig(bundle *core.Bundle, stability float64, budget int64, seed uint64, chaos *chaosConfig) (*prefetch.Config, error) {
+// instead of stalling frames. The scheduler and breaker register their
+// counters on reg; the returned LinkFetcher exposes the simulated link
+// clock for the span tracer.
+func linkPrefetchConfig(bundle *core.Bundle, stability float64, budget int64, seed uint64, chaos *chaosConfig, reg *telemetry.Registry) (*prefetch.Config, *prefetch.LinkFetcher, error) {
 	link, err := netsim.NewLink(netsim.DefaultConfig(stability), xrand.NewLabeled(seed, "anole-run-link"))
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	var medium netsim.Medium = link
 	if chaos != nil {
@@ -332,29 +435,32 @@ func linkPrefetchConfig(bundle *core.Bundle, stability float64, budget int64, se
 	}
 	lf, err := prefetch.NewLinkFetcher(medium, core.PrefetchModels(bundle), prefetch.DefaultFrameInterval)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	cfg := &prefetch.Config{Fetcher: lf, BudgetBytes: budget}
+	cfg := &prefetch.Config{Fetcher: lf, BudgetBytes: budget, Metrics: reg}
 	if chaos != nil {
 		lf.SetDemandDownLimit(0)
 		cfg.Breaker = breaker.New(breaker.Config{
 			FailureThreshold: chaos.BreakerThreshold,
 			Cooldown:         time.Duration(chaos.BreakerCooldown) * lf.Interval(),
 			Now:              lf.Now,
+			Metrics:          reg,
 		})
 	}
-	return cfg, nil
+	return cfg, lf, nil
 }
 
 // runMulti drives the multi-stream path: every stream gets its own
 // generated clip sequence and device simulator, all streams share one
 // sharded model cache.
-func runMulti(w io.Writer, bundle *core.Bundle, profile device.Profile, streams, cache, clips, frames int, seed uint64, tracePath string, pfCfg *prefetch.Config, jsonPath string) error {
+func runMulti(w io.Writer, bundle *core.Bundle, profile device.Profile, streams, cache, clips, frames int, seed uint64, tracePath string, pfCfg *prefetch.Config, jsonPath string, reg *telemetry.Registry, spans *telemetry.Tracer) error {
 	mrt, err := core.NewMultiRuntime(bundle, core.MultiRuntimeConfig{
 		Streams:    streams,
 		CacheSlots: cache,
 		Device:     &profile,
 		Prefetch:   pfCfg,
+		Metrics:    reg,
+		Tracer:     spans,
 	})
 	if err != nil {
 		return err
@@ -434,5 +540,5 @@ func runMulti(w io.Writer, bundle *core.Bundle, profile device.Profile, streams,
 		}
 		fmt.Fprintf(w, "trace: %d events written to %s.stream{0..%d}\n", total, tracePath, streams-1)
 	}
-	return writeReport(w, jsonPath, buildReport(agg, sched))
+	return writeReport(w, jsonPath, buildReport(agg, sched, pfBreaker(pfCfg), reg, spans))
 }

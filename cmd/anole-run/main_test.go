@@ -51,9 +51,18 @@ func TestRunRejectsBadStreams(t *testing.T) {
 // feature dimension matches synth.DefaultConfig, so run() can stream
 // generated frames through it without paying for profiling.
 func cheapBundlePath(t *testing.T) string {
+	return cheapBundlePathSeed(t, 7)
+}
+
+// cheapBundlePathSeed is cheapBundlePath with a chosen generator seed:
+// the untrained decision head's switching behavior on the default trace
+// depends on its random weights, so tests that need scene switches (and
+// thus link traffic) pick a seed whose head discriminates between
+// frames.
+func cheapBundlePathSeed(t *testing.T, seed uint64) string {
 	t.Helper()
 	featDim := synth.DefaultConfig(1).FeatDim
-	rng := xrand.NewLabeled(7, "anole-run-test-bundle")
+	rng := xrand.NewLabeled(seed, "anole-run-test-bundle")
 	const embedDim, models = 4, 3
 	encNet := nn.NewMLP(nn.MLPConfig{
 		InDim: synth.FrameFeatureDim(featDim), Hidden: []int{6, embedDim}, OutDim: 2,

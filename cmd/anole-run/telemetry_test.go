@@ -1,0 +1,281 @@
+package main
+
+import (
+	"encoding/json"
+	"math"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"anole/internal/telemetry"
+)
+
+// TestRunMetricsAddrMatchesJSONReport is the acceptance check for the
+// live debug surface: with -chaos and -metrics-addr, the counters
+// scraped from the live /metrics endpoint after the run settles must
+// exactly equal the flattened metrics map in the -json report, and the
+// /debug/spans dump must agree with the report's span list.
+func TestRunMetricsAddrMatchesJSONReport(t *testing.T) {
+	path := cheapBundlePathSeed(t, 13)
+	jsonPath := filepath.Join(t.TempDir(), "stats.json")
+
+	var (
+		scraped   []telemetry.ParsedSeries
+		liveSpans []telemetry.Span
+		scrapeErr error
+	)
+	testHookMetricsSettled = func(addr string) {
+		resp, err := http.Get("http://" + addr + "/metrics")
+		if err != nil {
+			scrapeErr = err
+			return
+		}
+		defer resp.Body.Close()
+		scraped, scrapeErr = telemetry.ParseText(resp.Body)
+		if scrapeErr != nil {
+			return
+		}
+		sresp, err := http.Get("http://" + addr + "/debug/spans")
+		if err != nil {
+			scrapeErr = err
+			return
+		}
+		defer sresp.Body.Close()
+		scrapeErr = json.NewDecoder(sresp.Body).Decode(&liveSpans)
+	}
+	defer func() { testHookMetricsSettled = nil }()
+
+	var out strings.Builder
+	err := run(&out, []string{
+		"-bundle", path, "-clips", "4", "-frames", "40", "-cache", "2",
+		"-chaos", "-outage-rate", "0.4", "-corrupt-rate", "0.1",
+		"-breaker-threshold", "2", "-breaker-cooldown", "5",
+		"-link-stability", "0.5",
+		"-metrics-addr", "127.0.0.1:0", "-json", jsonPath,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scrapeErr != nil {
+		t.Fatalf("scrape: %v", scrapeErr)
+	}
+	if scraped == nil {
+		t.Fatal("settled hook never ran — was the listener started?")
+	}
+
+	raw, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep report
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatalf("stats JSON: %v", err)
+	}
+	if len(rep.Metrics) == 0 {
+		t.Fatal("report has no metrics map")
+	}
+
+	// Every plain counter/gauge in the report must match the live scrape
+	// exactly. Histogram quantiles (_p50/_p95/_p99) come from the sample
+	// ring, not the text exposition, so only _count and _sum are compared
+	// for histograms.
+	checked := 0
+	for name, want := range rep.Metrics {
+		if strings.HasSuffix(name, "_p50") || strings.HasSuffix(name, "_p95") || strings.HasSuffix(name, "_p99") {
+			continue
+		}
+		got, ok := telemetry.SeriesValue(scraped, name)
+		if !ok {
+			t.Errorf("live /metrics missing %s", name)
+			continue
+		}
+		if math.Abs(got-want) > 1e-9 {
+			t.Errorf("%s: live %v, report %v", name, got, want)
+		}
+		checked++
+	}
+	if checked < 10 {
+		t.Fatalf("only %d series compared — scrape or report suspiciously small", checked)
+	}
+
+	// The structured counters must agree with the registry's view.
+	for name, want := range map[string]float64{
+		"anole_core_frames_total":              float64(rep.Frames),
+		"anole_core_degraded_frames_total":     float64(rep.DegradedFrames),
+		"anole_core_fallback_served_total":     float64(rep.FallbackServed),
+		"anole_breaker_opens_total":            float64(rep.BreakerOpens),
+		"anole_breaker_half_open_probes_total": float64(rep.BreakerHalfOpenProbes),
+		"anole_prefetch_cancelled_total":       float64(rep.PrefetchCancelled),
+	} {
+		if got := rep.Metrics[name]; got != want {
+			t.Errorf("report metrics[%s] = %v, structured field %v", name, got, want)
+		}
+	}
+
+	// The chaos run must actually have exercised the resilience path —
+	// the equality above is only meaningful if these counters moved.
+	if rep.DegradedFrames == 0 || rep.BreakerOpens == 0 {
+		t.Errorf("chaos run too tame: degraded=%d opens=%d", rep.DegradedFrames, rep.BreakerOpens)
+	}
+	if rep.BreakerHalfOpenProbes == 0 {
+		t.Error("no breaker half-open probes recorded")
+	}
+	if rep.PrefetchCancelled == 0 {
+		t.Error("no prefetch cancellations recorded")
+	}
+
+	// Spans: the report dump and the live endpoint must agree, and the
+	// span clock is the simulated link clock (deterministic, monotone).
+	if len(rep.Spans) == 0 {
+		t.Fatal("report has no spans")
+	}
+	if len(liveSpans) != len(rep.Spans) {
+		t.Fatalf("live spans %d, report spans %d", len(liveSpans), len(rep.Spans))
+	}
+	for i := range rep.Spans {
+		if liveSpans[i] != rep.Spans[i] {
+			t.Fatalf("span %d diverged:\n live %+v\n json %+v", i, liveSpans[i], rep.Spans[i])
+		}
+	}
+	for i := 1; i < len(rep.Spans); i++ {
+		if rep.Spans[i].Start < rep.Spans[i-1].Start {
+			t.Fatalf("span clock regressed at %d: %v after %v", i, rep.Spans[i].Start, rep.Spans[i-1].Start)
+		}
+	}
+
+	// The scraped name set must obey the naming scheme with no duplicates
+	// (ParseText already rejects duplicate series).
+	for _, s := range scraped {
+		if !strings.HasPrefix(s.Name, "anole_") && !strings.HasPrefix(s.Name, "go_") {
+			t.Errorf("scraped series %q outside the anole_ scheme", s.Name)
+		}
+	}
+
+	if !strings.Contains(out.String(), "debug: serving /metrics") {
+		t.Errorf("output missing debug listener line:\n%s", out.String())
+	}
+}
+
+// TestRunJSONReportIncludesFullCounterSet pins the satellite contract:
+// a chaos -json report carries breaker half-open probes, prefetch
+// cancellations, the flattened registry counter set and the span dump —
+// without needing -metrics-addr.
+func TestRunJSONReportIncludesFullCounterSet(t *testing.T) {
+	path := cheapBundlePathSeed(t, 13)
+	jsonPath := filepath.Join(t.TempDir(), "stats.json")
+	err := run(new(strings.Builder), []string{
+		"-bundle", path, "-clips", "2", "-frames", "30", "-cache", "2",
+		"-chaos", "-outage-rate", "0.4", "-breaker-threshold", "2",
+		"-breaker-cooldown", "8", "-link-stability", "0.5",
+		"-json", jsonPath,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{
+		"breakerHalfOpenProbes", "prefetchCancelled", "metrics", "spans",
+		"anole_core_frames_total", "anole_modelcache_lookups_total",
+		"anole_prefetch_issued_total", "anole_breaker_state",
+	} {
+		if !strings.Contains(string(raw), key) {
+			t.Errorf("report JSON missing %q", key)
+		}
+	}
+	var rep report
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Metrics["anole_core_frames_total"] != float64(rep.Frames) {
+		t.Fatalf("metrics frames %v != report frames %d", rep.Metrics["anole_core_frames_total"], rep.Frames)
+	}
+	stages := map[string]bool{}
+	for _, sp := range rep.Spans {
+		stages[sp.Stage] = true
+	}
+	for _, want := range []string{telemetry.StageDecide, telemetry.StageCache, telemetry.StageFetch, telemetry.StageDetect} {
+		if !stages[want] {
+			t.Errorf("span dump missing stage %q (have %v)", want, stages)
+		}
+	}
+}
+
+// TestRunMultiStreamMetricsAggregate checks the multi-stream path feeds
+// the same shared registry: counters in the report must equal the
+// aggregate stats across streams.
+func TestRunMultiStreamMetricsAggregate(t *testing.T) {
+	path := cheapBundlePathSeed(t, 13)
+	jsonPath := filepath.Join(t.TempDir(), "stats.json")
+	err := run(new(strings.Builder), []string{
+		"-bundle", path, "-streams", "3", "-clips", "1", "-frames", "20",
+		"-cache", "2", "-prefetch", "-json", jsonPath,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep report
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if want := float64(rep.Frames); rep.Metrics["anole_core_frames_total"] != want {
+		t.Fatalf("frames counter %v, want %v", rep.Metrics["anole_core_frames_total"], want)
+	}
+	if got := rep.Metrics["anole_core_streams"]; got != 3 {
+		t.Fatalf("streams gauge %v, want 3", got)
+	}
+	seen := map[int]bool{}
+	for _, sp := range rep.Spans {
+		seen[sp.Stream] = true
+	}
+	if len(seen) != 3 {
+		t.Fatalf("spans cover %d streams, want 3 (%v)", len(seen), seen)
+	}
+}
+
+// TestRunZeroClipReportMarshals pins the zero-frame contract end to
+// end: a run with -clips 0 must produce a finite, marshalable report
+// (encoding/json fails on NaN, so this also guards MeanSceneDuration
+// and the derived rates).
+func TestRunZeroClipReportMarshals(t *testing.T) {
+	path := cheapBundlePath(t)
+	jsonPath := filepath.Join(t.TempDir(), "stats.json")
+	var out strings.Builder
+	if err := run(&out, []string{
+		"-bundle", path, "-clips", "0", "-frames", "10", "-cache", "2",
+		"-json", jsonPath,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep report
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatalf("zero-frame report is not valid JSON: %v\n%s", err, raw)
+	}
+	if rep.Frames != 0 {
+		t.Fatalf("frames = %d, want 0", rep.Frames)
+	}
+	for name, v := range map[string]float64{
+		"meanSceneDuration": rep.MeanSceneDuration,
+		"missRate":          rep.MissRate,
+		"f1":                rep.F1,
+	} {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Errorf("zero-frame %s = %v", name, v)
+		}
+	}
+	if !strings.Contains(out.String(), "frames 0") {
+		t.Errorf("zero-frame summary garbled:\n%s", out.String())
+	}
+}

@@ -6,10 +6,13 @@
 //
 //	GET /v1/manifest — JSON summary of the hosted bundle
 //	GET /v1/bundle   — the binary bundle
+//	GET /metrics     — Prometheus-text telemetry (anole_server_* request
+//	                   counters, latency histogram, inflight gauge)
+//	GET /debug/spans — JSON dump of recent request spans
 //
 // Usage:
 //
-//	anole-server -bundle anole.bundle [-addr :8080]
+//	anole-server -bundle anole.bundle [-addr :8080] [-span-buffer N]
 package main
 
 import (
@@ -19,7 +22,9 @@ import (
 	"os"
 	"time"
 
+	"anole/internal/core"
 	"anole/internal/repo"
+	"anole/internal/telemetry"
 )
 
 func main() {
@@ -29,11 +34,30 @@ func main() {
 	}
 }
 
+// newHandler builds the command's full HTTP surface: the bundle
+// endpoints wrapped in telemetry middleware, plus the /metrics and
+// /debug/spans observability endpoints. Split from run so tests can
+// drive the exact handler the command serves.
+func newHandler(bundle *core.Bundle, spanBuffer int) (http.Handler, *repo.Server, error) {
+	srv, err := repo.NewServer(bundle)
+	if err != nil {
+		return nil, nil, err
+	}
+	reg := telemetry.NewRegistry()
+	spans := telemetry.NewTracer(spanBuffer, nil)
+	mux := http.NewServeMux()
+	mux.Handle("/v1/", telemetry.InstrumentHandler(reg, spans, "server", srv.Handler()))
+	mux.Handle("/metrics", telemetry.MetricsHandler(reg))
+	mux.Handle("/debug/spans", telemetry.SpansHandler(spans))
+	return mux, srv, nil
+}
+
 func run(args []string) error {
 	fs := flag.NewFlagSet("anole-server", flag.ContinueOnError)
 	var (
 		bundlePath = fs.String("bundle", "anole.bundle", "bundle file produced by anole-profile")
 		addr       = fs.String("addr", ":8080", "listen address")
+		spanBuffer = fs.Int("span-buffer", telemetry.DefaultSpanBuffer, "request spans retained for /debug/spans")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -43,16 +67,17 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
-	srv, err := repo.NewServer(bundle)
+	handler, srv, err := newHandler(bundle, *spanBuffer)
 	if err != nil {
 		return err
 	}
 	m := srv.Manifest()
-	fmt.Printf("serving %d models (%d bundle bytes) on %s\n", len(m.Models), m.BundleBytes, *addr)
+	fmt.Printf("serving %d models (%d bundle bytes) on %s (+ /metrics, /debug/spans)\n",
+		len(m.Models), m.BundleBytes, *addr)
 
 	httpSrv := &http.Server{
 		Addr:              *addr,
-		Handler:           srv.Handler(),
+		Handler:           handler,
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 	return httpSrv.ListenAndServe()

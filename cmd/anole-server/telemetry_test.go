@@ -1,0 +1,150 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"anole/internal/core"
+	"anole/internal/decision"
+	"anole/internal/detect"
+	"anole/internal/nn"
+	"anole/internal/scene"
+	"anole/internal/synth"
+	"anole/internal/telemetry"
+	"anole/internal/xrand"
+)
+
+// testBundle builds an untrained but valid bundle for handler tests.
+func testBundle(t *testing.T) *core.Bundle {
+	t.Helper()
+	featDim := synth.DefaultConfig(1).FeatDim
+	rng := xrand.NewLabeled(7, "anole-server-test-bundle")
+	const embedDim, models = 4, 3
+	encNet := nn.NewMLP(nn.MLPConfig{
+		InDim: synth.FrameFeatureDim(featDim), Hidden: []int{6, embedDim}, OutDim: 2,
+	}, rng)
+	enc, err := scene.FromParts(encNet, []int{0, 1}, embedDim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	head := nn.NewMLP(nn.MLPConfig{InDim: embedDim, Hidden: []int{5}, OutDim: models}, rng)
+	dec, err := decision.FromParts(enc, head)
+	if err != nil {
+		t.Fatal(err)
+	}
+	detectors := make([]*detect.Detector, models)
+	infos := make([]core.ModelInfo, models)
+	for i := range detectors {
+		detectors[i] = detect.NewDetector(fmt.Sprintf("M_%d", i), detect.Compressed, featDim, rng)
+		infos[i] = core.ModelInfo{
+			Name: detectors[i].Name, Level: i, Cluster: i,
+			TrainScenes: []int{i}, ValF1: 0.5,
+		}
+	}
+	b := &core.Bundle{
+		Encoder:   enc,
+		Decision:  dec,
+		Detectors: detectors,
+		Infos:     infos,
+		FeatDim:   featDim,
+	}
+	if err := b.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// TestServerMetricsEndpoint drives the exact handler the command
+// serves: bundle requests must move the anole_server_* counters, the
+// /metrics exposition must parse cleanly with no duplicate series and
+// only scheme-conformant names, and /debug/spans must carry one span
+// per instrumented request.
+func TestServerMetricsEndpoint(t *testing.T) {
+	handler, _, err := newHandler(testBundle(t), 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(handler)
+	defer ts.Close()
+
+	// Two good requests and one 404 under /v1/.
+	for _, path := range []string{"/v1/manifest", "/v1/manifest", "/v1/absent"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+	}
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	series, err := telemetry.ParseText(resp.Body)
+	if err != nil {
+		t.Fatalf("exposition: %v", err)
+	}
+	if v, ok := telemetry.SeriesValue(series, "anole_server_requests_total"); !ok || v != 3 {
+		t.Fatalf("requests_total = %v (present %v), want 3", v, ok)
+	}
+	// The 404 is a client-side miss, not a server failure: the error
+	// counter (status >= 500) must exist but stay zero.
+	if v, ok := telemetry.SeriesValue(series, "anole_server_request_errors_total"); !ok || v != 0 {
+		t.Fatalf("request_errors_total = %v (present %v), want 0", v, ok)
+	}
+	if v, ok := telemetry.SeriesValue(series, "anole_server_request_seconds_count"); !ok || v != 3 {
+		t.Fatalf("request_seconds_count = %v (present %v), want 3", v, ok)
+	}
+	for _, s := range series {
+		if len(s.Name) < 6 || s.Name[:6] != "anole_" {
+			t.Errorf("series %q outside the anole_ naming scheme", s.Name)
+		}
+	}
+
+	sresp, err := http.Get(ts.URL + "/debug/spans")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sresp.Body.Close()
+	var spans []telemetry.Span
+	if err := json.NewDecoder(sresp.Body).Decode(&spans); err != nil {
+		t.Fatal(err)
+	}
+	// /metrics and /debug/spans themselves are not instrumented, so
+	// exactly the three /v1/ requests appear.
+	if len(spans) != 3 {
+		t.Fatalf("spans = %d, want 3", len(spans))
+	}
+	if spans[0].Stage != "GET /v1/manifest" {
+		t.Fatalf("span stage = %q", spans[0].Stage)
+	}
+}
+
+// TestServerMetricsNotInstrumented pins that scraping /metrics does not
+// perturb the counters it reports (no self-counting loop).
+func TestServerMetricsNotInstrumented(t *testing.T) {
+	handler, _, err := newHandler(testBundle(t), 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(handler)
+	defer ts.Close()
+	for i := 0; i < 5; i++ {
+		resp, err := http.Get(ts.URL + "/metrics")
+		if err != nil {
+			t.Fatal(err)
+		}
+		series, err := telemetry.ParseText(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v, _ := telemetry.SeriesValue(series, "anole_server_requests_total"); v != 0 {
+			t.Fatalf("scrape %d inflated requests_total to %v", i, v)
+		}
+	}
+}

@@ -1,7 +1,10 @@
 // Modelserver: the cloud↔device split. The "cloud" half profiles a
 // bundle and serves it over HTTP; the "device" half inspects the
 // manifest, downloads the bundle once, drops the connection, and runs
-// fully offline — the deployment story of the paper's Fig. 2.
+// fully offline — the deployment story of the paper's Fig. 2. The
+// offline run is instrumented: the device exposes /metrics locally and
+// a dashboard goroutine polls it, printing the same one-line summary an
+// operator would scrape in production.
 //
 //	go run ./examples/modelserver
 package main
@@ -12,6 +15,7 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"sync"
 	"time"
 
 	"anole/internal/core"
@@ -20,6 +24,7 @@ import (
 	"anole/internal/sampling"
 	"anole/internal/scene"
 	"anole/internal/synth"
+	"anole/internal/telemetry"
 )
 
 func main() {
@@ -93,19 +98,96 @@ func run() error {
 	}
 	fmt.Println("[cloud] repository shut down — no cloud from here on")
 
-	// Fully offline inference with the downloaded models.
-	rt, err := core.NewRuntime(downloaded, core.RuntimeConfig{CacheSlots: 4})
+	// Fully offline multi-stream inference with the downloaded models,
+	// instrumented: the registry backs a local /metrics endpoint and the
+	// dashboard below consumes only that scrape — nothing reads the
+	// runtime's in-process stats, exactly like an external operator.
+	const streams = 2
+	reg := telemetry.NewRegistry()
+	m, err := core.NewMultiRuntime(downloaded, core.MultiRuntimeConfig{
+		Streams:    streams,
+		CacheSlots: 4,
+		Metrics:    reg,
+	})
 	if err != nil {
 		return err
 	}
-	test := corpus.Frames(synth.Test)
-	for _, f := range test {
-		if _, err := rt.ProcessFrame(f); err != nil {
-			return err
-		}
+	metricsLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
 	}
-	st := rt.Stats()
+	metricsSrv := &http.Server{Handler: telemetry.MetricsHandler(reg), ReadHeaderTimeout: 5 * time.Second}
+	go metricsSrv.Serve(metricsLn)
+	defer metricsSrv.Close()
+	metricsURL := "http://" + metricsLn.Addr().String() + "/metrics"
+	fmt.Printf("[device] serving /metrics at %s\n", metricsURL)
+
+	// Deal the test frames round-robin across the streams.
+	test := corpus.Frames(synth.Test)
+	frameSets := make([][]*synth.Frame, streams)
+	for i, f := range test {
+		frameSets[i%streams] = append(frameSets[i%streams], f)
+	}
+
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		tick := time.NewTicker(100 * time.Millisecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-tick.C:
+				if line, err := dashboard(metricsURL); err == nil {
+					fmt.Println(line)
+				}
+			}
+		}
+	}()
+
+	var runErr error
+	if _, err := m.ProcessStreams(frameSets, nil); err != nil {
+		runErr = err
+	}
+	close(done)
+	wg.Wait()
+	if runErr != nil {
+		return runErr
+	}
+
+	// Final dashboard line from the settled counters, then the in-process
+	// view for comparison.
+	line, err := dashboard(metricsURL)
+	if err != nil {
+		return err
+	}
+	fmt.Println(line)
+	st := m.Stats()
 	fmt.Printf("[device] offline run: %d frames, F1 %.3f, miss rate %.2f\n",
 		st.Frames, st.Detection.F1, st.MissRate)
 	return nil
+}
+
+// dashboard scrapes url and renders the operator one-liner: stream
+// count, frames processed, p95 frame latency (estimated from the
+// scraped histogram buckets) and degraded-frame count.
+func dashboard(url string) (string, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	series, err := telemetry.ParseText(resp.Body)
+	if err != nil {
+		return "", err
+	}
+	streams, _ := telemetry.SeriesValue(series, "anole_core_streams")
+	frames, _ := telemetry.SeriesValue(series, "anole_core_frames_total")
+	degraded, _ := telemetry.SeriesValue(series, "anole_core_degraded_frames_total")
+	p95, _ := telemetry.ScrapedQuantile(series, "anole_core_frame_latency_seconds", 0.95)
+	return fmt.Sprintf("[dash]   streams %.0f | frames %.0f | p95 frame latency %s | degraded %.0f",
+		streams, frames, time.Duration(p95*float64(time.Second)).Round(10*time.Microsecond), degraded), nil
 }

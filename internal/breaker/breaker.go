@@ -16,6 +16,8 @@ import (
 	"fmt"
 	"sync"
 	"time"
+
+	"anole/internal/telemetry"
 )
 
 // State is the breaker's admission mode.
@@ -61,17 +63,27 @@ type Config struct {
 	// inject their own — prefetch.LinkFetcher.Now — so breaker timing
 	// follows the frame-tick clock deterministically.
 	Now func() time.Duration
+	// Metrics, when non-nil, registers the breaker's state gauge and
+	// transition counters (anole_breaker_*) on the given telemetry
+	// registry, so /metrics shows admission mode and trip counts live.
+	Metrics *telemetry.Registry
 }
 
 // Breaker is a three-state circuit breaker. All methods are safe for
 // concurrent use. Construct with New.
 type Breaker struct {
-	mu       sync.Mutex
-	cfg      Config
-	state    State
-	failures int
-	openedAt time.Duration
-	opens    int64
+	mu        sync.Mutex
+	cfg       Config
+	state     State
+	failures  int
+	openedAt  time.Duration
+	opens     int64
+	halfOpens int64
+
+	// Telemetry handles (nil-safe no-ops without Config.Metrics).
+	stateGauge   *telemetry.Gauge
+	opensCtr     *telemetry.Counter
+	halfOpensCtr *telemetry.Counter
 }
 
 // New builds a breaker; zero-valued Config fields take the documented
@@ -87,7 +99,12 @@ func New(cfg Config) *Breaker {
 		start := time.Now()
 		cfg.Now = func() time.Duration { return time.Since(start) }
 	}
-	return &Breaker{cfg: cfg}
+	return &Breaker{
+		cfg:          cfg,
+		stateGauge:   cfg.Metrics.Gauge("anole_breaker_state", "admission mode: 0 closed, 1 open, 2 half-open"),
+		opensCtr:     cfg.Metrics.Counter("anole_breaker_opens_total", "transitions to Open"),
+		halfOpensCtr: cfg.Metrics.Counter("anole_breaker_half_open_probes_total", "cooldown expiries admitting a half-open probe window"),
+	}
 }
 
 // stateLocked applies the open→half-open transition lazily: the breaker
@@ -95,6 +112,9 @@ func New(cfg Config) *Breaker {
 func (b *Breaker) stateLocked() State {
 	if b.state == Open && b.cfg.Now()-b.openedAt >= b.cfg.Cooldown {
 		b.state = HalfOpen
+		b.halfOpens++
+		b.halfOpensCtr.Inc()
+		b.stateGauge.Set(float64(HalfOpen))
 	}
 	return b.state
 }
@@ -119,6 +139,7 @@ func (b *Breaker) Success() {
 	defer b.mu.Unlock()
 	b.state = Closed
 	b.failures = 0
+	b.stateGauge.Set(float64(Closed))
 }
 
 // Failure records a failed attempt. In Closed it counts toward the
@@ -147,6 +168,8 @@ func (b *Breaker) openLocked() {
 	b.failures = 0
 	b.openedAt = b.cfg.Now()
 	b.opens++
+	b.opensCtr.Inc()
+	b.stateGauge.Set(float64(Open))
 }
 
 // Opens returns how many times the breaker has tripped open.
@@ -154,4 +177,14 @@ func (b *Breaker) Opens() int64 {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	return b.opens
+}
+
+// HalfOpens returns how many cooldown expiries have moved the breaker
+// into HalfOpen — the number of probe windows the path was granted.
+// Chaos reports expose it as breakerHalfOpenProbes.
+func (b *Breaker) HalfOpens() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.stateLocked()
+	return b.halfOpens
 }

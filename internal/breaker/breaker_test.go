@@ -4,6 +4,8 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"anole/internal/telemetry"
 )
 
 // fakeClock is an injectable monotonic clock for deterministic cooldown
@@ -153,5 +155,58 @@ func TestBreakerConcurrent(t *testing.T) {
 	wg.Wait()
 	if b.Opens() < 0 {
 		t.Fatal("negative opens")
+	}
+}
+
+// TestBreakerTelemetry drives the state machine with a registry
+// attached and checks the anole_breaker_* series track it: the gauge
+// mirrors the current state and the counters mirror Opens/HalfOpens.
+func TestBreakerTelemetry(t *testing.T) {
+	clk := &fakeClock{}
+	reg := telemetry.NewRegistry()
+	b := New(Config{FailureThreshold: 1, Cooldown: time.Second, Now: clk.Now, Metrics: reg})
+
+	read := func(name string) float64 {
+		t.Helper()
+		return telemetry.Map(reg)[name]
+	}
+
+	b.Failure() // closed → open
+	if got := read("anole_breaker_state"); got != float64(Open) {
+		t.Fatalf("state gauge %v, want %v", got, float64(Open))
+	}
+	clk.Advance(time.Second)
+	if got := b.State(); got != HalfOpen {
+		t.Fatalf("state %v, want half-open", got)
+	}
+	if got := read("anole_breaker_state"); got != float64(HalfOpen) {
+		t.Fatalf("state gauge %v, want %v", got, float64(HalfOpen))
+	}
+	b.Success() // probe succeeds → closed
+	if got := read("anole_breaker_state"); got != float64(Closed) {
+		t.Fatalf("state gauge %v, want %v", got, float64(Closed))
+	}
+
+	b.Failure() // trip again
+	clk.Advance(time.Second)
+	b.State() // lazy half-open transition
+
+	if got, want := read("anole_breaker_opens_total"), float64(b.Opens()); got != want {
+		t.Fatalf("opens counter %v, Opens() %v", got, want)
+	}
+	if got, want := read("anole_breaker_half_open_probes_total"), float64(b.HalfOpens()); got != want || want != 2 {
+		t.Fatalf("half-open counter %v, HalfOpens() %v, want 2", got, want)
+	}
+}
+
+// TestBreakerHalfOpensIsLazy pins that HalfOpens itself applies the
+// pending cooldown transition, so a caller snapshotting counters after
+// the clock passed the cooldown sees the probe window.
+func TestBreakerHalfOpensIsLazy(t *testing.T) {
+	b, clk := newTestBreaker(1, time.Second)
+	b.Failure()
+	clk.Advance(2 * time.Second)
+	if got := b.HalfOpens(); got != 1 {
+		t.Fatalf("HalfOpens after cooldown = %d, want 1 (lazy transition not applied)", got)
 	}
 }

@@ -12,6 +12,7 @@ import (
 	"anole/internal/prefetch"
 	"anole/internal/stats"
 	"anole/internal/synth"
+	"anole/internal/telemetry"
 )
 
 // MultiRuntimeConfig controls the multi-stream serving loop.
@@ -52,6 +53,17 @@ type MultiRuntimeConfig struct {
 	// clock one tick, so the link services one frame-time of transfer
 	// per frame of aggregate work. Call Close to drain the scheduler.
 	Prefetch *prefetch.Config
+	// Metrics, when non-nil, is the shared telemetry registry: the
+	// sharded cache registers its anole_modelcache_* counters on it, the
+	// prefetch scheduler its anole_prefetch_* counters (unless the
+	// Prefetch config names its own registry), and every stream binds
+	// the same anole_core_* handles, so the registry's values aggregate
+	// across streams.
+	Metrics *telemetry.Registry
+	// Tracer, when non-nil, is shared by every stream: each frame's
+	// pipeline-stage spans land in the same bounded ring, tagged with
+	// the stream index.
+	Tracer *telemetry.Tracer
 	// DegradedRetryFrames and DegradedRetryCap are applied per stream
 	// (see the RuntimeConfig fields of the same names).
 	DegradedRetryFrames int
@@ -98,7 +110,7 @@ func NewMultiRuntime(b *Bundle, cfg MultiRuntimeConfig) (*MultiRuntime, error) {
 			shards = cfg.CacheSlots
 		}
 	}
-	cache, err := modelcache.NewSharded(cfg.CacheSlots, cfg.Policy, shards)
+	cache, err := modelcache.NewShardedMetrics(cfg.CacheSlots, cfg.Policy, shards, cfg.Metrics)
 	if err != nil {
 		return nil, err
 	}
@@ -117,11 +129,19 @@ func NewMultiRuntime(b *Bundle, cfg MultiRuntimeConfig) (*MultiRuntime, error) {
 		workers: workers,
 	}
 	if cfg.Prefetch != nil {
-		sched, err := prefetch.NewScheduler(*cfg.Prefetch, cache, PrefetchModels(b))
+		pcfg := *cfg.Prefetch
+		if pcfg.Metrics == nil {
+			pcfg.Metrics = cfg.Metrics
+		}
+		sched, err := prefetch.NewScheduler(pcfg, cache, PrefetchModels(b))
 		if err != nil {
 			return nil, err
 		}
 		m.pf = sched
+	}
+	if cfg.Metrics != nil {
+		cfg.Metrics.Gauge("anole_core_streams", "configured frame streams").Set(float64(cfg.Streams))
+		cfg.Metrics.Gauge("anole_core_workers", "goroutines driving streams").Set(float64(workers))
 	}
 	for i := range m.streams {
 		var dev *device.Simulator
@@ -133,6 +153,9 @@ func NewMultiRuntime(b *Bundle, cfg MultiRuntimeConfig) (*MultiRuntime, error) {
 			Device:              dev,
 			SwitchHysteresis:    cfg.SwitchHysteresis,
 			Prefetcher:          m.pf,
+			Metrics:             cfg.Metrics,
+			Tracer:              cfg.Tracer,
+			StreamID:            i,
 			DegradedRetryFrames: cfg.DegradedRetryFrames,
 			DegradedRetryCap:    cfg.DegradedRetryCap,
 		})

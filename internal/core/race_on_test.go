@@ -1,0 +1,8 @@
+//go:build race
+
+package core_test
+
+// raceDetectorEnabled mirrors the -race build tag so timing-sensitive
+// tests can skip: the detector multiplies the cost of exactly the
+// atomics and mutexes the telemetry comparison measures.
+const raceDetectorEnabled = true

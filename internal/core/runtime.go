@@ -11,6 +11,7 @@ import (
 	"anole/internal/prefetch"
 	"anole/internal/stats"
 	"anole/internal/synth"
+	"anole/internal/telemetry"
 )
 
 // ModelStore is the cache surface the runtime drives: Request admits or
@@ -64,6 +65,19 @@ type RuntimeConfig struct {
 	// store must be the same cache this runtime resolves requests
 	// against.
 	Prefetcher *prefetch.Scheduler
+	// Metrics, when non-nil, registers the runtime's frame counters and
+	// latency/stall histograms (anole_core_*) on the given telemetry
+	// registry. Streams sharing one registry share the handles, so the
+	// exported values aggregate across streams while each stream's
+	// RunStats stays per-stream. Nil disables metrics at the cost of
+	// one nil check per instrumentation site.
+	Metrics *telemetry.Registry
+	// Tracer, when non-nil, records one span per pipeline stage per
+	// frame — decide (scene-encode + decision head), cache, fetch,
+	// detect — into the tracer's bounded ring. StreamID tags the spans
+	// (MultiRuntime sets it per stream).
+	Tracer   *telemetry.Tracer
+	StreamID int
 	// DegradedRetryFrames and DegradedRetryCap control the stale-serve
 	// hysteresis entered when the decided model cannot be fetched: after
 	// a failed demand fetch the runtime serves the best resident model
@@ -186,6 +200,12 @@ type Runtime struct {
 	candidate int
 	streak    int
 	stats     RunStats
+
+	// met/tracer/streamID are the telemetry attachment (see
+	// RuntimeConfig.Metrics and Tracer); all handles are nil-safe.
+	met      frameMetrics
+	tracer   *telemetry.Tracer
+	streamID int
 }
 
 // NewRuntime prepares the OMI loop for a downloaded bundle.
@@ -201,11 +221,13 @@ func NewRuntime(b *Bundle, cfg RuntimeConfig) (*Runtime, error) {
 		if cfg.Policy == 0 {
 			cfg.Policy = modelcache.LFU
 		}
-		if cfg.Prefetch != nil || cfg.Prefetcher != nil {
+		if cfg.Prefetch != nil || cfg.Prefetcher != nil || cfg.Metrics != nil {
 			// Prefetch completions insert from background goroutines, so
 			// a prefetching runtime's private store must be thread-safe;
 			// one shard reproduces Cache's eviction behavior under a lock.
-			sharded, err := modelcache.NewSharded(cfg.CacheSlots, cfg.Policy, 1)
+			// A metrics-enabled runtime also takes this path so its cache
+			// counters land on the shared registry.
+			sharded, err := modelcache.NewShardedMetrics(cfg.CacheSlots, cfg.Policy, 1, cfg.Metrics)
 			if err != nil {
 				return nil, err
 			}
@@ -239,6 +261,9 @@ func NewRuntime(b *Bundle, cfg RuntimeConfig) (*Runtime, error) {
 		prevDesired: -1,
 		committed:   -1,
 		candidate:   -1,
+		met:         newFrameMetrics(cfg.Metrics),
+		tracer:      cfg.Tracer,
+		streamID:    cfg.StreamID,
 		stats: RunStats{
 			DesiredCounts: make([]int, b.NumModels()),
 			UsedCounts:    make([]int, b.NumModels()),
@@ -306,6 +331,7 @@ func (r *Runtime) ProcessFrame(f *synth.Frame) (FrameResult, error) {
 		return FrameResult{}, fmt.Errorf("core: frame feat dim %d, bundle %d", f.FeatDim(), r.bundle.FeatDim)
 	}
 	var res FrameResult
+	seq := r.tracer.NextSeq()
 	if r.pf != nil {
 		// One frame elapses on the link clock per processed frame, so
 		// background transfers progress at the link's simulated rate.
@@ -314,9 +340,12 @@ func (r *Runtime) ProcessFrame(f *synth.Frame) (FrameResult, error) {
 
 	// MSS: rank the repertoire for this sample. The scene embedding is
 	// computed once and shared by the decision head and the novelty
-	// score.
+	// score (they run as one simulated op, so they share the decide
+	// span).
+	var decideDur time.Duration
 	if r.dev != nil {
-		res.Latency += r.dev.Infer(r.bundle.DecisionCost())
+		decideDur = r.dev.Infer(r.bundle.DecisionCost())
+		res.Latency += decideDur
 	}
 	emb := r.bundle.Encoder.EmbedFeature(synth.FrameFeature(f))
 	scores := r.bundle.Decision.ScoresFromEmbedding(emb)
@@ -328,6 +357,7 @@ func (r *Runtime) ProcessFrame(f *synth.Frame) (FrameResult, error) {
 		// The smoothed choice leads the ranking used for fallback.
 		rank = prependModel(rank, res.Desired)
 	}
+	r.recordStage(seq, telemetry.StageDecide, res.Desired, decideDur, false, false, nil)
 
 	// CMD: resolve against the cache. On a miss the frame is served by
 	// the best model already resident (the paper's §V-B rule) while the
@@ -363,9 +393,12 @@ func (r *Runtime) ProcessFrame(f *synth.Frame) (FrameResult, error) {
 				r.degradedWait--
 				demandFailed = true
 				res.Degraded = true
+				r.recordStage(seq, telemetry.StageFetch, res.Desired, 0, false, true, errDegradedBackoff)
 			} else {
 				r.stats.ColdMisses++
+				r.met.coldMisses.Inc()
 				stall, ferr := r.pf.DemandFetch(context.Background(), res.Desired)
+				r.recordStage(seq, telemetry.StageFetch, res.Desired, stall, false, ferr != nil, ferr)
 				if ferr != nil {
 					// Link unreachable: back off before the next probe.
 					demandFailed = true
@@ -377,6 +410,7 @@ func (r *Runtime) ProcessFrame(f *synth.Frame) (FrameResult, error) {
 					res.FetchStall = stall
 					res.Latency += stall
 					r.stats.FetchStall += stall
+					r.met.stall.Observe(stall.Seconds())
 					if r.dev != nil {
 						r.dev.Idle(stall)
 					}
@@ -390,6 +424,7 @@ func (r *Runtime) ProcessFrame(f *synth.Frame) (FrameResult, error) {
 	}
 	if res.Degraded {
 		r.stats.DegradedFrames++
+		r.met.degraded.Inc()
 	}
 	var (
 		hit     bool
@@ -407,6 +442,7 @@ func (r *Runtime) ProcessFrame(f *synth.Frame) (FrameResult, error) {
 		}
 	}
 	res.Hit = hit
+	r.recordStage(seq, telemetry.StageCache, res.Desired, 0, hit, res.Degraded, nil)
 	if r.dev != nil {
 		cells := f.NumCells()
 		for _, name := range evicted {
@@ -447,13 +483,17 @@ func (r *Runtime) ProcessFrame(f *synth.Frame) (FrameResult, error) {
 	}
 	if res.Used != res.Desired {
 		r.stats.FallbackServed++
+		r.met.fallback.Inc()
 	}
 
 	// MI: local prediction.
+	var detectDur time.Duration
 	if r.dev != nil {
-		res.Latency += r.dev.Infer(r.bundle.ModelCost(res.Used, f.NumCells()))
+		detectDur = r.dev.Infer(r.bundle.ModelCost(res.Used, f.NumCells()))
+		res.Latency += detectDur
 	}
 	res.Metrics = r.bundle.Detectors[res.Used].EvaluateFrame(f)
+	r.recordStage(seq, telemetry.StageDetect, res.Used, detectDur, res.Used == res.Desired, res.Degraded, nil)
 
 	// Bookkeeping.
 	res.Switched = r.prevDesired >= 0 && res.Desired != r.prevDesired
@@ -468,6 +508,7 @@ func (r *Runtime) ProcessFrame(f *synth.Frame) (FrameResult, error) {
 	}
 	if res.Switched {
 		r.stats.Switches++
+		r.met.switches.Inc()
 		r.stats.SceneDurations = append(r.stats.SceneDurations, r.runLen)
 		r.runLen = 1
 	} else {
@@ -475,6 +516,8 @@ func (r *Runtime) ProcessFrame(f *synth.Frame) (FrameResult, error) {
 	}
 	r.prevDesired = res.Desired
 	r.stats.Frames++
+	r.met.frames.Inc()
+	r.met.latency.Observe(res.Latency.Seconds())
 	r.stats.DesiredCounts[res.Desired]++
 	r.stats.UsedCounts[res.Used]++
 	r.stats.Detection = r.stats.Detection.Add(res.Metrics)

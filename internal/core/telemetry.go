@@ -1,0 +1,68 @@
+package core
+
+import (
+	"errors"
+	"time"
+
+	"anole/internal/telemetry"
+)
+
+// errDegradedBackoff labels fetch spans for frames that skipped the link
+// probe because the runtime was waiting out a failed fetch's backoff
+// window.
+var errDegradedBackoff = errors.New("degraded backoff: link probe skipped")
+
+// frameMetrics are the runtime's telemetry handles, registered under
+// anole_core_* names. All handles are nil-safe no-ops when telemetry is
+// disabled (RuntimeConfig.Metrics nil), so the instrumented hot path
+// pays one nil check per site. N streams sharing one registry share
+// these handles — the exported values are the aggregate across streams,
+// while each stream's RunStats remains its own per-stream view.
+type frameMetrics struct {
+	frames     *telemetry.Counter
+	switches   *telemetry.Counter
+	coldMisses *telemetry.Counter
+	degraded   *telemetry.Counter
+	fallback   *telemetry.Counter
+	latency    *telemetry.Histogram
+	stall      *telemetry.Histogram
+}
+
+// newFrameMetrics binds the handle set on reg; a nil reg yields all-nil
+// (no-op) handles.
+func newFrameMetrics(reg *telemetry.Registry) frameMetrics {
+	if reg == nil {
+		return frameMetrics{}
+	}
+	return frameMetrics{
+		frames:     reg.Counter("anole_core_frames_total", "frames processed across streams"),
+		switches:   reg.Counter("anole_core_switches_total", "desired-model switches (scene changes)"),
+		coldMisses: reg.Counter("anole_core_cold_misses_total", "frames whose desired model had to cross the link"),
+		degraded:   reg.Counter("anole_core_degraded_frames_total", "frames served stale in degraded mode"),
+		fallback:   reg.Counter("anole_core_fallback_served_total", "frames served by a model other than the decided one"),
+		latency:    reg.Histogram("anole_core_frame_latency_seconds", "simulated end-to-end per-frame latency", nil),
+		stall:      reg.Histogram("anole_core_fetch_stall_seconds", "per-frame stall waiting on the device-cloud link", nil),
+	}
+}
+
+// recordStage appends one pipeline-stage span for the current frame; a
+// nil tracer drops it. seq is the frame's tracer sequence (0 when
+// tracing is off).
+func (r *Runtime) recordStage(seq int64, stage string, model int, dur time.Duration, hit, degraded bool, err error) {
+	if r.tracer == nil {
+		return
+	}
+	s := telemetry.Span{
+		Seq:      seq,
+		Stream:   r.streamID,
+		Stage:    stage,
+		Model:    model,
+		Dur:      dur,
+		Hit:      hit,
+		Degraded: degraded,
+	}
+	if err != nil {
+		s.Err = err.Error()
+	}
+	r.tracer.Record(s)
+}

@@ -1,0 +1,209 @@
+package core_test
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"anole/internal/core"
+	"anole/internal/device"
+	"anole/internal/telemetry"
+	"anole/internal/testutil"
+)
+
+// TestRuntimeTelemetryMatchesRunStats is the no-drift guard for the
+// dual bookkeeping: the registry's anole_core_* values must equal the
+// RunStats a plain (uninstrumented) caller would see.
+func TestRuntimeTelemetryMatchesRunStats(t *testing.T) {
+	fx := testutil.Shared(t)
+	frames := streamFrames(t, 1, 150)[0]
+
+	reg := telemetry.NewRegistry()
+	tr := telemetry.NewTracer(0, func() time.Duration { return 0 })
+	rt, err := core.NewRuntime(fx.Bundle, core.RuntimeConfig{
+		CacheSlots: 3,
+		Device:     device.NewSimulator(device.JetsonTX2NX),
+		Metrics:    reg,
+		Tracer:     tr,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range frames {
+		if _, err := rt.ProcessFrame(f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := rt.Stats()
+	m := telemetry.Map(reg)
+	checks := map[string]float64{
+		"anole_core_frames_total":                float64(s.Frames),
+		"anole_core_switches_total":              float64(s.Switches),
+		"anole_core_degraded_frames_total":       float64(s.DegradedFrames),
+		"anole_core_fallback_served_total":       float64(s.FallbackServed),
+		"anole_core_cold_misses_total":           float64(s.ColdMisses),
+		"anole_core_frame_latency_seconds_count": float64(s.Frames),
+	}
+	for name, want := range checks {
+		if got := m[name]; got != want {
+			t.Errorf("%s = %v, want %v", name, got, want)
+		}
+	}
+	if sum := m["anole_core_frame_latency_seconds_sum"]; math.Abs(sum-s.TotalLatency.Seconds()) > 1e-6 {
+		t.Errorf("latency sum = %v, RunStats %v", sum, s.TotalLatency.Seconds())
+	}
+
+	// Every frame records decide, cache and detect spans (fetch only on
+	// absent models, and this runtime has no link). The ring retains the
+	// most recent DefaultSpanBuffer spans.
+	wantSpans := int64(3 * len(frames))
+	if tr.Total() != wantSpans {
+		t.Fatalf("recorded %d spans, want %d", tr.Total(), wantSpans)
+	}
+	spans := tr.Snapshot()
+	stages := map[string]int{}
+	for _, sp := range spans {
+		stages[sp.Stage]++
+		if sp.Stream != 0 {
+			t.Fatalf("span stream = %d, want 0", sp.Stream)
+		}
+		if sp.Seq <= 0 {
+			t.Fatalf("span seq = %d, want > 0", sp.Seq)
+		}
+	}
+	if stages[telemetry.StageFetch] != 0 {
+		t.Fatalf("fetch spans without a link: %d", stages[telemetry.StageFetch])
+	}
+	if stages[telemetry.StageDecide] == 0 || stages[telemetry.StageCache] == 0 || stages[telemetry.StageDetect] == 0 {
+		t.Fatalf("missing stages: %v", stages)
+	}
+}
+
+// TestMultiRuntimeSharedRegistryAggregates drives several streams over
+// one registry and tracer: handle sharing must make the registry the
+// cross-stream aggregate, and spans must carry their stream tags.
+func TestMultiRuntimeSharedRegistryAggregates(t *testing.T) {
+	fx := testutil.Shared(t)
+	const streams, perStream = 3, 50
+	frameSets := streamFrames(t, streams, perStream)
+
+	reg := telemetry.NewRegistry()
+	tr := telemetry.NewTracer(8192, func() time.Duration { return 0 })
+	m, err := core.NewMultiRuntime(fx.Bundle, core.MultiRuntimeConfig{
+		Streams:    streams,
+		CacheSlots: 4,
+		Workers:    streams,
+		Metrics:    reg,
+		Tracer:     tr,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.ProcessStreams(frameSets, nil); err != nil {
+		t.Fatal(err)
+	}
+	agg := m.Stats()
+	vals := telemetry.Map(reg)
+	if got := vals["anole_core_frames_total"]; got != float64(agg.Frames) {
+		t.Fatalf("frames counter = %v, aggregate stats %d", got, agg.Frames)
+	}
+	if got := vals["anole_core_switches_total"]; got != float64(agg.Switches) {
+		t.Fatalf("switches counter = %v, aggregate stats %d", got, agg.Switches)
+	}
+	if got := vals["anole_modelcache_lookups_total"]; got != float64(agg.Cache.Hits+agg.Cache.Misses) {
+		t.Fatalf("cache lookups = %v, want %d", got, agg.Cache.Hits+agg.Cache.Misses)
+	}
+	if got := vals["anole_core_streams"]; got != streams {
+		t.Fatalf("streams gauge = %v", got)
+	}
+
+	seen := map[int]bool{}
+	for _, sp := range tr.Snapshot() {
+		seen[sp.Stream] = true
+	}
+	for i := 0; i < streams; i++ {
+		if !seen[i] {
+			t.Fatalf("no spans from stream %d", i)
+		}
+	}
+
+	// The combined name set must pass the scheme validator.
+	if err := telemetry.ValidateScheme(reg.Gather()); err != nil {
+		t.Fatalf("scheme: %v", err)
+	}
+}
+
+// TestZeroFrameStatsWellDefined pins the zero-frame snapshot contract:
+// every derived rate on a fresh runtime must be finite (0, not NaN) and
+// the whole RunStats must survive JSON marshaling (encoding/json errors
+// on NaN/Inf).
+func TestZeroFrameStatsWellDefined(t *testing.T) {
+	fx := testutil.Shared(t)
+	rt, err := core.NewRuntime(fx.Bundle, core.RuntimeConfig{CacheSlots: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := rt.Stats()
+	for name, v := range map[string]float64{
+		"MeanSceneDuration": s.MeanSceneDuration(),
+		"MissRate":          s.MissRate,
+		"Precision":         s.Detection.Precision,
+		"Recall":            s.Detection.Recall,
+		"F1":                s.Detection.F1,
+	} {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Errorf("zero-frame %s = %v, want finite", name, v)
+		}
+	}
+	if s.Frames != 0 || s.Cache.Hits != 0 {
+		t.Fatalf("fresh runtime has history: %+v", s)
+	}
+
+	m, err := core.NewMultiRuntime(fx.Bundle, core.MultiRuntimeConfig{Streams: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms := m.Stats()
+	if v := ms.MeanSceneDuration(); v != 0 {
+		t.Fatalf("zero-frame multi MeanSceneDuration = %v", v)
+	}
+	if math.IsNaN(ms.MissRate) || math.IsNaN(ms.Detection.F1) {
+		t.Fatalf("zero-frame multi stats have NaN: %+v", ms)
+	}
+}
+
+// TestRuntimeTelemetryDisabledIsFreeOfSideEffects checks the nil path:
+// no registry, no tracer — results must be identical to an instrumented
+// run (telemetry must never perturb the pipeline).
+func TestRuntimeTelemetryDisabledIsFreeOfSideEffects(t *testing.T) {
+	fx := testutil.Shared(t)
+	frames := streamFrames(t, 1, 80)[0]
+
+	run := func(reg *telemetry.Registry, tr *telemetry.Tracer) []core.FrameResult {
+		rt, err := core.NewRuntime(fx.Bundle, core.RuntimeConfig{
+			CacheSlots: 3,
+			Device:     device.NewSimulator(device.JetsonTX2NX),
+			Metrics:    reg,
+			Tracer:     tr,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := make([]core.FrameResult, 0, len(frames))
+		for _, f := range frames {
+			res, err := rt.ProcessFrame(f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out = append(out, res)
+		}
+		return out
+	}
+	plain := run(nil, nil)
+	instrumented := run(telemetry.NewRegistry(), telemetry.NewTracer(0, func() time.Duration { return 0 }))
+	for i := range plain {
+		if plain[i] != instrumented[i] {
+			t.Fatalf("frame %d diverged with telemetry on:\n  off %+v\n   on %+v", i, plain[i], instrumented[i])
+		}
+	}
+}

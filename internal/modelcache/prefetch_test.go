@@ -298,4 +298,6 @@ func TestPrefetchPinSurvivesEvictionSweep(t *testing.T) {
 	}
 }
 
-func sweepKey(i int) string { return string(rune('k')) + string(rune('0'+i/10)) + string(rune('0'+i%10)) }
+func sweepKey(i int) string {
+	return string(rune('k')) + string(rune('0'+i/10)) + string(rune('0'+i%10))
+}

@@ -4,7 +4,8 @@ import (
 	"fmt"
 	"sort"
 	"sync"
-	"sync/atomic"
+
+	"anole/internal/telemetry"
 )
 
 // Sharded is a thread-safe model cache for multi-stream serving: the
@@ -22,18 +23,23 @@ import (
 // the capacity under its lock, so the summed residency never exceeds
 // Capacity.
 //
-// Hit/miss/eviction/lookup counters are maintained atomically outside
-// the shard locks, giving Stats and MissRate a lock-free merged view;
-// ShardStats exposes the exact per-shard breakdown.
+// Hit/miss/eviction/lookup counters live on the telemetry registry as
+// atomic counters maintained outside the shard locks, giving Stats and
+// MissRate a lock-free merged view (ShardStats exposes the exact
+// per-shard breakdown) and /metrics the same numbers under the
+// anole_modelcache_* names. Stats is a snapshot view over those
+// handles, not a separate set of books.
 type Sharded struct {
 	shards   []*shard
 	capacity int
 	policy   Policy
 
-	lookups   atomic.Int64
-	hits      atomic.Int64
-	misses    atomic.Int64
-	evictions atomic.Int64
+	reg       *telemetry.Registry
+	lookups   *telemetry.Counter
+	hits      *telemetry.Counter
+	misses    *telemetry.Counter
+	evictions *telemetry.Counter
+	resident  *telemetry.Gauge
 }
 
 type shard struct {
@@ -45,8 +51,19 @@ type shard struct {
 // split over shards (≤0 selects min(capacity, 8); values above capacity
 // are clamped so every shard holds at least one size unit). Capacity is
 // distributed as evenly as possible: the first capacity mod shards
-// shards receive one extra unit.
+// shards receive one extra unit. The cache's counters land in a private
+// telemetry registry; use NewShardedMetrics to register them on a
+// shared one instead.
 func NewSharded(capacity int, policy Policy, shards int) (*Sharded, error) {
+	return NewShardedMetrics(capacity, policy, shards, nil)
+}
+
+// NewShardedMetrics is NewSharded with the cache's counters registered
+// on reg under the anole_modelcache_* names, so a shared registry
+// exposes live cache behavior on /metrics. A nil reg keeps the counters
+// in a private registry (reachable via Registry()); either way Stats
+// and MissRate read the same handles.
+func NewShardedMetrics(capacity int, policy Policy, shards int, reg *telemetry.Registry) (*Sharded, error) {
 	if capacity <= 0 {
 		return nil, fmt.Errorf("modelcache: capacity %d", capacity)
 	}
@@ -56,7 +73,21 @@ func NewSharded(capacity int, policy Policy, shards int) (*Sharded, error) {
 	if shards > capacity {
 		shards = capacity
 	}
-	s := &Sharded{capacity: capacity, policy: policy, shards: make([]*shard, shards)}
+	if reg == nil {
+		reg = telemetry.NewRegistry()
+	}
+	s := &Sharded{
+		capacity: capacity,
+		policy:   policy,
+		shards:   make([]*shard, shards),
+
+		reg:       reg,
+		lookups:   reg.Counter("anole_modelcache_lookups_total", "Request calls with a valid size"),
+		hits:      reg.Counter("anole_modelcache_hits_total", "Requests served by a resident model"),
+		misses:    reg.Counter("anole_modelcache_misses_total", "Requests that had to admit the model"),
+		evictions: reg.Counter("anole_modelcache_evictions_total", "Models evicted to make room"),
+		resident:  reg.Gauge("anole_modelcache_resident_models", "Models currently cached across shards"),
+	}
 	base, extra := capacity/shards, capacity%shards
 	for i := range s.shards {
 		cap := base
@@ -166,8 +197,12 @@ func (s *Sharded) Request(key string, size int) (hit bool, evicted []string, err
 		s.hits.Add(1)
 	} else {
 		s.misses.Add(1)
+		if err == nil {
+			s.resident.Add(1)
+		}
 	}
 	s.evictions.Add(int64(len(evicted)))
+	s.resident.Add(-float64(len(evicted)))
 	return hit, evicted, err
 }
 
@@ -185,6 +220,10 @@ func (s *Sharded) Prefetch(key string, size int) (admitted bool, evicted []strin
 	admitted, evicted, err = sh.c.Prefetch(key, size)
 	sh.mu.Unlock()
 	s.evictions.Add(int64(len(evicted)))
+	if admitted {
+		s.resident.Add(1)
+	}
+	s.resident.Add(-float64(len(evicted)))
 	return admitted, evicted, err
 }
 
@@ -203,8 +242,12 @@ func (s *Sharded) SetPinWindow(n int) {
 func (s *Sharded) Remove(key string) bool {
 	sh := s.shardFor(key)
 	sh.mu.Lock()
-	defer sh.mu.Unlock()
-	return sh.c.Remove(key)
+	removed := sh.c.Remove(key)
+	sh.mu.Unlock()
+	if removed {
+		s.resident.Add(-1)
+	}
+	return removed
 }
 
 // Freq returns the recorded use count of key (0 when absent).
@@ -235,9 +278,9 @@ func (s *Sharded) Keys() []string {
 // per-shard caches, where first-use detection happens).
 func (s *Sharded) Stats() Stats {
 	out := Stats{
-		Hits:      s.hits.Load(),
-		Misses:    s.misses.Load(),
-		Evictions: s.evictions.Load(),
+		Hits:      s.hits.Value(),
+		Misses:    s.misses.Value(),
+		Evictions: s.evictions.Value(),
 	}
 	for _, sh := range s.shards {
 		sh.mu.Lock()
@@ -252,7 +295,12 @@ func (s *Sharded) Stats() Stats {
 
 // Lookups returns the total Request calls with a valid size; it always
 // equals Stats().Hits + Stats().Misses at quiescence.
-func (s *Sharded) Lookups() int64 { return s.lookups.Load() }
+func (s *Sharded) Lookups() int64 { return s.lookups.Value() }
+
+// Registry returns the telemetry registry holding the cache's counters
+// — the one passed to NewShardedMetrics, or the private registry
+// NewSharded created.
+func (s *Sharded) Registry() *telemetry.Registry { return s.reg }
 
 // ShardStats returns each shard's own counters, read under the shard
 // locks.
@@ -269,8 +317,8 @@ func (s *Sharded) ShardStats() []Stats {
 // MissRate returns misses / lookups from the atomic counters, 0 when
 // idle.
 func (s *Sharded) MissRate() float64 {
-	misses := s.misses.Load()
-	total := s.hits.Load() + misses
+	misses := s.misses.Value()
+	total := s.hits.Value() + misses
 	if total == 0 {
 		return 0
 	}

@@ -5,10 +5,10 @@ import (
 	"errors"
 	"fmt"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"anole/internal/breaker"
+	"anole/internal/telemetry"
 )
 
 // Fetcher moves one model's bytes from the repository to the device.
@@ -89,6 +89,11 @@ type Config struct {
 	MaxInFlight int
 	// Smoothing is the Markov Laplace pseudo-count (≤0 selects 1).
 	Smoothing float64
+	// Metrics, when non-nil, is the telemetry registry the scheduler's
+	// counters are registered on (anole_prefetch_*), so a shared
+	// registry exposes them live on /metrics. Nil keeps them in a
+	// private registry; Stats reads the same handles either way.
+	Metrics *telemetry.Registry
 	// Breaker, when non-nil, is the circuit breaker shared with the
 	// fetch path. Every fetch outcome — background or demand — feeds it;
 	// while it is open, Plan issues no prefetches (the link is known
@@ -155,11 +160,14 @@ type Scheduler struct {
 	cancelAll context.CancelFunc
 	wg        sync.WaitGroup
 
-	issued, completed, cancelled, failed atomic.Int64
-	skippedBudget, prefetchedBytes       atomic.Int64
-	skippedBreaker                       atomic.Int64
-	demandFetches, demandFailures        atomic.Int64
-	demandBytes, demandStallNs           atomic.Int64
+	// Counters live on the telemetry registry (Config.Metrics or a
+	// private one); SchedulerStats is a snapshot view over them.
+	issued, completed, cancelled, failed *telemetry.Counter
+	skippedBudget, prefetchedBytes       *telemetry.Counter
+	skippedBreaker                       *telemetry.Counter
+	demandFetches, demandFailures        *telemetry.Counter
+	demandBytes                          *telemetry.Counter
+	demandStall                          *telemetry.Histogram
 }
 
 // NewScheduler builds a scheduler over the given store and repertoire.
@@ -188,6 +196,10 @@ func NewScheduler(cfg Config, store Store, models []Model) (*Scheduler, error) {
 	if err != nil {
 		return nil, err
 	}
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = telemetry.NewRegistry()
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	return &Scheduler{
 		cfg:       cfg,
@@ -197,6 +209,18 @@ func NewScheduler(cfg Config, store Store, models []Model) (*Scheduler, error) {
 		inflight:  make(map[int]*flight),
 		baseCtx:   ctx,
 		cancelAll: cancel,
+
+		issued:          reg.Counter("anole_prefetch_issued_total", "background prefetches started"),
+		completed:       reg.Counter("anole_prefetch_completed_total", "background prefetches whose bytes became resident"),
+		cancelled:       reg.Counter("anole_prefetch_cancelled_total", "background prefetches cancelled by replanning or demand preemption"),
+		failed:          reg.Counter("anole_prefetch_failed_total", "background prefetches that failed (link down, transport error)"),
+		skippedBudget:   reg.Counter("anole_prefetch_skipped_budget_total", "predictions dropped by BudgetBytes"),
+		skippedBreaker:  reg.Counter("anole_prefetch_skipped_breaker_total", "plans dropped whole while the circuit breaker was open"),
+		prefetchedBytes: reg.Counter("anole_prefetch_bytes_total", "payload bytes of completed prefetches"),
+		demandFetches:   reg.Counter("anole_prefetch_demand_fetches_total", "on-demand (miss path) fetches that succeeded"),
+		demandFailures:  reg.Counter("anole_prefetch_demand_failures_total", "on-demand fetches that failed"),
+		demandBytes:     reg.Counter("anole_prefetch_demand_bytes_total", "payload bytes of successful demand fetches"),
+		demandStall:     reg.Histogram("anole_prefetch_demand_stall_seconds", "per-fetch stall charged to frames by the demand path", nil),
 	}, nil
 }
 
@@ -230,7 +254,7 @@ func (s *Scheduler) Plan(current int) {
 		// The link is known bad; speculative traffic would only pile
 		// failures on it. The demand path still probes, and its first
 		// success closes the breaker, resuming prefetching here.
-		s.skippedBreaker.Add(1)
+		s.skippedBreaker.Inc()
 		return
 	}
 	preds := s.markov.TopK(current, s.cfg.TopK)
@@ -254,7 +278,7 @@ func (s *Scheduler) Plan(current int) {
 		}
 		if limited {
 			if m.Bytes > remaining {
-				s.skippedBudget.Add(1)
+				s.skippedBudget.Inc()
 				continue
 			}
 			remaining -= m.Bytes
@@ -286,7 +310,7 @@ func (s *Scheduler) cancelLocked(idx int, fl *flight) {
 	delete(s.inflight, idx)
 	if fl.cancelBG != nil {
 		if fl.cancelBG() {
-			s.cancelled.Add(1)
+			s.cancelled.Inc()
 		}
 		return
 	}
@@ -302,7 +326,7 @@ func (s *Scheduler) startLocked(idx int) {
 	ctx, cancel := context.WithCancel(s.baseCtx)
 	fl := &flight{cancel: cancel}
 	s.inflight[idx] = fl
-	s.issued.Add(1)
+	s.issued.Inc()
 	s.wg.Add(1)
 	go func() {
 		defer s.wg.Done()
@@ -319,15 +343,15 @@ func (s *Scheduler) startLocked(idx int) {
 		case err == nil:
 			// Slot-unit admission, matching the runtime's Request size.
 			if _, _, err := s.store.Prefetch(name, 1); err == nil {
-				s.completed.Add(1)
+				s.completed.Inc()
 				s.prefetchedBytes.Add(bytes)
 			} else {
-				s.failed.Add(1)
+				s.failed.Inc()
 			}
 		case errors.Is(err, context.Canceled):
-			s.cancelled.Add(1)
+			s.cancelled.Inc()
 		default:
-			s.failed.Add(1)
+			s.failed.Inc()
 		}
 	}()
 }
@@ -341,9 +365,9 @@ func (s *Scheduler) startBackgroundLocked(bs BackgroundStarter, idx int) {
 	cancel, err := bs.StartBackground(s.models[idx].Name, func(bytes int64, err error) {
 		s.finishBackground(idx, fl, bytes, err)
 	})
-	s.issued.Add(1)
+	s.issued.Inc()
 	if err != nil {
-		s.failed.Add(1)
+		s.failed.Inc()
 		s.recordOutcome(err)
 		return
 	}
@@ -384,19 +408,19 @@ func (s *Scheduler) finishBackground(idx int, fl *flight, bytes int64, err error
 		// Cancelled between the transfer coming due and this callback;
 		// the canceller saw cancelBG report false and left the count to
 		// us.
-		s.cancelled.Add(1)
+		s.cancelled.Inc()
 		return
 	}
 	s.recordOutcome(err)
 	if err != nil {
-		s.failed.Add(1)
+		s.failed.Inc()
 		return
 	}
 	if _, _, perr := s.store.Prefetch(s.models[idx].Name, 1); perr == nil {
-		s.completed.Add(1)
+		s.completed.Inc()
 		s.prefetchedBytes.Add(bytes)
 	} else {
-		s.failed.Add(1)
+		s.failed.Inc()
 	}
 }
 
@@ -428,12 +452,12 @@ func (s *Scheduler) DemandFetch(ctx context.Context, model int) (time.Duration, 
 	bytes, d, err := s.cfg.Fetcher.FetchModelNow(ctx, s.models[model].Name)
 	s.recordOutcome(err)
 	if err != nil {
-		s.demandFailures.Add(1)
+		s.demandFailures.Inc()
 		return 0, err
 	}
-	s.demandFetches.Add(1)
+	s.demandFetches.Inc()
 	s.demandBytes.Add(bytes)
-	s.demandStallNs.Add(int64(d))
+	s.demandStall.Observe(d.Seconds())
 	return d, nil
 }
 
@@ -448,17 +472,17 @@ func (s *Scheduler) Contains(model int) bool {
 // Stats returns a snapshot of the scheduler counters.
 func (s *Scheduler) Stats() SchedulerStats {
 	st := SchedulerStats{
-		Issued:          s.issued.Load(),
-		Completed:       s.completed.Load(),
-		Cancelled:       s.cancelled.Load(),
-		Failed:          s.failed.Load(),
-		SkippedBudget:   s.skippedBudget.Load(),
-		SkippedBreaker:  s.skippedBreaker.Load(),
-		PrefetchedBytes: s.prefetchedBytes.Load(),
-		DemandFetches:   s.demandFetches.Load(),
-		DemandFailures:  s.demandFailures.Load(),
-		DemandBytes:     s.demandBytes.Load(),
-		DemandStall:     time.Duration(s.demandStallNs.Load()),
+		Issued:          s.issued.Value(),
+		Completed:       s.completed.Value(),
+		Cancelled:       s.cancelled.Value(),
+		Failed:          s.failed.Value(),
+		SkippedBudget:   s.skippedBudget.Value(),
+		SkippedBreaker:  s.skippedBreaker.Value(),
+		PrefetchedBytes: s.prefetchedBytes.Value(),
+		DemandFetches:   s.demandFetches.Value(),
+		DemandFailures:  s.demandFailures.Value(),
+		DemandBytes:     s.demandBytes.Value(),
+		DemandStall:     time.Duration(s.demandStall.Sum() * 1e9),
 		Observations:    s.markov.Observations(),
 	}
 	if s.cfg.Breaker != nil {

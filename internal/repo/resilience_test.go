@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"anole/internal/breaker"
+	"anole/internal/telemetry"
 	"anole/internal/testutil"
 )
 
@@ -357,5 +358,43 @@ func TestClientBackoffJitterIsSeededAndBounded(t *testing.T) {
 	}
 	if !varied {
 		t.Fatal("jitter never moved the delay")
+	}
+}
+
+// TestClientMetricsOnSharedRegistry pins the anole_repo_* wiring: a
+// caller-supplied registry receives the client's attempt/retry/
+// quarantine counters, and their values track the observable fetch
+// behavior (server hit counts, Quarantined()).
+func TestClientMetricsOnSharedRegistry(t *testing.T) {
+	fx := testutil.Shared(t)
+	srv, err := NewServer(fx.Bundle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := &truncatingHandler{inner: srv.Handler()}
+	h.cut.Store(1)
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+
+	reg := telemetry.NewRegistry()
+	c := Client{BaseURL: ts.URL, Retries: 2, RetryDelay: time.Millisecond, Metrics: reg}
+	if _, err := c.FetchBundle(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	m := telemetry.Map(reg)
+	if got := m["anole_repo_attempts_total"]; got != 2 {
+		t.Fatalf("attempts counter %v, want 2 (truncated + whole)", got)
+	}
+	if got := m["anole_repo_retries_total"]; got != 1 {
+		t.Fatalf("retries counter %v, want 1", got)
+	}
+	if got := m["anole_repo_attempt_failures_total"]; got != 1 {
+		t.Fatalf("failures counter %v, want 1", got)
+	}
+	if got := m["anole_repo_quarantined_total"]; got != float64(c.Quarantined()) {
+		t.Fatalf("quarantined counter %v, Quarantined() %v", got, c.Quarantined())
+	}
+	if err := telemetry.ValidateScheme(reg.Gather()); err != nil {
+		t.Fatalf("scheme: %v", err)
 	}
 }

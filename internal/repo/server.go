@@ -13,11 +13,11 @@ import (
 	"net/url"
 	"strings"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"anole/internal/breaker"
 	"anole/internal/core"
+	"anole/internal/telemetry"
 	"anole/internal/xrand"
 )
 
@@ -243,15 +243,53 @@ type Client struct {
 	// earns (default 2). A payload whose digest or checksum does not
 	// match is quarantined — counted and discarded, never returned.
 	VerifyRetries int
+	// Metrics, when non-nil, registers the client's counters
+	// (anole_repo_*) on the given telemetry registry before first use,
+	// so a shared registry exposes fetch behavior on /metrics. Nil
+	// keeps them in a private registry.
+	Metrics *telemetry.Registry
 
-	jitterMu    sync.Mutex
-	jitter      *xrand.RNG
-	quarantined atomic.Int64
+	jitterMu sync.Mutex
+	jitter   *xrand.RNG
+
+	metOnce sync.Once
+	met     *clientMetrics
+}
+
+// clientMetrics are the repo.Client telemetry handles, bound lazily on
+// first use so the zero-value Client keeps working.
+type clientMetrics struct {
+	attempts    *telemetry.Counter
+	failures    *telemetry.Counter
+	retries     *telemetry.Counter
+	notModified *telemetry.Counter
+	rejects     *telemetry.Counter
+	quarantined *telemetry.Counter
+}
+
+// metrics returns the lazily bound handle set; Config.Metrics nil binds
+// against a private registry so counters like Quarantined still count.
+func (c *Client) metrics() *clientMetrics {
+	c.metOnce.Do(func() {
+		reg := c.Metrics
+		if reg == nil {
+			reg = telemetry.NewRegistry()
+		}
+		c.met = &clientMetrics{
+			attempts:    reg.Counter("anole_repo_attempts_total", "individual fetch attempts (retries included)"),
+			failures:    reg.Counter("anole_repo_attempt_failures_total", "attempts that errored"),
+			retries:     reg.Counter("anole_repo_retries_total", "attempts after the first for one fetch"),
+			notModified: reg.Counter("anole_repo_not_modified_total", "conditional fetches answered 304"),
+			rejects:     reg.Counter("anole_repo_breaker_rejects_total", "fetches failed fast on an open breaker"),
+			quarantined: reg.Counter("anole_repo_quarantined_total", "payloads that failed verification and were discarded"),
+		}
+	})
+	return c.met
 }
 
 // Quarantined reports how many fetched payloads failed verification and
 // were discarded.
-func (c *Client) Quarantined() int64 { return c.quarantined.Load() }
+func (c *Client) Quarantined() int64 { return c.metrics().quarantined.Value() }
 
 // verifyRetries returns the quarantine refetch budget.
 func (c *Client) verifyRetries() int {
@@ -333,7 +371,7 @@ func (c *Client) FetchBundle(ctx context.Context) (*core.Bundle, error) {
 		if err == nil {
 			return b, nil
 		}
-		c.quarantined.Add(1)
+		c.metrics().quarantined.Inc()
 		lastErr = err
 		if ctx.Err() != nil {
 			break
@@ -388,7 +426,7 @@ func (c *Client) FetchModelVerified(ctx context.Context, name, sha256hex string)
 		if sha256hex == "" || digestFor(data) == sha256hex {
 			return data, nil
 		}
-		c.quarantined.Add(1)
+		c.metrics().quarantined.Inc()
 		if ctx.Err() != nil {
 			break
 		}
@@ -420,6 +458,7 @@ func (c *Client) get(ctx context.Context, path string) ([]byte, error) {
 // reading it mid-stream — a dropped connection, a truncated payload —
 // are retried exactly like connect failures.
 func (c *Client) getConditional(ctx context.Context, path, etag string) (data []byte, newETag string, notModified bool, err error) {
+	met := c.metrics()
 	var lastErr error
 	for attempt := 0; attempt <= c.Retries; attempt++ {
 		if attempt > 0 {
@@ -428,15 +467,22 @@ func (c *Client) getConditional(ctx context.Context, path, etag string) (data []
 				return nil, "", false, fmt.Errorf("repo: fetch %s: %w", path, ctx.Err())
 			case <-time.After(c.attemptDelay(attempt)):
 			}
+			met.retries.Inc()
 		}
 		if br := c.Breaker; br != nil && !br.Allow() {
+			met.rejects.Inc()
 			return nil, "", false, fmt.Errorf("repo: fetch %s: %w", path, ErrBreakerOpen)
 		}
+		met.attempts.Inc()
 		data, newETag, notModified, retryable, err := c.fetchOnce(ctx, path, etag)
 		c.recordOutcome(ctx, retryable, err)
 		if err == nil {
+			if notModified {
+				met.notModified.Inc()
+			}
 			return data, newETag, notModified, nil
 		}
+		met.failures.Inc()
 		lastErr = err
 		if !retryable || ctx.Err() != nil {
 			break

@@ -1,0 +1,124 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestMetricsHandlerServesExposition(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("anole_test_hits_total", "hits").Add(7)
+	srv := httptest.NewServer(MetricsHandler(r))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "text/plain") {
+		t.Fatalf("content type %q", ct)
+	}
+	series, err := ParseText(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := SeriesValue(series, "anole_test_hits_total"); !ok || v != 7 {
+		t.Fatalf("scraped %v, %v", v, ok)
+	}
+}
+
+func TestSpansHandlerServesJSON(t *testing.T) {
+	tr := NewTracer(4, func() time.Duration { return 42 })
+	tr.Record(Span{Seq: 1, Stage: StageFetch, Model: 2, Dur: time.Second})
+	rec := httptest.NewRecorder()
+	SpansHandler(tr).ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/debug/spans", nil))
+	var spans []Span
+	if err := json.Unmarshal(rec.Body.Bytes(), &spans); err != nil {
+		t.Fatal(err)
+	}
+	if len(spans) != 1 || spans[0].Stage != StageFetch || spans[0].Start != 42 {
+		t.Fatalf("spans = %+v", spans)
+	}
+}
+
+func TestInstrumentHandlerCountsAndTraces(t *testing.T) {
+	reg := NewRegistry()
+	tr := NewTracer(8, nil)
+	h := InstrumentHandler(reg, tr, "server", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/boom" {
+			w.WriteHeader(http.StatusInternalServerError)
+			return
+		}
+		w.Write([]byte("ok"))
+	}))
+	for _, path := range []string{"/v1/manifest", "/v1/manifest", "/boom"} {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, path, nil))
+	}
+	if got := reg.Counter("anole_server_requests_total", "").Value(); got != 3 {
+		t.Fatalf("requests = %d", got)
+	}
+	if got := reg.Counter("anole_server_request_errors_total", "").Value(); got != 1 {
+		t.Fatalf("errors = %d", got)
+	}
+	if got := reg.Histogram("anole_server_request_seconds", "", nil).Count(); got != 3 {
+		t.Fatalf("latency observations = %d", got)
+	}
+	if got := reg.Gauge("anole_server_inflight_requests", "").Value(); got != 0 {
+		t.Fatalf("inflight after quiescence = %v", got)
+	}
+	spans := tr.Snapshot()
+	if len(spans) != 3 {
+		t.Fatalf("spans = %d", len(spans))
+	}
+	if spans[2].Err == "" {
+		t.Fatal("5xx span missing error")
+	}
+}
+
+func TestParseTextRejectsDuplicates(t *testing.T) {
+	dup := "anole_x_total 1\nanole_x_total 2\n"
+	if _, err := ParseText(strings.NewReader(dup)); err == nil {
+		t.Fatal("duplicate series accepted")
+	}
+	// Same name with distinct labels is legal (histogram buckets).
+	ok := "anole_x_bucket{le=\"1\"} 1\nanole_x_bucket{le=\"+Inf\"} 2\n"
+	if _, err := ParseText(strings.NewReader(ok)); err != nil {
+		t.Fatalf("labeled series rejected: %v", err)
+	}
+}
+
+func TestScrapedQuantileInterpolates(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("anole_test_wait_seconds", "", []float64{0.1, 0.2, 0.4})
+	for i := 0; i < 100; i++ {
+		h.Observe(0.15) // all in the (0.1, 0.2] bucket
+	}
+	var sb strings.Builder
+	if err := WriteText(&sb, r); err != nil {
+		t.Fatal(err)
+	}
+	series, err := ParseText(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p95, ok := ScrapedQuantile(series, "anole_test_wait_seconds", 0.95)
+	if !ok {
+		t.Fatal("histogram not found")
+	}
+	if p95 < 0.1 || p95 > 0.2 {
+		t.Fatalf("p95 = %v, want within (0.1, 0.2]", p95)
+	}
+	if math.IsNaN(p95) {
+		t.Fatal("NaN quantile")
+	}
+	if _, ok := ScrapedQuantile(series, "anole_absent_seconds", 0.5); ok {
+		t.Fatal("absent histogram reported present")
+	}
+}

@@ -1,0 +1,135 @@
+package telemetry
+
+import (
+	"sync"
+	"time"
+)
+
+// Span is one stage of the per-frame pipeline: scene-encode+decision →
+// cache-lookup → fetch/prefetch → detect. Seq identifies the frame
+// (monotone across all streams sharing a Tracer), Stream the stream
+// that processed it. Start is the Tracer clock at the moment the span
+// was recorded; Dur is the stage's (simulated or measured) duration.
+// Durations marshal as nanoseconds.
+type Span struct {
+	Seq    int64  `json:"seq"`
+	Stream int    `json:"stream"`
+	Stage  string `json:"stage"`
+	// Model is the model index the stage concerned (-1 when the stage
+	// has no single model, e.g. an HTTP request span).
+	Model    int           `json:"model"`
+	Start    time.Duration `json:"startNs"`
+	Dur      time.Duration `json:"durNs"`
+	Hit      bool          `json:"hit,omitempty"`
+	Degraded bool          `json:"degraded,omitempty"`
+	Err      string        `json:"err,omitempty"`
+}
+
+// Pipeline stage names recorded by core.Runtime, in frame order. The
+// scene encoder and the decision head run as one simulated operation,
+// so they share the decide stage.
+const (
+	StageDecide = "decide"
+	StageCache  = "cache"
+	StageFetch  = "fetch"
+	StageDetect = "detect"
+)
+
+// Tracer records spans into a bounded ring buffer: the most recent
+// Cap() spans are retained, older ones overwritten. The clock is
+// injectable so simulated-time runs (prefetch.LinkFetcher.Now) produce
+// deterministic span timestamps; the default clock is wall time since
+// construction. All methods are safe for concurrent use; a nil *Tracer
+// ignores Record and reads as empty.
+type Tracer struct {
+	mu    sync.Mutex
+	now   func() time.Duration
+	ring  []Span
+	total int64
+	seq   int64
+}
+
+// DefaultSpanBuffer is the ring capacity NewTracer selects for cap <= 0.
+const DefaultSpanBuffer = 2048
+
+// NewTracer builds a tracer retaining the last cap spans (<= 0 selects
+// DefaultSpanBuffer). A nil now selects wall time since construction.
+func NewTracer(cap int, now func() time.Duration) *Tracer {
+	if cap <= 0 {
+		cap = DefaultSpanBuffer
+	}
+	if now == nil {
+		start := time.Now()
+		now = func() time.Duration { return time.Since(start) }
+	}
+	return &Tracer{now: now, ring: make([]Span, 0, cap)}
+}
+
+// NextSeq reserves and returns the next frame sequence number (frames
+// across all streams sharing the tracer draw from one sequence).
+func (t *Tracer) NextSeq() int64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.seq++
+	return t.seq
+}
+
+// Record stamps s.Start from the tracer clock and appends s to the
+// ring, overwriting the oldest span when full. Nil tracers drop the
+// span.
+func (t *Tracer) Record(s Span) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	s.Start = t.now()
+	if len(t.ring) < cap(t.ring) {
+		t.ring = append(t.ring, s)
+	} else {
+		t.ring[t.total%int64(cap(t.ring))] = s
+	}
+	t.total++
+}
+
+// Cap returns the ring capacity (0 for nil).
+func (t *Tracer) Cap() int {
+	if t == nil {
+		return 0
+	}
+	return cap(t.ring)
+}
+
+// Total returns how many spans have ever been recorded, including
+// overwritten ones (0 for nil).
+func (t *Tracer) Total() int64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.total
+}
+
+// Snapshot returns the retained spans oldest-first (nil for a nil or
+// empty tracer).
+func (t *Tracer) Snapshot() []Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.total <= int64(len(t.ring)) {
+		return append([]Span(nil), t.ring...)
+	}
+	// The ring has wrapped: the oldest retained span sits at the next
+	// write position.
+	head := int(t.total % int64(cap(t.ring)))
+	out := make([]Span, 0, len(t.ring))
+	out = append(out, t.ring[head:]...)
+	out = append(out, t.ring[:head]...)
+	return out
+}

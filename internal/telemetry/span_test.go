@@ -1,0 +1,74 @@
+package telemetry
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestTracerRecordsWithInjectedClock(t *testing.T) {
+	var clock time.Duration
+	tr := NewTracer(8, func() time.Duration { return clock })
+	clock = 100 * time.Millisecond
+	tr.Record(Span{Seq: tr.NextSeq(), Stage: StageDecide, Dur: time.Millisecond})
+	clock = 200 * time.Millisecond
+	tr.Record(Span{Seq: tr.NextSeq(), Stage: StageDetect, Dur: 2 * time.Millisecond})
+
+	spans := tr.Snapshot()
+	if len(spans) != 2 {
+		t.Fatalf("got %d spans", len(spans))
+	}
+	if spans[0].Start != 100*time.Millisecond || spans[1].Start != 200*time.Millisecond {
+		t.Fatalf("starts = %v, %v — clock not injected", spans[0].Start, spans[1].Start)
+	}
+	if spans[0].Seq != 1 || spans[1].Seq != 2 {
+		t.Fatalf("seqs = %d, %d", spans[0].Seq, spans[1].Seq)
+	}
+}
+
+func TestTracerRingOverwritesOldestFirst(t *testing.T) {
+	tr := NewTracer(4, func() time.Duration { return 0 })
+	for i := 0; i < 10; i++ {
+		tr.Record(Span{Seq: int64(i)})
+	}
+	if tr.Total() != 10 {
+		t.Fatalf("total = %d", tr.Total())
+	}
+	spans := tr.Snapshot()
+	if len(spans) != 4 {
+		t.Fatalf("retained %d spans, want 4", len(spans))
+	}
+	for i, s := range spans {
+		if want := int64(6 + i); s.Seq != want {
+			t.Fatalf("span %d seq = %d, want %d (oldest-first order)", i, s.Seq, want)
+		}
+	}
+}
+
+func TestTracerDefaultCapacity(t *testing.T) {
+	tr := NewTracer(0, nil)
+	if tr.Cap() != DefaultSpanBuffer {
+		t.Fatalf("cap = %d, want %d", tr.Cap(), DefaultSpanBuffer)
+	}
+}
+
+func TestTracerConcurrentRecord(t *testing.T) {
+	tr := NewTracer(64, nil)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(stream int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				tr.Record(Span{Seq: tr.NextSeq(), Stream: stream, Stage: StageCache})
+			}
+		}(w)
+	}
+	wg.Wait()
+	if tr.Total() != 8*500 {
+		t.Fatalf("total = %d", tr.Total())
+	}
+	if got := len(tr.Snapshot()); got != 64 {
+		t.Fatalf("retained %d spans", got)
+	}
+}

@@ -1,0 +1,71 @@
+// Package telemetry is the repository's unified observability layer: a
+// dependency-free, race-clean metrics registry (atomic counters, gauges
+// and fixed-bucket histograms) plus lightweight span tracing for the
+// per-frame pipeline, both built for simulated as well as wall-clock
+// time.
+//
+// Every instrumented component — the core runtime, the sharded model
+// cache, the prefetch scheduler, the circuit breaker, the repo client
+// and server — registers its counters here under one naming scheme,
+//
+//	anole_<pkg>_<name>[_total|_seconds|_bytes]
+//
+// so a single Registry (or a Multi of several) renders the whole
+// system's live state as Prometheus text exposition (WriteText), a flat
+// JSON-friendly map (Map), or per-metric snapshots (Gather).
+//
+// Handles are nil-safe: a nil *Counter, *Gauge, *Histogram, *Registry
+// or *Tracer accepts every call as a no-op, so instrumentation sites
+// need no "is telemetry on?" branches and the disabled path costs one
+// predictable nil check.
+//
+// Clocks are injectable everywhere a timestamp is taken (Tracer), so
+// chaos tests driven by a simulated frame-tick clock observe fully
+// deterministic telemetry.
+package telemetry
+
+import "fmt"
+
+// validName reports whether name fits the metric naming scheme:
+// lowercase snake_case, beginning with a letter. The "anole_" prefix is
+// a repository convention checked by ValidateScheme, not here, so the
+// package stays reusable.
+func validName(name string) bool {
+	if name == "" {
+		return false
+	}
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z':
+		case c == '_' && i > 0:
+		case c >= '0' && c <= '9' && i > 0:
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// ValidateScheme checks a gathered snapshot against the repository
+// naming convention — every metric name must be valid snake_case and
+// carry the "anole_" prefix — and against accidental duplicates (two
+// registries in a Multi exporting the same name). It returns the first
+// violation found, nil when the snapshot is clean. CI scrapes /metrics
+// and fails the build on exactly these conditions.
+func ValidateScheme(samples []Sample) error {
+	seen := make(map[string]bool, len(samples))
+	for _, s := range samples {
+		if !validName(s.Name) {
+			return fmt.Errorf("telemetry: invalid metric name %q", s.Name)
+		}
+		if len(s.Name) < 6 || s.Name[:6] != "anole_" {
+			return fmt.Errorf("telemetry: metric %q outside the anole_ namespace", s.Name)
+		}
+		if seen[s.Name] {
+			return fmt.Errorf("telemetry: duplicate metric name %q", s.Name)
+		}
+		seen[s.Name] = true
+	}
+	return nil
+}
