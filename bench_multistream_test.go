@@ -40,8 +40,11 @@ func dealStreams(b *testing.B, n, perStream int) [][]*synth.Frame {
 // BenchmarkMultiStream_CacheSweep crosses stream count with cache
 // capacity. Reported metrics: wall-clock aggregate throughput on the
 // host, simulated aggregate throughput on the modeled device (streams
-// progress concurrently, so makespan is the slowest stream), and the
-// shared cache's miss rate — the contention signal.
+// progress concurrently, so makespan is the slowest stream), the
+// shared cache's miss rate — the contention signal — and the resident
+// model bytes of the shared cache. Streams share one frozen bundle
+// (no per-stream clones), so resident-bytes depends on slots only:
+// it is flat across the streams axis.
 func BenchmarkMultiStream_CacheSweep(b *testing.B) {
 	const perStream = 100
 	for _, streams := range []int{1, 2, 4} {
@@ -49,7 +52,7 @@ func BenchmarkMultiStream_CacheSweep(b *testing.B) {
 			b.Run(fmt.Sprintf("streams=%d/slots=%d", streams, slots), func(b *testing.B) {
 				l := lab(b)
 				inputs := dealStreams(b, streams, perStream)
-				var simFPS, missRate float64
+				var simFPS, missRate, residentBytes float64
 				b.ResetTimer()
 				for i := 0; i < b.N; i++ {
 					mrt, err := core.NewMultiRuntime(l.Bundle, core.MultiRuntimeConfig{
@@ -65,6 +68,7 @@ func BenchmarkMultiStream_CacheSweep(b *testing.B) {
 					}
 					st := mrt.Stats()
 					missRate = st.MissRate
+					residentBytes = float64(mrt.Cache().BytesUsed())
 					if ms := mrt.SimulatedMakespan().Seconds(); ms > 0 {
 						simFPS = float64(st.Frames) / ms
 					}
@@ -75,6 +79,7 @@ func BenchmarkMultiStream_CacheSweep(b *testing.B) {
 				}
 				b.ReportMetric(simFPS, "frames/s-simulated")
 				b.ReportMetric(missRate, "miss-rate")
+				b.ReportMetric(residentBytes, "resident-bytes")
 			})
 		}
 	}

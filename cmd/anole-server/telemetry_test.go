@@ -26,12 +26,12 @@ func testBundle(t *testing.T) *core.Bundle {
 	encNet := nn.NewMLP(nn.MLPConfig{
 		InDim: synth.FrameFeatureDim(featDim), Hidden: []int{6, embedDim}, OutDim: 2,
 	}, rng)
-	enc, err := scene.FromParts(encNet, []int{0, 1}, embedDim)
+	enc, err := scene.FromParts(encNet.Freeze(), []int{0, 1}, embedDim)
 	if err != nil {
 		t.Fatal(err)
 	}
 	head := nn.NewMLP(nn.MLPConfig{InDim: embedDim, Hidden: []int{5}, OutDim: models}, rng)
-	dec, err := decision.FromParts(enc, head)
+	dec, err := decision.FromParts(enc, head.Freeze())
 	if err != nil {
 		t.Fatal(err)
 	}

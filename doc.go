@@ -12,9 +12,10 @@
 //
 // Concurrency: core.Runtime serves a single frame stream;
 // core.MultiRuntime multiplexes N streams over one shared thread-safe
-// modelcache.Sharded, with each stream running on a cloned bundle
-// (networks cache activations, so Clone-per-goroutine is the rule for
-// nn.Network and everything built on it). A 1-stream MultiRuntime is
+// modelcache.Sharded, with every stream running on the same frozen
+// bundle (models are immutable nn.Weights programs executed against
+// pooled per-call scratch, so N streams hold one resident copy of the
+// repertoire — DESIGN.md §8). A 1-stream MultiRuntime is
 // frame-for-frame identical to Runtime. bench_multistream_test.go
 // sweeps streams x cache slots and measures the aggregate simulated
 // throughput gain over running the same streams sequentially; the

@@ -92,3 +92,19 @@ func TestTelemetryOverheadBounded(t *testing.T) {
 		t.Fatalf("instrumented frame path %.1f%% slower than disabled (smoke bound 50%%)", (ratio-1)*100)
 	}
 }
+
+// BenchmarkFrameStep is the allocation-regression anchor for the
+// frozen-weights execution model: the full ProcessFrame pipeline
+// (scene-encode + decision head + cache + detect) on shared immutable
+// weights with reused per-runtime buffers. CI runs it as a smoke test
+// and tracks allocs/op — the neural-network stages contribute zero.
+func BenchmarkFrameStep(b *testing.B) {
+	rt, frames := benchRuntime(b, nil, nil)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := rt.ProcessFrame(frames[i%len(frames)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

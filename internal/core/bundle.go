@@ -50,32 +50,10 @@ type Bundle struct {
 	NoveltyScale float64
 }
 
-// Clone returns a per-goroutine replica of a valid bundle: the encoder,
-// decision model and every detector are deep-copied (their networks
-// cache activations and are not safe for concurrent use), while the
-// immutable metadata — Infos, Centroids, NoveltyScale — is shared. The
-// clone's Encoder and Decision.Encoder are the same object, matching the
-// invariant established by Profile and repo.ReadBundle. Clone panics on
-// a bundle that fails Validate; validate first.
-func (b *Bundle) Clone() *Bundle {
-	if err := b.Validate(); err != nil {
-		panic(fmt.Sprintf("core: Clone of invalid bundle: %v", err))
-	}
-	dec := b.Decision.Clone()
-	detectors := make([]*detect.Detector, len(b.Detectors))
-	for i, d := range b.Detectors {
-		detectors[i] = d.Clone()
-	}
-	return &Bundle{
-		Encoder:      dec.Encoder,
-		Decision:     dec,
-		Detectors:    detectors,
-		Infos:        b.Infos,
-		FeatDim:      b.FeatDim,
-		Centroids:    b.Centroids,
-		NoveltyScale: b.NoveltyScale,
-	}
-}
+// A Bundle is immutable once built: every model inside it is a frozen
+// nn.Weights program, so a single Bundle serves any number of goroutines
+// concurrently — streams share one resident copy of all detectors rather
+// than cloning per goroutine.
 
 // Novelty scores how far a frame sits from every known scene: the
 // embedding's distance to the nearest scene centroid divided by the
@@ -197,7 +175,7 @@ func (b *Bundle) ModelCost(i, cells int) device.ModelCost {
 	return device.ModelCost{
 		Name:              d.Name,
 		FLOPsPerInference: d.FrameFLOPs(cells),
-		WeightBytes:       d.Net.WeightBytes(),
+		WeightBytes:       d.WeightBytes(),
 	}
 }
 

@@ -71,12 +71,14 @@ type MultiRuntimeConfig struct {
 }
 
 // MultiRuntime serves N independent frame streams over one shared
-// thread-safe model cache. Each stream owns a full Runtime built on a
-// cloned bundle (networks cache activations, so clones keep streams
-// race-free) with private hysteresis and decision state; the cache —
-// the resident-model budget of the shared accelerator — is the only
-// structure streams contend on. Construct with NewMultiRuntime, drive
-// with ProcessStreams.
+// thread-safe model cache. Every stream's Runtime runs against the SAME
+// bundle: the models inside it are frozen nn.Weights programs with no
+// execution state, so N streams hold exactly one resident copy of the
+// encoder, decision head and all detectors regardless of N. Each stream
+// keeps private hysteresis/decision state and working buffers; the
+// cache — the resident-model budget of the shared accelerator — is the
+// only structure streams contend on. Construct with NewMultiRuntime,
+// drive with ProcessStreams.
 type MultiRuntime struct {
 	bundle  *Bundle
 	cache   *modelcache.Sharded
@@ -89,7 +91,7 @@ type MultiRuntime struct {
 }
 
 // NewMultiRuntime validates the bundle once, builds the shared sharded
-// cache, and prepares one cloned runtime per stream.
+// cache, and prepares one runtime per stream, all sharing the bundle.
 func NewMultiRuntime(b *Bundle, cfg MultiRuntimeConfig) (*MultiRuntime, error) {
 	if err := b.Validate(); err != nil {
 		return nil, err
@@ -148,7 +150,7 @@ func NewMultiRuntime(b *Bundle, cfg MultiRuntimeConfig) (*MultiRuntime, error) {
 		if cfg.Device != nil {
 			dev = device.NewSimulator(*cfg.Device)
 		}
-		rt, err := NewRuntime(b.Clone(), RuntimeConfig{
+		rt, err := NewRuntime(b, RuntimeConfig{
 			Store:               cache,
 			Device:              dev,
 			SwitchHysteresis:    cfg.SwitchHysteresis,
@@ -174,9 +176,13 @@ func (m *MultiRuntime) NumStreams() int { return len(m.streams) }
 // Workers returns the worker-pool size ProcessStreams will use.
 func (m *MultiRuntime) Workers() int { return m.workers }
 
-// Bundle returns the original (shared, read-only) bundle the streams
-// were cloned from.
+// Bundle returns the shared, read-only bundle every stream runs on.
 func (m *MultiRuntime) Bundle() *Bundle { return m.bundle }
+
+// StreamBundle returns the bundle stream i runs on — always the same
+// pointer Bundle returns, exposed so tests can pin the single-resident-
+// copy invariant.
+func (m *MultiRuntime) StreamBundle(i int) *Bundle { return m.streams[i].Bundle() }
 
 // Cache returns the shared sharded model cache.
 func (m *MultiRuntime) Cache() *modelcache.Sharded { return m.cache }
@@ -210,9 +216,9 @@ func (m *MultiRuntime) StreamDevice(i int) *device.Simulator { return m.devs[i] 
 type StreamObserver func(stream int, f *synth.Frame, res FrameResult) error
 
 // ProcessStreams drives streams[i] through stream i's runtime: per
-// frame, the worker pipelines decision (MSS on the stream's cloned
-// networks) → cache admission (CMD against the shared sharded cache) →
-// inference (MI on the stream's cloned detector). len(streams) must
+// frame, the worker pipelines decision (MSS on the shared frozen
+// encoder/head) → cache admission (CMD against the shared sharded
+// cache) → inference (MI on the shared detector). len(streams) must
 // equal NumStreams. It returns the per-stream frame results; on error
 // the first failure is returned and the results are discarded. Each
 // stream is processed by exactly one worker; ProcessStreams itself must

@@ -7,6 +7,7 @@ import (
 
 	"anole/internal/core"
 	"anole/internal/device"
+	"anole/internal/modelcache"
 	"anole/internal/synth"
 	"anole/internal/testutil"
 )
@@ -260,34 +261,109 @@ func TestMultiRuntimeObserverErrorAborts(t *testing.T) {
 	}
 }
 
-func TestBundleCloneIsDeepAndEquivalent(t *testing.T) {
+// TestMultiRuntimeStreamsShareOneBundle pins the refactor's memory
+// claim: N streams hold exactly one resident copy of every model. Each
+// stream's runtime must reference the SAME bundle — and therefore the
+// same frozen detector, encoder, and decision-head weights — as every
+// other stream, not a clone.
+func TestMultiRuntimeStreamsShareOneBundle(t *testing.T) {
 	fx := testutil.Shared(t)
-	clone := fx.Bundle.Clone()
-	if err := clone.Validate(); err != nil {
+	const streams = 4
+	m, err := core.NewMultiRuntime(fx.Bundle, core.MultiRuntimeConfig{Streams: streams})
+	if err != nil {
 		t.Fatal(err)
 	}
-	if clone.Encoder == fx.Bundle.Encoder || clone.Decision == fx.Bundle.Decision {
-		t.Fatal("clone shares compute state")
+	if m.Bundle() != fx.Bundle {
+		t.Fatal("MultiRuntime cloned the bundle")
 	}
-	if clone.Encoder != clone.Decision.Encoder {
-		t.Fatal("clone broke the shared-encoder invariant")
-	}
-	f := fx.Corpus.Frames(synth.Test)[0]
-	a, b := fx.Bundle.Decision.Scores(f), clone.Decision.Scores(f)
-	for i := range a {
-		if a[i] != b[i] {
-			t.Fatalf("decision scores diverged at %d: %v vs %v", i, a[i], b[i])
+	for s := 0; s < streams; s++ {
+		sb := m.StreamBundle(s)
+		if sb != fx.Bundle {
+			t.Fatalf("stream %d runs on a different bundle copy", s)
+		}
+		for i, d := range sb.Detectors {
+			if d != fx.Bundle.Detectors[i] {
+				t.Fatalf("stream %d detector %d is a copy", s, i)
+			}
+			if d.Weights() != fx.Bundle.Detectors[i].Weights() {
+				t.Fatalf("stream %d detector %d holds copied weights", s, i)
+			}
+		}
+		if sb.Encoder.Weights != fx.Bundle.Encoder.Weights {
+			t.Fatalf("stream %d encoder weights copied", s)
+		}
+		if sb.Decision.Head != fx.Bundle.Decision.Head {
+			t.Fatalf("stream %d decision head copied", s)
 		}
 	}
-	for i := range fx.Bundle.Detectors {
-		if fx.Bundle.Detectors[i] == clone.Detectors[i] {
-			t.Fatalf("detector %d shared", i)
-		}
-		if got, want := clone.Detectors[i].EvaluateFrame(f), fx.Bundle.Detectors[i].EvaluateFrame(f); got != want {
-			t.Fatalf("detector %d diverged: %+v vs %+v", i, got, want)
+}
+
+// TestSharedBundleStreamsMatchSequential drives N streams over one
+// UN-cloned bundle concurrently and checks every stream's frame
+// results are identical to a sequential single-runtime pass over the
+// same frames. Both sides run against a pre-warmed all-models cache so
+// admission order cannot differ; any divergence is then shared mutable
+// state inside the supposedly immutable models. Run with -race.
+func TestSharedBundleStreamsMatchSequential(t *testing.T) {
+	fx := testutil.Shared(t)
+	frames := streamFrames(t, 1, 80)[0]
+	const streams = 4
+	slots := fx.Bundle.NumModels()
+
+	seqStore := modelcache.MustNew(slots, modelcache.LFU)
+	for _, det := range fx.Bundle.Detectors {
+		if _, _, err := seqStore.Request(det.Name, 1); err != nil {
+			t.Fatal(err)
 		}
 	}
-	if fx.Bundle.Novelty(f) != clone.Novelty(f) {
-		t.Fatal("novelty diverged")
+	single, err := core.NewRuntime(fx.Bundle, core.RuntimeConfig{
+		Store:            seqStore,
+		SwitchHysteresis: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make([]core.FrameResult, 0, len(frames))
+	for _, f := range frames {
+		res, err := single.ProcessFrame(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, res)
+	}
+
+	m, err := core.NewMultiRuntime(fx.Bundle, core.MultiRuntimeConfig{
+		Streams:          streams,
+		CacheSlots:       slots,
+		CacheShards:      1,
+		SwitchHysteresis: 2,
+		Workers:          streams,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, det := range fx.Bundle.Detectors {
+		if _, _, err := m.Cache().Request(det.Name, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sets := make([][]*synth.Frame, streams)
+	for s := range sets {
+		sets[s] = frames
+	}
+	results, err := m.ProcessStreams(sets, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := 0; s < streams; s++ {
+		if len(results[s]) != len(want) {
+			t.Fatalf("stream %d: %d results, want %d", s, len(results[s]), len(want))
+		}
+		for i := range want {
+			if results[s][i] != want[i] {
+				t.Fatalf("stream %d frame %d diverged from sequential:\nconcurrent %+v\nsequential %+v",
+					s, i, results[s][i], want[i])
+			}
+		}
 	}
 }

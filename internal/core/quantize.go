@@ -4,7 +4,6 @@ import (
 	"fmt"
 
 	"anole/internal/detect"
-	"anole/internal/nn"
 )
 
 // QuantizeBundle returns a copy of the bundle whose compressed detectors
@@ -19,11 +18,11 @@ func QuantizeBundle(b *Bundle, bits int) (*Bundle, error) {
 	}
 	detectors := make([]*detect.Detector, len(b.Detectors))
 	for i, d := range b.Detectors {
-		qnet, err := nn.Quantize(d.Net, bits)
+		qw, err := d.Weights().Quantize(bits)
 		if err != nil {
 			return nil, fmt.Errorf("core: quantize %s: %w", d.Name, err)
 		}
-		qd, err := detect.FromNetwork(d.Name, d.Arch, d.FeatDim(), qnet)
+		qd, err := detect.FromWeights(d.Name, d.Arch, d.FeatDim(), qw)
 		if err != nil {
 			return nil, fmt.Errorf("core: quantize %s: %w", d.Name, err)
 		}
@@ -49,7 +48,7 @@ func QuantizeBundle(b *Bundle, bits int) (*Bundle, error) {
 func (b *Bundle) RepertoireWeightBytes() int64 {
 	var total int64
 	for _, d := range b.Detectors {
-		total += d.Net.WeightBytes()
+		total += d.WeightBytes()
 	}
 	return total
 }

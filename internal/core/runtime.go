@@ -12,6 +12,7 @@ import (
 	"anole/internal/stats"
 	"anole/internal/synth"
 	"anole/internal/telemetry"
+	"anole/internal/tensor"
 )
 
 // ModelStore is the cache surface the runtime drives: Request admits or
@@ -201,6 +202,14 @@ type Runtime struct {
 	streak    int
 	stats     RunStats
 
+	// Reused per-frame working buffers: the embedding, the score vector,
+	// and the per-cell prediction slice. The bundle's models are frozen
+	// weights, so the steady-state frame step allocates only what the
+	// frame feature extraction itself needs.
+	embBuf    tensor.Vector
+	scoresBuf []float64
+	predsBuf  []detect.CellPred
+
 	// met/tracer/streamID are the telemetry attachment (see
 	// RuntimeConfig.Metrics and Tracer); all handles are nil-safe.
 	met      frameMetrics
@@ -240,6 +249,7 @@ func NewRuntime(b *Bundle, cfg RuntimeConfig) (*Runtime, error) {
 			store = cache
 		}
 	}
+	wireSizer(store, b)
 	retryBase := cfg.DegradedRetryFrames
 	if retryBase <= 0 {
 		retryBase = 4
@@ -294,10 +304,33 @@ func NewRuntime(b *Bundle, cfg RuntimeConfig) (*Runtime, error) {
 func PrefetchModels(b *Bundle) []prefetch.Model {
 	out := make([]prefetch.Model, b.NumModels())
 	for i, d := range b.Detectors {
-		cost := device.ModelCost{WeightBytes: d.Net.WeightBytes()}
+		cost := device.ModelCost{WeightBytes: d.WeightBytes()}
 		out[i] = prefetch.Model{Name: d.Name, Bytes: int64(cost.ScaledBytes())}
 	}
 	return out
+}
+
+// byteSizedStore is the optional cache surface for byte-level residency
+// accounting: stores that implement it (modelcache.Cache and Sharded)
+// are taught the exact serialized size of each model so BytesUsed
+// reflects real resident memory, not just slot counts.
+type byteSizedStore interface {
+	SetSizer(func(key string) int64)
+}
+
+// wireSizer points the store's byte accounting at the bundle's frozen
+// weights: each cache key (detector name) maps to the exact serialized
+// size of its program (Weights.SizeBytes).
+func wireSizer(store ModelStore, b *Bundle) {
+	bs, ok := store.(byteSizedStore)
+	if !ok {
+		return
+	}
+	sizes := make(map[string]int64, len(b.Detectors))
+	for _, d := range b.Detectors {
+		sizes[d.Name] = d.SizeBytes()
+	}
+	bs.SetSizer(func(key string) int64 { return sizes[key] })
 }
 
 // Prefetcher returns the attached prefetch scheduler (nil when
@@ -347,8 +380,10 @@ func (r *Runtime) ProcessFrame(f *synth.Frame) (FrameResult, error) {
 		decideDur = r.dev.Infer(r.bundle.DecisionCost())
 		res.Latency += decideDur
 	}
-	emb := r.bundle.Encoder.EmbedFeature(synth.FrameFeature(f))
-	scores := r.bundle.Decision.ScoresFromEmbedding(emb)
+	r.embBuf = r.bundle.Encoder.EmbedFeatureInto(r.embBuf, synth.FrameFeature(f))
+	emb := r.embBuf
+	r.scoresBuf = r.bundle.Decision.ScoresInto(r.scoresBuf, emb)
+	scores := r.scoresBuf
 	rank := stats.RankDescending(scores)
 	res.Desired = r.applyHysteresis(rank[0])
 	res.Confidence = scores[rank[0]]
@@ -492,7 +527,8 @@ func (r *Runtime) ProcessFrame(f *synth.Frame) (FrameResult, error) {
 		detectDur = r.dev.Infer(r.bundle.ModelCost(res.Used, f.NumCells()))
 		res.Latency += detectDur
 	}
-	res.Metrics = r.bundle.Detectors[res.Used].EvaluateFrame(f)
+	r.predsBuf = r.bundle.Detectors[res.Used].DetectFrame(r.predsBuf, f)
+	res.Metrics = detect.ScorePredictions(r.predsBuf, f)
 	r.recordStage(seq, telemetry.StageDetect, res.Used, detectDur, res.Used == res.Desired, res.Degraded, nil)
 
 	// Bookkeeping.

@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"math"
 
-	"anole/internal/nn"
 	"anole/internal/sampling"
 	"anole/internal/tensor"
 )
@@ -35,7 +34,7 @@ func (m *Model) CalibrateTemperature(val []sampling.LabeledFrame) (float64, erro
 			return 0, fmt.Errorf("decision: calibration label %d of %d", s.ModelIdx, m.N)
 		}
 		emb := m.Encoder.Embed(s.Frame)
-		samples = append(samples, sample{logits: m.Head.Forward(emb).Clone(), label: s.ModelIdx})
+		samples = append(samples, sample{logits: m.Head.Infer(nil, emb, nil), label: s.ModelIdx})
 	}
 
 	nll := func(temp float64) float64 {
@@ -77,28 +76,17 @@ func (m *Model) CalibrateTemperature(val []sampling.LabeledFrame) (float64, erro
 		// untouched.
 		return 1, nil
 	}
-	if err := scaleFinalDense(m.Head, 1/temp); err != nil {
-		return 0, err
+	alpha := 1 / temp
+	if math.IsNaN(alpha) || math.IsInf(alpha, 0) || alpha == 0 {
+		return 0, fmt.Errorf("decision: invalid scale %v", alpha)
 	}
+	// The head is immutable: folding the temperature produces a new
+	// frozen program (copy-on-write on the final dense layer) and swaps
+	// it in. Concurrent readers keep the program they already hold.
+	scaled, err := m.Head.ScaleFinalDense(alpha)
+	if err != nil {
+		return 0, fmt.Errorf("decision: %w", err)
+	}
+	m.Head = scaled
 	return temp, nil
-}
-
-// scaleFinalDense multiplies the network's last dense layer's weights and
-// bias by alpha (equivalent to scaling the output logits).
-func scaleFinalDense(net *nn.Network, alpha float64) error {
-	params := net.Params()
-	if len(params) < 2 {
-		return fmt.Errorf("decision: head has no dense layer to scale")
-	}
-	// The final dense layer contributes the last two parameter groups
-	// (weights, bias).
-	for _, p := range params[len(params)-2:] {
-		for i := range p.Value {
-			p.Value[i] *= alpha
-		}
-	}
-	if bad := math.IsNaN(alpha) || math.IsInf(alpha, 0) || alpha == 0; bad {
-		return fmt.Errorf("decision: invalid scale %v", alpha)
-	}
-	return nil
 }

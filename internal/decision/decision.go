@@ -19,13 +19,15 @@ import (
 	"anole/internal/xrand"
 )
 
-// Model is M_decision: the frozen scene encoder plus a trainable head
-// producing one suitability logit per compressed model.
+// Model is M_decision: the frozen scene encoder plus a frozen head
+// producing one suitability logit per compressed model. Both parts are
+// immutable nn.Weights programs, so one Model is safe to share across
+// goroutines without cloning.
 type Model struct {
 	// Encoder is the frozen M_scene backbone.
 	Encoder *scene.Encoder
 	// Head maps scene embeddings to suitability logits.
-	Head *nn.Network
+	Head *nn.Weights
 	// N is the repertoire size.
 	N int
 }
@@ -134,12 +136,12 @@ func Train(enc *scene.Encoder, samples []sampling.LabeledFrame, n int, cfg Confi
 	}); err != nil {
 		return nil, fmt.Errorf("decision: train head: %w", err)
 	}
-	return &Model{Encoder: enc, Head: head, N: n}, nil
+	return &Model{Encoder: enc, Head: head.Freeze(), N: n}, nil
 }
 
 // FromParts reconstructs a Model from a deserialized head (device-side
 // bundle loading).
-func FromParts(enc *scene.Encoder, head *nn.Network) (*Model, error) {
+func FromParts(enc *scene.Encoder, head *nn.Weights) (*Model, error) {
 	if enc == nil || head == nil {
 		return nil, fmt.Errorf("decision: nil part")
 	}
@@ -147,14 +149,6 @@ func FromParts(enc *scene.Encoder, head *nn.Network) (*Model, error) {
 		return nil, fmt.Errorf("decision: head input %d, embedding %d", head.InDim(), enc.EmbedDim())
 	}
 	return &Model{Encoder: enc, Head: head, N: head.OutDim()}, nil
-}
-
-// Clone returns a deep copy of the decision model for use by another
-// goroutine: both the frozen encoder backbone and the head network are
-// cloned (their forward passes cache activations, so one Model is not
-// safe for concurrent use).
-func (m *Model) Clone() *Model {
-	return &Model{Encoder: m.Encoder.Clone(), Head: m.Head.Clone(), N: m.N}
 }
 
 // Scores returns the model-allocation vector v^x for frame f: softmax
@@ -168,8 +162,17 @@ func (m *Model) Scores(f *synth.Frame) []float64 {
 // ScoresFromEmbedding computes suitability probabilities from a
 // precomputed scene embedding.
 func (m *Model) ScoresFromEmbedding(emb tensor.Vector) []float64 {
-	logits := m.Head.Forward(emb)
-	return tensor.Softmax(nil, logits)
+	return m.ScoresInto(nil, emb)
+}
+
+// ScoresInto computes suitability probabilities from a precomputed scene
+// embedding into dst (allocating only when dst is nil or mis-sized) and
+// returns dst. With a reused dst this is the runtime's allocation-free
+// Model Selection Strategy step: logits land in dst, then softmax runs
+// in place.
+func (m *Model) ScoresInto(dst []float64, emb tensor.Vector) []float64 {
+	logits := m.Head.Infer(tensor.Vector(dst), emb, nil)
+	return tensor.Softmax(logits, logits)
 }
 
 // Rank returns model indices ordered by decreasing suitability for f.
@@ -188,12 +191,12 @@ func (m *Model) Best(f *synth.Frame) (int, float64) {
 // FLOPs returns the end-to-end per-frame decision cost: scene-encoder
 // embedding plus head (the "M_scene + M_decision" row of Table IV).
 func (m *Model) FLOPs() int64 {
-	return m.Encoder.Net.FLOPs() + m.Head.FLOPs()
+	return m.Encoder.Weights.FLOPs() + m.Head.FLOPs()
 }
 
 // WeightBytes returns the combined serialized size.
 func (m *Model) WeightBytes() int64 {
-	return m.Encoder.Net.WeightBytes() + m.Head.WeightBytes()
+	return m.Encoder.Weights.WeightBytes() + m.Head.WeightBytes()
 }
 
 // ConfusionOn evaluates top-1 model selection against the oracle best

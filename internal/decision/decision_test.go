@@ -190,7 +190,7 @@ func TestFLOPsAndWeights(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if m.FLOPs() != fx.enc.Net.FLOPs()+m.Head.FLOPs() {
+	if m.FLOPs() != fx.enc.Weights.FLOPs()+m.Head.FLOPs() {
 		t.Fatal("FLOPs composition wrong")
 	}
 	if m.WeightBytes() <= m.Head.WeightBytes() {

@@ -34,14 +34,18 @@ var (
 	Compressed = Arch{Name: "compressed", Hidden: []int{16}}
 )
 
-// Detector is a trainable grid detector.
+// Detector is a grid detector over an immutable per-cell head. The
+// frozen weights carry no execution state, so one Detector serves any
+// number of goroutines concurrently — streams, workers, and cache
+// entries all share the same resident copy. Training state exists only
+// transiently inside Train (thaw → fit → refreeze).
 type Detector struct {
 	// Name identifies the model (e.g. "M_7" for a scene-specific
 	// compressed model, "SDM" for the deep baseline).
 	Name string
 	Arch Arch
-	Net  *nn.Network
 
+	weights *nn.Weights
 	featDim int
 }
 
@@ -53,36 +57,48 @@ func NewDetector(name string, arch Arch, featDim int, rng *xrand.RNG) *Detector 
 		Hidden: arch.Hidden,
 		OutDim: synth.DetectorOutDim,
 	}, rng)
-	return &Detector{Name: name, Arch: arch, Net: net, featDim: featDim}
+	return &Detector{Name: name, Arch: arch, weights: net.Freeze(), featDim: featDim}
 }
 
-// FromNetwork wraps an existing (e.g. deserialized) network as a
-// detector. The network input dimension must match CellInputDim(featDim).
+// FromWeights wraps frozen (e.g. deserialized or quantized) weights as a
+// detector. The input dimension must match CellInputDim(featDim).
+func FromWeights(name string, arch Arch, featDim int, w *nn.Weights) (*Detector, error) {
+	if w.InDim() != synth.CellInputDim(featDim) {
+		return nil, fmt.Errorf("detect: network input %d, want %d", w.InDim(), synth.CellInputDim(featDim))
+	}
+	if w.OutDim() != synth.DetectorOutDim {
+		return nil, fmt.Errorf("detect: network output %d, want %d", w.OutDim(), synth.DetectorOutDim)
+	}
+	return &Detector{Name: name, Arch: arch, weights: w, featDim: featDim}, nil
+}
+
+// FromNetwork freezes an existing (e.g. freshly trained) network and
+// wraps it as a detector.
 func FromNetwork(name string, arch Arch, featDim int, net *nn.Network) (*Detector, error) {
-	if net.InDim() != synth.CellInputDim(featDim) {
-		return nil, fmt.Errorf("detect: network input %d, want %d", net.InDim(), synth.CellInputDim(featDim))
-	}
-	if net.OutDim() != synth.DetectorOutDim {
-		return nil, fmt.Errorf("detect: network output %d, want %d", net.OutDim(), synth.DetectorOutDim)
-	}
-	return &Detector{Name: name, Arch: arch, Net: net, featDim: featDim}, nil
+	return FromWeights(name, arch, featDim, net.Freeze())
 }
 
 // FeatDim returns the per-cell feature dimension the detector expects.
 func (d *Detector) FeatDim() int { return d.featDim }
 
-// Clone returns a deep copy of the detector whose network shares no
-// state with the original. A Detector caches activations during the
-// forward pass and is not safe for concurrent use; goroutines that score
-// the same model concurrently must each own a clone.
-func (d *Detector) Clone() *Detector {
-	return &Detector{Name: d.Name, Arch: d.Arch, Net: d.Net.Clone(), featDim: d.featDim}
-}
+// Weights exposes the frozen per-cell head program (for serialization,
+// quantization, and byte-level cache accounting).
+func (d *Detector) Weights() *nn.Weights { return d.weights }
+
+// WeightBytes returns the serialized parameter size of the head.
+func (d *Detector) WeightBytes() int64 { return d.weights.WeightBytes() }
+
+// SizeBytes returns the exact serialized size of the head program — the
+// figure the model cache uses for resident-set accounting.
+func (d *Detector) SizeBytes() int64 { return d.weights.SizeBytes() }
+
+// FLOPs returns the per-cell head cost of one forward pass.
+func (d *Detector) FLOPs() int64 { return d.weights.FLOPs() }
 
 // FrameFLOPs returns the FLOPs of detecting one full frame with cells
 // grid cells.
 func (d *Detector) FrameFLOPs(cells int) int64 {
-	return d.Net.FLOPs() * int64(cells)
+	return d.weights.FLOPs() * int64(cells)
 }
 
 // CellPred is the detector output for one cell.
@@ -96,23 +112,28 @@ type CellPred struct {
 const objectnessThreshold = 0.5
 
 // DetectFrame runs the head over every cell of f, writing predictions
-// into dst (reused when correctly sized) and returning it. The detector's
-// network is stateful, so DetectFrame is not safe for concurrent use on
-// one Detector.
+// into dst (reused when correctly sized) and returning it. The weights
+// are immutable and the per-call working set (scratch, input staging,
+// output buffer) is acquired once per frame, so DetectFrame is safe to
+// call concurrently on one shared Detector and the per-cell loop
+// performs no heap allocations.
 func (d *Detector) DetectFrame(dst []CellPred, f *synth.Frame) []CellPred {
 	cells := f.NumCells()
 	if len(dst) != cells {
 		dst = make([]CellPred, cells)
 	}
 	ctx := synth.FrameFeature(f)
-	var in tensor.Vector
+	s := d.weights.AcquireScratch()
+	in := s.In(d.weights.InDim())
+	out := s.Out(d.weights.OutDim())
 	for c := 0; c < cells; c++ {
-		in = synth.CellInput(in, f, c, ctx)
-		out := d.Net.Forward(in)
+		synth.CellInput(in, f, c, ctx)
+		d.weights.Infer(out, in, s)
 		obj := 1 / (1 + math.Exp(-out[0]))
 		classIdx := tensor.Vector(out[1:]).Argmax()
 		dst[c] = CellPred{Objectness: obj, Class: synth.Class(classIdx)}
 	}
+	d.weights.ReleaseScratch(s)
 	return dst
 }
 
@@ -230,7 +251,11 @@ func BuildSamples(frames []*synth.Frame, bgPerObject float64, rng *xrand.RNG) []
 }
 
 // Train fits the detector to the training frames with BCE-with-logits on
-// the objectness/class head.
+// the objectness/class head. The frozen weights are thawed into a
+// transient nn.Trainable, fitted, and refrozen; inference on the old
+// weights may continue concurrently in other goroutines (they keep the
+// program they hold), but Train itself must not race with another Train
+// on the same Detector.
 func (d *Detector) Train(trainFrames, valFrames []*synth.Frame, cfg TrainConfig) error {
 	cfg.setDefaults()
 	train := BuildSamples(trainFrames, cfg.BackgroundPerObject, cfg.RNG)
@@ -241,7 +266,8 @@ func (d *Detector) Train(trainFrames, valFrames []*synth.Frame, cfg TrainConfig)
 	if len(valFrames) > 0 && cfg.Patience > 0 {
 		val = BuildSamples(valFrames, cfg.BackgroundPerObject, cfg.RNG)
 	}
-	_, err := nn.Train(d.Net, train, val, nn.TrainConfig{
+	tr := nn.ThawTrainable(d.weights)
+	_, err := tr.Train(train, val, nn.TrainConfig{
 		Epochs:    cfg.Epochs,
 		BatchSize: cfg.BatchSize,
 		Loss:      nn.NewBCEWithLogits(),
@@ -253,6 +279,7 @@ func (d *Detector) Train(trainFrames, valFrames []*synth.Frame, cfg TrainConfig)
 	if err != nil {
 		return fmt.Errorf("detect: train %s: %w", d.Name, err)
 	}
+	d.weights = tr.Freeze()
 	return nil
 }
 

@@ -29,7 +29,7 @@ func TestArchFLOPsRatio(t *testing.T) {
 	rng := xrand.New(1)
 	deep := NewDetector("deep", Deep, 8, rng)
 	tiny := NewDetector("tiny", Compressed, 8, rng)
-	ratio := float64(deep.Net.FLOPs()) / float64(tiny.Net.FLOPs())
+	ratio := float64(deep.FLOPs()) / float64(tiny.FLOPs())
 	// The paper's YOLOv3 / YOLOv3-tiny gap is 65.86/5.56 ≈ 11.8×.
 	if ratio < 6 || ratio > 20 {
 		t.Fatalf("deep/tiny FLOPs ratio = %v, want roughly 10x", ratio)
@@ -216,7 +216,7 @@ func TestWindowedF1(t *testing.T) {
 func TestFrameFLOPs(t *testing.T) {
 	rng := xrand.New(16)
 	d := NewDetector("x", Compressed, 8, rng)
-	if d.FrameFLOPs(64) != d.Net.FLOPs()*64 {
+	if d.FrameFLOPs(64) != d.FLOPs()*64 {
 		t.Fatal("frame FLOPs wrong")
 	}
 	if d.FeatDim() != 8 {

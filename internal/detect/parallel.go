@@ -9,10 +9,10 @@ import (
 )
 
 // EvaluateFramesParallel scores the detector over frames using `workers`
-// goroutines (≤0 selects GOMAXPROCS). Each worker owns a private clone of
-// the detector — a Detector caches activations and is not safe for
-// concurrent use — and the per-frame matching counts are summed, so the
-// result is exactly EvaluateFrames' (integer counts commute).
+// goroutines (≤0 selects GOMAXPROCS). Every worker runs the same shared
+// frozen weights — each acquires its own scratch inside DetectFrame —
+// and the per-frame matching counts are summed, so the result is exactly
+// EvaluateFrames' (integer counts commute).
 func (d *Detector) EvaluateFramesParallel(frames []*synth.Frame, workers int) stats.PRF1 {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -27,16 +27,15 @@ func (d *Detector) EvaluateFramesParallel(frames []*synth.Frame, workers int) st
 	partials := make([]stats.PRF1, workers)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
-		clone := d.Clone()
 		wg.Add(1)
-		go func(w int, det *Detector) {
+		go func(w int) {
 			defer wg.Done()
 			var agg stats.PRF1
 			for i := w; i < len(frames); i += workers {
-				agg = agg.Add(det.EvaluateFrame(frames[i]))
+				agg = agg.Add(d.EvaluateFrame(frames[i]))
 			}
 			partials[w] = agg
-		}(w, clone)
+		}(w)
 	}
 	wg.Wait()
 
@@ -48,9 +47,10 @@ func (d *Detector) EvaluateFramesParallel(frames []*synth.Frame, workers int) st
 }
 
 // OracleF1 scores the per-frame best model over the given detectors,
-// parallelizing across frames (each worker clones every detector). It
-// returns the aggregate metrics of always picking the best model per
-// frame — the selection upper bound used by the harness.
+// parallelizing across frames. All workers share the same frozen
+// detectors — no cloning, one resident copy of every model. It returns
+// the aggregate metrics of always picking the best model per frame —
+// the selection upper bound used by the harness.
 func OracleF1(detectors []*Detector, frames []*synth.Frame, workers int) stats.PRF1 {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -65,18 +65,14 @@ func OracleF1(detectors []*Detector, frames []*synth.Frame, workers int) stats.P
 	partials := make([]stats.PRF1, workers)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
-		clones := make([]*Detector, len(detectors))
-		for i, d := range detectors {
-			clones[i] = d.Clone()
-		}
 		wg.Add(1)
-		go func(w int, dets []*Detector) {
+		go func(w int) {
 			defer wg.Done()
 			var agg stats.PRF1
 			for i := w; i < len(frames); i += workers {
 				bestF1 := -1.0
 				var best stats.PRF1
-				for _, det := range dets {
+				for _, det := range detectors {
 					if m := det.EvaluateFrame(frames[i]); m.F1 > bestF1 {
 						bestF1, best = m.F1, m
 					}
@@ -84,7 +80,7 @@ func OracleF1(detectors []*Detector, frames []*synth.Frame, workers int) stats.P
 				agg = agg.Add(best)
 			}
 			partials[w] = agg
-		}(w, clones)
+		}(w)
 	}
 	wg.Wait()
 

@@ -106,13 +106,13 @@ func RunTable2(l *Lab) Table2Result {
 			Model:   "compressed detector (YOLOv3-tiny analogue)",
 			Role:    "compressed model",
 			FLOPs:   tiny.FrameFLOPs(cells),
-			Weights: tiny.Net.WeightBytes(),
+			Weights: tiny.WeightBytes(),
 		},
 		{
 			Model:   "scene encoder (ResNet18 analogue)",
 			Role:    "M_scene",
-			FLOPs:   l.Bundle.Encoder.Net.FLOPs(),
-			Weights: l.Bundle.Encoder.Net.WeightBytes(),
+			FLOPs:   l.Bundle.Encoder.Weights.FLOPs(),
+			Weights: l.Bundle.Encoder.Weights.WeightBytes(),
 		},
 		{
 			Model:   "decision head (MLP)",
@@ -124,7 +124,7 @@ func RunTable2(l *Lab) Table2Result {
 			Model:   "deep detector (YOLOv3 analogue)",
 			Role:    "deep model",
 			FLOPs:   deep.FrameFLOPs(cells),
-			Weights: deep.Net.WeightBytes(),
+			Weights: deep.WeightBytes(),
 		},
 	}}
 }
@@ -252,7 +252,7 @@ func RunFig11(l *Lab, frames int) (Fig11Result, error) {
 			}
 			perModel := make(map[string]device.ModelCost)
 			for _, det := range sel.Detectors() {
-				mc := device.ModelCost{Name: det.Name, FLOPsPerInference: det.FrameFLOPs(cells), WeightBytes: det.Net.WeightBytes()}
+				mc := device.ModelCost{Name: det.Name, FLOPsPerInference: det.FrameFLOPs(cells), WeightBytes: det.WeightBytes()}
 				perModel[det.Name] = mc
 				sim.LoadModel(mc)
 			}
@@ -324,6 +324,6 @@ func deepModelCost(l *Lab, cells int) device.ModelCost {
 	return device.ModelCost{
 		Name:              deep.Name,
 		FLOPsPerInference: deep.FrameFLOPs(cells),
-		WeightBytes:       deep.Net.WeightBytes(),
+		WeightBytes:       deep.WeightBytes(),
 	}
 }

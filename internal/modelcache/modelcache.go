@@ -43,6 +43,7 @@ func (p Policy) String() string {
 type entry struct {
 	key      string
 	size     int
+	bytes    int64 // serialized model bytes per the sizer at admission (0 without a sizer)
 	freq     int   // use count (LFU)
 	lastUsed int64 // logical clock of last use (LRU)
 	inserted int64 // logical clock at insertion (FIFO, tie-break)
@@ -73,6 +74,10 @@ type Cache struct {
 	// pinWindow is the first-use protection span, in logical-clock
 	// ticks, granted to prefetched entries (see Prefetch).
 	pinWindow int64
+	// sizer maps a key to its serialized model size in bytes (see
+	// SetSizer); bytesUsed is the summed bytes of resident entries.
+	sizer     func(key string) int64
+	bytesUsed int64
 
 	hits      int64
 	misses    int64
@@ -123,6 +128,33 @@ func (c *Cache) Capacity() int { return c.capacity }
 
 // Used returns the occupied size units.
 func (c *Cache) Used() int { return c.used }
+
+// SetSizer teaches the cache the serialized byte size of each model:
+// fn maps a key to its exact on-device bytes (e.g. nn.Weights.SizeBytes
+// of the detector behind the key). Resident entries are re-measured
+// immediately, and every later admission records fn(key) so BytesUsed
+// tracks the real resident set. A nil fn clears byte accounting.
+func (c *Cache) SetSizer(fn func(key string) int64) {
+	c.sizer = fn
+	c.bytesUsed = 0
+	for _, e := range c.entries {
+		e.bytes = c.sizeOf(e.key)
+		c.bytesUsed += e.bytes
+	}
+}
+
+// BytesUsed returns the summed serialized bytes of resident models, 0
+// until SetSizer installs a sizer. Unlike Used (abstract slot units),
+// this is the exact memory figure of the resident repertoire slice.
+func (c *Cache) BytesUsed() int64 { return c.bytesUsed }
+
+// sizeOf measures key under the installed sizer (0 without one).
+func (c *Cache) sizeOf(key string) int64 {
+	if c.sizer == nil {
+		return 0
+	}
+	return c.sizer(key)
+}
 
 // Len returns the number of cached models.
 func (c *Cache) Len() int { return len(c.entries) }
@@ -193,9 +225,10 @@ func (c *Cache) Prefetch(key string, size int) (admitted bool, evicted []string,
 		evicted = append(evicted, victim)
 	}
 	c.clock++
-	c.entries[key] = &entry{
+	e := &entry{
 		key:         key,
 		size:        size,
+		bytes:       c.sizeOf(key),
 		freq:        c.history[key], // no use recorded yet
 		lastUsed:    c.clock,
 		inserted:    c.clock,
@@ -203,7 +236,9 @@ func (c *Cache) Prefetch(key string, size int) (admitted bool, evicted []string,
 		unused:      true,
 		pinnedUntil: c.clock + c.pinWindow,
 	}
+	c.entries[key] = e
 	c.used += size
+	c.bytesUsed += e.bytes
 	c.prefetches++
 	return true, evicted, nil
 }
@@ -238,14 +273,17 @@ func (c *Cache) Request(key string, size int) (hit bool, evicted []string, err e
 		evicted = append(evicted, victim)
 	}
 	c.clock++
-	c.entries[key] = &entry{
+	e := &entry{
 		key:      key,
 		size:     size,
+		bytes:    c.sizeOf(key),
 		freq:     incomingFreq,
 		lastUsed: c.clock,
 		inserted: c.clock,
 	}
+	c.entries[key] = e
 	c.used += size
+	c.bytesUsed += e.bytes
 	return false, evicted, nil
 }
 
@@ -263,6 +301,7 @@ func (c *Cache) Remove(key string) bool {
 func (c *Cache) removeEntry(key string) {
 	e := c.entries[key]
 	c.used -= e.size
+	c.bytesUsed -= e.bytes
 	delete(c.entries, key)
 }
 

@@ -295,3 +295,90 @@ func TestLFUHistorySurvivesEviction(t *testing.T) {
 		t.Fatalf("returning hot model evicted: %v", c.Keys())
 	}
 }
+
+// bytesInvariant checks BytesUsed equals the sum of the sizer over the
+// resident keys — the accounting invariant SetSizer promises.
+func bytesInvariant(t *testing.T, c *Cache, size func(string) int64) {
+	t.Helper()
+	var want int64
+	for _, k := range c.Keys() {
+		want += size(k)
+	}
+	if got := c.BytesUsed(); got != want {
+		t.Fatalf("BytesUsed %d, resident sum %d (keys %v)", got, want, c.Keys())
+	}
+}
+
+func TestBytesUsedTracksResidentSet(t *testing.T) {
+	// Deterministic fake sizer: key "M_i" weighs (i+1)*1000 bytes.
+	size := func(key string) int64 {
+		var i int
+		fmt.Sscanf(key, "M_%d", &i)
+		return int64(i+1) * 1000
+	}
+	c := MustNew(3, LFU)
+	if c.BytesUsed() != 0 {
+		t.Fatalf("BytesUsed %d before SetSizer, want 0", c.BytesUsed())
+	}
+
+	// Admissions before the sizer is installed are re-measured by SetSizer.
+	if _, _, err := c.Request("M_0", 1); err != nil {
+		t.Fatal(err)
+	}
+	c.SetSizer(size)
+	bytesInvariant(t, c, size)
+
+	// Demand admissions, hits, evictions, prefetches and removals all
+	// keep the invariant.
+	for _, key := range []string{"M_1", "M_2", "M_3", "M_1", "M_4"} {
+		if _, _, err := c.Request(key, 1); err != nil {
+			t.Fatal(err)
+		}
+		bytesInvariant(t, c, size)
+	}
+	if _, _, err := c.Prefetch("M_5", 1); err != nil {
+		t.Fatal(err)
+	}
+	bytesInvariant(t, c, size)
+	for _, k := range c.Keys() {
+		c.Remove(k)
+		bytesInvariant(t, c, size)
+	}
+	if c.BytesUsed() != 0 {
+		t.Fatalf("BytesUsed %d after emptying, want 0", c.BytesUsed())
+	}
+
+	// Clearing the sizer zeroes the accounting.
+	if _, _, err := c.Request("M_9", 1); err != nil {
+		t.Fatal(err)
+	}
+	c.SetSizer(nil)
+	if c.BytesUsed() != 0 {
+		t.Fatalf("BytesUsed %d after clearing sizer, want 0", c.BytesUsed())
+	}
+}
+
+func TestShardedBytesUsed(t *testing.T) {
+	size := func(key string) int64 { return int64(len(key)) * 100 }
+	s := MustNewSharded(8, LFU, 4)
+	s.SetSizer(size)
+	keys := []string{"a", "bb", "ccc", "dddd", "ee"}
+	for _, k := range keys {
+		if _, _, err := s.Request(k, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var want int64
+	for _, k := range s.Keys() {
+		want += size(k)
+	}
+	if got := s.BytesUsed(); got != want {
+		t.Fatalf("Sharded BytesUsed %d, resident sum %d", got, want)
+	}
+	for _, k := range s.Keys() {
+		s.Remove(k)
+	}
+	if got := s.BytesUsed(); got != 0 {
+		t.Fatalf("Sharded BytesUsed %d after emptying, want 0", got)
+	}
+}

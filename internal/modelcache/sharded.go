@@ -149,6 +149,30 @@ func (s *Sharded) Used() int {
 	return used
 }
 
+// SetSizer installs the key→serialized-bytes function on every shard
+// (see Cache.SetSizer), re-measuring already-resident entries. Call it
+// before concurrent traffic starts (e.g. at runtime construction);
+// BytesUsed then tracks the exact resident model bytes.
+func (s *Sharded) SetSizer(fn func(key string) int64) {
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		sh.c.SetSizer(fn)
+		sh.mu.Unlock()
+	}
+}
+
+// BytesUsed returns the summed serialized bytes of resident models
+// across shards (0 until SetSizer; same snapshot caveat as Used).
+func (s *Sharded) BytesUsed() int64 {
+	var total int64
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		total += sh.c.BytesUsed()
+		sh.mu.Unlock()
+	}
+	return total
+}
+
 // Len returns the number of cached models summed over shards (same
 // snapshot caveat as Used).
 func (s *Sharded) Len() int {

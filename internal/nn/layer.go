@@ -161,15 +161,21 @@ type activation struct {
 	gin tensor.Vector
 }
 
+// reluFn and sigmoidFn are named so frozen Weights deserialized from disk
+// share the same function values as freshly built layers.
+func reluFn(x float64) float64 {
+	if x > 0 {
+		return x
+	}
+	return 0
+}
+
+func sigmoidFn(x float64) float64 { return 1 / (1 + math.Exp(-x)) }
+
 // NewReLU returns a rectified-linear activation layer.
 func NewReLU() Layer {
 	return &activation{
-		fn: func(x float64) float64 {
-			if x > 0 {
-				return x
-			}
-			return 0
-		},
+		fn: reluFn,
 		deriv: func(x, _ float64) float64 {
 			if x > 0 {
 				return 1
@@ -192,7 +198,7 @@ func NewTanh() Layer {
 // NewSigmoid returns a logistic activation layer.
 func NewSigmoid() Layer {
 	return &activation{
-		fn:    func(x float64) float64 { return 1 / (1 + math.Exp(-x)) },
+		fn:    sigmoidFn,
 		deriv: func(_, y float64) float64 { return y * (1 - y) },
 		tag:   kindSigmoid,
 	}

@@ -32,9 +32,9 @@ const (
 	netVersion = 1
 )
 
-// WriteTo serializes the network weights to w in the binary format above.
-// It returns the number of bytes written.
-func (n *Network) WriteTo(w io.Writer) (int64, error) {
+// WriteTo serializes the frozen program to w in the binary format above.
+// It returns the number of bytes written, which always equals SizeBytes.
+func (wts *Weights) WriteTo(w io.Writer) (int64, error) {
 	cw := &countingWriter{w: w}
 	if _, err := cw.Write([]byte(netMagic)); err != nil {
 		return cw.n, err
@@ -42,38 +42,38 @@ func (n *Network) WriteTo(w io.Writer) (int64, error) {
 	crc := crc32.NewIEEE()
 	mw := io.MultiWriter(cw, crc)
 
-	if err := writeBin(mw, uint16(netVersion), uint16(len(n.layers))); err != nil {
+	if err := writeBin(mw, uint16(netVersion), uint16(len(wts.layers))); err != nil {
 		return cw.n, err
 	}
-	for _, l := range n.layers {
-		if err := writeBin(mw, uint8(l.kind())); err != nil {
+	for i := range wts.layers {
+		l := &wts.layers[i]
+		if err := writeBin(mw, uint8(l.kind)); err != nil {
 			return cw.n, err
 		}
-		d, ok := l.(*Dense)
-		if !ok {
+		if l.w == nil {
 			continue
 		}
-		if d.quantBits > 0 {
-			if err := writeBin(mw, uint8(d.quantBits)); err != nil {
+		if l.quantBits > 0 {
+			if err := writeBin(mw, uint8(l.quantBits)); err != nil {
 				return cw.n, err
 			}
 		}
-		if err := writeBin(mw, uint32(d.W.Cols), uint32(d.W.Rows)); err != nil {
+		if err := writeBin(mw, uint32(l.w.Cols), uint32(l.w.Rows)); err != nil {
 			return cw.n, err
 		}
-		if d.quantBits > 0 {
-			if err := writeQuantized(mw, d.W.Data, d.quantBits); err != nil {
+		if l.quantBits > 0 {
+			if err := writeQuantized(mw, l.w.Data, l.quantBits); err != nil {
 				return cw.n, err
 			}
-			if err := writeQuantized(mw, d.B, d.quantBits); err != nil {
+			if err := writeQuantized(mw, l.b, l.quantBits); err != nil {
 				return cw.n, err
 			}
 			continue
 		}
-		if err := writeFloats(mw, d.W.Data); err != nil {
+		if err := writeFloats(mw, l.w.Data); err != nil {
 			return cw.n, err
 		}
-		if err := writeFloats(mw, d.B); err != nil {
+		if err := writeFloats(mw, l.b); err != nil {
 			return cw.n, err
 		}
 	}
@@ -83,9 +83,53 @@ func (n *Network) WriteTo(w io.Writer) (int64, error) {
 	return cw.n, nil
 }
 
-// ReadNetwork deserializes a network written by WriteTo, verifying the
-// checksum.
+// SizeBytes returns the exact serialized length of the frozen program —
+// the number WriteTo will write. This is the figure the model cache uses
+// for byte-level memory accounting of resident entries.
+func (wts *Weights) SizeBytes() int64 {
+	n := int64(4 + 2 + 2 + 4) // magic + version + layer count + crc
+	for i := range wts.layers {
+		l := &wts.layers[i]
+		n++ // kind
+		if l.w == nil {
+			continue
+		}
+		nw, nb := int64(len(l.w.Data)), int64(len(l.b))
+		if l.quantBits > 0 {
+			sz := int64(1)
+			if l.quantBits > 8 {
+				sz = 2
+			}
+			n += 1 + 8            // bits + dims
+			n += 8 + nw*sz        // W scale + values
+			n += 8 + nb*sz        // B scale + values
+			continue
+		}
+		n += 8 + (nw+nb)*8 // dims + float64 payload
+	}
+	return n
+}
+
+// WriteTo serializes the network weights by freezing them first; the wire
+// format is identical to (*Weights).WriteTo.
+func (n *Network) WriteTo(w io.Writer) (int64, error) {
+	return n.Freeze().WriteTo(w)
+}
+
+// ReadNetwork deserializes a trainable network written by WriteTo,
+// verifying the checksum and allocating fresh gradient buffers.
 func ReadNetwork(r io.Reader) (*Network, error) {
+	w, err := ReadWeights(r)
+	if err != nil {
+		return nil, err
+	}
+	return w.Thaw(), nil
+}
+
+// ReadWeights deserializes a frozen program written by WriteTo, verifying
+// the checksum. The result carries no training state; use Thaw (or
+// ReadNetwork) to obtain a trainable form.
+func ReadWeights(r io.Reader) (*Weights, error) {
 	br := bufio.NewReader(r)
 	magic := make([]byte, 4)
 	if _, err := io.ReadFull(br, magic); err != nil {
@@ -104,7 +148,7 @@ func ReadNetwork(r io.Reader) (*Network, error) {
 	if version != netVersion {
 		return nil, fmt.Errorf("nn: unsupported version %d", version)
 	}
-	layers := make([]Layer, 0, layerCount)
+	layers := make([]wlayer, 0, layerCount)
 	// Cumulative budget across layers: a stream may not claim more
 	// weights in total than one layer is allowed to, or a long chain of
 	// individually-plausible layers still thrashes the allocator before
@@ -118,11 +162,11 @@ func ReadNetwork(r io.Reader) (*Network, error) {
 		}
 		switch layerKind(kind) {
 		case kindReLU:
-			layers = append(layers, NewReLU())
+			layers = append(layers, wlayer{kind: kindReLU, fn: reluFn})
 		case kindTanh:
-			layers = append(layers, NewTanh())
+			layers = append(layers, wlayer{kind: kindTanh, fn: math.Tanh})
 		case kindSigmoid:
-			layers = append(layers, NewSigmoid())
+			layers = append(layers, wlayer{kind: kindSigmoid, fn: sigmoidFn})
 		case kindDense, kindDenseQuant:
 			bits := 0
 			if layerKind(kind) == kindDenseQuant {
@@ -151,29 +195,25 @@ func ReadNetwork(r io.Reader) (*Network, error) {
 				return nil, fmt.Errorf("nn: layer %d claims %d weights, over budget", i, weights)
 			}
 			weightBudget -= weights
-			d := &Dense{quantBits: bits}
-			d.W = tensor.NewMatrix(int(outDim), int(inDim))
-			d.B = make([]float64, outDim)
+			l := wlayer{kind: layerKind(kind), quantBits: bits}
+			l.w = tensor.NewMatrix(int(outDim), int(inDim))
+			l.b = make([]float64, outDim)
 			if bits > 0 {
-				if err := readQuantized(tr, d.W.Data, bits); err != nil {
+				if err := readQuantized(tr, l.w.Data, bits); err != nil {
 					return nil, fmt.Errorf("nn: read layer %d weights: %w", i, err)
 				}
-				if err := readQuantized(tr, d.B, bits); err != nil {
+				if err := readQuantized(tr, l.b, bits); err != nil {
 					return nil, fmt.Errorf("nn: read layer %d bias: %w", i, err)
 				}
 			} else {
-				if err := readFloats(tr, d.W.Data); err != nil {
+				if err := readFloats(tr, l.w.Data); err != nil {
 					return nil, fmt.Errorf("nn: read layer %d weights: %w", i, err)
 				}
-				if err := readFloats(tr, d.B); err != nil {
+				if err := readFloats(tr, l.b); err != nil {
 					return nil, fmt.Errorf("nn: read layer %d bias: %w", i, err)
 				}
 			}
-			// Gradient buffers only after the payload actually decoded:
-			// truncated inputs should fail before the second allocation.
-			d.gradW = tensor.NewMatrix(int(outDim), int(inDim))
-			d.gradB = make([]float64, outDim)
-			layers = append(layers, d)
+			layers = append(layers, l)
 		default:
 			return nil, fmt.Errorf("nn: unknown layer kind %d", kind)
 		}
@@ -186,7 +226,19 @@ func ReadNetwork(r io.Reader) (*Network, error) {
 	if gotCRC != wantCRC {
 		return nil, fmt.Errorf("nn: checksum mismatch: stored %08x, computed %08x", gotCRC, wantCRC)
 	}
-	return NewNetwork(layers...)
+	// Validate adjacent dense dimensions before compiling the program;
+	// untrusted streams must fail with an error, not a panic.
+	lastOut := 0
+	for i := range layers {
+		if layers[i].w == nil {
+			continue
+		}
+		if lastOut != 0 && layers[i].w.Cols != lastOut {
+			return nil, fmt.Errorf("nn: layer %d expects input dim %d but previous layer outputs %d", i, layers[i].w.Cols, lastOut)
+		}
+		lastOut = layers[i].w.Rows
+	}
+	return newWeights(layers), nil
 }
 
 type countingWriter struct {

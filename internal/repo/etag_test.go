@@ -71,12 +71,12 @@ func TestServerModelEndpoint(t *testing.T) {
 		t.Fatalf("model fetch: notMod=%v bytes=%d etag=%q", notMod, len(data), etag)
 	}
 	// The payload is the model's serialized network, byte for byte.
-	net, err := nn.ReadNetwork(bytes.NewReader(data))
+	net, err := nn.ReadWeights(bytes.NewReader(data))
 	if err != nil {
 		t.Fatalf("decode model payload: %v", err)
 	}
-	if net.ParamCount() != det.Net.ParamCount() {
-		t.Fatalf("decoded params %d, want %d", net.ParamCount(), det.Net.ParamCount())
+	if net.ParamCount() != det.Weights().ParamCount() {
+		t.Fatalf("decoded params %d, want %d", net.ParamCount(), det.Weights().ParamCount())
 	}
 	// Revalidation costs a 304.
 	data2, _, notMod, err := c.FetchModelConditional(ctx, det.Name, etag)

@@ -76,7 +76,7 @@ func WriteBundle(w io.Writer, b *core.Bundle) error {
 	if err := writeInts(mw, b.Encoder.ClassToScene); err != nil {
 		return fmt.Errorf("repo: write scene map: %w", err)
 	}
-	if err := writeNetBlob(mw, b.Encoder.Net); err != nil {
+	if err := writeNetBlob(mw, b.Encoder.Weights); err != nil {
 		return fmt.Errorf("repo: write encoder: %w", err)
 	}
 	if err := writeNetBlob(mw, b.Decision.Head); err != nil {
@@ -110,7 +110,7 @@ func WriteBundle(w io.Writer, b *core.Bundle) error {
 		if err := writeInts(mw, info.TrainScenes); err != nil {
 			return fmt.Errorf("repo: model %d scenes: %w", i, err)
 		}
-		if err := writeNetBlob(mw, det.Net); err != nil {
+		if err := writeNetBlob(mw, det.Weights()); err != nil {
 			return fmt.Errorf("repo: model %d net: %w", i, err)
 		}
 	}
@@ -219,7 +219,7 @@ func ReadBundle(r io.Reader) (*core.Bundle, error) {
 		if err != nil {
 			return nil, fmt.Errorf("repo: model %d scenes: %w", i, err)
 		}
-		net, err := readNetBlob(tr)
+		w, err := readNetBlob(tr)
 		if err != nil {
 			return nil, fmt.Errorf("repo: model %d net: %w", i, err)
 		}
@@ -227,7 +227,7 @@ func ReadBundle(r io.Reader) (*core.Bundle, error) {
 		if err != nil {
 			return nil, fmt.Errorf("repo: model %d: %w", i, err)
 		}
-		det, err := detect.FromNetwork(name, arch, int(featDim), net)
+		det, err := detect.FromWeights(name, arch, int(featDim), w)
 		if err != nil {
 			return nil, fmt.Errorf("repo: model %d: %w", i, err)
 		}
@@ -415,9 +415,9 @@ func readFloats(r io.Reader, xs []float64) error {
 	return nil
 }
 
-func writeNetBlob(w io.Writer, net *nn.Network) error {
+func writeNetBlob(w io.Writer, weights *nn.Weights) error {
 	var buf bytes.Buffer
-	if _, err := net.WriteTo(&buf); err != nil {
+	if _, err := weights.WriteTo(&buf); err != nil {
 		return err
 	}
 	if err := writeBin(w, uint64(buf.Len())); err != nil {
@@ -427,7 +427,7 @@ func writeNetBlob(w io.Writer, net *nn.Network) error {
 	return err
 }
 
-func readNetBlob(r io.Reader) (*nn.Network, error) {
+func readNetBlob(r io.Reader) (*nn.Weights, error) {
 	var n uint64
 	if err := readBin(r, &n); err != nil {
 		return nil, err
@@ -443,5 +443,5 @@ func readNetBlob(r io.Reader) (*nn.Network, error) {
 	if _, err := io.CopyN(&buf, r, int64(n)); err != nil {
 		return nil, err
 	}
-	return nn.ReadNetwork(&buf)
+	return nn.ReadWeights(&buf)
 }

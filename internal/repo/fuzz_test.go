@@ -24,13 +24,13 @@ func tinyBundle(tb testing.TB) *core.Bundle {
 	inDim := synth.FrameFeatureDim(featDim)
 	const embedDim = 4
 	encNet := nn.NewMLP(nn.MLPConfig{InDim: inDim, Hidden: []int{6, embedDim}, OutDim: 2}, rng)
-	enc, err := scene.FromParts(encNet, []int{0, 3}, embedDim)
+	enc, err := scene.FromParts(encNet.Freeze(), []int{0, 3}, embedDim)
 	if err != nil {
 		tb.Fatal(err)
 	}
 	const models = 2
 	head := nn.NewMLP(nn.MLPConfig{InDim: embedDim, Hidden: []int{5}, OutDim: models}, rng)
-	dec, err := decision.FromParts(enc, head)
+	dec, err := decision.FromParts(enc, head.Freeze())
 	if err != nil {
 		tb.Fatal(err)
 	}

@@ -105,7 +105,7 @@ func NewServer(b *core.Bundle) (*Server, error) {
 	models := make(map[string]blobWithTag, len(b.Detectors))
 	for i, det := range b.Detectors {
 		var mbuf bytes.Buffer
-		if _, err := det.Net.WriteTo(&mbuf); err != nil {
+		if _, err := det.Weights().WriteTo(&mbuf); err != nil {
 			return nil, fmt.Errorf("repo: serialize model %q: %w", det.Name, err)
 		}
 		m.Models = append(m.Models, ManifestModel{
@@ -114,7 +114,7 @@ func NewServer(b *core.Bundle) (*Server, error) {
 			Level:       b.Infos[i].Level,
 			Cluster:     b.Infos[i].Cluster,
 			ValF1:       b.Infos[i].ValF1,
-			WeightBytes: det.Net.WeightBytes(),
+			WeightBytes: det.WeightBytes(),
 			SceneCount:  len(b.Infos[i].TrainScenes),
 			SHA256:      digestFor(mbuf.Bytes()),
 		})

@@ -15,8 +15,11 @@ import (
 // weak labels, whose last hidden activation serves as the scene embedding
 // (paper §IV-A2, "Scene Embedding"). It doubles as the frozen backbone of
 // M_decision.
+//
+// The backbone is an immutable nn.Weights program, so one Encoder is safe
+// to share across any number of goroutines — no cloning required.
 type Encoder struct {
-	Net *nn.Network
+	Weights *nn.Weights
 	// ClassToScene maps classifier output index to semantic scene index
 	// (only scenes present in training data get classes).
 	ClassToScene []int
@@ -124,30 +127,12 @@ func TrainEncoder(train, val []*synth.Frame, cfg EncoderConfig) (*Encoder, error
 	// prefix is everything except the final output Dense.
 	embedLayers := net.NumLayers() - 1
 	return &Encoder{
-		Net:          net,
+		Weights:      net.Freeze(),
 		ClassToScene: classToScene,
 		sceneToClass: sceneToClass,
 		embedLayers:  embedLayers,
 		embedDim:     cfg.Hidden[len(cfg.Hidden)-1],
 	}, nil
-}
-
-// Clone returns a deep copy of the encoder sharing no mutable state: the
-// backbone network (whose forward pass caches activations, making one
-// Encoder unsafe for concurrent use) is cloned and the class maps are
-// copied. Each goroutine embedding frames concurrently must own a clone.
-func (e *Encoder) Clone() *Encoder {
-	sceneToClass := make(map[int]int, len(e.sceneToClass))
-	for scene, cls := range e.sceneToClass {
-		sceneToClass[scene] = cls
-	}
-	return &Encoder{
-		Net:          e.Net.Clone(),
-		ClassToScene: append([]int(nil), e.ClassToScene...),
-		sceneToClass: sceneToClass,
-		embedLayers:  e.embedLayers,
-		embedDim:     e.embedDim,
-	}
 }
 
 // EmbedDim returns the embedding dimensionality.
@@ -157,21 +142,32 @@ func (e *Encoder) EmbedDim() int { return e.embedDim }
 // discriminates.
 func (e *Encoder) NumClasses() int { return len(e.ClassToScene) }
 
-// Embed returns the scene embedding of frame f. The returned vector is a
-// copy and safe to retain.
+// Embed returns the scene embedding of frame f. The returned vector is
+// caller-owned by construction (no defensive clone needed: the frozen
+// program never aliases its outputs).
 func (e *Encoder) Embed(f *synth.Frame) tensor.Vector {
-	return e.Net.ForwardThrough(e.embedLayers, synth.FrameFeature(f)).Clone()
+	return e.EmbedFeatureInto(nil, synth.FrameFeature(f))
 }
 
-// EmbedFeature embeds a precomputed frame feature vector.
+// EmbedFeature embeds a precomputed frame feature vector into a fresh
+// caller-owned vector.
 func (e *Encoder) EmbedFeature(feat tensor.Vector) tensor.Vector {
-	return e.Net.ForwardThrough(e.embedLayers, feat).Clone()
+	return e.EmbedFeatureInto(nil, feat)
+}
+
+// EmbedFeatureInto embeds feat into dst (allocating only when dst is nil
+// or mis-sized) and returns dst. This is the steady-state runtime path:
+// with a reused dst the embedding step performs no heap allocations.
+func (e *Encoder) EmbedFeatureInto(dst, feat tensor.Vector) tensor.Vector {
+	return e.Weights.InferThrough(e.embedLayers, dst, feat, nil)
 }
 
 // Classify returns the predicted class index (position in ClassToScene)
 // for frame f.
 func (e *Encoder) Classify(f *synth.Frame) int {
-	return e.Net.Forward(synth.FrameFeature(f)).Argmax()
+	s := e.Weights.AcquireScratch()
+	defer e.Weights.ReleaseScratch(s)
+	return e.Weights.Infer(s.Out(e.Weights.OutDim()), synth.FrameFeature(f), s).Argmax()
 }
 
 // ClassOf returns the class index of a semantic scene, or -1 when the
@@ -199,24 +195,24 @@ func (e *Encoder) ConfusionOn(frames []*synth.Frame) *stats.ConfusionMatrix {
 	return cm
 }
 
-// FromParts reconstructs an Encoder from a deserialized network and class
-// map (used by internal/repo when a device downloads the bundle).
-func FromParts(net *nn.Network, classToScene []int, embedDim int) (*Encoder, error) {
-	if net.NumLayers() < 2 {
+// FromParts reconstructs an Encoder from deserialized frozen weights and
+// a class map (used by internal/repo when a device downloads the bundle).
+func FromParts(w *nn.Weights, classToScene []int, embedDim int) (*Encoder, error) {
+	if w.NumLayers() < 2 {
 		return nil, fmt.Errorf("scene: encoder network too shallow")
 	}
-	if net.OutDim() != len(classToScene) {
-		return nil, fmt.Errorf("scene: network outputs %d classes, map has %d", net.OutDim(), len(classToScene))
+	if w.OutDim() != len(classToScene) {
+		return nil, fmt.Errorf("scene: network outputs %d classes, map has %d", w.OutDim(), len(classToScene))
 	}
 	sceneToClass := make(map[int]int, len(classToScene))
 	for cls, idx := range classToScene {
 		sceneToClass[idx] = cls
 	}
 	return &Encoder{
-		Net:          net,
+		Weights:      w,
 		ClassToScene: append([]int(nil), classToScene...),
 		sceneToClass: sceneToClass,
-		embedLayers:  net.NumLayers() - 1,
+		embedLayers:  w.NumLayers() - 1,
 		embedDim:     embedDim,
 	}, nil
 }

@@ -239,7 +239,7 @@ func TestFromPartsValidation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rebuilt, err := FromParts(enc.Net, enc.ClassToScene, enc.EmbedDim())
+	rebuilt, err := FromParts(enc.Weights, enc.ClassToScene, enc.EmbedDim())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -250,7 +250,7 @@ func TestFromPartsValidation(t *testing.T) {
 			t.Fatal("FromParts encoder differs")
 		}
 	}
-	if _, err := FromParts(enc.Net, enc.ClassToScene[:1], enc.EmbedDim()); err == nil {
+	if _, err := FromParts(enc.Weights, enc.ClassToScene[:1], enc.EmbedDim()); err == nil {
 		t.Fatal("class-count mismatch accepted")
 	}
 }
@@ -394,5 +394,44 @@ func TestSilhouetteAgreesWithKMeans(t *testing.T) {
 	s5 := Silhouette(points, res5.Assign, 5)
 	if s2 <= s5 {
 		t.Fatalf("true k=2 silhouette %v should beat over-split k=5 %v", s2, s5)
+	}
+}
+
+func TestInterleavedEmbedsAreIndependent(t *testing.T) {
+	// Regression for the Network.Forward aliasing footgun: Embed used to
+	// return a view of layer state and compensate with a defensive
+	// Clone(). With frozen weights the outputs are caller-owned by
+	// construction, so interleaved embeddings of different frames must
+	// never overwrite each other — including through the reused-dst path.
+	corpus := buildSmallCorpus(t, 22)
+	train := corpus.Frames(synth.Train)
+	enc, err := TrainEncoder(train, nil, EncoderConfig{Epochs: 5, RNG: xrand.New(23)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f1, f2 := train[0], train[1]
+	want1 := enc.Embed(f1)
+	want2 := enc.Embed(f2)
+	got1 := enc.Embed(f1)
+	got2 := enc.Embed(f2) // must not corrupt got1
+	for i := range want1 {
+		if got1[i] != want1[i] {
+			t.Fatalf("first embedding corrupted by second at [%d]", i)
+		}
+		if got2[i] != want2[i] {
+			t.Fatalf("second embedding wrong at [%d]", i)
+		}
+	}
+	d1 := tensor.NewVector(enc.EmbedDim())
+	d2 := tensor.NewVector(enc.EmbedDim())
+	feat1, feat2 := synth.FrameFeature(f1), synth.FrameFeature(f2)
+	for trial := 0; trial < 5; trial++ {
+		enc.EmbedFeatureInto(d1, feat1)
+		enc.EmbedFeatureInto(d2, feat2)
+		for i := range want1 {
+			if d1[i] != want1[i] || d2[i] != want2[i] {
+				t.Fatalf("trial %d: interleaved EmbedFeatureInto corrupted outputs", trial)
+			}
+		}
 	}
 }
