@@ -92,6 +92,7 @@ func run(w io.Writer, args []string) error {
 		devName     = fs.String("device", "tx2", "device profile: nano, tx2 or laptop")
 		cache       = fs.Int("cache", 5, "model cache capacity in compressed-model slots")
 		streams     = fs.Int("streams", 1, "independent frame streams sharing the model cache")
+		batchOn     = fs.Bool("batch", false, "batch each tick's ready streams through the decision and detection models (deterministic, bit-identical results)")
 		tracePath   = fs.String("trace", "", "write a JSONL decision trace to this file")
 		prefetchOn  = fs.Bool("prefetch", false, "serve model bytes over a simulated device-cloud link with transition-aware prefetching")
 		pfBudget    = fs.Int64("prefetch-budget", 0, "max bytes in flight per prefetch plan (0 = unlimited)")
@@ -185,7 +186,7 @@ func run(w io.Writer, args []string) error {
 	}
 
 	if *streams > 1 {
-		if err := runMulti(w, bundle, profile, *streams, *cache, *clips, *frames, *seed, *tracePath, pfCfg, *jsonPath, reg, spans); err != nil {
+		if err := runMulti(w, bundle, profile, *streams, *cache, *clips, *frames, *seed, *batchOn, *tracePath, pfCfg, *jsonPath, reg, spans); err != nil {
 			return err
 		}
 		settled()
@@ -453,7 +454,7 @@ func linkPrefetchConfig(bundle *core.Bundle, stability float64, budget int64, se
 // runMulti drives the multi-stream path: every stream gets its own
 // generated clip sequence and device simulator, all streams share one
 // sharded model cache.
-func runMulti(w io.Writer, bundle *core.Bundle, profile device.Profile, streams, cache, clips, frames int, seed uint64, tracePath string, pfCfg *prefetch.Config, jsonPath string, reg *telemetry.Registry, spans *telemetry.Tracer) error {
+func runMulti(w io.Writer, bundle *core.Bundle, profile device.Profile, streams, cache, clips, frames int, seed uint64, batch bool, tracePath string, pfCfg *prefetch.Config, jsonPath string, reg *telemetry.Registry, spans *telemetry.Tracer) error {
 	mrt, err := core.NewMultiRuntime(bundle, core.MultiRuntimeConfig{
 		Streams:    streams,
 		CacheSlots: cache,
@@ -461,6 +462,7 @@ func runMulti(w io.Writer, bundle *core.Bundle, profile device.Profile, streams,
 		Prefetch:   pfCfg,
 		Metrics:    reg,
 		Tracer:     spans,
+		Batch:      batch,
 	})
 	if err != nil {
 		return err
@@ -505,8 +507,12 @@ func runMulti(w io.Writer, bundle *core.Bundle, profile device.Profile, streams,
 		}
 	}
 
-	fmt.Fprintf(w, "streaming %d streams x %d clips x %d frames on %s (cache %d, LFU, %d workers)\n\n",
-		streams, clips, frames, profile.Name, cache, mrt.Workers())
+	mode := fmt.Sprintf("%d workers", mrt.Workers())
+	if batch {
+		mode = "batched"
+	}
+	fmt.Fprintf(w, "streaming %d streams x %d clips x %d frames on %s (cache %d, LFU, %s)\n\n",
+		streams, clips, frames, profile.Name, cache, mode)
 	if _, err := mrt.ProcessStreams(inputs, obs); err != nil {
 		return err
 	}

@@ -1,0 +1,326 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"anole/internal/detect"
+	"anole/internal/nn"
+	"anole/internal/synth"
+	"anole/internal/telemetry"
+)
+
+// batchMetrics are the batched-execution telemetry handles. All handles
+// are nil-safe, so the zero value (no registry) costs one nil check per
+// site.
+type batchMetrics struct {
+	// dispatches counts batched decide dispatches (one per chunk);
+	// batchedFrames counts the frames those dispatches carried, so
+	// batchedFrames/dispatches is the realized mean batch size.
+	dispatches    *telemetry.Counter
+	batchedFrames *telemetry.Counter
+	// batchSize is the per-dispatch frame-count distribution.
+	batchSize *telemetry.Histogram
+	// occupancy is the fraction of configured streams ready in the most
+	// recent tick — 1.0 while all streams still have frames, decaying as
+	// shorter streams drain.
+	occupancy *telemetry.Gauge
+}
+
+func newBatchMetrics(reg *telemetry.Registry) batchMetrics {
+	if reg == nil {
+		return batchMetrics{}
+	}
+	return batchMetrics{
+		dispatches:    reg.Counter("anole_core_batch_dispatches_total", "batched decide dispatches"),
+		batchedFrames: reg.Counter("anole_core_batched_frames_total", "frames processed through the batched path"),
+		batchSize:     reg.Histogram("anole_core_batch_size", "frames per batched dispatch", []float64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024}),
+		occupancy:     reg.Gauge("anole_core_tick_occupancy", "fraction of streams ready in the current tick"),
+	}
+}
+
+// batchState is the reusable working set of the batched event loop: the
+// held encoder/head batch scratches (so steady-state ticks allocate
+// nothing), the per-chunk frame bookkeeping, and the per-model grouping
+// used by the grouped detector pass. It belongs to the ProcessStreams
+// goroutine; the detector groups borrow disjoint slices of it.
+type batchState struct {
+	enc  *nn.BatchScratch // held from the encoder's pool
+	head *nn.BatchScratch // held from the decision head's pool
+
+	// Per chunk position j: the tracer sequence, the simulated detect
+	// duration, and the in-flight frame result.
+	seqs []int64
+	durs []time.Duration
+	res  []FrameResult
+
+	// Per model u: which chunk positions resolved to it this tick, and
+	// the reusable frame/dst slices handed to DetectBatch.
+	members [][]int
+	gframes [][]*synth.Frame
+	gdsts   [][][]detect.CellPred
+
+	// sem bounds concurrent detector groups at the worker budget.
+	sem chan struct{}
+}
+
+func newBatchState(b *Bundle, workers int) *batchState {
+	n := b.NumModels()
+	return &batchState{
+		enc:     b.Encoder.Weights.AcquireBatchScratch(),
+		head:    b.Decision.Head.AcquireBatchScratch(),
+		members: make([][]int, n),
+		gframes: make([][]*synth.Frame, n),
+		gdsts:   make([][][]detect.CellPred, n),
+		sem:     make(chan struct{}, workers),
+	}
+}
+
+// ensure sizes the per-chunk bookkeeping for n frames.
+func (bs *batchState) ensure(n int) {
+	if cap(bs.res) < n {
+		bs.res = make([]FrameResult, n)
+		bs.seqs = make([]int64, n)
+		bs.durs = make([]time.Duration, n)
+	}
+	bs.res = bs.res[:n]
+	bs.seqs = bs.seqs[:n]
+	bs.durs = bs.durs[:n]
+}
+
+// release returns the held scratches to their pools.
+func (bs *batchState) release(b *Bundle) {
+	b.Encoder.Weights.ReleaseBatchScratch(bs.enc)
+	b.Decision.Head.ReleaseBatchScratch(bs.head)
+	bs.enc, bs.head = nil, nil
+}
+
+// processTickBatched runs one tick's ready streams through the batched
+// pipeline, in consecutive chunks of at most maxBatch frames.
+func (m *MultiRuntime) processTickBatched(tick int, ready []int, streams [][]*synth.Frame, results [][]FrameResult, obs StreamObserver) error {
+	for off := 0; off < len(ready); off += m.maxBatch {
+		end := min(off+m.maxBatch, len(ready))
+		if err := m.processChunkBatched(tick, ready[off:end], streams, results, obs); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// processChunkBatched is one batched dispatch: the chunk's frames run
+// the scene encoder and decision head as single matrix batches, then
+// each frame's cache resolution and device accounting runs sequentially
+// in ascending stream order (the shared cache and link see the same
+// deterministic order every run), then frames are detected in per-model
+// groups, and finally scoring, bookkeeping and the observer run
+// sequentially in stream order again. Per frame the arithmetic is
+// bit-identical to Runtime.ProcessFrame: the batched kernels preserve
+// each dot product's summation order and the stage methods are shared.
+func (m *MultiRuntime) processChunkBatched(tick int, chunk []int, streams [][]*synth.Frame, results [][]FrameResult, obs StreamObserver) error {
+	bs := m.bstate
+	n := len(chunk)
+	bs.ensure(n)
+
+	// Vet the whole chunk before touching any shared clock: a bad frame
+	// must not leave half a tick processed.
+	for _, i := range chunk {
+		if err := m.streams[i].validateFrame(streams[i][tick]); err != nil {
+			return fmt.Errorf("core: stream %d: %w", i, err)
+		}
+	}
+
+	// MSS as one batch: stage every frame's feature vector as a row,
+	// then one encoder pass and one head pass for the whole chunk.
+	feats := bs.enc.In(n, synth.FrameFeatureDim(m.bundle.FeatDim))
+	for j, i := range chunk {
+		synth.FrameFeatureInto(feats.Row(j), streams[i][tick])
+	}
+	embs := m.bundle.Encoder.EmbedBatchInto(bs.enc.Out(n, m.bundle.Encoder.EmbedDim()), feats, bs.enc)
+	scores := m.bundle.Decision.ScoresBatchInto(bs.head.Out(n, m.bundle.NumModels()), embs, bs.head)
+
+	// Sequential backbone: clocks, hysteresis, cache and link in
+	// ascending stream order.
+	for j, i := range chunk {
+		rt := m.streams[i]
+		f := streams[i][tick]
+		bs.res[j] = FrameResult{}
+		seq := rt.beginFrame()
+		rt.adoptDecision(embs.Row(j), scores.Row(j))
+		rank := rt.stageDecide(seq, &bs.res[j])
+		if err := rt.stageResolve(f, seq, rank, &bs.res[j]); err != nil {
+			return fmt.Errorf("core: stream %d: %w", i, err)
+		}
+		bs.durs[j] = rt.detectAccount(f, &bs.res[j])
+		bs.seqs[j] = seq
+	}
+
+	// Group frames by serving model and run one batched detector pass
+	// per distinct model — groups in parallel up to the worker budget.
+	// Each stream belongs to exactly one group, so the groups touch
+	// disjoint predsBuf sets.
+	groups := 0
+	for u := range bs.members {
+		bs.members[u] = bs.members[u][:0]
+	}
+	for j := range chunk {
+		u := bs.res[j].Used
+		if len(bs.members[u]) == 0 {
+			groups++
+		}
+		bs.members[u] = append(bs.members[u], j)
+	}
+	if groups <= 1 || m.workers <= 1 {
+		for u := range bs.members {
+			if len(bs.members[u]) > 0 {
+				m.detectGroup(tick, u, chunk, streams)
+			}
+		}
+	} else {
+		var wg sync.WaitGroup
+		for u := range bs.members {
+			if len(bs.members[u]) == 0 {
+				continue
+			}
+			wg.Add(1)
+			bs.sem <- struct{}{}
+			go func(u int) {
+				defer wg.Done()
+				m.detectGroup(tick, u, chunk, streams)
+				<-bs.sem
+			}(u)
+		}
+		wg.Wait()
+	}
+
+	// Sequential epilogue: scoring, bookkeeping, observer, results.
+	for j, i := range chunk {
+		rt := m.streams[i]
+		f := streams[i][tick]
+		rt.finishDetect(f, bs.seqs[j], bs.durs[j], &bs.res[j])
+		rt.stageFinish(&bs.res[j])
+		if obs != nil {
+			if err := obs(i, f, bs.res[j]); err != nil {
+				return fmt.Errorf("core: stream %d observer: %w", i, err)
+			}
+		}
+		results[i][tick] = bs.res[j]
+	}
+
+	m.bmet.dispatches.Inc()
+	m.bmet.batchedFrames.Add(int64(n))
+	m.bmet.batchSize.Observe(float64(n))
+	return nil
+}
+
+// detectGroup runs one serving model's batched detector pass over its
+// member frames, writing each stream's predictions back into that
+// stream's predsBuf for finishDetect.
+func (m *MultiRuntime) detectGroup(tick, u int, chunk []int, streams [][]*synth.Frame) {
+	bs := m.bstate
+	frames := bs.gframes[u][:0]
+	dsts := bs.gdsts[u][:0]
+	for _, j := range bs.members[u] {
+		i := chunk[j]
+		frames = append(frames, streams[i][tick])
+		dsts = append(dsts, m.streams[i].predsBuf)
+	}
+	out := m.bundle.Detectors[u].DetectBatch(dsts, frames)
+	for k, j := range bs.members[u] {
+		m.streams[chunk[j]].predsBuf = out[k]
+	}
+	bs.gframes[u], bs.gdsts[u] = frames, out
+}
+
+// tickJob is one (stream, tick) frame dispatched to the unbatched
+// worker pool.
+type tickJob struct {
+	stream, tick int
+}
+
+// tickLoop is the unbatched event loop's persistent worker pool: the
+// workers live for the whole ProcessStreams call and the pending
+// WaitGroup is the per-tick barrier, so advancing a tick costs no
+// goroutine churn. Within one tick each ready stream appears exactly
+// once, and ticks are separated by the barrier, so no two goroutines
+// ever touch one stream's runtime concurrently.
+type tickLoop struct {
+	m       *MultiRuntime
+	streams [][]*synth.Frame
+	results [][]FrameResult
+	obs     StreamObserver
+
+	jobs    chan tickJob
+	workers sync.WaitGroup
+	pending sync.WaitGroup
+
+	failed   atomic.Bool
+	errOnce  sync.Once
+	firstErr error
+}
+
+func startTickLoop(m *MultiRuntime, streams [][]*synth.Frame, results [][]FrameResult, obs StreamObserver) *tickLoop {
+	l := &tickLoop{
+		m:       m,
+		streams: streams,
+		results: results,
+		obs:     obs,
+		jobs:    make(chan tickJob),
+	}
+	for w := 0; w < m.workers; w++ {
+		l.workers.Add(1)
+		go func() {
+			defer l.workers.Done()
+			for j := range l.jobs {
+				l.run(j)
+				l.pending.Done()
+			}
+		}()
+	}
+	return l
+}
+
+// runTick dispatches one tick's ready streams to the pool and waits for
+// the barrier. The WaitGroup edge makes the workers' writes (results,
+// firstErr) visible here.
+func (l *tickLoop) runTick(tick int, ready []int) error {
+	l.pending.Add(len(ready))
+	for _, i := range ready {
+		l.jobs <- tickJob{stream: i, tick: tick}
+	}
+	l.pending.Wait()
+	if l.failed.Load() {
+		return l.firstErr
+	}
+	return nil
+}
+
+func (l *tickLoop) run(j tickJob) {
+	if l.failed.Load() {
+		return
+	}
+	f := l.streams[j.stream][j.tick]
+	res, err := l.m.streams[j.stream].ProcessFrame(f)
+	if err != nil {
+		l.fail(fmt.Errorf("core: stream %d: %w", j.stream, err))
+		return
+	}
+	if l.obs != nil {
+		if err := l.obs(j.stream, f, res); err != nil {
+			l.fail(fmt.Errorf("core: stream %d observer: %w", j.stream, err))
+			return
+		}
+	}
+	l.results[j.stream][j.tick] = res
+}
+
+func (l *tickLoop) fail(err error) {
+	l.errOnce.Do(func() { l.firstErr = err })
+	l.failed.Store(true)
+}
+
+func (l *tickLoop) stop() {
+	close(l.jobs)
+	l.workers.Wait()
+}

@@ -3,8 +3,6 @@ package core
 import (
 	"fmt"
 	goruntime "runtime"
-	"sync"
-	"sync/atomic"
 	"time"
 
 	"anole/internal/device"
@@ -68,6 +66,21 @@ type MultiRuntimeConfig struct {
 	// (see the RuntimeConfig fields of the same names).
 	DegradedRetryFrames int
 	DegradedRetryCap    int
+	// Batch enables batched execution: each tick's ready frames run
+	// through the scene encoder and decision head as one matrix batch,
+	// and frames resolved to the same detector are detected together as
+	// one grouped batch. Cache resolution, device accounting, prefetch
+	// ticks and bookkeeping are unchanged and run sequentially in
+	// ascending stream order, so a batched run is deterministic for a
+	// fixed input and its per-frame results are bit-identical to the
+	// unbatched path (absent cross-stream cache interference, which
+	// batching serializes rather than races).
+	Batch bool
+	// MaxBatch caps how many streams one batched dispatch stages
+	// (default 256); larger ready sets are processed in consecutive
+	// chunks, bounding the batch working set however many streams are
+	// configured.
+	MaxBatch int
 }
 
 // MultiRuntime serves N independent frame streams over one shared
@@ -88,6 +101,12 @@ type MultiRuntime struct {
 	// pf is the shared prefetch scheduler (nil without Prefetch); the
 	// MultiRuntime owns it and Close drains it.
 	pf *prefetch.Scheduler
+	// batch/maxBatch and the reusable working set drive the batched
+	// event loop (see batchloop.go); bstate is nil when batching is off.
+	batch    bool
+	maxBatch int
+	bstate   *batchState
+	bmet     batchMetrics
 }
 
 // NewMultiRuntime validates the bundle once, builds the shared sharded
@@ -123,12 +142,22 @@ func NewMultiRuntime(b *Bundle, cfg MultiRuntimeConfig) (*MultiRuntime, error) {
 	if workers > cfg.Streams {
 		workers = cfg.Streams
 	}
+	maxBatch := cfg.MaxBatch
+	if maxBatch <= 0 {
+		maxBatch = 256
+	}
 	m := &MultiRuntime{
-		bundle:  b,
-		cache:   cache,
-		streams: make([]*Runtime, cfg.Streams),
-		devs:    make([]*device.Simulator, cfg.Streams),
-		workers: workers,
+		bundle:   b,
+		cache:    cache,
+		streams:  make([]*Runtime, cfg.Streams),
+		devs:     make([]*device.Simulator, cfg.Streams),
+		workers:  workers,
+		batch:    cfg.Batch,
+		maxBatch: maxBatch,
+		bmet:     newBatchMetrics(cfg.Metrics),
+	}
+	if cfg.Batch {
+		m.bstate = newBatchState(b, workers)
 	}
 	if cfg.Prefetch != nil {
 		pcfg := *cfg.Prefetch
@@ -192,7 +221,8 @@ func (m *MultiRuntime) Cache() *modelcache.Sharded { return m.cache }
 func (m *MultiRuntime) Prefetcher() *prefetch.Scheduler { return m.pf }
 
 // Close drains the shared prefetch scheduler and detaches it from every
-// stream. Safe without prefetching; call after the last ProcessStreams.
+// stream, and returns the batch working set's scratches to their pools.
+// Safe without prefetching; call after the last ProcessStreams.
 func (m *MultiRuntime) Close() {
 	for _, rt := range m.streams {
 		rt.Close()
@@ -201,82 +231,107 @@ func (m *MultiRuntime) Close() {
 		m.pf.Close()
 		m.pf = nil
 	}
+	if m.bstate != nil {
+		m.bstate.release(m.bundle)
+		m.bstate = nil
+	}
 }
 
 // StreamDevice returns stream i's device simulator (nil without a
 // Device profile). Read it only after ProcessStreams returns.
 func (m *MultiRuntime) StreamDevice(i int) *device.Simulator { return m.devs[i] }
 
-// StreamObserver is invoked after every processed frame, from the worker
-// goroutine that owns the stream. Calls for one stream are sequential
-// and frame-ordered; calls for different streams are concurrent, so an
-// observer writing shared state must synchronize — per-stream sinks
-// (e.g. one trace.Writer per stream) need no locks. Returning an error
-// aborts the run.
+// StreamObserver is invoked after every processed frame. Calls for one
+// stream are always sequential and frame-ordered. In the unbatched mode
+// calls for different streams come from concurrent worker goroutines,
+// so an observer writing shared state must synchronize — per-stream
+// sinks (e.g. one trace.Writer per stream) need no locks. With batching
+// enabled (MultiRuntimeConfig.Batch) every call is serialized on the
+// event-loop goroutine in (tick, stream) order, so no synchronization
+// is needed at all. Returning an error aborts the run.
 type StreamObserver func(stream int, f *synth.Frame, res FrameResult) error
 
-// ProcessStreams drives streams[i] through stream i's runtime: per
-// frame, the worker pipelines decision (MSS on the shared frozen
-// encoder/head) → cache admission (CMD against the shared sharded
-// cache) → inference (MI on the shared detector). len(streams) must
-// equal NumStreams. It returns the per-stream frame results; on error
-// the first failure is returned and the results are discarded. Each
-// stream is processed by exactly one worker; ProcessStreams itself must
-// not be called concurrently with itself or with Stats.
+// ProcessStreams drives streams[i] through stream i's runtime as an
+// event loop over frame ticks: at tick t every stream with a t-th frame
+// is ready, and the loop dispatches exactly one frame per ready stream
+// before advancing — streams stay within one frame of each other
+// (tick-fair), however unequal their lengths. Per frame the pipeline is
+// decision (MSS on the shared frozen encoder/head) → cache admission
+// (CMD against the shared sharded cache) → inference (MI on the shared
+// detector).
+//
+// Unbatched, a tick's ready frames are spread across the worker pool
+// and each worker runs the full per-frame pipeline. With batching
+// enabled, the tick's frames run MSS as one matrix batch, resolve the
+// cache sequentially in ascending stream order (deterministic), and are
+// detected in per-model groups — one batched detector pass per distinct
+// serving model, groups in parallel up to the worker budget.
+//
+// len(streams) must equal NumStreams. It returns the per-stream frame
+// results; on error the first failure is returned and the results are
+// discarded. ProcessStreams must not be called concurrently with itself
+// or with Stats.
 func (m *MultiRuntime) ProcessStreams(streams [][]*synth.Frame, obs StreamObserver) ([][]FrameResult, error) {
 	if len(streams) != len(m.streams) {
 		return nil, fmt.Errorf("core: %d frame streams for %d runtime streams", len(streams), len(m.streams))
 	}
 	results := make([][]FrameResult, len(streams))
-
-	var (
-		failed   atomic.Bool
-		errOnce  sync.Once
-		firstErr error
-	)
-	fail := func(err error) {
-		errOnce.Do(func() { firstErr = err })
-		failed.Store(true)
-	}
-
-	jobs := make(chan int)
-	var wg sync.WaitGroup
-	for w := 0; w < m.workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range jobs {
-				out := make([]FrameResult, 0, len(streams[i]))
-				for _, f := range streams[i] {
-					if failed.Load() {
-						break
-					}
-					res, err := m.streams[i].ProcessFrame(f)
-					if err != nil {
-						fail(fmt.Errorf("core: stream %d: %w", i, err))
-						break
-					}
-					if obs != nil {
-						if err := obs(i, f, res); err != nil {
-							fail(fmt.Errorf("core: stream %d observer: %w", i, err))
-							break
-						}
-					}
-					out = append(out, res)
-				}
-				results[i] = out
-			}
-		}()
-	}
+	maxLen := 0
 	for i := range streams {
-		jobs <- i
+		results[i] = make([]FrameResult, len(streams[i]))
+		if len(streams[i]) > maxLen {
+			maxLen = len(streams[i])
+		}
 	}
-	close(jobs)
-	wg.Wait()
-	if firstErr != nil {
-		return nil, firstErr
+
+	var loop *tickLoop
+	if !m.batch && m.workers > 1 {
+		loop = startTickLoop(m, streams, results, obs)
+		defer loop.stop()
+	}
+
+	ready := make([]int, 0, len(streams))
+	for tick := 0; tick < maxLen; tick++ {
+		ready = ready[:0]
+		for i := range streams {
+			if tick < len(streams[i]) {
+				ready = append(ready, i)
+			}
+		}
+		m.bmet.occupancy.Set(float64(len(ready)) / float64(len(streams)))
+		var err error
+		switch {
+		case m.batch:
+			err = m.processTickBatched(tick, ready, streams, results, obs)
+		case loop != nil:
+			err = loop.runTick(tick, ready)
+		default:
+			err = m.processTickSerial(tick, ready, streams, results, obs)
+		}
+		if err != nil {
+			return nil, err
+		}
 	}
 	return results, nil
+}
+
+// processTickSerial runs one tick's ready frames inline in ascending
+// stream order — the single-worker form of the event loop.
+func (m *MultiRuntime) processTickSerial(tick int, ready []int, streams [][]*synth.Frame, results [][]FrameResult, obs StreamObserver) error {
+	for _, i := range ready {
+		f := streams[i][tick]
+		res, err := m.streams[i].ProcessFrame(f)
+		if err != nil {
+			return fmt.Errorf("core: stream %d: %w", i, err)
+		}
+		if obs != nil {
+			if err := obs(i, f, res); err != nil {
+				return fmt.Errorf("core: stream %d observer: %w", i, err)
+			}
+		}
+		results[i][tick] = res
+	}
+	return nil
 }
 
 // StreamStats returns stream i's RunStats. Its Cache and MissRate

@@ -202,10 +202,11 @@ type Runtime struct {
 	streak    int
 	stats     RunStats
 
-	// Reused per-frame working buffers: the embedding, the score vector,
-	// and the per-cell prediction slice. The bundle's models are frozen
-	// weights, so the steady-state frame step allocates only what the
-	// frame feature extraction itself needs.
+	// Reused per-frame working buffers: the frame feature, the
+	// embedding, the score vector, and the per-cell prediction slice.
+	// The bundle's models are frozen weights, so the steady-state frame
+	// step performs no per-frame heap allocations beyond the rank slice.
+	featBuf   tensor.Vector
 	embBuf    tensor.Vector
 	scoresBuf []float64
 	predsBuf  []detect.CellPred
@@ -356,44 +357,105 @@ func (r *Runtime) Bundle() *Bundle { return r.bundle }
 // cache (on a miss the best cached model serves the frame while the cache
 // updates); MI runs the chosen detector. Ground-truth metrics, cache
 // behavior and simulated latency are recorded.
+//
+// The body is a composition of the stage methods below; MultiRuntime's
+// batched event loop runs the same stages, substituting batched
+// embedding/score/detector computation for the per-frame calls.
 func (r *Runtime) ProcessFrame(f *synth.Frame) (FrameResult, error) {
-	if f == nil {
-		return FrameResult{}, fmt.Errorf("core: nil frame")
-	}
-	if f.FeatDim() != r.bundle.FeatDim {
-		return FrameResult{}, fmt.Errorf("core: frame feat dim %d, bundle %d", f.FeatDim(), r.bundle.FeatDim)
+	if err := r.validateFrame(f); err != nil {
+		return FrameResult{}, err
 	}
 	var res FrameResult
+	seq := r.beginFrame()
+	r.computeDecision(f)
+	rank := r.stageDecide(seq, &res)
+	if err := r.stageResolve(f, seq, rank, &res); err != nil {
+		return FrameResult{}, err
+	}
+	detectDur := r.detectAccount(f, &res)
+	r.predsBuf = r.bundle.Detectors[res.Used].DetectFrame(r.predsBuf, f)
+	r.finishDetect(f, seq, detectDur, &res)
+	r.stageFinish(&res)
+	return res, nil
+}
+
+// validateFrame rejects frames the bundle cannot process. Split from
+// beginFrame so the batched path can vet a whole tick's frames before
+// touching any shared clocks.
+func (r *Runtime) validateFrame(f *synth.Frame) error {
+	if f == nil {
+		return fmt.Errorf("core: nil frame")
+	}
+	if f.FeatDim() != r.bundle.FeatDim {
+		return fmt.Errorf("core: frame feat dim %d, bundle %d", f.FeatDim(), r.bundle.FeatDim)
+	}
+	return nil
+}
+
+// beginFrame opens one frame: it reserves the tracer sequence and
+// advances the shared link clock — one frame elapses per processed
+// frame, so background transfers progress at the link's simulated rate.
+func (r *Runtime) beginFrame() int64 {
 	seq := r.tracer.NextSeq()
 	if r.pf != nil {
-		// One frame elapses on the link clock per processed frame, so
-		// background transfers progress at the link's simulated rate.
 		r.pf.Tick()
 	}
+	return seq
+}
 
-	// MSS: rank the repertoire for this sample. The scene embedding is
-	// computed once and shared by the decision head and the novelty
-	// score (they run as one simulated op, so they share the decide
-	// span).
+// computeDecision fills the embedding and score buffers for one frame —
+// the per-frame (GEMV) form. The batched path replaces this with
+// adoptDecision over rows of the tick's batch matrices; both produce
+// bit-identical buffers.
+func (r *Runtime) computeDecision(f *synth.Frame) {
+	r.featBuf = synth.FrameFeatureInto(r.featBuf, f)
+	r.embBuf = r.bundle.Encoder.EmbedFeatureInto(r.embBuf, r.featBuf)
+	r.scoresBuf = r.bundle.Decision.ScoresInto(r.scoresBuf, r.embBuf)
+}
+
+// adoptDecision copies a batched embedding/score row pair into the
+// runtime's decision buffers, after which stageDecide proceeds exactly
+// as in the per-frame path.
+func (r *Runtime) adoptDecision(emb tensor.Vector, scores []float64) {
+	if len(r.embBuf) != len(emb) {
+		r.embBuf = tensor.NewVector(len(emb))
+	}
+	copy(r.embBuf, emb)
+	if len(r.scoresBuf) != len(scores) {
+		r.scoresBuf = make([]float64, len(scores))
+	}
+	copy(r.scoresBuf, scores)
+}
+
+// stageDecide is MSS: it charges the decision cost to the device, ranks
+// the repertoire from the score buffer, applies hysteresis and scores
+// novelty. The scene embedding is computed once (computeDecision or
+// adoptDecision) and shared by the decision head and the novelty score —
+// they run as one simulated op, so they share the decide span.
+func (r *Runtime) stageDecide(seq int64, res *FrameResult) []int {
 	var decideDur time.Duration
 	if r.dev != nil {
 		decideDur = r.dev.Infer(r.bundle.DecisionCost())
 		res.Latency += decideDur
 	}
-	r.embBuf = r.bundle.Encoder.EmbedFeatureInto(r.embBuf, synth.FrameFeature(f))
-	emb := r.embBuf
-	r.scoresBuf = r.bundle.Decision.ScoresInto(r.scoresBuf, emb)
 	scores := r.scoresBuf
 	rank := stats.RankDescending(scores)
 	res.Desired = r.applyHysteresis(rank[0])
 	res.Confidence = scores[rank[0]]
-	res.Novelty = r.bundle.NoveltyOfEmbedding(emb)
+	res.Novelty = r.bundle.NoveltyOfEmbedding(r.embBuf)
 	if res.Desired != rank[0] {
 		// The smoothed choice leads the ranking used for fallback.
 		rank = prependModel(rank, res.Desired)
 	}
 	r.recordStage(seq, telemetry.StageDecide, res.Desired, decideDur, false, false, nil)
+	return rank
+}
 
+// stageResolve is CMD: it resolves the ranking against the cache and
+// picks the model serving this frame (res.Used), charging fetch stalls
+// and load latencies. It touches the shared cache and link, so the
+// batched event loop runs it sequentially in stream order.
+func (r *Runtime) stageResolve(f *synth.Frame, seq int64, rank []int, res *FrameResult) error {
 	// CMD: resolve against the cache. On a miss the frame is served by
 	// the best model already resident (the paper's §V-B rule) while the
 	// desired model loads in the background; only the very first frame,
@@ -467,13 +529,13 @@ func (r *Runtime) ProcessFrame(f *synth.Frame) (FrameResult, error) {
 	)
 	if demandFailed {
 		if coldStart {
-			return FrameResult{}, fmt.Errorf("core: model %q unreachable with an empty cache", desiredName)
+			return fmt.Errorf("core: model %q unreachable with an empty cache", desiredName)
 		}
 	} else {
 		var err error
 		hit, evicted, err = r.cache.Request(desiredName, 1)
 		if err != nil {
-			return FrameResult{}, fmt.Errorf("core: cache: %w", err)
+			return fmt.Errorf("core: cache: %w", err)
 		}
 	}
 	res.Hit = hit
@@ -520,18 +582,36 @@ func (r *Runtime) ProcessFrame(f *synth.Frame) (FrameResult, error) {
 		r.stats.FallbackServed++
 		r.met.fallback.Inc()
 	}
+	return nil
+}
 
-	// MI: local prediction.
+// detectAccount charges the serving model's inference cost to the
+// device simulator — the accounting half of MI, kept apart from the
+// actual detector run so the batched path can account per stream while
+// detecting per group.
+func (r *Runtime) detectAccount(f *synth.Frame, res *FrameResult) time.Duration {
 	var detectDur time.Duration
 	if r.dev != nil {
 		detectDur = r.dev.Infer(r.bundle.ModelCost(res.Used, f.NumCells()))
 		res.Latency += detectDur
 	}
-	r.predsBuf = r.bundle.Detectors[res.Used].DetectFrame(r.predsBuf, f)
+	return detectDur
+}
+
+// finishDetect scores the predictions in predsBuf against ground truth
+// and closes the detect span. The caller has already filled predsBuf —
+// DetectFrame in the per-frame path, a grouped DetectBatch in the
+// batched one.
+func (r *Runtime) finishDetect(f *synth.Frame, seq int64, detectDur time.Duration, res *FrameResult) {
 	res.Metrics = detect.ScorePredictions(r.predsBuf, f)
 	r.recordStage(seq, telemetry.StageDetect, res.Used, detectDur, res.Used == res.Desired, res.Degraded, nil)
+}
 
-	// Bookkeeping.
+// stageFinish is the per-frame bookkeeping: switch detection, prefetch
+// planning, stats and metrics. It mutates per-stream state and the
+// shared prefetch scheduler, so the batched event loop runs it
+// sequentially in stream order.
+func (r *Runtime) stageFinish(res *FrameResult) {
 	res.Switched = r.prevDesired >= 0 && res.Desired != r.prevDesired
 	if r.pf != nil {
 		if res.Switched {
@@ -558,7 +638,6 @@ func (r *Runtime) ProcessFrame(f *synth.Frame) (FrameResult, error) {
 	r.stats.UsedCounts[res.Used]++
 	r.stats.Detection = r.stats.Detection.Add(res.Metrics)
 	r.stats.TotalLatency += res.Latency
-	return res, nil
 }
 
 // ProcessClip runs every frame of a clip in order and returns the

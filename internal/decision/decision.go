@@ -175,6 +175,22 @@ func (m *Model) ScoresInto(dst []float64, emb tensor.Vector) []float64 {
 	return tensor.Softmax(logits, logits)
 }
 
+// ScoresBatchInto computes suitability probabilities for a batch of
+// precomputed scene embeddings (one per row of embs) into dst (one
+// probability vector per row, allocating only when dst is nil or
+// mis-shaped) and returns dst. s supplies the head's intermediate
+// activation matrices; pass nil to borrow one from its pool. The head
+// runs as one matrix product per dense layer and softmax runs in place
+// per row, so each row is bit-identical to ScoresInto on that embedding.
+func (m *Model) ScoresBatchInto(dst, embs *tensor.Matrix, s *nn.BatchScratch) *tensor.Matrix {
+	dst = m.Head.InferBatch(dst, embs, s)
+	for r := 0; r < dst.Rows; r++ {
+		row := dst.Row(r)
+		tensor.Softmax(row, row)
+	}
+	return dst
+}
+
 // Rank returns model indices ordered by decreasing suitability for f.
 func (m *Model) Rank(f *synth.Frame) []int {
 	return stats.RankDescending(m.Scores(f))

@@ -137,6 +137,82 @@ func (d *Detector) DetectFrame(dst []CellPred, f *synth.Frame) []CellPred {
 	return dst
 }
 
+// detectBatchRows bounds how many cell rows DetectBatch stages per
+// matrix product, so batching over many frames keeps a fixed working
+// set instead of materializing frames × cells rows at once.
+const detectBatchRows = 512
+
+// DetectBatch runs the head over every cell of every frame, batched:
+// cell inputs are assembled into a staging matrix (whole frames at a
+// time, flushed at detectBatchRows rows) and each dense layer runs as
+// one matrix product for the chunk instead of one per cell. dsts is
+// reused per frame when correctly sized, exactly like DetectFrame's
+// dst. Per cell the predictions are bit-identical to DetectFrame: the
+// batched kernel keeps each dot product's summation order, and the
+// sigmoid/argmax decode is the same code. Safe to call concurrently on
+// one shared Detector; with pre-sized dsts the steady state performs no
+// heap allocations.
+func (d *Detector) DetectBatch(dsts [][]CellPred, frames []*synth.Frame) [][]CellPred {
+	if len(dsts) != len(frames) {
+		dsts = make([][]CellPred, len(frames))
+	}
+	if len(frames) == 0 {
+		return dsts
+	}
+	bs := d.weights.AcquireBatchScratch()
+	defer d.weights.ReleaseBatchScratch(bs)
+	// The vector scratch's staging buffer holds the frame context:
+	// FrameFeatureDim and CellInputDim coincide, so it is wide enough.
+	vs := d.weights.AcquireScratch()
+	defer d.weights.ReleaseScratch(vs)
+	ctx := vs.In(synth.FrameFeatureDim(d.featDim))
+
+	inDim, outDim := d.weights.InDim(), d.weights.OutDim()
+	start := 0
+	for start < len(frames) {
+		// Take whole frames until the chunk would exceed the row budget
+		// (always at least one frame, however many cells it has).
+		end, rows := start, 0
+		for end < len(frames) {
+			cells := frames[end].NumCells()
+			if end > start && rows+cells > detectBatchRows {
+				break
+			}
+			rows += cells
+			end++
+		}
+		in := bs.In(rows, inDim)
+		r := 0
+		for j := start; j < end; j++ {
+			f := frames[j]
+			synth.FrameFeatureInto(ctx, f)
+			for c := 0; c < f.NumCells(); c++ {
+				synth.CellInput(in.Row(r), f, c, ctx)
+				r++
+			}
+		}
+		out := bs.Out(rows, outDim)
+		d.weights.InferBatch(out, in, bs)
+		r = 0
+		for j := start; j < end; j++ {
+			f := frames[j]
+			cells := f.NumCells()
+			if len(dsts[j]) != cells {
+				dsts[j] = make([]CellPred, cells)
+			}
+			for c := 0; c < cells; c++ {
+				orow := out.Row(r)
+				obj := 1 / (1 + math.Exp(-orow[0]))
+				classIdx := tensor.Vector(orow[1:]).Argmax()
+				dsts[j][c] = CellPred{Objectness: obj, Class: synth.Class(classIdx)}
+				r++
+			}
+		}
+		start = end
+	}
+	return dsts
+}
+
 // EvaluateFrame scores the detector on one frame with cell-level
 // matching: a true positive requires a predicted object on a cell holding
 // an object of the predicted class; a class mistake counts as both a

@@ -1,0 +1,88 @@
+package detect
+
+import (
+	"testing"
+
+	"anole/internal/synth"
+	"anole/internal/xrand"
+)
+
+// TestDetectBatchMatchesDetectFrame pins the batched detector bitwise
+// against the per-frame path across enough frames to force multiple
+// staging chunks (25 frames × 64 cells = 1600 rows > detectBatchRows).
+// Equality is exact: batched dense layers keep each dot product's
+// summation order and the sigmoid/argmax decode is shared code.
+func TestDetectBatchMatchesDetectFrame(t *testing.T) {
+	w := newTestWorld(t, 61)
+	rng := xrand.New(62)
+	d := NewDetector("d", Compressed, 8, rng)
+	frames := genFrames(w, synth.Scene{Weather: synth.Clear, Location: synth.Urban, Time: synth.Daytime}, 25, rng)
+	got := d.DetectBatch(nil, frames)
+	if len(got) != len(frames) {
+		t.Fatalf("DetectBatch returned %d frame slots, want %d", len(got), len(frames))
+	}
+	for i, f := range frames {
+		want := d.DetectFrame(nil, f)
+		if len(got[i]) != len(want) {
+			t.Fatalf("frame %d: %d preds, want %d", i, len(got[i]), len(want))
+		}
+		for c := range want {
+			if got[i][c] != want[c] {
+				t.Fatalf("frame %d cell %d: batched %+v, sequential %+v", i, c, got[i][c], want[c])
+			}
+		}
+	}
+}
+
+// TestDetectBatchMixedDetectors checks batched equivalence holds for the
+// deep architecture and for a quantized head — both are just other
+// frozen programs behind the same batch path.
+func TestDetectBatchMixedDetectors(t *testing.T) {
+	w := newTestWorld(t, 63)
+	rng := xrand.New(64)
+	frames := genFrames(w, synth.Scene{Weather: synth.Rainy, Location: synth.Highway, Time: synth.Night}, 4, rng)
+
+	deep := NewDetector("deep", Deep, 8, rng)
+	qw, err := deep.Weights().Quantize(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	quant, err := FromWeights("deep-q8", Deep, 8, qw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range []*Detector{deep, quant} {
+		got := d.DetectBatch(nil, frames)
+		for i, f := range frames {
+			want := d.DetectFrame(nil, f)
+			for c := range want {
+				if got[i][c] != want[c] {
+					t.Fatalf("%s frame %d cell %d: batched %+v, sequential %+v", d.Name, i, c, got[i][c], want[c])
+				}
+			}
+		}
+	}
+}
+
+// TestDetectBatchReusesDsts pins the dst-reuse contract: pre-sized
+// per-frame slices are written in place, matching DetectFrame's reuse
+// semantics, and the empty batch is a no-op.
+func TestDetectBatchReusesDsts(t *testing.T) {
+	w := newTestWorld(t, 65)
+	rng := xrand.New(66)
+	d := NewDetector("d", Compressed, 8, rng)
+	frames := genFrames(w, synth.Scene{Weather: synth.Clear, Location: synth.Urban}, 3, rng)
+	dsts := make([][]CellPred, len(frames))
+	for i, f := range frames {
+		dsts[i] = make([]CellPred, f.NumCells())
+	}
+	got := d.DetectBatch(dsts, frames)
+	for i := range got {
+		if &got[i][0] != &dsts[i][0] {
+			t.Fatalf("frame %d: DetectBatch should reuse the pre-sized dst slice", i)
+		}
+	}
+	if out := d.DetectBatch(nil, nil); len(out) != 0 {
+		t.Fatalf("empty batch returned %d slots", len(out))
+	}
+}

@@ -1,0 +1,239 @@
+package nn_test
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"anole/internal/nn"
+	"anole/internal/tensor"
+	"anole/internal/xrand"
+)
+
+// batchFixture freezes a randomized MLP with fuzz-ish shape diversity:
+// hidden widths and depth vary per seed so the batch path is exercised
+// across narrow, wide, deep and shallow programs.
+func batchFixture(t testing.TB, seed uint64) (*nn.Weights, *xrand.RNG) {
+	t.Helper()
+	rng := xrand.New(seed)
+	depth := 1 + rng.Intn(3)
+	hidden := make([]int, depth)
+	for i := range hidden {
+		hidden[i] = 1 + rng.Intn(40)
+	}
+	in := 1 + rng.Intn(30)
+	out := 1 + rng.Intn(12)
+	net := nn.NewMLP(nn.MLPConfig{InDim: in, Hidden: hidden, OutDim: out}, rng)
+	return net.Freeze(), rng
+}
+
+// TestInferBatchMatchesSequential is the batch-equivalence property
+// test at the nn layer: for randomized program shapes and batch sizes
+// (including 0 and 1), running B samples through InferBatch must agree
+// with B independent Infer calls within 1e-12 relative — the only
+// permitted difference is the batched kernel's dot-product
+// reassociation.
+func TestInferBatchMatchesSequential(t *testing.T) {
+	for seed := uint64(0); seed < 30; seed++ {
+		w, rng := batchFixture(t, seed)
+		for _, batch := range []int{0, 1, 2, 3, 7, 32, 65} {
+			in := tensor.NewMatrix(batch, w.InDim())
+			for i := range in.Data {
+				in.Data[i] = rng.NormMS(0, 1)
+			}
+			got := w.InferBatch(nil, in, nil)
+			if got.Rows != batch || got.Cols != w.OutDim() {
+				t.Fatalf("seed %d batch %d: output %dx%d, want %dx%d",
+					seed, batch, got.Rows, got.Cols, batch, w.OutDim())
+			}
+			for r := 0; r < batch; r++ {
+				want := w.Infer(nil, in.Row(r), nil)
+				for j := range want {
+					diff := math.Abs(got.At(r, j) - want[j])
+					scale := math.Abs(want[j])
+					if scale < 1 {
+						scale = 1
+					}
+					if diff > 1e-12*scale {
+						t.Fatalf("seed %d batch %d row %d out %d: batched %v, sequential %v",
+							seed, batch, r, j, got.At(r, j), want[j])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestInferBatchThroughMatchesSequential covers the layer-prefix form
+// used for batched embedding extraction: every prefix length, batched
+// vs per-row InferThrough.
+func TestInferBatchThroughMatchesSequential(t *testing.T) {
+	w, rng := batchFixture(t, 99)
+	const batch = 9
+	in := tensor.NewMatrix(batch, w.InDim())
+	for i := range in.Data {
+		in.Data[i] = rng.NormMS(0, 1)
+	}
+	for k := 0; k <= w.NumLayers(); k++ {
+		got := w.InferBatchThrough(k, nil, in, nil)
+		for r := 0; r < batch; r++ {
+			want := w.InferThrough(k, nil, in.Row(r), nil)
+			if got.Cols != len(want) {
+				t.Fatalf("k=%d: batched width %d, sequential %d", k, got.Cols, len(want))
+			}
+			for j := range want {
+				diff := math.Abs(got.At(r, j) - want[j])
+				scale := math.Abs(want[j])
+				if scale < 1 {
+					scale = 1
+				}
+				if diff > 1e-12*scale {
+					t.Fatalf("k=%d row %d out %d: batched %v, sequential %v", k, r, j, got.At(r, j), want[j])
+				}
+			}
+		}
+	}
+}
+
+// TestInferBatchZeroAllocs pins the steady-state allocation contract of
+// the batch path: a held BatchScratch plus scratch-owned staging/output
+// matrices make InferBatch allocation-free, including the row-panel
+// parallel matmul underneath. CI's allocations job re-measures this pin
+// on every push.
+func TestInferBatchZeroAllocs(t *testing.T) {
+	_, w, rng := freezeFixture(t, 6)
+	const batch = 64
+	s := w.AcquireBatchScratch()
+	defer w.ReleaseBatchScratch(s)
+	in := s.In(batch, w.InDim())
+	for i := range in.Data {
+		in.Data[i] = rng.NormMS(0, 1)
+	}
+	dst := s.Out(batch, w.OutDim())
+	// Warm: grows scratch buffers to this batch shape and spins up the
+	// tensor worker pool, after which the steady state must not allocate.
+	w.InferBatch(dst, in, s)
+	allocs := testing.AllocsPerRun(200, func() {
+		w.InferBatch(dst, in, s)
+	})
+	if allocs != 0 {
+		t.Fatalf("InferBatch with held scratch: %v allocs/op, want 0", allocs)
+	}
+}
+
+// TestBatchScratchPoolReuse checks the nil-scratch convenience path
+// borrows pooled batch scratches rather than growing without bound.
+func TestBatchScratchPoolReuse(t *testing.T) {
+	_, w, rng := freezeFixture(t, 8)
+	const batch = 16
+	in := tensor.NewMatrix(batch, w.InDim())
+	for i := range in.Data {
+		in.Data[i] = rng.NormMS(0, 1)
+	}
+	dst := tensor.NewMatrix(batch, w.OutDim())
+	for i := 0; i < 8; i++ {
+		w.InferBatch(dst, in, nil)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		w.InferBatch(dst, in, nil)
+	})
+	if allocs > 1 {
+		t.Fatalf("pooled InferBatch: %v allocs/op, want ≤1", allocs)
+	}
+}
+
+// TestBatchScratchStagingIsolation pins that the In and Out staging
+// matrices survive an InferBatch on the same scratch — the runtime
+// assembles inputs in In, runs the program, and reads Out without any
+// intermediate layer clobbering either.
+func TestBatchScratchStagingIsolation(t *testing.T) {
+	_, w, rng := freezeFixture(t, 12)
+	const batch = 5
+	s := w.AcquireBatchScratch()
+	defer w.ReleaseBatchScratch(s)
+	in := s.In(batch, w.InDim())
+	for i := range in.Data {
+		in.Data[i] = rng.NormMS(0, 1)
+	}
+	snapshot := append([]float64(nil), in.Data...)
+	dst := s.Out(batch, w.OutDim())
+	w.InferBatch(dst, in, s)
+	for i := range snapshot {
+		if in.Data[i] != snapshot[i] {
+			t.Fatal("InferBatch clobbered the input staging matrix")
+		}
+	}
+	// The outputs must equal the per-row sequential results, proving dst
+	// was not used as an intermediate buffer.
+	for r := 0; r < batch; r++ {
+		want := w.Infer(nil, in.Row(r), nil)
+		for j := range want {
+			if math.Abs(dst.At(r, j)-want[j]) > 1e-12 {
+				t.Fatalf("row %d out %d: %v, want %v", r, j, dst.At(r, j), want[j])
+			}
+		}
+	}
+}
+
+// TestInferBatchQuantized runs the batch path over a quantized program:
+// a quantized Weights is just another program, so batched and
+// sequential execution must agree there too.
+func TestInferBatchQuantized(t *testing.T) {
+	_, w, rng := freezeFixture(t, 21)
+	q, err := w.Quantize(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const batch = 11
+	in := tensor.NewMatrix(batch, q.InDim())
+	for i := range in.Data {
+		in.Data[i] = rng.NormMS(0, 1)
+	}
+	got := q.InferBatch(nil, in, nil)
+	for r := 0; r < batch; r++ {
+		want := q.Infer(nil, in.Row(r), nil)
+		for j := range want {
+			if math.Abs(got.At(r, j)-want[j]) > 1e-12 {
+				t.Fatalf("row %d out %d: %v, want %v", r, j, got.At(r, j), want[j])
+			}
+		}
+	}
+}
+
+// BenchmarkBatchStep is the CI allocations-job smoke for the batch
+// path: one batched forward pass per op with a held scratch, -benchmem
+// showing the steady state at 0 B/op. The sequential baseline is the
+// same work as B independent Infer calls, for the speedup headline.
+func BenchmarkBatchStep(b *testing.B) {
+	_, w, rng := freezeFixture(b, 30)
+	for _, batch := range []int{16, 64, 256} {
+		in := tensor.NewMatrix(batch, w.InDim())
+		for i := range in.Data {
+			in.Data[i] = rng.NormMS(0, 1)
+		}
+		b.Run(fmt.Sprintf("batched/batch=%d", batch), func(b *testing.B) {
+			s := w.AcquireBatchScratch()
+			defer w.ReleaseBatchScratch(s)
+			dst := s.Out(batch, w.OutDim())
+			staged := s.In(batch, w.InDim())
+			copy(staged.Data, in.Data)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				w.InferBatch(dst, staged, s)
+			}
+		})
+		b.Run(fmt.Sprintf("sequential/batch=%d", batch), func(b *testing.B) {
+			s := w.AcquireScratch()
+			defer w.ReleaseScratch(s)
+			dst := s.Out(w.OutDim())
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for r := 0; r < batch; r++ {
+					w.Infer(dst, in.Row(r), s)
+				}
+			}
+		})
+	}
+}

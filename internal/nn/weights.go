@@ -28,6 +28,8 @@ type Weights struct {
 	// pool recycles Scratch instances for callers that pass nil; it is a
 	// pointer so Weights values are never copied with a live pool.
 	pool *sync.Pool
+	// batchPool does the same for BatchScratch (see batch.go).
+	batchPool *sync.Pool
 }
 
 // wlayer is one frozen layer: a dense transform (w != nil) or an
@@ -102,6 +104,7 @@ func newWeights(ls []wlayer) *Weights {
 	}
 	dim := w.maxDim
 	w.pool = &sync.Pool{New: func() any { return newScratch(dim) }}
+	w.batchPool = &sync.Pool{New: func() any { return newBatchScratch(dim) }}
 	return w
 }
 

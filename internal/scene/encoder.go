@@ -162,6 +162,16 @@ func (e *Encoder) EmbedFeatureInto(dst, feat tensor.Vector) tensor.Vector {
 	return e.Weights.InferThrough(e.embedLayers, dst, feat, nil)
 }
 
+// EmbedBatchInto embeds a batch of precomputed frame features (one per
+// row of feats) into dst (one embedding per row, allocating only when
+// dst is nil or mis-shaped) and returns dst. s supplies the intermediate
+// activation matrices; pass nil to borrow one from the backbone's pool.
+// Each dense layer runs as one matrix product for the whole batch, and
+// per row the result is bit-identical to EmbedFeatureInto.
+func (e *Encoder) EmbedBatchInto(dst, feats *tensor.Matrix, s *nn.BatchScratch) *tensor.Matrix {
+	return e.Weights.InferBatchThrough(e.embedLayers, dst, feats, s)
+}
+
 // Classify returns the predicted class index (position in ClassToScene)
 // for frame f.
 func (e *Encoder) Classify(f *synth.Frame) int {

@@ -16,9 +16,23 @@ func FrameFeatureDim(featDim int) int { return 2*featDim + 2 }
 // frame's brightness and contrast scalars. This is the stand-in for the
 // paper's ResNet18 global image features.
 func FrameFeature(f *Frame) tensor.Vector {
+	return FrameFeatureInto(nil, f)
+}
+
+// FrameFeatureInto computes the frame descriptor into dst (allocating
+// only when dst is nil or mis-sized) and returns dst. This is the
+// batched runtime path: with a reused dst — typically one row of a
+// batch staging matrix — the descriptor step performs no heap
+// allocations.
+func FrameFeatureInto(dst tensor.Vector, f *Frame) tensor.Vector {
 	d := f.FeatDim()
 	cells := f.NumCells()
-	out := tensor.NewVector(FrameFeatureDim(d))
+	out := dst
+	if len(out) != FrameFeatureDim(d) {
+		out = tensor.NewVector(FrameFeatureDim(d))
+	} else {
+		out.Fill(0)
+	}
 	if cells == 0 {
 		return out
 	}

@@ -1,0 +1,214 @@
+package tensor
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// This file holds the GEMM kernels behind the batched inference path:
+// MatMulInto (dst = a·b) and MatMulTInto (dst = a·bᵀ). Both reuse dst,
+// block the shared dimension for cache locality, and split large
+// products into row panels executed on a bounded package-level worker
+// pool. With a correctly-sized dst the steady state performs no heap
+// allocations, which is what lets nn.Weights.InferBatch stay 0-alloc.
+
+const (
+	// kBlock is the shared-dimension tile: one a-row tile and the
+	// matching b-row panel fit comfortably in L1 at float64.
+	kBlock = 256
+	// parallelFLOPs is the product size (rows × cols × inner) above
+	// which a matmul is split into row panels; below it the
+	// dispatch overhead outweighs the span.
+	parallelFLOPs = 64 * 1024
+	// minPanelRows keeps panels coarse enough that workers do not
+	// contend on tiny slices of the output.
+	minPanelRows = 8
+	// maxMatMulWorkers bounds the pool whatever GOMAXPROCS says.
+	maxMatMulWorkers = 16
+)
+
+// panelTask is one contiguous row range [r0, r1) of dst to compute.
+type panelTask struct {
+	dst, a, b *Matrix
+	r0, r1    int
+	transB    bool
+	wg        *sync.WaitGroup
+}
+
+var (
+	matmulOnce  sync.Once
+	matmulTasks chan panelTask
+	// wgPool recycles the per-call completion WaitGroup so the parallel
+	// dispatch itself does not allocate in steady state.
+	wgPool = sync.Pool{New: func() any { return new(sync.WaitGroup) }}
+)
+
+// startMatMulPool lazily spins up the row-panel workers. Pool size is
+// fixed at first use; the goroutines are cheap and live for the process.
+func startMatMulPool() {
+	matmulOnce.Do(func() {
+		n := runtime.GOMAXPROCS(0)
+		if n > maxMatMulWorkers {
+			n = maxMatMulWorkers
+		}
+		if n < 1 {
+			n = 1
+		}
+		matmulTasks = make(chan panelTask, 4*n)
+		for i := 0; i < n; i++ {
+			go func() {
+				for t := range matmulTasks {
+					if t.transB {
+						mulPanelT(t.dst, t.a, t.b, t.r0, t.r1)
+					} else {
+						mulPanel(t.dst, t.a, t.b, t.r0, t.r1)
+					}
+					t.wg.Done()
+				}
+			}()
+		}
+	})
+}
+
+// dispatchPanels runs the kernel over dst's rows, in parallel when the
+// product is large enough to amortize the handoff.
+func dispatchPanels(dst, a, b *Matrix, inner int, transB bool) {
+	rows := dst.Rows
+	if int64(rows)*int64(dst.Cols)*int64(inner) < parallelFLOPs || rows < 2*minPanelRows {
+		if transB {
+			mulPanelT(dst, a, b, 0, rows)
+		} else {
+			mulPanel(dst, a, b, 0, rows)
+		}
+		return
+	}
+	startMatMulPool()
+	panels := rows / minPanelRows
+	if max := cap(matmulTasks); panels > max {
+		panels = max
+	}
+	if panels < 2 {
+		panels = 2
+	}
+	per := (rows + panels - 1) / panels
+	wg := wgPool.Get().(*sync.WaitGroup)
+	for r0 := 0; r0 < rows; r0 += per {
+		r1 := r0 + per
+		if r1 > rows {
+			r1 = rows
+		}
+		wg.Add(1)
+		matmulTasks <- panelTask{dst: dst, a: a, b: b, r0: r0, r1: r1, transB: transB, wg: wg}
+	}
+	wg.Wait()
+	wgPool.Put(wg)
+}
+
+// mulPanel computes dst[r0:r1] = a[r0:r1]·b with an ikj loop blocked
+// over the shared dimension. Per output element the k-summation order is
+// ascending, exactly matching the naive ijk triple loop, so results are
+// bit-identical to the reference kernel (NaN and ±Inf included).
+func mulPanel(dst, a, b *Matrix, r0, r1 int) {
+	n, kdim := dst.Cols, a.Cols
+	for i := r0; i < r1; i++ {
+		orow := dst.Data[i*n : (i+1)*n]
+		for j := range orow {
+			orow[j] = 0
+		}
+		arow := a.Data[i*kdim : (i+1)*kdim]
+		for k0 := 0; k0 < kdim; k0 += kBlock {
+			k1 := k0 + kBlock
+			if k1 > kdim {
+				k1 = kdim
+			}
+			for k := k0; k < k1; k++ {
+				av := arow[k]
+				brow := b.Data[k*n : (k+1)*n]
+				for j, bv := range brow {
+					orow[j] += av * bv
+				}
+			}
+		}
+	}
+}
+
+// mulPanelT computes dst[r0:r1] = a[r0:r1]·bᵀ. Both operands stream
+// row-major, so each output element is a dot product of two contiguous
+// rows. The kernel is register-tiled four output columns wide: one pass
+// over the a-row feeds four independent accumulators, which amortizes
+// the a-row loads and breaks the add-latency chain. Each accumulator
+// still sums in ascending k with no reassociation, so every output
+// element is bit-identical to the naive reference (NaN/Inf included).
+func mulPanelT(dst, a, b *Matrix, r0, r1 int) {
+	n, kdim := dst.Cols, a.Cols
+	for i := r0; i < r1; i++ {
+		arow := a.Data[i*kdim : (i+1)*kdim]
+		orow := dst.Data[i*n : (i+1)*n]
+		o := 0
+		for ; o+4 <= n; o += 4 {
+			b0 := b.Data[o*kdim : (o+1)*kdim][:kdim]
+			b1 := b.Data[(o+1)*kdim : (o+2)*kdim][:kdim]
+			b2 := b.Data[(o+2)*kdim : (o+3)*kdim][:kdim]
+			b3 := b.Data[(o+3)*kdim : (o+4)*kdim][:kdim]
+			var s0, s1, s2, s3 float64
+			for k, av := range arow {
+				s0 += av * b0[k]
+				s1 += av * b1[k]
+				s2 += av * b2[k]
+				s3 += av * b3[k]
+			}
+			orow[o], orow[o+1], orow[o+2], orow[o+3] = s0, s1, s2, s3
+		}
+		for ; o < n; o++ {
+			brow := b.Data[o*kdim : (o+1)*kdim][:kdim]
+			var sum float64
+			for k, av := range arow {
+				sum += av * brow[k]
+			}
+			orow[o] = sum
+		}
+	}
+}
+
+// MatMulInto computes dst = a·b, reusing dst when it has shape
+// a.Rows × b.Cols (allocating a fresh matrix when dst is nil or
+// mis-sized) and returning dst. dst must not alias a or b. Large
+// products are split into row panels over a bounded worker pool; the
+// per-element summation order matches the naive triple loop, so results
+// are bit-identical to an unblocked reference (NaN/Inf propagation
+// included).
+func MatMulInto(dst, a, b *Matrix) *Matrix {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("tensor: MatMul %dx%d by %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	if dst == nil || dst.Rows != a.Rows || dst.Cols != b.Cols {
+		dst = NewMatrix(a.Rows, b.Cols)
+	}
+	if dst == a || dst == b {
+		panic("tensor: MatMulInto dst aliases an operand")
+	}
+	dispatchPanels(dst, a, b, a.Cols, false)
+	return dst
+}
+
+// MatMulTInto computes dst = a·bᵀ for a of shape m×k and b of shape n×k,
+// reusing dst when it has shape m×n (allocating when dst is nil or
+// mis-sized) and returning dst. dst must not alias a or b. This is the
+// batched dense-layer kernel: with X as a row-per-sample batch and W the
+// out×in weight matrix, X·Wᵀ is the whole batch's pre-activation in one
+// product. Per-element summation is ascending-k with no reassociation,
+// so results are bit-identical to an unblocked reference.
+func MatMulTInto(dst, a, b *Matrix) *Matrix {
+	if a.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: MatMulT %dx%d by (%dx%d)ᵀ", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	if dst == nil || dst.Rows != a.Rows || dst.Cols != b.Rows {
+		dst = NewMatrix(a.Rows, b.Rows)
+	}
+	if dst == a || dst == b {
+		panic("tensor: MatMulTInto dst aliases an operand")
+	}
+	dispatchPanels(dst, a, b, a.Cols, true)
+	return dst
+}

@@ -300,24 +300,9 @@ func (m *Matrix) AddOuterScaled(alpha float64, a, b Vector) {
 	}
 }
 
-// MatMul returns a new matrix a*b. It panics on inner-dimension mismatch.
+// MatMul returns a new matrix a*b. It panics on inner-dimension
+// mismatch. Thin wrapper over MatMulInto (see matmul.go), which reuses a
+// caller-held destination instead of allocating per call.
 func MatMul(a, b *Matrix) *Matrix {
-	if a.Cols != b.Rows {
-		panic(fmt.Sprintf("tensor: MatMul %dx%d by %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
-	}
-	out := NewMatrix(a.Rows, b.Cols)
-	for i := 0; i < a.Rows; i++ {
-		arow := a.Data[i*a.Cols : (i+1)*a.Cols]
-		orow := out.Data[i*out.Cols : (i+1)*out.Cols]
-		for k, av := range arow {
-			if av == 0 {
-				continue
-			}
-			brow := b.Data[k*b.Cols : (k+1)*b.Cols]
-			for j, bv := range brow {
-				orow[j] += av * bv
-			}
-		}
-	}
-	return out
+	return MatMulInto(nil, a, b)
 }
