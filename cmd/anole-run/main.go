@@ -10,6 +10,7 @@
 //	          [-prefetch] [-prefetch-budget BYTES] [-link-stability P]
 //	          [-chaos] [-outage-rate P] [-corrupt-rate P]
 //	          [-breaker-threshold N] [-breaker-cooldown FRAMES]
+//	          [-adapt] [-drift-window FRAMES] [-canary-frames FRAMES]
 //	          [-metrics-addr HOST:PORT] [-json FILE|-]
 //
 // With -streams N > 1 the run multiplexes N independent frame streams
@@ -31,6 +32,17 @@
 // the runtime serves stale resident models in degraded mode — every
 // frame is still served; degradedFrames / fallbackServed / breakerOpens
 // in the -json report count the damage.
+//
+// With -adapt (requires -streams >= 2) the run closes the paper's
+// continual-adaptation loop in-process: stream 0's trace is replaced by
+// a scene absent from the bundle's training label space, per-stream
+// drift detectors (window -drift-window) report the emerging scene to
+// an in-process adaptation controller, the controller retrains a new
+// specialist and publishes it through a versioned repository, and the
+// new generation canaries on stream 0 for -canary-frames frames before
+// fleet-wide promotion or rollback. The -json report gains an "adapt"
+// block (drift events, reports, canary verdicts, fleet generation) and
+// the anole_adapt_* counters appear in metrics.
 //
 // Every run drives a telemetry registry and a frame-pipeline span
 // tracer: -json includes the full anole_* counter set (flattened) plus
@@ -56,13 +68,16 @@ import (
 	"os"
 	"time"
 
+	"anole/internal/adapt"
 	"anole/internal/breaker"
 	"anole/internal/core"
+	"anole/internal/detect"
 	"anole/internal/device"
 	"anole/internal/faults"
 	"anole/internal/netsim"
 	"anole/internal/prefetch"
 	"anole/internal/repo"
+	"anole/internal/sampling"
 	"anole/internal/synth"
 	"anole/internal/telemetry"
 	"anole/internal/trace"
@@ -102,6 +117,9 @@ func run(w io.Writer, args []string) error {
 		crptRate    = fs.Float64("corrupt-rate", 0.05, "per-transfer probability of payload corruption (with -chaos)")
 		brkThresh   = fs.Int("breaker-threshold", 5, "consecutive fetch failures before the circuit breaker opens (with -chaos)")
 		brkCool     = fs.Int("breaker-cooldown", 20, "frames an open breaker waits before a half-open probe (with -chaos)")
+		adaptOn     = fs.Bool("adapt", false, "close the continual-adaptation loop: inject an unseen scene on stream 0, detect drift, retrain in-process, canary and roll out (requires -streams >= 2)")
+		driftWin    = fs.Int("drift-window", 30, "drift-detector window in frames (with -adapt)")
+		canaryFr    = fs.Int("canary-frames", 60, "canary-stream frames before a rollout verdict (with -adapt)")
 		metricsAddr = fs.String("metrics-addr", "", "serve live /metrics, /debug/spans and /debug/pprof on this address during the run (e.g. 127.0.0.1:0)")
 		jsonPath    = fs.String("json", "", "write aggregate stats JSON to this file (\"-\" for stdout)")
 	)
@@ -110,6 +128,9 @@ func run(w io.Writer, args []string) error {
 	}
 	if *streams < 1 {
 		return fmt.Errorf("-streams must be >= 1, got %d", *streams)
+	}
+	if *adaptOn && *streams < 2 {
+		return fmt.Errorf("-adapt needs a canary stream and an incumbent reference: -streams must be >= 2, got %d", *streams)
 	}
 	if *chaosOn {
 		*prefetchOn = true
@@ -186,7 +207,11 @@ func run(w io.Writer, args []string) error {
 	}
 
 	if *streams > 1 {
-		if err := runMulti(w, bundle, profile, *streams, *cache, *clips, *frames, *seed, *batchOn, *tracePath, pfCfg, *jsonPath, reg, spans); err != nil {
+		var ao *adaptOptions
+		if *adaptOn {
+			ao = &adaptOptions{DriftWindow: *driftWin, CanaryFrames: *canaryFr}
+		}
+		if err := runMulti(w, bundle, profile, *streams, *cache, *clips, *frames, *seed, *batchOn, *tracePath, pfCfg, lf, ao, *jsonPath, reg, spans); err != nil {
 			return err
 		}
 		settled()
@@ -269,7 +294,7 @@ func run(w io.Writer, args []string) error {
 	if tracer != nil {
 		fmt.Fprintf(w, "trace: %d events written to %s\n", tracer.Count(), *tracePath)
 	}
-	if err := writeReport(w, *jsonPath, buildReport(st, sched, pfBreaker(pfCfg), reg, spans)); err != nil {
+	if err := writeReport(w, *jsonPath, buildReport(st, sched, pfBreaker(pfCfg), nil, reg, spans)); err != nil {
 		return err
 	}
 	settled()
@@ -315,6 +340,9 @@ type report struct {
 	PrefetchCancelled     int64 `json:"prefetchCancelled"`
 	// Scheduler is present only when -prefetch was set.
 	Scheduler *prefetch.SchedulerStats `json:"scheduler,omitempty"`
+	// Adapt is present only when -adapt was set: the adaptation loop's
+	// counters (drift events, reports, canary verdicts, fleet generation).
+	Adapt *adapt.LoopStats `json:"adapt,omitempty"`
 	// Metrics is the run's full telemetry counter set, flattened with
 	// telemetry.Map (histograms expand to _count/_sum/_p50/_p95/_p99).
 	// Live /metrics (-metrics-addr) serves exactly these values once the
@@ -325,7 +353,7 @@ type report struct {
 	Spans []telemetry.Span `json:"spans,omitempty"`
 }
 
-func buildReport(st core.RunStats, sched *prefetch.Scheduler, brk *breaker.Breaker, reg *telemetry.Registry, spans *telemetry.Tracer) report {
+func buildReport(st core.RunStats, sched *prefetch.Scheduler, brk *breaker.Breaker, ast *adapt.LoopStats, reg *telemetry.Registry, spans *telemetry.Tracer) report {
 	rep := report{
 		Frames:            st.Frames,
 		Switches:          st.Switches,
@@ -355,6 +383,7 @@ func buildReport(st core.RunStats, sched *prefetch.Scheduler, brk *breaker.Break
 	if brk != nil {
 		rep.BreakerHalfOpenProbes = brk.HalfOpens()
 	}
+	rep.Adapt = ast
 	if reg != nil {
 		rep.Metrics = telemetry.Map(reg)
 	}
@@ -451,10 +480,94 @@ func linkPrefetchConfig(bundle *core.Bundle, stability float64, budget int64, se
 	return cfg, lf, nil
 }
 
+// adaptOptions carries the -adapt knobs into runMulti.
+type adaptOptions struct {
+	DriftWindow  int
+	CanaryFrames int
+}
+
+// unseenScene returns a semantic scene absent from the bundle encoder's
+// training label space, preferring night scenes (the hardest shift).
+func unseenScene(b *core.Bundle) (synth.Scene, error) {
+	known := make(map[int]bool)
+	for _, idx := range b.Encoder.ClassToScene {
+		known[idx] = true
+	}
+	fallback := -1
+	for idx := 0; idx < synth.NumScenes; idx++ {
+		if known[idx] {
+			continue
+		}
+		s := synth.SceneFromIndex(idx)
+		if s.Time == synth.Night {
+			return s, nil
+		}
+		if fallback < 0 {
+			fallback = idx
+		}
+	}
+	if fallback >= 0 {
+		return synth.SceneFromIndex(fallback), nil
+	}
+	return synth.Scene{}, fmt.Errorf("every semantic scene was seen in training")
+}
+
+// adaptLoop wires the in-process device→cloud→device loop behind -adapt:
+// a versioned repository seeded with the running bundle, a retraining
+// controller over frames regenerated for the bundle's training scenes,
+// and the canary rollout loop around the fleet. With -prefetch the
+// transport learns a new generation's models before they become
+// fetchable.
+func adaptLoop(mrt *core.MultiRuntime, bundle *core.Bundle, world *synth.World, seed uint64, ao *adaptOptions, lf *prefetch.LinkFetcher, reg *telemetry.Registry, spans *telemetry.Tracer) (*adapt.Loop, error) {
+	srv, err := repo.NewServer(bundle)
+	if err != nil {
+		return nil, err
+	}
+	rng := xrand.NewLabeled(seed, "anole-run-adapt-train")
+	const framesPerScene = 30
+	seen := make(map[int]bool)
+	var trainFrames []*synth.Frame
+	for _, idx := range bundle.Encoder.ClassToScene {
+		if seen[idx] {
+			continue
+		}
+		seen[idx] = true
+		s := synth.SceneFromIndex(idx)
+		for i := 0; i < framesPerScene; i++ {
+			trainFrames = append(trainFrames, world.GenerateFrame(s, 1, rng))
+		}
+	}
+	ctrl, err := adapt.NewController(bundle, srv, adapt.ControllerConfig{
+		Seed:        seed + 1,
+		TrainFrames: trainFrames,
+		Train:       detect.TrainConfig{Epochs: 20},
+		Sampling:    sampling.Config{Kappa: 600},
+		Metrics:     reg,
+	})
+	if err != nil {
+		return nil, err
+	}
+	cfg := adapt.LoopConfig{
+		Drift: adapt.DriftConfig{Window: ao.DriftWindow, Cooldown: 1},
+		// The candidate serves a scene the incumbent cannot, so shared-
+		// scene slack is tolerated; a broken model still lands far below.
+		Rollout:   adapt.RolloutConfig{CanaryFrames: ao.CanaryFrames, MinF1Ratio: 0.5},
+		Submitter: ctrl,
+		Source:    adapt.NewServerSource(srv),
+		Metrics:   reg,
+		Tracer:    spans,
+	}
+	if lf != nil {
+		cfg.RegisterModels = lf.AddModels
+	}
+	return adapt.NewLoop(mrt, cfg)
+}
+
 // runMulti drives the multi-stream path: every stream gets its own
 // generated clip sequence and device simulator, all streams share one
-// sharded model cache.
-func runMulti(w io.Writer, bundle *core.Bundle, profile device.Profile, streams, cache, clips, frames int, seed uint64, batch bool, tracePath string, pfCfg *prefetch.Config, jsonPath string, reg *telemetry.Registry, spans *telemetry.Tracer) error {
+// sharded model cache. With ao non-nil the run goes through the
+// adaptation loop instead of bare ProcessStreams.
+func runMulti(w io.Writer, bundle *core.Bundle, profile device.Profile, streams, cache, clips, frames int, seed uint64, batch bool, tracePath string, pfCfg *prefetch.Config, lf *prefetch.LinkFetcher, ao *adaptOptions, jsonPath string, reg *telemetry.Registry, spans *telemetry.Tracer) error {
 	mrt, err := core.NewMultiRuntime(bundle, core.MultiRuntimeConfig{
 		Streams:    streams,
 		CacheSlots: cache,
@@ -487,6 +600,25 @@ func runMulti(w io.Writer, bundle *core.Bundle, profile device.Profile, streams,
 		}
 	}
 
+	var loop *adapt.Loop
+	var novel synth.Scene
+	if ao != nil {
+		var err error
+		if novel, err = unseenScene(bundle); err != nil {
+			return err
+		}
+		// Stream 0 (the canary stream) meets the unseen scene for the
+		// whole run; the other streams stay on in-distribution traces and
+		// anchor the rollout's incumbent telemetry.
+		arng := rng.Split(uint64(streams * clips))
+		for i := range inputs[0] {
+			inputs[0][i] = world.GenerateFrame(novel, 1, arng)
+		}
+		if loop, err = adaptLoop(mrt, bundle, world, seed, ao, lf, reg, spans); err != nil {
+			return err
+		}
+	}
+
 	var obs core.StreamObserver
 	var tracers []*trace.Writer
 	if tracePath != "" {
@@ -513,7 +645,13 @@ func runMulti(w io.Writer, bundle *core.Bundle, profile device.Profile, streams,
 	}
 	fmt.Fprintf(w, "streaming %d streams x %d clips x %d frames on %s (cache %d, LFU, %s)\n\n",
 		streams, clips, frames, profile.Name, cache, mode)
-	if _, err := mrt.ProcessStreams(inputs, obs); err != nil {
+	if loop != nil {
+		fmt.Fprintf(w, "adapt: stream 0 enters unseen scene %s (drift window %d, canary %d frames)\n\n",
+			novel, ao.DriftWindow, ao.CanaryFrames)
+		if _, err := loop.Run(inputs, obs); err != nil {
+			return err
+		}
+	} else if _, err := mrt.ProcessStreams(inputs, obs); err != nil {
 		return err
 	}
 
@@ -539,6 +677,15 @@ func runMulti(w io.Writer, bundle *core.Bundle, profile device.Profile, streams,
 		fmt.Fprintf(w, "simulated makespan %.1f ms  aggregate %.1f frames/s (vs %.1f sequential)\n",
 			1e3*ms, float64(agg.Frames)/ms, float64(agg.Frames)/agg.TotalLatency.Seconds())
 	}
+	var ast *adapt.LoopStats
+	if loop != nil {
+		st := loop.Stats()
+		ast = &st
+		fmt.Fprintf(w, "adapt: drift events %d  reports %d sent / %d lost (%d bytes up)\n",
+			st.DriftEvents, st.ReportsSent, st.ReportFailures, st.ReportBytes)
+		fmt.Fprintf(w, "adapt: canaries %d  promotions %d  rollbacks %d  rejected %d  fleet generation %d\n",
+			st.CanaryStarts, st.Promotions, st.Rollbacks, st.RejectedCandidates, st.FleetGeneration)
+	}
 	if tracers != nil {
 		total := 0
 		for _, tr := range tracers {
@@ -546,5 +693,5 @@ func runMulti(w io.Writer, bundle *core.Bundle, profile device.Profile, streams,
 		}
 		fmt.Fprintf(w, "trace: %d events written to %s.stream{0..%d}\n", total, tracePath, streams-1)
 	}
-	return writeReport(w, jsonPath, buildReport(agg, sched, pfBreaker(pfCfg), reg, spans))
+	return writeReport(w, jsonPath, buildReport(agg, sched, pfBreaker(pfCfg), ast, reg, spans))
 }

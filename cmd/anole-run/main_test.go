@@ -92,6 +92,20 @@ func cheapBundlePathSeed(t *testing.T, seed uint64) string {
 		Infos:     infos,
 		FeatDim:   featDim,
 	}
+	// Calibrate novelty on the two known scenes so drift signals are live
+	// (an uncalibrated bundle scores every frame 0).
+	world, err := synth.NewWorld(synth.DefaultConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	crng := xrand.NewLabeled(seed, "anole-run-test-calibrate")
+	var cal []*synth.Frame
+	for _, idx := range []int{0, 1} {
+		for i := 0; i < 20; i++ {
+			cal = append(cal, world.GenerateFrame(synth.SceneFromIndex(idx), 1, crng))
+		}
+	}
+	b.CalibrateNovelty(cal)
 	if err := b.Validate(); err != nil {
 		t.Fatal(err)
 	}
@@ -280,6 +294,57 @@ func TestRunMultiStream(t *testing.T) {
 		}
 		if len(events) != frames {
 			t.Errorf("stream %d trace has %d events, want %d", s, len(events), frames)
+		}
+	}
+}
+
+func TestRunAdaptRequiresMultiStream(t *testing.T) {
+	err := run(io.Discard, []string{"-bundle", cheapBundlePath(t), "-adapt"})
+	if err == nil || !strings.Contains(err.Error(), "-adapt") {
+		t.Fatalf("expected -adapt stream validation error, got %v", err)
+	}
+}
+
+func TestRunAdaptJSON(t *testing.T) {
+	path := cheapBundlePath(t)
+	jsonPath := filepath.Join(t.TempDir(), "stats.json")
+	var out strings.Builder
+	err := run(&out, []string{
+		"-bundle", path, "-streams", "2", "-clips", "1", "-frames", "90",
+		"-cache", "4", "-adapt", "-drift-window", "15", "-canary-frames", "30",
+		"-json", jsonPath,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"adapt: stream 0 enters unseen scene", "fleet generation"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+	raw, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep report
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatalf("stats JSON: %v\n%s", err, raw)
+	}
+	if rep.Adapt == nil {
+		t.Fatalf("report missing adapt block:\n%s", raw)
+	}
+	if rep.Adapt.FleetGeneration < 1 {
+		t.Fatalf("fleet generation %d", rep.Adapt.FleetGeneration)
+	}
+	// The canary stream spends the whole run in the unseen scene with a
+	// calibrated novelty signal, so drift must be detected and reported
+	// (this is deterministic for the fixed bundle seed and trace seed).
+	if rep.Adapt.DriftEvents == 0 || rep.Adapt.ReportsSent == 0 {
+		t.Fatalf("adaptation loop saw no drift: %+v", *rep.Adapt)
+	}
+	for _, key := range []string{"driftEvents", "reportsSent", "canaryStarts", "fleetGeneration"} {
+		if !strings.Contains(string(raw), key) {
+			t.Errorf("report JSON missing %q", key)
 		}
 	}
 }

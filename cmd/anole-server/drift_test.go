@@ -1,0 +1,115 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"anole/internal/adapt"
+	"anole/internal/synth"
+	"anole/internal/xrand"
+)
+
+// encodeTestReport encodes a well-formed drift report against the test
+// bundle's geometry (world featDim, encoder embed dim).
+func encodeTestReport(t *testing.T) []byte {
+	t.Helper()
+	bundle := testBundle(t)
+	world, err := synth.NewWorld(synth.DefaultConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := xrand.NewLabeled(9, "anole-server-drift-test")
+	// Scene 5 is absent from the test encoder's {0, 1} label space.
+	frames := make([]*synth.Frame, 16)
+	for i := range frames {
+		frames[i] = world.GenerateFrame(synth.SceneFromIndex(5), 1, rng)
+	}
+	rep := &adapt.Report{
+		Stream:      0,
+		Seq:         30,
+		Generation:  1,
+		Window:      30,
+		MeanNovelty: 2.0,
+		Signals:     2,
+		Centroid:    bundle.Encoder.Embed(frames[0]).Clone(),
+		Exemplars:   frames,
+	}
+	var buf bytes.Buffer
+	if err := adapt.WriteReport(&buf, rep); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestServerDriftEndpoint exercises POST /v1/drift on the exact handler
+// the command serves with -adapt: a valid report is accepted with a
+// JSON verdict, malformed input is the client's fault, and without
+// -adapt the route does not exist.
+func TestServerDriftEndpoint(t *testing.T) {
+	handler, _, err := newHandler(testBundle(t), 64, 1, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(handler)
+	defer ts.Close()
+
+	body := encodeTestReport(t)
+	resp, err := http.Post(ts.URL+"/v1/drift", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST status %d, want 200", resp.StatusCode)
+	}
+	var verdict struct {
+		Generation uint64 `json:"generation"`
+		Published  bool   `json:"published"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&verdict); err != nil {
+		t.Fatal(err)
+	}
+	// One report is not enough evidence for a retrain (MinReports 2).
+	if verdict.Published || verdict.Generation != 0 {
+		t.Fatalf("single report published generation %d", verdict.Generation)
+	}
+
+	gresp, err := http.Get(ts.URL + "/v1/drift")
+	if err != nil {
+		t.Fatal(err)
+	}
+	gresp.Body.Close()
+	if gresp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET status %d, want 405", gresp.StatusCode)
+	}
+
+	bresp, err := http.Post(ts.URL+"/v1/drift", "application/json", strings.NewReader("junk"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bresp.Body.Close()
+	if bresp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("junk status %d, want 400", bresp.StatusCode)
+	}
+}
+
+func TestServerDriftEndpointAbsentWithoutAdapt(t *testing.T) {
+	handler, _, err := newHandler(testBundle(t), 64, 1, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(handler)
+	defer ts.Close()
+	resp, err := http.Post(ts.URL+"/v1/drift", "application/json", bytes.NewReader(encodeTestReport(t)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("drift route without -adapt: status %d, want 404", resp.StatusCode)
+	}
+}

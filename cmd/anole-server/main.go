@@ -1,18 +1,26 @@
 // Command anole-server serves a profiled bundle over HTTP so devices can
 // download M_scene, M_decision and the compressed-model repertoire before
-// going online (the paper's offline cloud↔device path).
+// going online (the paper's offline cloud↔device path), and — with
+// -adapt — closes the online half of the loop by accepting drift
+// reports and retraining new specialists for emerging scenes.
 //
 // Endpoints:
 //
-//	GET /v1/manifest — JSON summary of the hosted bundle
-//	GET /v1/bundle   — the binary bundle
-//	GET /metrics     — Prometheus-text telemetry (anole_server_* request
-//	                   counters, latency histogram, inflight gauge)
-//	GET /debug/spans — JSON dump of recent request spans
+//	GET  /v1/manifest — JSON summary of the hosted bundle
+//	GET  /v1/bundle   — the binary bundle
+//	POST /v1/drift    — drift-report intake (with -adapt): reports are
+//	                    clustered into emerging-scene signatures; enough
+//	                    evidence triggers a deterministic retrain and a
+//	                    new published generation
+//	GET  /metrics     — Prometheus-text telemetry (anole_server_* request
+//	                    counters, latency histogram, inflight gauge, plus
+//	                    anole_adapt_retrain* with -adapt)
+//	GET  /debug/spans — JSON dump of recent request spans
 //
 // Usage:
 //
 //	anole-server -bundle anole.bundle [-addr :8080] [-span-buffer N]
+//	             [-adapt] [-seed N]
 package main
 
 import (
@@ -22,9 +30,14 @@ import (
 	"os"
 	"time"
 
+	"anole/internal/adapt"
 	"anole/internal/core"
+	"anole/internal/detect"
 	"anole/internal/repo"
+	"anole/internal/sampling"
+	"anole/internal/synth"
 	"anole/internal/telemetry"
+	"anole/internal/xrand"
 )
 
 func main() {
@@ -34,11 +47,45 @@ func main() {
 	}
 }
 
+// controllerTrainFrames regenerates a balanced training set for the
+// adaptation controller's decision-pool rebuild: the bundle records
+// which scenes its repertoire trained on, and the synthetic world (same
+// seed the bundle was profiled with) replays frames of exactly those
+// scenes. ExpandRepertoire mixes these with a drift cluster's exemplars
+// so the expanded decision head keeps its incumbent routing.
+func controllerTrainFrames(b *core.Bundle, seed uint64) ([]*synth.Frame, error) {
+	cfg := synth.DefaultConfig(seed)
+	cfg.FeatDim = b.FeatDim
+	world, err := synth.NewWorld(cfg)
+	if err != nil {
+		return nil, err
+	}
+	rng := xrand.NewLabeled(seed, "anole-server-adapt-train")
+	const framesPerScene = 30
+	seen := make(map[int]bool)
+	var frames []*synth.Frame
+	for _, idx := range b.Encoder.ClassToScene {
+		if seen[idx] {
+			continue
+		}
+		seen[idx] = true
+		s := synth.SceneFromIndex(idx)
+		for i := 0; i < framesPerScene; i++ {
+			frames = append(frames, world.GenerateFrame(s, 1, rng))
+		}
+	}
+	if len(frames) == 0 {
+		return nil, fmt.Errorf("bundle encoder maps no scenes")
+	}
+	return frames, nil
+}
+
 // newHandler builds the command's full HTTP surface: the bundle
-// endpoints wrapped in telemetry middleware, plus the /metrics and
-// /debug/spans observability endpoints. Split from run so tests can
-// drive the exact handler the command serves.
-func newHandler(bundle *core.Bundle, spanBuffer int) (http.Handler, *repo.Server, error) {
+// endpoints wrapped in telemetry middleware, the drift-report intake
+// when adaptOn, plus the /metrics and /debug/spans observability
+// endpoints. Split from run so tests can drive the exact handler the
+// command serves.
+func newHandler(bundle *core.Bundle, spanBuffer int, seed uint64, adaptOn bool) (http.Handler, *repo.Server, error) {
 	srv, err := repo.NewServer(bundle)
 	if err != nil {
 		return nil, nil, err
@@ -47,6 +94,25 @@ func newHandler(bundle *core.Bundle, spanBuffer int) (http.Handler, *repo.Server
 	spans := telemetry.NewTracer(spanBuffer, nil)
 	mux := http.NewServeMux()
 	mux.Handle("/v1/", telemetry.InstrumentHandler(reg, spans, "server", srv.Handler()))
+	if adaptOn {
+		trainFrames, err := controllerTrainFrames(bundle, seed)
+		if err != nil {
+			return nil, nil, err
+		}
+		ctrl, err := adapt.NewController(bundle, srv, adapt.ControllerConfig{
+			Seed:        seed,
+			TrainFrames: trainFrames,
+			Train:       detect.TrainConfig{Epochs: 20},
+			Sampling:    sampling.Config{Kappa: 600},
+			Metrics:     reg,
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		// The more specific pattern wins over /v1/; NewDriftHandler
+		// serializes Submit calls itself.
+		mux.Handle("/v1/drift", telemetry.InstrumentHandler(reg, spans, "server", adapt.NewDriftHandler(ctrl)))
+	}
 	mux.Handle("/metrics", telemetry.MetricsHandler(reg))
 	mux.Handle("/debug/spans", telemetry.SpansHandler(spans))
 	return mux, srv, nil
@@ -58,6 +124,8 @@ func run(args []string) error {
 		bundlePath = fs.String("bundle", "anole.bundle", "bundle file produced by anole-profile")
 		addr       = fs.String("addr", ":8080", "listen address")
 		spanBuffer = fs.Int("span-buffer", telemetry.DefaultSpanBuffer, "request spans retained for /debug/spans")
+		adaptOn    = fs.Bool("adapt", false, "accept drift reports on POST /v1/drift and retrain/publish new generations")
+		seed       = fs.Uint64("seed", 1, "seed of the world the bundle was profiled on (with -adapt)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -67,13 +135,17 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
-	handler, srv, err := newHandler(bundle, *spanBuffer)
+	handler, srv, err := newHandler(bundle, *spanBuffer, *seed, *adaptOn)
 	if err != nil {
 		return err
 	}
 	m := srv.Manifest()
-	fmt.Printf("serving %d models (%d bundle bytes) on %s (+ /metrics, /debug/spans)\n",
-		len(m.Models), m.BundleBytes, *addr)
+	mode := ""
+	if *adaptOn {
+		mode = ", adaptation controller on /v1/drift"
+	}
+	fmt.Printf("serving %d models (%d bundle bytes) on %s (+ /metrics, /debug/spans%s)\n",
+		len(m.Models), m.BundleBytes, *addr, mode)
 
 	httpSrv := &http.Server{
 		Addr:              *addr,

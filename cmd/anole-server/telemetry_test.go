@@ -63,7 +63,7 @@ func testBundle(t *testing.T) *core.Bundle {
 // only scheme-conformant names, and /debug/spans must carry one span
 // per instrumented request.
 func TestServerMetricsEndpoint(t *testing.T) {
-	handler, _, err := newHandler(testBundle(t), 64)
+	handler, _, err := newHandler(testBundle(t), 64, 1, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -127,7 +127,7 @@ func TestServerMetricsEndpoint(t *testing.T) {
 // TestServerMetricsNotInstrumented pins that scraping /metrics does not
 // perturb the counters it reports (no self-counting loop).
 func TestServerMetricsNotInstrumented(t *testing.T) {
-	handler, _, err := newHandler(testBundle(t), 64)
+	handler, _, err := newHandler(testBundle(t), 64, 1, false)
 	if err != nil {
 		t.Fatal(err)
 	}

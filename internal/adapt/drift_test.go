@@ -1,0 +1,164 @@
+package adapt
+
+import (
+	"testing"
+
+	"anole/internal/core"
+	"anole/internal/testutil"
+	"anole/internal/xrand"
+)
+
+func TestDriftDetectorEmitsOnDrift(t *testing.T) {
+	fx := testutil.Shared(t)
+	cfg := DriftConfig{Window: 20, MinExemplars: 8, MaxExemplars: 16, Cooldown: 1}
+	d, err := NewDriftDetector(3, fx.Bundle, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := xrand.NewLabeled(5, "drift-test")
+	frames := sceneFrames(fx, novelScene(t, fx.Bundle), 40, rng)
+
+	var reports []*Report
+	for i, f := range frames {
+		res := core.FrameResult{Novelty: 2.2, Entropy: 0.99, Used: 0, RunnerUp: 1}
+		if rep := d.Observe(f, res); rep != nil {
+			reports = append(reports, rep)
+			if rep.Seq != int64(i+1) {
+				t.Fatalf("report %d at seq %d, observed %d frames", len(reports), rep.Seq, i+1)
+			}
+		}
+	}
+	if len(reports) != 2 {
+		t.Fatalf("got %d reports over two windows with cooldown 1, want 2", len(reports))
+	}
+	rep := reports[0]
+	if rep.Stream != 3 || rep.Window != 20 || rep.Signals < 2 {
+		t.Fatalf("report header %+v", rep)
+	}
+	if rep.MeanNovelty <= cfg.NoveltyThreshold || rep.MeanEntropy <= cfg.EntropyThreshold {
+		t.Fatalf("means below thresholds: %+v", rep)
+	}
+	if len(rep.Exemplars) == 0 || len(rep.Exemplars) > cfg.MaxExemplars {
+		t.Fatalf("%d exemplars (max %d)", len(rep.Exemplars), cfg.MaxExemplars)
+	}
+	if len(rep.Centroid) != fx.Bundle.Encoder.EmbedDim() {
+		t.Fatalf("centroid dim %d, embed dim %d", len(rep.Centroid), fx.Bundle.Encoder.EmbedDim())
+	}
+	if rep.SizeBytes() <= 0 {
+		t.Fatal("non-positive report size")
+	}
+	if d.FlagRate() != 1 {
+		t.Fatalf("every frame was flaggable, flag rate %v", d.FlagRate())
+	}
+	if d.Emitted() != 2 || d.Seen() != 40 {
+		t.Fatalf("emitted %d seen %d", d.Emitted(), d.Seen())
+	}
+}
+
+func TestDriftDetectorQuietOnHealthyStream(t *testing.T) {
+	fx := testutil.Shared(t)
+	d, err := NewDriftDetector(0, fx.Bundle, DriftConfig{Window: 10, MinExemplars: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := xrand.NewLabeled(6, "drift-test-quiet")
+	frames := sceneFrames(fx, knownScene(fx.Bundle), 50, rng)
+	for _, f := range frames {
+		res := core.FrameResult{Novelty: 0.4, Entropy: 0.2, Used: 0, RunnerUp: 0}
+		if rep := d.Observe(f, res); rep != nil {
+			t.Fatalf("healthy stream emitted a report: %+v", rep)
+		}
+	}
+	if d.FlagRate() != 0 {
+		t.Fatalf("healthy stream flagged frames: %v", d.FlagRate())
+	}
+}
+
+func TestDriftDetectorCooldownSuppresses(t *testing.T) {
+	fx := testutil.Shared(t)
+	// Default cooldown (2×window) suppresses the second window entirely.
+	d, err := NewDriftDetector(0, fx.Bundle, DriftConfig{Window: 10, MinExemplars: 4, MaxExemplars: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := xrand.NewLabeled(7, "drift-test-cooldown")
+	frames := sceneFrames(fx, novelScene(t, fx.Bundle), 30, rng)
+	var seqs []int64
+	for _, f := range frames {
+		if rep := d.Observe(f, core.FrameResult{Novelty: 3, Entropy: 0.99, RunnerUp: 1}); rep != nil {
+			seqs = append(seqs, rep.Seq)
+		}
+	}
+	// Windows close at 10, 20, 30. The first emits and starts a
+	// 20-frame cooldown, which silences the window at 20 and expires
+	// exactly in time for the window at 30.
+	if len(seqs) != 2 || seqs[0] != 10 || seqs[1] != 30 {
+		t.Fatalf("cooldown should yield reports at frames 10 and 30, got %v", seqs)
+	}
+}
+
+func TestDriftDetectorProbeAndSetBundle(t *testing.T) {
+	fx := testutil.Shared(t)
+	d, err := NewDriftDetector(0, fx.Bundle, DriftConfig{
+		Window: 12, SampleEvery: 1, MinExemplars: 4, MinSignals: 3, Cooldown: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := xrand.NewLabeled(8, "drift-test-probe")
+	frames := sceneFrames(fx, novelScene(t, fx.Bundle), 12, rng)
+	// Probe two distinct specialists on every frame; disagreement lands
+	// in [0,1] and the MinSignals=3 gate only passes if it tripped too.
+	var got *Report
+	for _, f := range frames {
+		if rep := d.Observe(f, core.FrameResult{Novelty: 3, Entropy: 0.99, Used: 0, RunnerUp: fx.Bundle.NumModels() - 1}); rep != nil {
+			got = rep
+		}
+	}
+	if got != nil {
+		if got.Disagreement < 0 || got.Disagreement > 1 {
+			t.Fatalf("disagreement %v out of range", got.Disagreement)
+		}
+		if got.Signals != 3 {
+			t.Fatalf("signals %d with MinSignals 3", got.Signals)
+		}
+	}
+	// SetBundle resets the open window and stamps later reports with the
+	// new generation.
+	d2, err := NewDriftDetector(0, fx.Bundle, DriftConfig{Window: 6, MinExemplars: 2, Cooldown: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ { // half-filled window...
+		d2.Observe(frames[i], core.FrameResult{Novelty: 3, Entropy: 0.99})
+	}
+	d2.SetBundle(fx.Bundle, 7) // ...discarded here
+	var reps []*Report
+	for i := 0; i < 6; i++ {
+		if rep := d2.Observe(frames[i%len(frames)], core.FrameResult{Novelty: 3, Entropy: 0.99}); rep != nil {
+			reps = append(reps, rep)
+		}
+	}
+	if len(reps) != 1 {
+		t.Fatalf("one full window after SetBundle should emit once, got %d", len(reps))
+	}
+	if reps[0].Generation != 7 {
+		t.Fatalf("report generation %d after SetBundle(7)", reps[0].Generation)
+	}
+}
+
+func TestDriftConfigDefaults(t *testing.T) {
+	var cfg DriftConfig
+	cfg.fill()
+	if cfg.Window != 30 || cfg.EntropyThreshold != 0.97 || cfg.NoveltyThreshold != 1.5 ||
+		cfg.DisagreementThreshold != 0.75 || cfg.SampleEvery != 4 || cfg.MinSignals != 2 ||
+		cfg.MinExemplars != 16 || cfg.MaxExemplars != 48 || cfg.Cooldown != 60 {
+		t.Fatalf("defaults: %+v", cfg)
+	}
+	// MaxExemplars is lifted to MinExemplars when set below it.
+	cfg = DriftConfig{MinExemplars: 40, MaxExemplars: 10}
+	cfg.fill()
+	if cfg.MaxExemplars != 40 {
+		t.Fatalf("MaxExemplars %d, want 40", cfg.MaxExemplars)
+	}
+}

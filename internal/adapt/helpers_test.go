@@ -1,0 +1,178 @@
+package adapt
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"anole/internal/core"
+	"anole/internal/decision"
+	"anole/internal/detect"
+	"anole/internal/netsim"
+	"anole/internal/sampling"
+	"anole/internal/synth"
+	"anole/internal/testutil"
+	"anole/internal/xrand"
+)
+
+// novelScene returns a semantic scene absent from the bundle encoder's
+// training label space (preferring night — the hardest shift).
+func novelScene(tb testing.TB, b *core.Bundle) synth.Scene {
+	tb.Helper()
+	known := make(map[int]bool)
+	for _, idx := range b.Encoder.ClassToScene {
+		known[idx] = true
+	}
+	fallback := -1
+	for idx := 0; idx < synth.NumScenes; idx++ {
+		if known[idx] {
+			continue
+		}
+		s := synth.SceneFromIndex(idx)
+		if s.Time == synth.Night {
+			return s
+		}
+		if fallback < 0 {
+			fallback = idx
+		}
+	}
+	if fallback < 0 {
+		tb.Fatal("every semantic scene was seen in training")
+	}
+	return synth.SceneFromIndex(fallback)
+}
+
+// knownScene returns a scene the encoder trained on.
+func knownScene(b *core.Bundle) synth.Scene {
+	return synth.SceneFromIndex(b.Encoder.ClassToScene[0])
+}
+
+// sceneFrames generates n frames of one scene from the fixture world.
+func sceneFrames(fx testutil.Fixture, s synth.Scene, n int, rng *xrand.RNG) []*synth.Frame {
+	frames := make([]*synth.Frame, n)
+	for i := range frames {
+		frames[i] = fx.World.GenerateFrame(s, 1, rng)
+	}
+	return frames
+}
+
+// testControllerConfig returns a cheap, deterministic retrain setup over
+// the fixture corpus.
+func testControllerConfig(fx testutil.Fixture, seed uint64) ControllerConfig {
+	return ControllerConfig{
+		Seed:        seed,
+		TrainFrames: fx.Corpus.Frames(synth.Train),
+		Train:       detect.TrainConfig{Epochs: 8},
+		Sampling:    sampling.Config{Kappa: 300, AcceptF1: 0.3},
+		Decision:    decision.Config{Epochs: 25},
+		MinReports:  2,
+		MinFrames:   30,
+	}
+}
+
+// driftReports synthesizes n well-formed reports for one scene, the way
+// a detector on a drifting stream would emit them.
+func driftReports(fx testutil.Fixture, s synth.Scene, n, exemplars int, seed uint64) []*Report {
+	rng := xrand.NewLabeled(seed, "adapt-test-reports")
+	reports := make([]*Report, n)
+	for i := range reports {
+		frames := sceneFrames(fx, s, exemplars, rng)
+		centroid := fx.Bundle.Encoder.Embed(frames[0]).Clone()
+		for _, f := range frames[1:] {
+			centroid.AddScaled(1, fx.Bundle.Encoder.Embed(f))
+		}
+		centroid.Scale(1 / float64(len(frames)))
+		reports[i] = &Report{
+			Stream:      0,
+			Seq:         int64((i + 1) * 30),
+			Generation:  1,
+			Window:      30,
+			MeanNovelty: 2.0,
+			Signals:     1,
+			Centroid:    centroid,
+			Exemplars:   frames,
+		}
+	}
+	return reports
+}
+
+// capturePublisher records published bundles and mints generations the
+// way repo.Server does (monotone from 1).
+type capturePublisher struct {
+	gens    uint64
+	bundles map[uint64]*core.Bundle
+	notes   []string
+	err     error
+}
+
+func newCapturePublisher() *capturePublisher {
+	return &capturePublisher{gens: 1, bundles: map[uint64]*core.Bundle{}}
+}
+
+func (p *capturePublisher) Publish(b *core.Bundle, note string) (uint64, error) {
+	if p.err != nil {
+		return 0, p.err
+	}
+	p.gens++
+	p.bundles[p.gens] = b
+	p.notes = append(p.notes, note)
+	return p.gens, nil
+}
+
+// newTestLink builds a seeded simulated link of the given stability.
+func newTestLink(tb testing.TB, stability float64, seed uint64) *netsim.Link {
+	tb.Helper()
+	link, err := netsim.NewLink(netsim.DefaultConfig(stability), xrand.NewLabeled(seed, "adapt-test-link"))
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return link
+}
+
+// scriptMedium is a deterministic netsim.Medium whose per-step states
+// are scripted; transfers succeed except in Down steps. After the
+// script runs out it stays Good.
+type scriptMedium struct {
+	states []netsim.LinkState
+	step   int
+}
+
+func (m *scriptMedium) State() netsim.LinkState {
+	if m.step < len(m.states) {
+		return m.states[m.step]
+	}
+	return netsim.Good
+}
+
+func (m *scriptMedium) Step() netsim.LinkState {
+	st := m.State()
+	m.step++
+	return st
+}
+
+func (m *scriptMedium) Transfer(up, down int64) (time.Duration, bool) {
+	// One millisecond per KiB, failing while down.
+	if m.step > 0 && m.step <= len(m.states) && m.states[m.step-1] == netsim.Down {
+		return 0, false
+	}
+	return time.Duration(up+down) * time.Millisecond / 1024, true
+}
+
+var _ netsim.Medium = (*scriptMedium)(nil)
+
+// flakySource wraps a BundleSource, corrupting the claimed digest for
+// the first `lies` fetches.
+type flakySource struct {
+	inner BundleSource
+	lies  int
+	calls int
+}
+
+func (s *flakySource) FetchGeneration(gen uint64) ([]byte, string, error) {
+	payload, digest, err := s.inner.FetchGeneration(gen)
+	s.calls++
+	if err == nil && s.calls <= s.lies {
+		digest = fmt.Sprintf("%064d", s.calls) // plausible hex, wrong value
+	}
+	return payload, digest, err
+}

@@ -1,0 +1,250 @@
+package adapt
+
+import (
+	"bytes"
+	"testing"
+
+	"anole/internal/core"
+	"anole/internal/detect"
+	"anole/internal/repo"
+	"anole/internal/stats"
+	"anole/internal/synth"
+	"anole/internal/telemetry"
+	"anole/internal/testutil"
+	"anole/internal/xrand"
+)
+
+// loopHarness wires a full in-process adaptation loop: a two-stream
+// fleet (stream 0 will drift), a repository server, and a controller.
+type loopHarness struct {
+	srv  *repo.Server
+	ctrl *Controller
+	mrt  *core.MultiRuntime
+	loop *Loop
+	reg  *telemetry.Registry
+}
+
+func newLoopHarness(t *testing.T, fx testutil.Fixture, seed uint64, minF1Ratio float64,
+	hook func(*core.Bundle) (*core.Bundle, error)) *loopHarness {
+	t.Helper()
+	srv, err := repo.NewServer(fx.Bundle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ccfg := testControllerConfig(fx, seed)
+	ccfg.RetrainHook = hook
+	ctrl, err := NewController(fx.Bundle, srv, ccfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mrt, err := core.NewMultiRuntime(fx.Bundle, core.MultiRuntimeConfig{Streams: 2, CacheSlots: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := telemetry.NewRegistry()
+	loop, err := NewLoop(mrt, LoopConfig{
+		Drift:     DriftConfig{Window: 30, MinExemplars: 16, MaxExemplars: 48, Cooldown: 1},
+		Rollout:   RolloutConfig{CanaryStream: 0, CanaryFrames: 60, MinF1Ratio: minF1Ratio},
+		Submitter: ctrl,
+		Source:    NewServerSource(srv),
+		Metrics:   reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &loopHarness{srv: srv, ctrl: ctrl, mrt: mrt, loop: loop, reg: reg}
+}
+
+// driftStreams builds the two stream tapes: the novel scene on stream
+// 0, in-distribution corpus traffic (what the bundle was calibrated on)
+// on stream 1.
+func driftStreams(t *testing.T, fx testutil.Fixture, frames int, seed uint64) [][]*synth.Frame {
+	t.Helper()
+	rng := xrand.NewLabeled(seed, "adapt-loop-streams")
+	healthy := fx.Corpus.Frames(synth.Test)
+	if len(healthy) == 0 {
+		t.Fatal("fixture corpus has no test frames")
+	}
+	incumbent := make([]*synth.Frame, frames)
+	for i := range incumbent {
+		incumbent[i] = healthy[i%len(healthy)]
+	}
+	return [][]*synth.Frame{
+		sceneFrames(fx, novelScene(t, fx.Bundle), frames, rng),
+		incumbent,
+	}
+}
+
+// evalF1 measures a bundle's detection F1 over frames on a fresh
+// single-stream runtime.
+func evalF1(t *testing.T, b *core.Bundle, frames []*synth.Frame) float64 {
+	t.Helper()
+	rt, err := core.NewRuntime(b, core.RuntimeConfig{CacheSlots: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var agg stats.PRF1
+	for _, f := range frames {
+		fr, err := rt.ProcessFrame(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		agg = agg.Add(fr.Metrics)
+	}
+	return agg.F1
+}
+
+// TestLoopEndToEndPromotes is the acceptance scenario: an unseen scene
+// drifts on stream 0, the detector reports it, the cloud retrains and
+// publishes generation 2, the canary passes on stream 0, the fleet
+// promotes, and post-promotion accuracy on the novel scene beats the
+// frozen baseline. The whole run is deterministic: executed twice, it
+// yields identical stats and a bit-identical promoted bundle.
+func TestLoopEndToEndPromotes(t *testing.T) {
+	fx := testutil.Shared(t)
+	const frames = 240
+
+	run := func() (LoopStats, []byte, *loopHarness) {
+		h := newLoopHarness(t, fx, 101, 0.5, nil)
+		defer h.mrt.Close()
+		streams := driftStreams(t, fx, frames, 101)
+		results, err := h.loop.Run(streams, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range results {
+			if len(results[i]) != frames {
+				t.Fatalf("stream %d: %d results for %d frames", i, len(results[i]), frames)
+			}
+		}
+		var buf bytes.Buffer
+		if err := repo.WriteBundle(&buf, h.loop.FleetBundle()); err != nil {
+			t.Fatal(err)
+		}
+		return h.loop.Stats(), buf.Bytes(), h
+	}
+
+	st, blob, h := run()
+	if st.DriftEvents < 2 || st.ReportsSent < 2 {
+		t.Fatalf("drift not detected/reported: %+v", st)
+	}
+	if st.CanaryStarts != 1 || st.Promotions != 1 || st.Rollbacks != 0 || st.RejectedCandidates != 0 {
+		t.Fatalf("rollout path: %+v", st)
+	}
+	if st.FleetGeneration != 2 || st.GenerationsApplied != 1 {
+		t.Fatalf("fleet generation: %+v", st)
+	}
+	if h.srv.Generation() != 2 {
+		t.Fatalf("repository at generation %d after promotion", h.srv.Generation())
+	}
+	for i := 0; i < h.mrt.NumStreams(); i++ {
+		if h.mrt.StreamBundle(i) != h.loop.FleetBundle() {
+			t.Fatalf("stream %d not on the promoted bundle", i)
+		}
+	}
+	if err := telemetry.ValidateScheme(h.reg.Gather()); err != nil {
+		t.Fatalf("metric scheme: %v", err)
+	}
+
+	// Post-promotion accuracy on the novel scene must beat the frozen
+	// baseline on a held-out stream.
+	holdout := sceneFrames(fx, novelScene(t, fx.Bundle), 60, xrand.NewLabeled(900, "adapt-loop-holdout"))
+	before := evalF1(t, fx.Bundle, holdout)
+	after := evalF1(t, h.loop.FleetBundle(), holdout)
+	if after <= before {
+		t.Fatalf("promotion did not improve novel-scene F1: %.3f -> %.3f", before, after)
+	}
+
+	// Determinism: the whole loop replays bit-identically.
+	st2, blob2, h2 := run()
+	if st != st2 {
+		t.Fatalf("stats diverge across identical runs:\n%+v\n%+v", st, st2)
+	}
+	if !bytes.Equal(blob, blob2) {
+		t.Fatal("promoted bundles differ across identical runs")
+	}
+	_ = h2
+}
+
+// TestLoopRegressionRollsBack injects a regression into the retrain (the
+// published candidate's specialists are scrambled) and requires the
+// canary to catch it: automatic rollback, fleet still serving the seed
+// generation, repository restored bit-for-bit.
+func TestLoopRegressionRollsBack(t *testing.T) {
+	fx := testutil.Shared(t)
+	sabotage := func(b *core.Bundle) (*core.Bundle, error) {
+		bad := *b
+		n := b.NumModels()
+		bad.Detectors = make([]*detect.Detector, n)
+		bad.Infos = make([]core.ModelInfo, n)
+		for i := range bad.Detectors {
+			bad.Detectors[i] = b.Detectors[n-1-i]
+			bad.Infos[i] = b.Infos[n-1-i]
+		}
+		return &bad, nil
+	}
+	h := newLoopHarness(t, fx, 101, 0.9, sabotage)
+	defer h.mrt.Close()
+	seedBlob := append([]byte(nil), h.srv.BundleBytes()...)
+
+	streams := driftStreams(t, fx, 150, 101)
+	if _, err := h.loop.Run(streams, nil); err != nil {
+		t.Fatal(err)
+	}
+	st := h.loop.Stats()
+	if st.CanaryStarts != 1 || st.Rollbacks != 1 || st.Promotions != 0 {
+		t.Fatalf("regression not rolled back: %+v", st)
+	}
+	if st.FleetGeneration != 1 || h.loop.FleetBundle() != fx.Bundle {
+		t.Fatalf("fleet left the seed generation: %+v", st)
+	}
+	for i := 0; i < h.mrt.NumStreams(); i++ {
+		if h.mrt.StreamBundle(i) != fx.Bundle {
+			t.Fatalf("stream %d not restored to the seed bundle", i)
+		}
+	}
+	if h.srv.Generation() != 1 {
+		t.Fatalf("repository at generation %d after rollback", h.srv.Generation())
+	}
+	if !bytes.Equal(h.srv.BundleBytes(), seedBlob) {
+		t.Fatal("rollback did not restore the seed bundle bit-for-bit")
+	}
+}
+
+func TestLoopConfigValidation(t *testing.T) {
+	fx := testutil.Shared(t)
+	mrt, err := core.NewMultiRuntime(fx.Bundle, core.MultiRuntimeConfig{Streams: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mrt.Close()
+	srv, err := repo.NewServer(fx.Bundle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctrl, err := NewController(fx.Bundle, srv, testControllerConfig(fx, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := NewServerSource(srv)
+	if _, err := NewLoop(nil, LoopConfig{Submitter: ctrl, Source: src}); err == nil {
+		t.Fatal("nil runtime accepted")
+	}
+	if _, err := NewLoop(mrt, LoopConfig{Source: src}); err == nil {
+		t.Fatal("nil submitter accepted")
+	}
+	if _, err := NewLoop(mrt, LoopConfig{Submitter: ctrl}); err == nil {
+		t.Fatal("nil source accepted")
+	}
+	if _, err := NewLoop(mrt, LoopConfig{Submitter: ctrl, Source: src,
+		Rollout: RolloutConfig{CanaryStream: 5}}); err == nil {
+		t.Fatal("out-of-range canary stream accepted")
+	}
+	l, err := NewLoop(mrt, LoopConfig{Submitter: ctrl, Source: src})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Run(make([][]*synth.Frame, 3), nil); err == nil {
+		t.Fatal("stream-count mismatch accepted")
+	}
+}

@@ -1,0 +1,72 @@
+package adapt
+
+import (
+	"fmt"
+	"time"
+
+	"anole/internal/netsim"
+)
+
+// Uplink ships drift reports over a simulated control-plane link. It is
+// a separate netsim.Medium from the model-download link — in the paper's
+// deployment the two flows contend for the same radio, but the repo's
+// LinkFetcher owns its Medium exclusively (netsim.Link is not safe for
+// concurrent use), so the control plane gets its own chain with the
+// same stability character.
+//
+// Reports are lost whole, never corrupted: the report either transfers
+// within the link step or the caller keeps it and retries at the next
+// control point. An Uplink is not safe for concurrent use; the Loop
+// drives it only between processing chunks.
+type Uplink struct {
+	link netsim.Medium
+
+	sent     int64
+	failed   int64
+	bytes    int64
+	lastCost time.Duration
+}
+
+// ackBytes is the downstream acknowledgement charged per report.
+const ackBytes = 256
+
+// NewUplink wraps a control-plane link. A nil medium yields an uplink
+// that always succeeds instantly (the in-process/test configuration).
+func NewUplink(link netsim.Medium) *Uplink {
+	return &Uplink{link: link}
+}
+
+// Send charges size bytes upstream (plus a small acknowledgement
+// downstream) to the link, stepping its state chain once. It returns the
+// simulated transfer cost, or an error when the link was down or the
+// transfer failed mid-flight — the report was lost and the caller should
+// requeue it.
+func (u *Uplink) Send(size int64) (time.Duration, error) {
+	if size <= 0 {
+		return 0, fmt.Errorf("adapt: non-positive report size %d", size)
+	}
+	if u.link == nil {
+		u.sent++
+		u.bytes += size
+		return 0, nil
+	}
+	if u.link.Step() == netsim.Down {
+		u.failed++
+		return 0, fmt.Errorf("adapt: uplink down")
+	}
+	cost, ok := u.link.Transfer(size, ackBytes)
+	if !ok {
+		u.failed++
+		return cost, fmt.Errorf("adapt: uplink transfer failed after %v", cost)
+	}
+	u.sent++
+	u.bytes += size
+	u.lastCost = cost
+	return cost, nil
+}
+
+// Sent and Failed count report transfer outcomes; Bytes is the total
+// upstream payload successfully delivered.
+func (u *Uplink) Sent() int64   { return u.sent }
+func (u *Uplink) Failed() int64 { return u.failed }
+func (u *Uplink) Bytes() int64  { return u.bytes }

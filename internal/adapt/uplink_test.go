@@ -1,0 +1,60 @@
+package adapt
+
+import (
+	"testing"
+
+	"anole/internal/netsim"
+)
+
+func TestUplinkNilLinkAlwaysDelivers(t *testing.T) {
+	u := NewUplink(nil)
+	if _, err := u.Send(0); err == nil {
+		t.Fatal("non-positive size must fail")
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := u.Send(1000); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if u.Sent() != 3 || u.Failed() != 0 || u.Bytes() != 3000 {
+		t.Fatalf("sent %d failed %d bytes %d", u.Sent(), u.Failed(), u.Bytes())
+	}
+}
+
+func TestUplinkLosesReportsWhileDown(t *testing.T) {
+	m := &scriptMedium{states: []netsim.LinkState{netsim.Good, netsim.Down, netsim.Down, netsim.Good}}
+	u := NewUplink(m)
+	if _, err := u.Send(512); err != nil {
+		t.Fatalf("good step: %v", err)
+	}
+	for i := 0; i < 2; i++ {
+		if _, err := u.Send(512); err == nil {
+			t.Fatal("down step must lose the report")
+		}
+	}
+	if _, err := u.Send(512); err != nil {
+		t.Fatalf("recovered step: %v", err)
+	}
+	if u.Sent() != 2 || u.Failed() != 2 || u.Bytes() != 1024 {
+		t.Fatalf("sent %d failed %d bytes %d", u.Sent(), u.Failed(), u.Bytes())
+	}
+}
+
+func TestUplinkOverRealLink(t *testing.T) {
+	link := newTestLink(t, 0.9, 99)
+	u := NewUplink(link)
+	delivered, lost := 0, 0
+	for i := 0; i < 200; i++ {
+		if _, err := u.Send(2048); err != nil {
+			lost++
+		} else {
+			delivered++
+		}
+	}
+	if delivered == 0 {
+		t.Fatal("a mostly-good link should deliver some reports")
+	}
+	if int64(delivered) != u.Sent() || int64(lost) != u.Failed() {
+		t.Fatalf("counters drifted: %d/%d vs %d/%d", delivered, lost, u.Sent(), u.Failed())
+	}
+}

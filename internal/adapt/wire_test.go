@@ -1,0 +1,143 @@
+package adapt
+
+import (
+	"bytes"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"anole/internal/testutil"
+)
+
+func TestReportWireRoundTrip(t *testing.T) {
+	fx := testutil.Shared(t)
+	rep := driftReports(fx, novelScene(t, fx.Bundle), 1, 20, 11)[0]
+	rep.At = 1500 * time.Millisecond
+	rep.MeanEntropy = 0.99
+	rep.Disagreement = 0.8
+	rep.Signals = 2
+
+	var buf bytes.Buffer
+	if err := WriteReport(&buf, rep); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadReport(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Stream != rep.Stream || got.Seq != rep.Seq || got.At != rep.At ||
+		got.Generation != rep.Generation || got.Window != rep.Window ||
+		got.MeanEntropy != rep.MeanEntropy || got.MeanNovelty != rep.MeanNovelty ||
+		got.Disagreement != rep.Disagreement || got.Signals != rep.Signals {
+		t.Fatalf("header mangled: sent %+v, got %+v", rep, got)
+	}
+	if len(got.Centroid) != len(rep.Centroid) {
+		t.Fatalf("centroid dim %d, want %d", len(got.Centroid), len(rep.Centroid))
+	}
+	for i := range got.Centroid {
+		if got.Centroid[i] != rep.Centroid[i] {
+			t.Fatalf("centroid[%d] = %v, want %v", i, got.Centroid[i], rep.Centroid[i])
+		}
+	}
+	if len(got.Exemplars) != len(rep.Exemplars) {
+		t.Fatalf("%d exemplars, want %d", len(got.Exemplars), len(rep.Exemplars))
+	}
+	for i, f := range got.Exemplars {
+		want := rep.Exemplars[i]
+		if f.Scene != want.Scene || len(f.Objects) != len(want.Objects) || len(f.Cells) != len(want.Cells) {
+			t.Fatalf("exemplar %d mangled", i)
+		}
+	}
+}
+
+func TestWriteReportRejectsEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteReport(&buf, nil); err == nil {
+		t.Fatal("nil report encoded")
+	}
+	if err := WriteReport(&buf, &Report{}); err == nil {
+		t.Fatal("exemplar-free report encoded (frame pack has no geometry)")
+	}
+}
+
+// recordingSubmitter captures submitted reports and plays a scripted
+// verdict.
+type recordingSubmitter struct {
+	reports   []*Report
+	gen       uint64
+	published bool
+	err       error
+}
+
+func (s *recordingSubmitter) Submit(rep *Report) (uint64, bool, error) {
+	s.reports = append(s.reports, rep)
+	return s.gen, s.published, s.err
+}
+
+// TestDriftEndpointRoundTrip drives HTTPSubmitter against NewDriftHandler
+// over a real HTTP server: the report must survive the hop intact and
+// the controller's verdict must come back to the device side.
+func TestDriftEndpointRoundTrip(t *testing.T) {
+	fx := testutil.Shared(t)
+	sub := &recordingSubmitter{gen: 3, published: true}
+	ts := httptest.NewServer(NewDriftHandler(sub))
+	defer ts.Close()
+
+	rep := driftReports(fx, novelScene(t, fx.Bundle), 1, 18, 13)[0]
+	client := &HTTPSubmitter{URL: ts.URL}
+	gen, published, err := client.Submit(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gen != 3 || !published {
+		t.Fatalf("verdict (%d, %v), want (3, true)", gen, published)
+	}
+	if len(sub.reports) != 1 {
+		t.Fatalf("%d reports reached the submitter", len(sub.reports))
+	}
+	got := sub.reports[0]
+	if got.Seq != rep.Seq || len(got.Exemplars) != len(rep.Exemplars) || len(got.Centroid) != len(rep.Centroid) {
+		t.Fatalf("report mangled over HTTP: %+v", got)
+	}
+}
+
+func TestDriftEndpointErrors(t *testing.T) {
+	sub := &recordingSubmitter{}
+	ts := httptest.NewServer(NewDriftHandler(sub))
+	defer ts.Close()
+
+	// Wrong method.
+	resp, err := http.Get(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET status %d, want 405", resp.StatusCode)
+	}
+
+	// Garbage body.
+	resp, err = http.Post(ts.URL, "application/json", strings.NewReader("{not json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("garbage status %d, want 400", resp.StatusCode)
+	}
+	if len(sub.reports) != 0 {
+		t.Fatal("malformed request reached the submitter")
+	}
+
+	// Submitter failure surfaces as an error on the device side.
+	fx := testutil.Shared(t)
+	sub.err = fmt.Errorf("retrain exploded")
+	client := &HTTPSubmitter{URL: ts.URL}
+	if _, _, err := client.Submit(driftReports(fx, novelScene(t, fx.Bundle), 1, 16, 17)[0]); err == nil ||
+		!strings.Contains(err.Error(), "status 500") {
+		t.Fatalf("submitter failure not relayed: %v", err)
+	}
+}

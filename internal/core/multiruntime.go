@@ -107,6 +107,11 @@ type MultiRuntime struct {
 	maxBatch int
 	bstate   *batchState
 	bmet     batchMetrics
+	// mixed marks a canary phase: at least one stream runs a bundle
+	// other than m.bundle, so the batched path (which stages the shared
+	// encoder/head for the whole tick) falls back to the serial
+	// per-frame loop until the fleet converges again.
+	mixed bool
 }
 
 // NewMultiRuntime validates the bundle once, builds the shared sharded
@@ -216,6 +221,71 @@ func (m *MultiRuntime) StreamBundle(i int) *Bundle { return m.streams[i].Bundle(
 // Cache returns the shared sharded model cache.
 func (m *MultiRuntime) Cache() *modelcache.Sharded { return m.cache }
 
+// SwapStreamBundle deploys b on stream i only — the canary step of a
+// rollout. While any stream's bundle differs from the fleet's, batched
+// execution falls back to the serial per-frame loop (the batched path
+// stages one shared encoder/head per tick), so a canary trades batch
+// throughput for isolation until it resolves. Call only between
+// ProcessStreams calls.
+func (m *MultiRuntime) SwapStreamBundle(i int, b *Bundle) error {
+	if i < 0 || i >= len(m.streams) {
+		return fmt.Errorf("core: swap on stream %d of %d", i, len(m.streams))
+	}
+	if err := m.streams[i].SwapBundle(b); err != nil {
+		return err
+	}
+	m.mixed = false
+	for _, rt := range m.streams {
+		if rt.Bundle() != m.bundle {
+			m.mixed = true
+			break
+		}
+	}
+	return nil
+}
+
+// SwapAllBundles deploys b on every stream and adopts it as the shared
+// fleet bundle — the promote (or rollback) step of a rollout. The
+// batched working set is rebuilt against the new bundle. Call only
+// between ProcessStreams calls.
+func (m *MultiRuntime) SwapAllBundles(b *Bundle) error {
+	if err := b.Validate(); err != nil {
+		return err
+	}
+	for i, rt := range m.streams {
+		if err := rt.SwapBundle(b); err != nil {
+			return fmt.Errorf("core: stream %d: %w", i, err)
+		}
+	}
+	if m.bstate != nil {
+		m.bstate.release(m.bundle)
+		m.bstate = newBatchState(b, m.workers)
+	}
+	m.bundle = b
+	m.mixed = false
+	return nil
+}
+
+// PurgeStaleModels evicts every cached model that is not part of the
+// current fleet bundle and returns how many were removed — the
+// old-generation cleanup run after a promotion (never during a canary,
+// when two generations legitimately coexist). Pinned or mid-prefetch
+// entries are removed like any other: the fleet no longer references
+// them.
+func (m *MultiRuntime) PurgeStaleModels() int {
+	keep := make(map[string]bool, m.bundle.NumModels())
+	for _, d := range m.bundle.Detectors {
+		keep[d.Name] = true
+	}
+	purged := 0
+	for _, key := range m.cache.Keys() {
+		if !keep[key] && m.cache.Remove(key) {
+			purged++
+		}
+	}
+	return purged
+}
+
 // Prefetcher returns the shared prefetch scheduler (nil when
 // prefetching is disabled).
 func (m *MultiRuntime) Prefetcher() *prefetch.Scheduler { return m.pf }
@@ -301,6 +371,11 @@ func (m *MultiRuntime) ProcessStreams(streams [][]*synth.Frame, obs StreamObserv
 		m.bmet.occupancy.Set(float64(len(ready)) / float64(len(streams)))
 		var err error
 		switch {
+		case m.batch && m.mixed:
+			// Canary in progress: streams disagree on the bundle, so the
+			// shared-encoder batch staging is invalid. Serial keeps the
+			// (tick, stream) order and observer contract identical.
+			err = m.processTickSerial(tick, ready, streams, results, obs)
 		case m.batch:
 			err = m.processTickBatched(tick, ready, streams, results, obs)
 		case loop != nil:
@@ -345,9 +420,18 @@ func (m *MultiRuntime) StreamStats(i int) RunStats { return m.streams[i].Stats()
 // stream order, and the cache counters taken once from the shared
 // sharded cache.
 func (m *MultiRuntime) Stats() RunStats {
+	// During a canary (and after a rollback) streams can disagree on
+	// repertoire size; per-model slices are sized to the largest any
+	// stream has ever seen.
+	n := m.bundle.NumModels()
+	for _, rt := range m.streams {
+		if k := len(rt.stats.DesiredCounts); k > n {
+			n = k
+		}
+	}
 	agg := RunStats{
-		DesiredCounts: make([]int, m.bundle.NumModels()),
-		UsedCounts:    make([]int, m.bundle.NumModels()),
+		DesiredCounts: make([]int, n),
+		UsedCounts:    make([]int, n),
 	}
 	for _, rt := range m.streams {
 		s := rt.Stats()

@@ -118,6 +118,15 @@ type FrameResult struct {
 	// Novelty scores how far the frame sits from every known scene
 	// (see Bundle.Novelty); 0 when the bundle has no calibration.
 	Novelty float64
+	// Entropy is the normalized Shannon entropy of the decision-score
+	// distribution, in [0, 1]: near 0 when one model clearly dominates,
+	// near 1 when the head cannot tell the repertoire apart. Drift
+	// detection windows it as an uncertainty signal.
+	Entropy float64
+	// RunnerUp is the second-ranked model index (equal to Desired when
+	// the repertoire has a single model). Drift detection probes it on
+	// sampled frames to measure detector disagreement.
+	RunnerUp int
 	// Degraded marks a frame served in degraded mode: the decided model
 	// was absent and the link could not deliver it (or the runtime was
 	// waiting out a failed fetch's backoff window), so a stale resident
@@ -352,6 +361,43 @@ func (r *Runtime) Close() {
 // Bundle returns the runtime's deployed bundle.
 func (r *Runtime) Bundle() *Bundle { return r.bundle }
 
+// SwapBundle deploys a new bundle on this runtime between frames — the
+// rollout path for continual adaptation. The feature dimension must
+// match (the stream keeps producing the same frames). Per-model stats
+// slices grow to cover the larger repertoire and never shrink, so a
+// rollback to a smaller bundle keeps the canary models' history; any
+// selection state referring to a model index beyond the new repertoire
+// (possible only on rollback) is reset so hysteresis re-seeds from the
+// next frame. Not safe to call while a frame is in flight: callers
+// swap between ProcessFrame / ProcessStreams calls.
+func (r *Runtime) SwapBundle(b *Bundle) error {
+	if err := b.Validate(); err != nil {
+		return err
+	}
+	if b.FeatDim != r.bundle.FeatDim {
+		return fmt.Errorf("core: swap bundle feat dim %d, runtime %d", b.FeatDim, r.bundle.FeatDim)
+	}
+	r.bundle = b
+	wireSizer(r.cache, b)
+	n := b.NumModels()
+	for len(r.stats.DesiredCounts) < n {
+		r.stats.DesiredCounts = append(r.stats.DesiredCounts, 0)
+	}
+	for len(r.stats.UsedCounts) < n {
+		r.stats.UsedCounts = append(r.stats.UsedCounts, 0)
+	}
+	if r.prevDesired >= n {
+		r.prevDesired = -1
+	}
+	if r.committed >= n {
+		r.committed = -1
+	}
+	if r.candidate >= n {
+		r.candidate, r.streak = -1, 0
+	}
+	return nil
+}
+
 // ProcessFrame executes the paper's per-frame pipeline: MSS ranks the
 // repertoire with M_decision; CMD resolves the ranking against the LFU
 // cache (on a miss the best cached model serves the frame while the cache
@@ -443,6 +489,11 @@ func (r *Runtime) stageDecide(seq int64, res *FrameResult) []int {
 	res.Desired = r.applyHysteresis(rank[0])
 	res.Confidence = scores[rank[0]]
 	res.Novelty = r.bundle.NoveltyOfEmbedding(r.embBuf)
+	res.Entropy = stats.NormalizedEntropy(scores)
+	res.RunnerUp = rank[0]
+	if len(rank) > 1 {
+		res.RunnerUp = rank[1]
+	}
 	if res.Desired != rank[0] {
 		// The smoothed choice leads the ranking used for fallback.
 		rank = prependModel(rank, res.Desired)

@@ -1,0 +1,128 @@
+package core_test
+
+import (
+	"testing"
+
+	"anole/internal/core"
+	"anole/internal/testutil"
+)
+
+// TestMultiRuntimeSwapStreamBundleCanaryThenPromote walks the fleet
+// through the rollout sequence the adaptation loop drives: deploy a
+// candidate bundle on one canary stream (others untouched), process a
+// mixed fleet, roll the canary back, then promote the candidate
+// everywhere. The quantized twin of the fixture bundle is a cheap,
+// structurally different stand-in for a retrained generation.
+func TestMultiRuntimeSwapStreamBundleCanaryThenPromote(t *testing.T) {
+	fx := testutil.Shared(t)
+	candidate, err := core.QuantizeBundle(fx.Bundle, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := core.NewMultiRuntime(fx.Bundle, core.MultiRuntimeConfig{
+		Streams: 2, CacheSlots: 4, Workers: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+
+	// Canary: stream 1 runs the candidate, stream 0 and the fleet
+	// reference stay on the incumbent.
+	if err := m.SwapStreamBundle(1, candidate); err != nil {
+		t.Fatal(err)
+	}
+	if m.StreamBundle(1) != candidate || m.StreamBundle(0) != fx.Bundle || m.Bundle() != fx.Bundle {
+		t.Fatal("canary swap leaked past stream 1")
+	}
+	// A mixed fleet must still process every frame.
+	sets := streamFrames(t, 2, 30)
+	results, err := m.ProcessStreams(sets, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s, rs := range results {
+		if len(rs) != 30 {
+			t.Fatalf("mixed fleet: stream %d produced %d results, want 30", s, len(rs))
+		}
+	}
+
+	// Rolling the canary back to the fleet bundle restores a uniform
+	// fleet without touching the shared reference.
+	if err := m.SwapStreamBundle(1, fx.Bundle); err != nil {
+		t.Fatal(err)
+	}
+	if m.StreamBundle(1) != fx.Bundle || m.Bundle() != fx.Bundle {
+		t.Fatal("canary rollback did not restore the incumbent")
+	}
+
+	// Promote: every stream and the fleet reference adopt the candidate.
+	if err := m.SwapAllBundles(candidate); err != nil {
+		t.Fatal(err)
+	}
+	if m.Bundle() != candidate {
+		t.Fatal("promotion did not adopt the candidate as the fleet bundle")
+	}
+	for s := 0; s < m.NumStreams(); s++ {
+		if m.StreamBundle(s) != candidate {
+			t.Fatalf("stream %d still on the old bundle after promotion", s)
+		}
+	}
+	if _, err := m.ProcessStreams(streamFrames(t, 2, 20), nil); err != nil {
+		t.Fatal(err)
+	}
+
+	// Guard rails.
+	if err := m.SwapStreamBundle(5, candidate); err == nil {
+		t.Fatal("swap on an out-of-range stream accepted")
+	}
+	if err := m.SwapStreamBundle(-1, candidate); err == nil {
+		t.Fatal("swap on a negative stream accepted")
+	}
+	if err := m.SwapAllBundles(&core.Bundle{}); err == nil {
+		t.Fatal("promotion of an invalid bundle accepted")
+	}
+}
+
+// TestMultiRuntimePurgeStaleModels pins the post-promotion cleanup:
+// cached models the fleet bundle no longer references are evicted,
+// models it does reference survive, and a second purge finds nothing.
+func TestMultiRuntimePurgeStaleModels(t *testing.T) {
+	fx := testutil.Shared(t)
+	m, err := core.NewMultiRuntime(fx.Bundle, core.MultiRuntimeConfig{
+		Streams: 1, CacheSlots: fx.Bundle.NumModels() + 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+
+	for _, det := range fx.Bundle.Detectors {
+		if _, _, err := m.Cache().Request(det.Name, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Two residents from a withdrawn generation.
+	for _, stale := range []string{"M_old_a", "M_old_b"} {
+		if _, _, err := m.Cache().Request(stale, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	if purged := m.PurgeStaleModels(); purged != 2 {
+		t.Fatalf("purged %d models, want 2", purged)
+	}
+	for _, stale := range []string{"M_old_a", "M_old_b"} {
+		if m.Cache().Contains(stale) {
+			t.Fatalf("stale model %s survived the purge", stale)
+		}
+	}
+	for _, det := range fx.Bundle.Detectors {
+		if !m.Cache().Contains(det.Name) {
+			t.Fatalf("fleet model %s evicted by the purge", det.Name)
+		}
+	}
+	if purged := m.PurgeStaleModels(); purged != 0 {
+		t.Fatalf("second purge removed %d models, want 0", purged)
+	}
+}

@@ -4,40 +4,58 @@ import (
 	"fmt"
 	"io"
 
+	"anole/internal/adapt"
 	"anole/internal/core"
 	"anole/internal/detect"
+	"anole/internal/repo"
 	"anole/internal/sampling"
 	"anole/internal/stats"
 	"anole/internal/synth"
 	"anole/internal/xrand"
 )
 
+// SceneF1 is one scene's held-out accuracy before and after adaptation.
+type SceneF1 struct {
+	Scene  string
+	Before float64
+	After  float64
+}
+
 // ContinualResult reports the continual-adaptation experiment (the
-// paper's case-3 remedy, §II-B): a device meets a scene no repertoire
-// model covers, flags the low-confidence frames, and after a cloud-side
-// repertoire expansion handles the scene.
+// paper's case-3 remedy, §II-B) run through the closed adaptation loop:
+// a fleet meets a scene no repertoire model covers, its drift detector
+// reports the emerging scene, the cloud controller retrains and
+// publishes a new generation, and the canary rollout promotes it.
 type ContinualResult struct {
 	// Scene is the injected novel scene.
 	Scene string
-	// FlagRate is the fraction of novel-scene frames whose calibrated
-	// novelty score exceeded the flagging threshold during the first
-	// encounter.
+	// FlagRate is the fraction of novel-stream frames the drift detector
+	// flagged as exemplars during the encounter.
 	FlagRate float64
 	// BeforeF1 is Anole's F1 on the held-out novel stream with the
-	// original bundle; AfterF1 with the expanded bundle.
+	// original bundle; AfterF1 with the promoted bundle.
 	BeforeF1 float64
 	AfterF1  float64
-	// NewModelShare is how often the expanded decision model ranks the
-	// new specialist first on the held-out stream.
+	// NewModelShare is how often the promoted decision model ranks an
+	// added specialist first on the held-out stream.
 	NewModelShare float64
 	// BaselineF1 is the deep model (SDM) on the same stream, for scale.
 	BaselineF1 float64
+	// PerScene breaks the before/after comparison down by scene: the
+	// novel scene first, then every scene the repertoire trained on —
+	// adaptation must lift the former without regressing the latter.
+	PerScene []SceneF1
+	// Adapt summarizes the loop run: drift reports, canary outcome,
+	// final fleet generation.
+	Adapt adapt.LoopStats
 }
 
-// RunContinual injects a scene the lab's training corpus never visited,
-// streams it through the lab's runtime with an uncertainty buffer,
-// expands the repertoire from the flagged frames, and measures the
-// before/after accuracy on a fresh stream of the same scene.
+// RunContinual injects a scene the lab's training corpus never visited
+// on one stream of a two-stream fleet (the other serves in-distribution
+// traffic), and drives the full device→cloud→device loop: drift
+// detection, report upload, cloud retrain, versioned publish, canary,
+// promotion. It then measures before/after accuracy per scene on fresh
+// held-out streams.
 func RunContinual(l *Lab, frames int) (ContinualResult, error) {
 	if frames <= 0 {
 		frames = 120
@@ -47,82 +65,136 @@ func RunContinual(l *Lab, frames int) (ContinualResult, error) {
 		return ContinualResult{}, err
 	}
 	rng := xrand.NewLabeled(l.Config.Seed, "continual")
-
-	encounter := make([]*synth.Frame, frames)
-	for i := range encounter {
-		encounter[i] = l.World.GenerateFrame(novelScene, 1, rng)
-	}
-	holdout := make([]*synth.Frame, frames/2)
-	for i := range holdout {
-		holdout[i] = l.World.GenerateFrame(novelScene, 1, rng)
-	}
-
 	res := ContinualResult{Scene: novelScene.String()}
 
-	// First encounter: run the original bundle, flag uncertain frames.
-	rtBefore, err := core.NewRuntime(l.Bundle, core.RuntimeConfig{CacheSlots: 5})
+	// The encounter needs room for the loop's phases: drift windows
+	// before the retrain triggers, then a canary window, then settled
+	// post-promotion serving.
+	encounterLen := 2 * frames
+	novelStream := make([]*synth.Frame, encounterLen)
+	for i := range novelStream {
+		novelStream[i] = l.World.GenerateFrame(novelScene, 1, rng)
+	}
+	healthy := l.Corpus.Frames(synth.Test)
+	if len(healthy) == 0 {
+		return res, fmt.Errorf("eval: corpus has no test frames")
+	}
+	healthyStream := make([]*synth.Frame, encounterLen)
+	for i := range healthyStream {
+		healthyStream[i] = healthy[i%len(healthy)]
+	}
+
+	// The cloud half: a versioned repository seeded with the original
+	// bundle, and a controller that retrains from drift reports.
+	srv, err := repo.NewServer(l.Bundle)
 	if err != nil {
 		return res, err
 	}
-	buffer, err := core.NewUncertaintyBuffer(1.5, frames)
-	if err != nil {
-		return res, err
-	}
-	for _, f := range encounter {
-		fr, err := rtBefore.ProcessFrame(f)
-		if err != nil {
-			return res, err
-		}
-		buffer.Observe(f, fr)
-	}
-	res.FlagRate = buffer.FlagRate()
-	if buffer.Len() < 30 {
-		return res, fmt.Errorf("eval: only %d frames flagged; threshold too strict for this lab", buffer.Len())
-	}
-
-	// Before: original bundle on the held-out stream.
-	var before stats.PRF1
-	for _, f := range holdout {
-		fr, err := rtBefore.ProcessFrame(f)
-		if err != nil {
-			return res, err
-		}
-		before = before.Add(fr.Metrics)
-	}
-	res.BeforeF1 = before.F1
-
-	// Cloud-side expansion from the flagged frames.
-	expanded, err := core.ExpandRepertoire(l.Bundle, buffer.Frames(), l.Corpus.Frames(synth.Train), core.ExpandConfig{
-		Seed:     l.Config.Seed + 1,
-		Train:    detect.TrainConfig{Epochs: 20, Workers: l.Config.Workers},
-		Sampling: sampling.Config{Kappa: 600, AcceptF1: l.Config.Profile.Sampling.AcceptF1},
+	ctrl, err := adapt.NewController(l.Bundle, srv, adapt.ControllerConfig{
+		Seed:        l.Config.Seed + 1,
+		TrainFrames: l.Corpus.Frames(synth.Train),
+		Train:       detect.TrainConfig{Epochs: 20, Workers: l.Config.Workers},
+		Sampling:    sampling.Config{Kappa: 600, AcceptF1: l.Config.Profile.Sampling.AcceptF1},
 	})
 	if err != nil {
 		return res, err
 	}
 
-	// After: expanded bundle on the same held-out stream.
-	rtAfter, err := core.NewRuntime(expanded, core.RuntimeConfig{CacheSlots: 5})
+	// The device half: a two-stream fleet under the adaptation loop.
+	mrt, err := core.NewMultiRuntime(l.Bundle, core.MultiRuntimeConfig{Streams: 2, CacheSlots: 8})
 	if err != nil {
 		return res, err
 	}
-	var after stats.PRF1
-	newIdx := expanded.NumModels() - 1
-	usedNew := 0
-	for _, f := range holdout {
-		fr, err := rtAfter.ProcessFrame(f)
+	defer mrt.Close()
+	loop, err := adapt.NewLoop(mrt, adapt.LoopConfig{
+		Drift:   adapt.DriftConfig{Window: 30, Cooldown: 1},
+		Rollout: adapt.RolloutConfig{CanaryFrames: 60, MinF1Ratio: 0.5},
+		// The novel scene drifts on stream 0 (also the canary stream);
+		// stream 1 serves calibrated traffic as the incumbent reference.
+		Submitter: ctrl,
+		Source:    adapt.NewServerSource(srv),
+	})
+	if err != nil {
+		return res, err
+	}
+	if _, err := loop.Run([][]*synth.Frame{novelStream, healthyStream}, nil); err != nil {
+		return res, err
+	}
+	res.Adapt = loop.Stats()
+	res.FlagRate = loop.Detector(0).FlagRate()
+	if res.Adapt.Promotions == 0 {
+		return res, fmt.Errorf("eval: adaptation loop never promoted (stats %+v, last verdict %q)",
+			res.Adapt, loop.Rollout().LastVerdict().Reason)
+	}
+	promoted := loop.FleetBundle()
+
+	// Held-out novel stream for the headline before/after numbers.
+	holdout := make([]*synth.Frame, frames/2)
+	for i := range holdout {
+		holdout[i] = l.World.GenerateFrame(novelScene, 1, rng)
+	}
+	beforeF1, _, err := evalBundleF1(l.Bundle, holdout, l.Bundle.NumModels())
+	if err != nil {
+		return res, err
+	}
+	afterF1, newShare, err := evalBundleF1(promoted, holdout, l.Bundle.NumModels())
+	if err != nil {
+		return res, err
+	}
+	res.BeforeF1, res.AfterF1, res.NewModelShare = beforeF1, afterF1, newShare
+	res.BaselineF1 = l.SDM.Detectors()[0].EvaluateFrames(holdout).F1
+
+	// Per-scene breakdown: the novel scene plus every trained scene.
+	res.PerScene = append(res.PerScene, SceneF1{Scene: novelScene.String(), Before: beforeF1, After: afterF1})
+	seen := map[int]bool{novelScene.Index(): true}
+	for _, idx := range l.Bundle.Encoder.ClassToScene {
+		if seen[idx] {
+			continue
+		}
+		seen[idx] = true
+		s := synth.SceneFromIndex(idx)
+		sf := make([]*synth.Frame, frames/2)
+		for i := range sf {
+			sf[i] = l.World.GenerateFrame(s, 1, rng)
+		}
+		b, _, err := evalBundleF1(l.Bundle, sf, l.Bundle.NumModels())
 		if err != nil {
 			return res, err
 		}
-		after = after.Add(fr.Metrics)
-		if fr.Desired == newIdx {
+		a, _, err := evalBundleF1(promoted, sf, l.Bundle.NumModels())
+		if err != nil {
+			return res, err
+		}
+		res.PerScene = append(res.PerScene, SceneF1{Scene: s.String(), Before: b, After: a})
+	}
+	return res, nil
+}
+
+// evalBundleF1 measures aggregate F1 over frames on a fresh runtime and
+// the share of frames whose desired model is an added specialist (index
+// at or beyond baseModels).
+func evalBundleF1(b *core.Bundle, frames []*synth.Frame, baseModels int) (float64, float64, error) {
+	rt, err := core.NewRuntime(b, core.RuntimeConfig{CacheSlots: 8})
+	if err != nil {
+		return 0, 0, err
+	}
+	var agg stats.PRF1
+	usedNew := 0
+	for _, f := range frames {
+		fr, err := rt.ProcessFrame(f)
+		if err != nil {
+			return 0, 0, err
+		}
+		agg = agg.Add(fr.Metrics)
+		if fr.Desired >= baseModels {
 			usedNew++
 		}
 	}
-	res.AfterF1 = after.F1
-	res.NewModelShare = float64(usedNew) / float64(len(holdout))
-	res.BaselineF1 = l.SDM.Detectors()[0].EvaluateFrames(holdout).F1
-	return res, nil
+	share := 0.0
+	if len(frames) > 0 {
+		share = float64(usedNew) / float64(len(frames))
+	}
+	return agg.F1, share, nil
 }
 
 // unseenScene returns a semantic scene absent from the encoder's training
@@ -156,10 +228,17 @@ func unseenScene(l *Lab) (synth.Scene, error) {
 // Render writes the experiment summary.
 func (r ContinualResult) Render(w io.Writer) {
 	fmt.Fprintf(w, "Continual adaptation (case-3 remedy) on novel scene %s\n", r.Scene)
-	fmt.Fprintf(w, "flagged %.0f%% of first-encounter frames as uncertain\n", 100*r.FlagRate)
+	fmt.Fprintf(w, "drift detector flagged %.0f%% of novel-stream frames; %d reports shipped, fleet promoted to generation %d (%d canary, %d rollback)\n",
+		100*r.FlagRate, r.Adapt.ReportsSent, r.Adapt.FleetGeneration, r.Adapt.CanaryStarts, r.Adapt.Rollbacks)
 	fmt.Fprintf(w, "%-22s %-8s\n", "configuration", "F1")
 	fmt.Fprintf(w, "%-22s %-8.3f\n", "Anole (original)", r.BeforeF1)
-	fmt.Fprintf(w, "%-22s %-8.3f\n", "Anole (expanded)", r.AfterF1)
+	fmt.Fprintf(w, "%-22s %-8.3f\n", "Anole (adapted)", r.AfterF1)
 	fmt.Fprintf(w, "%-22s %-8.3f\n", "SDM (reference)", r.BaselineF1)
 	fmt.Fprintf(w, "new specialist ranked first on %.0f%% of novel frames\n", 100*r.NewModelShare)
+	if len(r.PerScene) > 0 {
+		fmt.Fprintf(w, "%-22s %-8s %-8s\n", "scene", "before", "after")
+		for _, s := range r.PerScene {
+			fmt.Fprintf(w, "%-22s %-8.3f %-8.3f\n", s.Scene, s.Before, s.After)
+		}
+	}
 }

@@ -109,6 +109,28 @@ func NewLinkFetcher(link netsim.Medium, models []Model, frameInterval time.Durat
 	return &LinkFetcher{link: link, sizes: sizes, every: frameInterval, downLimit: demandDownCap}, nil
 }
 
+// AddModels registers newly published models with the fetcher so their
+// bytes can travel the link — the continual-adaptation path. Existing
+// entries keep their sizes; re-adding a known name with a different
+// size is rejected (the size is the transfer model, silently changing
+// it would skew in-flight accounting).
+func (f *LinkFetcher) AddModels(models []Model) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for _, m := range models {
+		if m.Bytes <= 0 {
+			return fmt.Errorf("prefetch: model %q has %d bytes", m.Name, m.Bytes)
+		}
+		if have, ok := f.sizes[m.Name]; ok && have != m.Bytes {
+			return fmt.Errorf("prefetch: model %q re-added with %d bytes, have %d", m.Name, m.Bytes, have)
+		}
+	}
+	for _, m := range models {
+		f.sizes[m.Name] = m.Bytes
+	}
+	return nil
+}
+
 // SetDemandDownLimit bounds how many frame intervals FetchModelNow will
 // wait out an outage before failing with ErrLinkDown (default 10000;
 // 0 fails immediately). Chaos and degraded-mode runs set a small limit

@@ -66,7 +66,31 @@ func NewMarkov(n int, alpha float64) (*Markov, error) {
 }
 
 // NumModels returns the matrix dimension.
-func (m *Markov) NumModels() int { return m.n }
+func (m *Markov) NumModels() int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.n
+}
+
+// Grow widens the transition matrix to n models, preserving every
+// recorded count — the continual-adaptation path, where a published
+// generation appends models to the repertoire. Rows and columns for the
+// new models start empty (Laplace smoothing keeps them rankable). A
+// Grow to the current size or smaller is a no-op.
+func (m *Markov) Grow(n int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if n <= m.n {
+		return
+	}
+	counts := make([]float64, n*n)
+	for i := 0; i < m.n; i++ {
+		copy(counts[i*n:i*n+m.n], m.counts[i*m.n:(i+1)*m.n])
+	}
+	rowSum := make([]float64, n)
+	copy(rowSum, m.rowSum)
+	m.counts, m.rowSum, m.n = counts, rowSum, n
+}
 
 // Observations returns the number of recorded transitions.
 func (m *Markov) Observations() int64 {
@@ -79,36 +103,41 @@ func (m *Markov) Observations() int64 {
 // Out-of-range indices and self-transitions are ignored (the runtime's
 // switch sequence contains no self-transitions by construction).
 func (m *Markov) Observe(from, to int) {
-	if from < 0 || from >= m.n || to < 0 || to >= m.n || from == to {
+	if from < 0 || to < 0 || from == to {
 		return
 	}
 	m.mu.Lock()
-	m.counts[from*m.n+to]++
-	m.rowSum[from]++
-	m.obs++
+	if from < m.n && to < m.n {
+		m.counts[from*m.n+to]++
+		m.rowSum[from]++
+		m.obs++
+	}
 	m.mu.Unlock()
 }
 
 // Prob returns the smoothed transition probability P(to | from):
 // (count + alpha) / (rowSum + alpha·n).
 func (m *Markov) Prob(from, to int) float64 {
-	if from < 0 || from >= m.n || to < 0 || to >= m.n {
+	if from < 0 || to < 0 {
 		return 0
 	}
 	m.mu.RLock()
 	defer m.mu.RUnlock()
+	if from >= m.n || to >= m.n {
+		return 0
+	}
 	return (m.counts[from*m.n+to] + m.alpha) / (m.rowSum[from] + m.alpha*float64(m.n))
 }
 
 // Row returns the full smoothed distribution over next models given
 // `from` (a fresh slice summing to 1).
 func (m *Markov) Row(from int) []float64 {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
 	out := make([]float64, m.n)
 	if from < 0 || from >= m.n {
 		return out
 	}
-	m.mu.RLock()
-	defer m.mu.RUnlock()
 	denom := m.rowSum[from] + m.alpha*float64(m.n)
 	for j := 0; j < m.n; j++ {
 		out[j] = (m.counts[from*m.n+j] + m.alpha) / denom
@@ -121,11 +150,14 @@ func (m *Markov) Row(from int) []float64 {
 // The current model itself is excluded — prefetching what is already
 // running is never useful. k is clamped to n-1.
 func (m *Markov) TopK(current, k int) []Prediction {
-	if current < 0 || current >= m.n || k <= 0 {
+	if current < 0 || k <= 0 {
 		return nil
 	}
 	row := m.Row(current)
-	preds := make([]Prediction, 0, m.n-1)
+	if current >= len(row) {
+		return nil
+	}
+	preds := make([]Prediction, 0, len(row)-1)
 	for j, p := range row {
 		if j == current {
 			continue

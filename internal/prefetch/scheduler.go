@@ -327,11 +327,13 @@ func (s *Scheduler) startLocked(idx int) {
 	fl := &flight{cancel: cancel}
 	s.inflight[idx] = fl
 	s.issued.Inc()
+	// Capture the name while s.mu is held: ExtendModels may replace the
+	// models slice concurrently with this goroutine.
+	name := s.models[idx].Name
 	s.wg.Add(1)
 	go func() {
 		defer s.wg.Done()
 		defer cancel()
-		name := s.models[idx].Name
 		bytes, _, err := s.cfg.Fetcher.FetchModel(ctx, name)
 		s.mu.Lock()
 		if s.inflight[idx] == fl {
@@ -403,6 +405,7 @@ func (s *Scheduler) finishBackground(idx int, fl *flight, bytes int64, err error
 	if current {
 		delete(s.inflight, idx)
 	}
+	name := s.models[idx].Name
 	s.mu.Unlock()
 	if !current {
 		// Cancelled between the transfer coming due and this callback;
@@ -416,7 +419,7 @@ func (s *Scheduler) finishBackground(idx int, fl *flight, bytes int64, err error
 		s.failed.Inc()
 		return
 	}
-	if _, _, perr := s.store.Prefetch(s.models[idx].Name, 1); perr == nil {
+	if _, _, perr := s.store.Prefetch(name, 1); perr == nil {
 		s.completed.Inc()
 		s.prefetchedBytes.Add(bytes)
 	} else {
@@ -430,14 +433,17 @@ func (s *Scheduler) finishBackground(idx int, fl *flight, bytes int64, err error
 // admitted to the store — the caller admits it through its normal
 // Request path so hit/miss accounting stays in one place.
 func (s *Scheduler) DemandFetch(ctx context.Context, model int) (time.Duration, error) {
-	if model < 0 || model >= len(s.models) {
-		return 0, fmt.Errorf("prefetch: model %d of %d", model, len(s.models))
-	}
 	s.mu.Lock()
+	if model < 0 || model >= len(s.models) {
+		n := len(s.models)
+		s.mu.Unlock()
+		return 0, fmt.Errorf("prefetch: model %d of %d", model, n)
+	}
 	if s.closed {
 		s.mu.Unlock()
 		return 0, errors.New("prefetch: scheduler closed")
 	}
+	name := s.models[model].Name
 	s.demandActive++
 	for idx, fl := range s.inflight {
 		s.cancelLocked(idx, fl)
@@ -449,7 +455,7 @@ func (s *Scheduler) DemandFetch(ctx context.Context, model int) (time.Duration, 
 		s.mu.Unlock()
 	}()
 
-	bytes, d, err := s.cfg.Fetcher.FetchModelNow(ctx, s.models[model].Name)
+	bytes, d, err := s.cfg.Fetcher.FetchModelNow(ctx, name)
 	s.recordOutcome(err)
 	if err != nil {
 		s.demandFailures.Inc()
@@ -463,10 +469,48 @@ func (s *Scheduler) DemandFetch(ctx context.Context, model int) (time.Duration, 
 
 // Contains reports whether the model is already resident in the store.
 func (s *Scheduler) Contains(model int) bool {
+	s.mu.Lock()
 	if model < 0 || model >= len(s.models) {
+		s.mu.Unlock()
 		return false
 	}
-	return s.store.Contains(s.models[model].Name)
+	name := s.models[model].Name
+	s.mu.Unlock()
+	return s.store.Contains(name)
+}
+
+// ExtendModels appends newly published models to the repertoire the
+// scheduler can fetch and widens the transition model to match — the
+// continual-adaptation path, called when a rollout deploys a bundle
+// with appended models. Existing indices, in-flight fetches and
+// recorded transitions are untouched. Duplicate names are rejected:
+// the name is the fetch key, and two indices sharing one key would
+// corrupt budget accounting.
+func (s *Scheduler) ExtendModels(more []Model) error {
+	if len(more) == 0 {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return errors.New("prefetch: scheduler closed")
+	}
+	known := make(map[string]bool, len(s.models)+len(more))
+	for _, m := range s.models {
+		known[m.Name] = true
+	}
+	grown := make([]Model, 0, len(s.models)+len(more))
+	grown = append(grown, s.models...)
+	for _, m := range more {
+		if known[m.Name] {
+			return fmt.Errorf("prefetch: duplicate model %q", m.Name)
+		}
+		known[m.Name] = true
+		grown = append(grown, m)
+	}
+	s.models = grown
+	s.markov.Grow(len(grown))
+	return nil
 }
 
 // Stats returns a snapshot of the scheduler counters.

@@ -226,6 +226,37 @@ func Normalize(xs []float64) []float64 {
 	return out
 }
 
+// NormalizedEntropy returns the Shannon entropy of the distribution
+// obtained by normalizing non-negative xs to sum 1, divided by log(n)
+// so the result lies in [0, 1]: 0 when all mass sits on one element,
+// 1 when mass is uniform. Negative entries are clamped to 0; a sample
+// with no positive mass, or fewer than two elements, scores 0. The
+// drift detector windows this over decision scores as its uncertainty
+// signal.
+func NormalizedEntropy(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	var total float64
+	for _, x := range xs {
+		if x > 0 {
+			total += x
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	var h float64
+	for _, x := range xs {
+		if x <= 0 {
+			continue
+		}
+		p := x / total
+		h -= p * math.Log(p)
+	}
+	return h / math.Log(float64(len(xs)))
+}
+
 // PowerLawAlpha fits the exponent of a discrete power law p(r) ~ r^-alpha
 // to the rank-frequency distribution of positive values xs (largest value is
 // rank 1) by least squares in log-log space. Used to verify the long-tailed

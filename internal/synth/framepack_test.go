@@ -1,0 +1,134 @@
+package synth
+
+import (
+	"bytes"
+	"testing"
+
+	"anole/internal/xrand"
+)
+
+// packFixture generates n frames across mixed scenes from one world.
+func packFixture(t *testing.T, n int) []*Frame {
+	t.Helper()
+	w := testWorld(t, 3)
+	rng := xrand.NewLabeled(3, "framepack-test")
+	frames := make([]*Frame, n)
+	for i := range frames {
+		frames[i] = w.GenerateFrame(SceneFromIndex(i%NumScenes), 1, rng)
+	}
+	return frames
+}
+
+// TestFramePackRoundTrip pins the drift-report wire format: everything a
+// retrain needs — scene labels, ground-truth objects, the feature grid
+// and illumination scalars — survives the encode/decode round trip.
+func TestFramePackRoundTrip(t *testing.T) {
+	frames := packFixture(t, 7)
+	var buf bytes.Buffer
+	if err := EncodeFrames(&buf, frames); err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeFrames(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(frames) {
+		t.Fatalf("decoded %d frames, want %d", len(got), len(frames))
+	}
+	for i, g := range got {
+		f := frames[i]
+		if g.Scene != f.Scene {
+			t.Fatalf("frame %d scene %v, want %v", i, g.Scene, f.Scene)
+		}
+		if g.NumCells() != f.NumCells() || g.FeatDim() != f.FeatDim() {
+			t.Fatalf("frame %d geometry %d×%d, want %d×%d",
+				i, g.NumCells(), g.FeatDim(), f.NumCells(), f.FeatDim())
+		}
+		if g.Brightness != f.Brightness || g.Contrast != f.Contrast {
+			t.Fatalf("frame %d illumination (%v, %v), want (%v, %v)",
+				i, g.Brightness, g.Contrast, f.Brightness, f.Contrast)
+		}
+		for j, c := range g.Cells {
+			if c != f.Cells[j] {
+				t.Fatalf("frame %d cell value %d diverged", i, j)
+			}
+		}
+		if len(g.Objects) != len(f.Objects) {
+			t.Fatalf("frame %d has %d objects, want %d", i, len(g.Objects), len(f.Objects))
+		}
+		for j, o := range g.Objects {
+			if o != f.Objects[j] {
+				t.Fatalf("frame %d object %d = %+v, want %+v", i, j, o, f.Objects[j])
+			}
+		}
+		// Provenance does not travel; the pack re-indexes.
+		if g.Index != i {
+			t.Fatalf("frame %d re-indexed to %d", i, g.Index)
+		}
+	}
+}
+
+// TestFramePackEncodeRejects pins the encoder's input contract: no empty
+// packs, no nil frames, one geometry per pack.
+func TestFramePackEncodeRejects(t *testing.T) {
+	var buf bytes.Buffer
+	if err := EncodeFrames(&buf, nil); err == nil {
+		t.Fatal("empty pack encoded")
+	}
+	frames := packFixture(t, 2)
+	if err := EncodeFrames(&buf, []*Frame{frames[0], nil}); err == nil {
+		t.Fatal("nil frame encoded")
+	}
+	// A frame from a world with a different feature dimension must not
+	// share a pack.
+	cfg := DefaultConfig(4)
+	cfg.FeatDim++
+	w2, err := NewWorld(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alien := w2.GenerateFrame(SceneFromIndex(0), 1, xrand.NewLabeled(4, "framepack-test-alien"))
+	if err := EncodeFrames(&buf, []*Frame{frames[0], alien}); err == nil {
+		t.Fatal("mixed-geometry pack encoded")
+	}
+}
+
+// TestFramePackDecodeRejectsDamage pins the integrity checks a drift
+// report's exemplars travel under: bad magic, unknown version, payload
+// corruption and truncation are all detected, never decoded.
+func TestFramePackDecodeRejectsDamage(t *testing.T) {
+	frames := packFixture(t, 4)
+	var buf bytes.Buffer
+	if err := EncodeFrames(&buf, frames); err != nil {
+		t.Fatal(err)
+	}
+	pack := buf.Bytes()
+
+	damage := func(mutate func([]byte)) error {
+		cp := append([]byte(nil), pack...)
+		mutate(cp)
+		_, err := DecodeFrames(bytes.NewReader(cp))
+		return err
+	}
+
+	if err := damage(func(b []byte) { b[0] ^= 0xFF }); err == nil {
+		t.Fatal("bad magic decoded")
+	}
+	if err := damage(func(b []byte) { b[4] ^= 0xFF }); err == nil {
+		t.Fatal("unknown version decoded")
+	}
+	// Flip one payload byte mid-pack: either the frame parse or the
+	// trailing CRC must catch it.
+	if err := damage(func(b []byte) { b[len(b)/2] ^= 0x01 }); err == nil {
+		t.Fatal("corrupted payload decoded")
+	}
+	if err := damage(func(b []byte) { b[len(b)-2] ^= 0x01 }); err == nil {
+		t.Fatal("checksum tamper decoded")
+	}
+	if _, err := DecodeFrames(bytes.NewReader(pack[:len(pack)-3])); err == nil {
+		t.Fatal("truncated pack decoded")
+	}
+	if _, err := DecodeFrames(bytes.NewReader(nil)); err == nil {
+		t.Fatal("empty input decoded")
+	}
+}
