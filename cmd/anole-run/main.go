@@ -11,6 +11,8 @@
 //	          [-chaos] [-outage-rate P] [-corrupt-rate P]
 //	          [-breaker-threshold N] [-breaker-cooldown FRAMES]
 //	          [-adapt] [-drift-window FRAMES] [-canary-frames FRAMES]
+//	          [-thermal] [-deadline DUR]
+//	          [-checkpoint FILE] [-checkpoint-every TICKS] [-restore FILE]
 //	          [-metrics-addr HOST:PORT] [-json FILE|-]
 //
 // With -streams N > 1 the run multiplexes N independent frame streams
@@ -32,6 +34,23 @@
 // the runtime serves stale resident models in degraded mode — every
 // frame is still served; degradedFrames / fallbackServed / breakerOpens
 // in the -json report count the damage.
+//
+// With -thermal every device simulator runs the default thermal
+// throttling model: sustained load heats the device and derates compute.
+// With -deadline (requires -streams >= 2) each frame gets a latency
+// target and the fleet survives overload by shedding: a deadline
+// controller escalates a shed ladder (skip prefetch → serve the smallest
+// resident model → drop the frame) and a pressure monitor folds heat,
+// cache residency and backlog into Nominal/Elevated/Critical reactions.
+// Every offered frame gets a terminal verdict; the -json report gains a
+// "pressure" block and anole_pressure_* metrics count the damage.
+//
+// With -checkpoint the run writes a versioned, CRC-checked warm-state
+// checkpoint (Markov transition counts, cache residency manifest, drift
+// windows, fleet generation) on completion — and every -checkpoint-every
+// ticks while running. With -restore the run warm-starts from such a
+// file; a corrupt, truncated or version-skewed checkpoint falls back to
+// a cold start (never a partial restore). Both require -streams >= 2.
 //
 // With -adapt (requires -streams >= 2) the run closes the paper's
 // continual-adaptation loop in-process: stream 0's trace is replaced by
@@ -76,6 +95,7 @@ import (
 	"anole/internal/faults"
 	"anole/internal/netsim"
 	"anole/internal/prefetch"
+	"anole/internal/pressure"
 	"anole/internal/repo"
 	"anole/internal/sampling"
 	"anole/internal/synth"
@@ -118,6 +138,11 @@ func run(w io.Writer, args []string) error {
 		brkThresh   = fs.Int("breaker-threshold", 5, "consecutive fetch failures before the circuit breaker opens (with -chaos)")
 		brkCool     = fs.Int("breaker-cooldown", 20, "frames an open breaker waits before a half-open probe (with -chaos)")
 		adaptOn     = fs.Bool("adapt", false, "close the continual-adaptation loop: inject an unseen scene on stream 0, detect drift, retrain in-process, canary and roll out (requires -streams >= 2)")
+		thermalOn   = fs.Bool("thermal", false, "enable the default thermal throttling model on every device simulator")
+		deadline    = fs.Duration("deadline", 0, "per-frame simulated latency target enabling deadline-aware shedding (requires -streams >= 2)")
+		ckptPath    = fs.String("checkpoint", "", "write a warm-state checkpoint to this file on completion (requires -streams >= 2)")
+		ckptEvery   = fs.Int("checkpoint-every", 0, "also checkpoint every N frame ticks during the run (with -checkpoint, no -adapt)")
+		restorePath = fs.String("restore", "", "warm-start from this checkpoint file; corrupt or unreadable falls back to cold start (requires -streams >= 2)")
 		driftWin    = fs.Int("drift-window", 30, "drift-detector window in frames (with -adapt)")
 		canaryFr    = fs.Int("canary-frames", 60, "canary-stream frames before a rollout verdict (with -adapt)")
 		metricsAddr = fs.String("metrics-addr", "", "serve live /metrics, /debug/spans and /debug/pprof on this address during the run (e.g. 127.0.0.1:0)")
@@ -134,6 +159,18 @@ func run(w io.Writer, args []string) error {
 	}
 	if *chaosOn {
 		*prefetchOn = true
+	}
+	if (*deadline > 0 || *ckptPath != "" || *restorePath != "") && *streams < 2 {
+		return fmt.Errorf("-deadline, -checkpoint and -restore drive the multi-stream fleet: -streams must be >= 2")
+	}
+	if *ckptEvery < 0 {
+		return fmt.Errorf("-checkpoint-every must be >= 0, got %d", *ckptEvery)
+	}
+	if *ckptEvery > 0 && *ckptPath == "" {
+		return fmt.Errorf("-checkpoint-every needs -checkpoint")
+	}
+	if *ckptEvery > 0 && *adaptOn {
+		return fmt.Errorf("-checkpoint-every cannot chunk an -adapt run (checkpoint is still written on completion)")
 	}
 
 	bundle, err := repo.LoadFile(*bundlePath)
@@ -211,7 +248,14 @@ func run(w io.Writer, args []string) error {
 		if *adaptOn {
 			ao = &adaptOptions{DriftWindow: *driftWin, CanaryFrames: *canaryFr}
 		}
-		if err := runMulti(w, bundle, profile, *streams, *cache, *clips, *frames, *seed, *batchOn, *tracePath, pfCfg, lf, ao, *jsonPath, reg, spans); err != nil {
+		ro := runOptions{
+			Thermal:         *thermalOn,
+			Deadline:        *deadline,
+			Checkpoint:      *ckptPath,
+			CheckpointEvery: *ckptEvery,
+			Restore:         *restorePath,
+		}
+		if err := runMulti(w, bundle, profile, *streams, *cache, *clips, *frames, *seed, *batchOn, *tracePath, pfCfg, lf, ao, ro, *jsonPath, reg, spans); err != nil {
 			return err
 		}
 		settled()
@@ -219,6 +263,9 @@ func run(w io.Writer, args []string) error {
 	}
 
 	sim := device.NewSimulator(profile)
+	if *thermalOn {
+		sim.EnableThermal(device.DefaultThermal())
+	}
 	rt, err := core.NewRuntime(bundle, core.RuntimeConfig{
 		CacheSlots: *cache,
 		Device:     sim,
@@ -294,7 +341,7 @@ func run(w io.Writer, args []string) error {
 	if tracer != nil {
 		fmt.Fprintf(w, "trace: %d events written to %s\n", tracer.Count(), *tracePath)
 	}
-	if err := writeReport(w, *jsonPath, buildReport(st, sched, pfBreaker(pfCfg), nil, reg, spans)); err != nil {
+	if err := writeReport(w, *jsonPath, buildReport(st, sched, pfBreaker(pfCfg), nil, nil, reg, spans)); err != nil {
 		return err
 	}
 	settled()
@@ -343,6 +390,10 @@ type report struct {
 	// Adapt is present only when -adapt was set: the adaptation loop's
 	// counters (drift events, reports, canary verdicts, fleet generation).
 	Adapt *adapt.LoopStats `json:"adapt,omitempty"`
+	// Pressure is present only when the overload machinery ran
+	// (-deadline): final level and shed-ladder rung plus the per-verdict
+	// frame counts.
+	Pressure *core.PressureStats `json:"pressure,omitempty"`
 	// Metrics is the run's full telemetry counter set, flattened with
 	// telemetry.Map (histograms expand to _count/_sum/_p50/_p95/_p99).
 	// Live /metrics (-metrics-addr) serves exactly these values once the
@@ -353,7 +404,7 @@ type report struct {
 	Spans []telemetry.Span `json:"spans,omitempty"`
 }
 
-func buildReport(st core.RunStats, sched *prefetch.Scheduler, brk *breaker.Breaker, ast *adapt.LoopStats, reg *telemetry.Registry, spans *telemetry.Tracer) report {
+func buildReport(st core.RunStats, sched *prefetch.Scheduler, brk *breaker.Breaker, ast *adapt.LoopStats, press *core.PressureStats, reg *telemetry.Registry, spans *telemetry.Tracer) report {
 	rep := report{
 		Frames:            st.Frames,
 		Switches:          st.Switches,
@@ -384,6 +435,7 @@ func buildReport(st core.RunStats, sched *prefetch.Scheduler, brk *breaker.Break
 		rep.BreakerHalfOpenProbes = brk.HalfOpens()
 	}
 	rep.Adapt = ast
+	rep.Pressure = press
 	if reg != nil {
 		rep.Metrics = telemetry.Map(reg)
 	}
@@ -486,6 +538,26 @@ type adaptOptions struct {
 	CanaryFrames int
 }
 
+// runOptions carries the overload-survival knobs into runMulti.
+type runOptions struct {
+	Thermal         bool
+	Deadline        time.Duration
+	Checkpoint      string
+	CheckpointEvery int
+	Restore         string
+}
+
+// saveCheckpoint snapshots the fleet's warm state (plus the adapt
+// loop's generation and drift windows when present) and writes it
+// atomically.
+func saveCheckpoint(mrt *core.MultiRuntime, loop *adapt.Loop, path string) error {
+	c := mrt.CaptureCheckpoint()
+	if loop != nil {
+		loop.CaptureCheckpoint(c)
+	}
+	return pressure.SaveCheckpoint(path, c)
+}
+
 // unseenScene returns a semantic scene absent from the bundle encoder's
 // training label space, preferring night scenes (the hardest shift).
 func unseenScene(b *core.Bundle) (synth.Scene, error) {
@@ -560,6 +632,9 @@ func adaptLoop(mrt *core.MultiRuntime, bundle *core.Bundle, world *synth.World, 
 	if lf != nil {
 		cfg.RegisterModels = lf.AddModels
 	}
+	// Under pressure the uplink yields: drift reports defer while the
+	// fleet reads Critical (nil monitor when -deadline is off).
+	cfg.Pressure = mrt.PressureMonitor()
 	return adapt.NewLoop(mrt, cfg)
 }
 
@@ -567,8 +642,8 @@ func adaptLoop(mrt *core.MultiRuntime, bundle *core.Bundle, world *synth.World, 
 // generated clip sequence and device simulator, all streams share one
 // sharded model cache. With ao non-nil the run goes through the
 // adaptation loop instead of bare ProcessStreams.
-func runMulti(w io.Writer, bundle *core.Bundle, profile device.Profile, streams, cache, clips, frames int, seed uint64, batch bool, tracePath string, pfCfg *prefetch.Config, lf *prefetch.LinkFetcher, ao *adaptOptions, jsonPath string, reg *telemetry.Registry, spans *telemetry.Tracer) error {
-	mrt, err := core.NewMultiRuntime(bundle, core.MultiRuntimeConfig{
+func runMulti(w io.Writer, bundle *core.Bundle, profile device.Profile, streams, cache, clips, frames int, seed uint64, batch bool, tracePath string, pfCfg *prefetch.Config, lf *prefetch.LinkFetcher, ao *adaptOptions, ro runOptions, jsonPath string, reg *telemetry.Registry, spans *telemetry.Tracer) error {
+	mcfg := core.MultiRuntimeConfig{
 		Streams:    streams,
 		CacheSlots: cache,
 		Device:     &profile,
@@ -576,7 +651,12 @@ func runMulti(w io.Writer, bundle *core.Bundle, profile device.Profile, streams,
 		Metrics:    reg,
 		Tracer:     spans,
 		Batch:      batch,
-	})
+		Deadline:   ro.Deadline,
+	}
+	if ro.Thermal {
+		mcfg.Thermal = device.DefaultThermal()
+	}
+	mrt, err := core.NewMultiRuntime(bundle, mcfg)
 	if err != nil {
 		return err
 	}
@@ -619,6 +699,23 @@ func runMulti(w io.Writer, bundle *core.Bundle, profile device.Profile, streams,
 		}
 	}
 
+	if ro.Restore != "" {
+		// A bad checkpoint (missing, truncated, corrupt, version-skewed)
+		// must cost only warmth: log it and cold-start.
+		if c, err := pressure.LoadCheckpoint(ro.Restore); err != nil {
+			fmt.Fprintf(w, "restore: %v; cold start\n", err)
+		} else if warmed, err := mrt.RestoreCheckpoint(c); err != nil {
+			fmt.Fprintf(w, "restore: %v; cold start\n", err)
+		} else {
+			windows := 0
+			if loop != nil {
+				windows = loop.RestoreCheckpoint(c)
+			}
+			fmt.Fprintf(w, "restore: warmed %d models from %s (generation %d, drift windows %d)\n",
+				warmed, ro.Restore, c.Generation, windows)
+		}
+	}
+
 	var obs core.StreamObserver
 	var tracers []*trace.Writer
 	if tracePath != "" {
@@ -651,8 +748,46 @@ func runMulti(w io.Writer, bundle *core.Bundle, profile device.Profile, streams,
 		if _, err := loop.Run(inputs, obs); err != nil {
 			return err
 		}
+	} else if ro.CheckpointEvery > 0 {
+		// Chunked run: process CheckpointEvery ticks at a time and snap a
+		// checkpoint after each chunk, so a process death loses at most
+		// one chunk of warmth.
+		maxLen := 0
+		for s := range inputs {
+			if len(inputs[s]) > maxLen {
+				maxLen = len(inputs[s])
+			}
+		}
+		chunk := make([][]*synth.Frame, streams)
+		for start := 0; start < maxLen; start += ro.CheckpointEvery {
+			for s := range inputs {
+				chunk[s] = nil
+				if start < len(inputs[s]) {
+					end := start + ro.CheckpointEvery
+					if end > len(inputs[s]) {
+						end = len(inputs[s])
+					}
+					chunk[s] = inputs[s][start:end]
+				}
+			}
+			if _, err := mrt.ProcessStreams(chunk, obs); err != nil {
+				return err
+			}
+			if err := saveCheckpoint(mrt, loop, ro.Checkpoint); err != nil {
+				return err
+			}
+		}
 	} else if _, err := mrt.ProcessStreams(inputs, obs); err != nil {
 		return err
+	}
+	if ro.Checkpoint != "" {
+		// Snapshot before Close detaches the scheduler (the Markov counts
+		// live behind it); the cache manifest is thread-safe against any
+		// still-draining prefetches.
+		if err := saveCheckpoint(mrt, loop, ro.Checkpoint); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "checkpoint: wrote %s\n", ro.Checkpoint)
 	}
 
 	for s := 0; s < streams; s++ {
@@ -677,6 +812,12 @@ func runMulti(w io.Writer, bundle *core.Bundle, profile device.Profile, streams,
 		fmt.Fprintf(w, "simulated makespan %.1f ms  aggregate %.1f frames/s (vs %.1f sequential)\n",
 			1e3*ms, float64(agg.Frames)/ms, float64(agg.Frames)/agg.TotalLatency.Seconds())
 	}
+	press := mrt.PressureStats()
+	if press != nil {
+		fmt.Fprintf(w, "pressure: level %s  rung %s  shed %d  downgraded %d  quarantined %d frames (%d quarantines)\n",
+			press.Level, press.Rung, press.ShedFrames, press.DowngradedServed,
+			press.QuarantinedFrames, press.Quarantines)
+	}
 	var ast *adapt.LoopStats
 	if loop != nil {
 		st := loop.Stats()
@@ -693,5 +834,5 @@ func runMulti(w io.Writer, bundle *core.Bundle, profile device.Profile, streams,
 		}
 		fmt.Fprintf(w, "trace: %d events written to %s.stream{0..%d}\n", total, tracePath, streams-1)
 	}
-	return writeReport(w, jsonPath, buildReport(agg, sched, pfBreaker(pfCfg), ast, reg, spans))
+	return writeReport(w, jsonPath, buildReport(agg, sched, pfBreaker(pfCfg), ast, press, reg, spans))
 }

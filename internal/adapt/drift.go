@@ -26,6 +26,7 @@ import (
 
 	"anole/internal/core"
 	"anole/internal/detect"
+	"anole/internal/pressure"
 	"anole/internal/synth"
 	"anole/internal/tensor"
 )
@@ -315,6 +316,47 @@ func (d *DriftDetector) resetWindow() {
 	d.count = 0
 	d.sumEntropy, d.sumNovelty = 0, 0
 	d.probes, d.disagreed = 0, 0
+}
+
+// State snapshots the in-progress window and lifetime counters for a
+// restart checkpoint. Exemplar frames and the centroid accumulator are
+// deliberately excluded: they are raw frame payloads (large, and
+// re-collectable within one window), not statistics — the next window
+// after a restart simply samples fresh exemplars.
+func (d *DriftDetector) State() pressure.DriftWindow {
+	return pressure.DriftWindow{
+		Stream:     d.stream,
+		Count:      d.count,
+		SumEntropy: d.sumEntropy,
+		SumNovelty: d.sumNovelty,
+		Probes:     d.probes,
+		Disagreed:  d.disagreed,
+		Cooldown:   d.cooldown,
+		Seen:       d.seen,
+		Flagged:    d.flagged,
+		Emitted:    d.emitted,
+	}
+}
+
+// RestoreState warm-starts the window accumulators and lifetime
+// counters from a checkpoint. The exemplar set and centroid stay
+// empty (see State); a window that completes with zero exemplars
+// emits no report, so the first post-restore report may take one
+// extra window — never a corrupt one.
+func (d *DriftDetector) RestoreState(w pressure.DriftWindow) {
+	if w.Count < 0 || w.Probes < 0 || w.Cooldown < 0 ||
+		w.Seen < 0 || w.Flagged < 0 || w.Emitted < 0 {
+		return
+	}
+	d.count = w.Count
+	d.sumEntropy = w.SumEntropy
+	d.sumNovelty = w.SumNovelty
+	d.probes = w.Probes
+	d.disagreed = w.Disagreed
+	d.cooldown = w.Cooldown
+	d.seen = w.Seen
+	d.flagged = w.Flagged
+	d.emitted = w.Emitted
 }
 
 func (d *DriftDetector) now() time.Duration {

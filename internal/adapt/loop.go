@@ -8,6 +8,7 @@ import (
 	"anole/internal/core"
 	"anole/internal/detect"
 	"anole/internal/prefetch"
+	"anole/internal/pressure"
 	"anole/internal/repo"
 	"anole/internal/synth"
 	"anole/internal/telemetry"
@@ -80,6 +81,11 @@ type LoopConfig struct {
 	// generation's added models before they become prefetch-eligible
 	// (e.g. prefetch.LinkFetcher.AddModels).
 	RegisterModels func([]prefetch.Model) error
+	// Pressure, when non-nil, gates the uplink: drift reports stay
+	// queued (not dropped) while the monitor reads Critical, so an
+	// overloaded device spends no control-plane bytes until pressure
+	// relaxes.
+	Pressure *pressure.Monitor
 	// Metrics, when non-nil, receives the anole_adapt_* loop series.
 	Metrics *telemetry.Registry
 	// Tracer, when non-nil, records one span per control-plane event
@@ -105,6 +111,9 @@ type LoopStats struct {
 	RejectedCandidates int64  `json:"rejectedCandidates"`
 	PurgedModels       int64  `json:"purgedModels"`
 	FleetGeneration    uint64 `json:"fleetGeneration"`
+	// DeferredReports counts control points where the pending report
+	// queue was held back by Critical resource pressure.
+	DeferredReports int64 `json:"deferredReports"`
 }
 
 // streamChunk is one stream's order-independent accumulator for one
@@ -341,8 +350,16 @@ func (l *Loop) controlPhase() error {
 // shipReports drains the pending queue over the uplink in emission
 // order. A failed transfer keeps the report (and everything behind it)
 // queued for the next control point — the link that dropped one report
-// is down for the rest too.
+// is down for the rest too. Under Critical resource pressure the whole
+// queue defers: drift reporting is the least urgent traffic a
+// struggling device carries, and the reports keep accumulating for the
+// first calm control point.
 func (l *Loop) shipReports() error {
+	if l.cfg.Pressure.Level() >= pressure.Critical && len(l.pending) > 0 {
+		l.stats.DeferredReports++
+		l.cfg.Pressure.NoteDeferredReports()
+		return nil
+	}
 	for len(l.pending) > 0 {
 		rep := l.pending[0]
 		size := rep.SizeBytes()
@@ -555,6 +572,42 @@ func (l *Loop) span(stream int, event string) {
 		Model:  -1,
 		Err:    event,
 	})
+}
+
+// CaptureCheckpoint fills c with the loop's share of a restart
+// checkpoint: the fleet generation pin and every stream's in-progress
+// drift window. Call it between chunks (the same driver-goroutine
+// safe point as controlPhase); the MultiRuntime contributes the Markov
+// and cache-manifest fields separately.
+func (l *Loop) CaptureCheckpoint(c *pressure.Checkpoint) {
+	if c == nil {
+		return
+	}
+	c.Generation = l.fleetGen
+	c.Drift = c.Drift[:0]
+	for _, d := range l.dets {
+		c.Drift = append(c.Drift, d.State())
+	}
+}
+
+// RestoreCheckpoint warm-starts the drift detectors from c. Windows
+// are only restored when the checkpoint's generation matches the
+// generation this loop booted with — window statistics measured on a
+// different repertoire mean nothing (the same reason SetBundle resets
+// the window). A mismatch is not an error: the loop simply cold-starts
+// its detectors and reports how many windows it restored.
+func (l *Loop) RestoreCheckpoint(c *pressure.Checkpoint) (restored int) {
+	if c == nil || c.Generation != l.fleetGen {
+		return 0
+	}
+	for _, w := range c.Drift {
+		if w.Stream < 0 || w.Stream >= len(l.dets) {
+			continue
+		}
+		l.dets[w.Stream].RestoreState(w)
+		restored++
+	}
+	return restored
 }
 
 // newModels returns the prefetch entries for detectors present in next

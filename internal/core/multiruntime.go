@@ -8,6 +8,7 @@ import (
 	"anole/internal/device"
 	"anole/internal/modelcache"
 	"anole/internal/prefetch"
+	"anole/internal/pressure"
 	"anole/internal/stats"
 	"anole/internal/synth"
 	"anole/internal/telemetry"
@@ -81,6 +82,21 @@ type MultiRuntimeConfig struct {
 	// chunks, bounding the batch working set however many streams are
 	// configured.
 	MaxBatch int
+	// Deadline, when positive, is the per-frame latency target driving
+	// the shed ladder: the deadline controller watches each tick's
+	// worst served-frame latency against it and escalates/relaxes the
+	// ladder CoDel-style. Setting it enables the pressure machinery.
+	Deadline time.Duration
+	// Thermal, when non-nil, attaches this thermal model to every
+	// stream's device simulator (requires Device), so sustained load
+	// derates per-frame compute through device.ThrottleFactor and heat
+	// feeds the pressure monitor.
+	Thermal *device.ThermalModel
+	// Pressure tunes the overload machinery (monitor thresholds,
+	// controller persistence, watchdog, critical watermark). A non-nil
+	// value enables it even without a Deadline — the monitor and
+	// watchdog run, the shed ladder stays at ShedNone.
+	Pressure *PressureConfig
 }
 
 // MultiRuntime serves N independent frame streams over one shared
@@ -112,6 +128,9 @@ type MultiRuntime struct {
 	// encoder/head for the whole tick) falls back to the serial
 	// per-frame loop until the fleet converges again.
 	mixed bool
+	// press is the overload-survival machinery (nil unless a Deadline
+	// or PressureConfig enabled it — see pressure.go).
+	press *pressureState
 }
 
 // NewMultiRuntime validates the bundle once, builds the shared sharded
@@ -175,6 +194,16 @@ func NewMultiRuntime(b *Bundle, cfg MultiRuntimeConfig) (*MultiRuntime, error) {
 		}
 		m.pf = sched
 	}
+	if cfg.Device != nil {
+		// Satellite memory budget: the profile's GPU memory bounds the
+		// cache in bytes, not just slots. The sizer measures serialized
+		// model bytes while the device charges paper-scale bytes
+		// (WeightBytes × BytesScale), so the budget converts real GPU
+		// bytes back down to sizer units.
+		if byteCap := int64(cfg.Device.GPUMemoryMB * float64(1<<20) / device.BytesScale); byteCap > 0 {
+			cache.SetByteCapacity(byteCap)
+		}
+	}
 	if cfg.Metrics != nil {
 		cfg.Metrics.Gauge("anole_core_streams", "configured frame streams").Set(float64(cfg.Streams))
 		cfg.Metrics.Gauge("anole_core_workers", "goroutines driving streams").Set(float64(workers))
@@ -183,6 +212,9 @@ func NewMultiRuntime(b *Bundle, cfg MultiRuntimeConfig) (*MultiRuntime, error) {
 		var dev *device.Simulator
 		if cfg.Device != nil {
 			dev = device.NewSimulator(*cfg.Device)
+			if cfg.Thermal != nil {
+				dev.EnableThermal(cfg.Thermal)
+			}
 		}
 		rt, err := NewRuntime(b, RuntimeConfig{
 			Store:               cache,
@@ -201,7 +233,28 @@ func NewMultiRuntime(b *Bundle, cfg MultiRuntimeConfig) (*MultiRuntime, error) {
 		m.streams[i] = rt
 		m.devs[i] = dev
 	}
+	m.press = newPressureState(cfg.Streams, cfg.Deadline, cfg.Pressure, cfg.Metrics, m.pressureReact(cfg.Pressure.criticalWatermark()))
 	return m, nil
+}
+
+// pressureReact builds the monitor subscriber that turns level changes
+// into fleet reactions: Elevated pauses background prefetch plans (the
+// link and cache budget go to demand traffic), Critical tightens the
+// cache's byte watermark and sweeps unpinned entries down to it.
+// Dropping back below each threshold undoes the reaction.
+func (m *MultiRuntime) pressureReact(watermark float64) func(pressure.Level) {
+	return func(lv pressure.Level) {
+		if m.pf != nil {
+			m.pf.SetPaused(lv >= pressure.Elevated)
+		}
+		if lv >= pressure.Critical {
+			m.cache.SetWatermark(watermark)
+			evicted := m.cache.SweepToWatermark()
+			m.press.mon.NoteSweep(len(evicted))
+		} else {
+			m.cache.SetWatermark(1)
+		}
+	}
 }
 
 // NumStreams returns the configured stream count.
@@ -355,7 +408,11 @@ func (m *MultiRuntime) ProcessStreams(streams [][]*synth.Frame, obs StreamObserv
 	}
 
 	var loop *tickLoop
-	if !m.batch && m.workers > 1 {
+	if !m.batch && m.workers > 1 && m.press == nil {
+		// With the pressure machinery on, unbatched ticks run serially
+		// on the event-loop goroutine: the shed ladder, watchdog and
+		// error-to-quarantine conversion need deterministic per-tick
+		// ordering, which the worker pool does not guarantee.
 		loop = startTickLoop(m, streams, results, obs)
 		defer loop.stop()
 	}
@@ -371,6 +428,8 @@ func (m *MultiRuntime) ProcessStreams(streams [][]*synth.Frame, obs StreamObserv
 		m.bmet.occupancy.Set(float64(len(ready)) / float64(len(streams)))
 		var err error
 		switch {
+		case m.press != nil:
+			err = m.processTickPressure(tick, ready, streams, results, obs)
 		case m.batch && m.mixed:
 			// Canary in progress: streams disagree on the bundle, so the
 			// shared-encoder batch staging is invalid. Serial keeps the
@@ -385,6 +444,9 @@ func (m *MultiRuntime) ProcessStreams(streams [][]*synth.Frame, obs StreamObserv
 		}
 		if err != nil {
 			return nil, err
+		}
+		if m.press != nil {
+			m.observePressureTick(tick, ready, results)
 		}
 	}
 	return results, nil
@@ -450,6 +512,9 @@ func (m *MultiRuntime) Stats() RunStats {
 		agg.FetchStall += s.FetchStall
 		agg.DegradedFrames += s.DegradedFrames
 		agg.FallbackServed += s.FallbackServed
+		agg.ShedFrames += s.ShedFrames
+		agg.DowngradedServed += s.DowngradedServed
+		agg.QuarantinedFrames += s.QuarantinedFrames
 	}
 	agg.Detection = stats.ComputePRF1(agg.Detection.TP, agg.Detection.FP, agg.Detection.FN)
 	agg.Cache = m.cache.Stats()

@@ -1,0 +1,460 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"anole/internal/pressure"
+	"anole/internal/synth"
+	"anole/internal/telemetry"
+)
+
+// FrameVerdict is the terminal disposition of one offered frame. Every
+// frame a MultiRuntime is offered receives exactly one verdict — under
+// overload frames degrade or drop, they never wait unboundedly.
+// VerdictServed is the zero value, so code paths that never touch the
+// pressure machinery produce bit-identical FrameResults to builds
+// before it existed.
+type FrameVerdict int
+
+const (
+	// VerdictServed: the full pipeline ran and the decided (or
+	// fallback) model served the frame — the only verdict that exists
+	// when pressure is disabled.
+	VerdictServed FrameVerdict = iota
+	// VerdictDowngraded: the shed ladder served the frame with the
+	// smallest resident model, paying no link or admission work.
+	VerdictDowngraded
+	// VerdictShed: the shed ladder dropped the frame at admission; no
+	// decision, cache, or detector work was done.
+	VerdictShed
+	// VerdictQuarantined: the frame's stream was quarantined by the
+	// watchdog (stalled or erroring), and the frame was disposed
+	// without processing so the rest of the fleet keeps its tick rate.
+	VerdictQuarantined
+)
+
+func (v FrameVerdict) String() string {
+	switch v {
+	case VerdictServed:
+		return "served"
+	case VerdictDowngraded:
+		return "downgraded"
+	case VerdictShed:
+		return "shed"
+	case VerdictQuarantined:
+		return "quarantined"
+	default:
+		return "unknown"
+	}
+}
+
+// PressureConfig tunes the overload-survival machinery; every field's
+// zero value selects the documented default, so &PressureConfig{}
+// enables the monitor and watchdog with defaults (the deadline
+// controller additionally needs MultiRuntimeConfig.Deadline).
+type PressureConfig struct {
+	// Monitor tunes the pressure-level thresholds and hysteresis.
+	Monitor pressure.MonitorConfig
+	// Controller tunes the shed ladder's escalation persistence; its
+	// Target field is ignored (MultiRuntimeConfig.Deadline is the
+	// target).
+	Controller pressure.ControllerConfig
+	// Watchdog tunes stall detection and quarantine length.
+	Watchdog pressure.WatchdogConfig
+	// CriticalWatermark is the cache byte-watermark fraction applied
+	// while the monitor reads Critical (default 0.75); Nominal and
+	// Elevated restore 1.0.
+	CriticalWatermark float64
+}
+
+// pressureState is the MultiRuntime's attachment of the pressure
+// machinery: one monitor, one fleet-level deadline controller, one
+// watchdog, and the per-tick scratch that feeds them.
+type pressureState struct {
+	mon      *pressure.Monitor
+	ctl      *pressure.Controller
+	wd       *pressure.Watchdog
+	deadline time.Duration
+
+	// Per-tick scratch, sized to the stream count.
+	active   []bool
+	progress []bool
+	live     []int
+	// probeRR round-robins the ShedDrop probe stream so the controller
+	// keeps observing served-frame sojourn while the fleet drops.
+	probeRR int
+}
+
+// newPressureState wires the machinery for a MultiRuntime. Enabled by
+// a Deadline, a PressureConfig, or both; returns nil when neither is
+// set so the zero-config runtime carries no pressure code at all.
+func newPressureState(streams int, deadline time.Duration, cfg *PressureConfig, reg *telemetry.Registry, onLevel func(pressure.Level)) *pressureState {
+	if deadline <= 0 && cfg == nil {
+		return nil
+	}
+	pc := PressureConfig{}
+	if cfg != nil {
+		pc = *cfg
+	}
+	if pc.Monitor.Metrics == nil {
+		pc.Monitor.Metrics = reg
+	}
+	ps := &pressureState{
+		mon:      pressure.NewMonitor(pc.Monitor),
+		wd:       pressure.NewWatchdog(streams, pc.Watchdog),
+		deadline: deadline,
+		active:   make([]bool, streams),
+		progress: make([]bool, streams),
+		live:     make([]int, 0, streams),
+	}
+	if deadline > 0 {
+		cc := pc.Controller
+		cc.Target = deadline
+		ps.ctl = pressure.NewController(cc)
+	}
+	if onLevel != nil {
+		ps.mon.Subscribe(onLevel)
+	}
+	return ps
+}
+
+// criticalWatermark returns the sweep fraction for a config (0.75
+// default).
+func (cfg *PressureConfig) criticalWatermark() float64 {
+	if cfg != nil && cfg.CriticalWatermark > 0 && cfg.CriticalWatermark <= 1 {
+		return cfg.CriticalWatermark
+	}
+	return 0.75
+}
+
+// disposedResult is the terminal FrameResult for a frame that never
+// entered the pipeline (shed or quarantined).
+func disposedResult(v FrameVerdict) FrameResult {
+	return FrameResult{Desired: -1, Used: -1, RunnerUp: -1, Verdict: v}
+}
+
+// processFrameShed is ProcessFrame under a shed-ladder rung. Rung
+// ShedNone is exactly ProcessFrame (bit-for-bit — this wrapper adds
+// nothing to the nominal path). Higher rungs degrade in order: suppress
+// prefetch planning, serve the smallest resident model without link
+// traffic, drop the frame outright.
+func (r *Runtime) processFrameShed(f *synth.Frame, rung pressure.Rung) (FrameResult, error) {
+	if rung <= pressure.ShedNone {
+		return r.ProcessFrame(f)
+	}
+	if err := r.validateFrame(f); err != nil {
+		return FrameResult{}, err
+	}
+	if rung >= pressure.ShedDrop {
+		// Terminal drop. The link clock still advances — frame time
+		// passes whether or not the device serves — but no decision,
+		// cache, or detector work runs and no selection state moves.
+		if r.pf != nil {
+			r.pf.Tick()
+		}
+		r.stats.ShedFrames++
+		return disposedResult(VerdictShed), nil
+	}
+	var res FrameResult
+	seq := r.beginFrame()
+	r.computeDecision(f)
+	rank := r.stageDecide(seq, &res)
+	if !(rung >= pressure.ShedDowngrade && r.resolveDowngrade(f, seq, &res)) {
+		// Rung 1 (or nothing resident to downgrade onto): the normal
+		// resolve path runs, link stalls and all.
+		if err := r.stageResolve(f, seq, rank, &res); err != nil {
+			return FrameResult{}, err
+		}
+	}
+	detectDur := r.detectAccount(f, &res)
+	r.predsBuf = r.bundle.Detectors[res.Used].DetectFrame(r.predsBuf, f)
+	r.finishDetect(f, seq, detectDur, &res)
+	// Every rung ≥ ShedPrefetch suppresses background planning.
+	r.planSuppressed = true
+	r.stageFinish(&res)
+	r.planSuppressed = false
+	return res, nil
+}
+
+// resolveDowngrade is the rung-2 replacement for stageResolve: serve
+// the decided model if it happens to be resident, otherwise the
+// smallest resident model (by weight bytes — the cheapest thing the
+// device can run), paying no demand fetch and no admission eviction.
+// Returns false when nothing is resident (cold start), in which case
+// the caller falls back to the full resolve path.
+func (r *Runtime) resolveDowngrade(f *synth.Frame, seq int64, res *FrameResult) bool {
+	desiredName := r.bundle.Detectors[res.Desired].Name
+	if r.cache.Contains(desiredName) {
+		hit, _, err := r.cache.Request(desiredName, 1)
+		if err != nil {
+			return false
+		}
+		res.Hit = hit
+		res.Used = res.Desired
+		r.recordStage(seq, telemetry.StageCache, res.Desired, 0, hit, false, nil)
+		return true
+	}
+	best := -1
+	var bestBytes int64
+	for i, d := range r.bundle.Detectors {
+		if !r.cache.Contains(d.Name) {
+			continue
+		}
+		if wb := d.WeightBytes(); best < 0 || wb < bestBytes {
+			best, bestBytes = i, wb
+		}
+	}
+	if best < 0 {
+		return false
+	}
+	// Request on a resident key is a pure hit: it touches the entry
+	// (LFU honesty) and keeps the Hits+Misses==Lookups invariant.
+	if _, _, err := r.cache.Request(r.bundle.Detectors[best].Name, 1); err != nil {
+		return false
+	}
+	res.Used = best
+	res.Verdict = VerdictDowngraded
+	r.stats.DowngradedServed++
+	r.stats.FallbackServed++
+	r.met.fallback.Inc()
+	r.recordStage(seq, telemetry.StageCache, best, 0, true, false, nil)
+	return true
+}
+
+// processTickPressure is the pressure-aware tick dispatch: quarantined
+// streams' frames are disposed first (the tick barrier never waits on
+// a dead stream), then the live set runs under the controller's
+// current rung — the untouched nominal paths at ShedNone, the shed
+// ladder otherwise. Frame errors quarantine the stream instead of
+// aborting the fleet.
+func (m *MultiRuntime) processTickPressure(tick int, ready []int, streams [][]*synth.Frame, results [][]FrameResult, obs StreamObserver) error {
+	ps := m.press
+	ps.live = ps.live[:0]
+	for _, i := range ready {
+		if !ps.wd.Quarantined(i) {
+			ps.live = append(ps.live, i)
+			continue
+		}
+		res := disposedResult(VerdictQuarantined)
+		m.streams[i].stats.QuarantinedFrames++
+		ps.mon.NoteQuarantinedFrame()
+		if obs != nil {
+			if err := obs(i, streams[i][tick], res); err != nil {
+				return fmt.Errorf("core: stream %d observer: %w", i, err)
+			}
+		}
+		results[i][tick] = res
+	}
+	rung := ps.ctl.Rung()
+	if rung == pressure.ShedNone {
+		if m.batch && !m.mixed {
+			// Nominal + uniform fleet: the batched path runs untouched,
+			// so batched and unbatched stay bit-identical. (A frame
+			// error here aborts as it always has; error-to-quarantine
+			// applies on the serial paths.)
+			return m.processTickBatched(tick, ps.live, streams, results, obs)
+		}
+		return m.processTickGuarded(tick, ps.live, pressure.ShedNone, streams, results, obs)
+	}
+	return m.processTickGuarded(tick, ps.live, rung, streams, results, obs)
+}
+
+// processTickGuarded runs one tick's live frames serially under rung,
+// converting frame errors into stream quarantines. At ShedDrop one
+// probe stream per tick (round-robin) still serves — downgraded — so
+// the deadline controller keeps receiving sojourn samples and can
+// observe recovery; without the probe a fully-dropping fleet would
+// never relax.
+func (m *MultiRuntime) processTickGuarded(tick int, live []int, rung pressure.Rung, streams [][]*synth.Frame, results [][]FrameResult, obs StreamObserver) error {
+	ps := m.press
+	probe := -1
+	if rung >= pressure.ShedDrop && len(live) > 0 {
+		probe = live[ps.probeRR%len(live)]
+		ps.probeRR++
+	}
+	for _, i := range live {
+		f := streams[i][tick]
+		r := rung
+		if i == probe {
+			r = pressure.ShedDowngrade
+		}
+		res, err := m.streams[i].processFrameShed(f, r)
+		if err != nil {
+			// The stream cannot make progress (e.g. cold start with an
+			// unreachable repository). Quarantine it and keep the fleet
+			// alive; the watchdog releases it for a probe later.
+			if ps.wd.Quarantine(i) {
+				ps.mon.NoteQuarantine()
+			}
+			res = disposedResult(VerdictQuarantined)
+			m.streams[i].stats.QuarantinedFrames++
+			ps.mon.NoteQuarantinedFrame()
+		} else if r > pressure.ShedNone {
+			switch res.Verdict {
+			case VerdictShed:
+				ps.mon.NoteShed(pressure.ShedDrop)
+			case VerdictDowngraded:
+				ps.mon.NoteShed(pressure.ShedDowngrade)
+			default:
+				ps.mon.NoteShed(pressure.ShedPrefetch)
+			}
+		}
+		if obs != nil {
+			if err := obs(i, f, res); err != nil {
+				return fmt.Errorf("core: stream %d observer: %w", i, err)
+			}
+		}
+		results[i][tick] = res
+	}
+	return nil
+}
+
+// observePressureTick folds one completed tick into the controller,
+// watchdog, and monitor. Runs on the event-loop goroutine after every
+// tick.
+func (m *MultiRuntime) observePressureTick(tick int, ready []int, results [][]FrameResult) {
+	ps := m.press
+	for i := range ps.active {
+		ps.active[i] = false
+		ps.progress[i] = false
+	}
+	var worst time.Duration
+	served := false
+	for _, i := range ready {
+		res := results[i][tick]
+		switch res.Verdict {
+		case VerdictServed, VerdictDowngraded:
+			served = true
+			ps.active[i] = true
+			ps.progress[i] = true
+			if res.Latency > worst {
+				worst = res.Latency
+			}
+		default:
+			// Shed frames are fleet policy and quarantined frames are
+			// already sanctioned; neither counts toward stall credit.
+		}
+	}
+	ps.ctl.ObserveTick(worst, served)
+	for range ps.wd.ObserveTick(ps.active, ps.progress) {
+		ps.mon.NoteQuarantine()
+	}
+	var heat float64
+	for _, d := range m.devs {
+		if d != nil && d.Heat() > heat {
+			heat = d.Heat()
+		}
+	}
+	var residency float64
+	if bc := m.cache.ByteCapacity(); bc > 0 {
+		residency = float64(m.cache.BytesUsed()) / float64(bc)
+	}
+	ps.mon.Update(pressure.Sample{
+		Heat:      heat,
+		Residency: residency,
+		Sojourn:   ps.ctl.Sojourn(worst),
+	})
+}
+
+// PressureStats is the fleet-level overload summary for reports.
+type PressureStats struct {
+	// Level and Rung are the monitor and shed ladder's final state.
+	Level string `json:"level"`
+	Rung  string `json:"rung"`
+	// ShedFrames / DowngradedServed / QuarantinedFrames aggregate the
+	// per-stream verdict counters; Quarantines counts quarantine
+	// entries (a stream can be quarantined more than once).
+	ShedFrames        int `json:"shedFrames"`
+	DowngradedServed  int `json:"downgradedServed"`
+	QuarantinedFrames int `json:"quarantinedFrames"`
+	Quarantines       int `json:"quarantines"`
+}
+
+// PressureStats returns the overload summary, or nil when the pressure
+// machinery is disabled.
+func (m *MultiRuntime) PressureStats() *PressureStats {
+	if m.press == nil {
+		return nil
+	}
+	out := &PressureStats{
+		Level:       m.press.mon.Level().String(),
+		Rung:        m.press.ctl.Rung().String(),
+		Quarantines: m.press.wd.Quarantines(),
+	}
+	for _, rt := range m.streams {
+		out.ShedFrames += rt.stats.ShedFrames
+		out.DowngradedServed += rt.stats.DowngradedServed
+		out.QuarantinedFrames += rt.stats.QuarantinedFrames
+	}
+	return out
+}
+
+// PressureLevel returns the monitor's current level (Nominal when the
+// machinery is disabled).
+func (m *MultiRuntime) PressureLevel() pressure.Level {
+	if m.press == nil {
+		return pressure.Nominal
+	}
+	return m.press.mon.Level()
+}
+
+// PressureMonitor exposes the monitor so external subscribers (the
+// adapt loop's uplink gate) can watch the same level the fleet reacts
+// to. Nil when the machinery is disabled.
+func (m *MultiRuntime) PressureMonitor() *pressure.Monitor {
+	if m.press == nil {
+		return nil
+	}
+	return m.press.mon
+}
+
+// CaptureCheckpoint snapshots the MultiRuntime's share of the warm
+// state worth surviving a restart: the Markov transition counts and
+// the cache residency manifest with LFU frequencies. Generation
+// defaults to 1; an adapt.Loop overwrites it (and adds drift windows)
+// via its own CaptureCheckpoint. Call only between ProcessStreams
+// calls.
+func (m *MultiRuntime) CaptureCheckpoint() *pressure.Checkpoint {
+	c := &pressure.Checkpoint{Generation: 1}
+	if m.pf != nil {
+		n, alpha, obs, counts, rowSum := m.pf.Markov().State()
+		c.Markov = &pressure.MarkovState{N: n, Alpha: alpha, Obs: obs, Counts: counts, RowSum: rowSum}
+	}
+	for _, key := range m.cache.Keys() {
+		c.Cache = append(c.Cache, pressure.CacheEntry{Key: key, Freq: m.cache.Freq(key)})
+	}
+	return c
+}
+
+// RestoreCheckpoint warm-starts the MultiRuntime from a checkpoint:
+// Markov counts are restored into the scheduler's transition model and
+// the residency manifest is re-pinned via Warm (model bytes persist on
+// device flash across a process death, so residency costs no link
+// traffic to restore). Manifest keys the current bundle does not
+// define are skipped — a checkpoint can never admit a model the
+// deployed generation does not carry. Returns how many models were
+// warmed. Call only between ProcessStreams calls, before traffic.
+func (m *MultiRuntime) RestoreCheckpoint(c *pressure.Checkpoint) (warmed int, err error) {
+	if c == nil {
+		return 0, fmt.Errorf("core: nil checkpoint")
+	}
+	if c.Markov != nil && m.pf != nil {
+		if err := m.pf.Markov().RestoreState(c.Markov.N, c.Markov.Obs, c.Markov.Counts, c.Markov.RowSum); err != nil {
+			return 0, fmt.Errorf("core: restore markov: %w", err)
+		}
+	}
+	known := make(map[string]bool, m.bundle.NumModels())
+	for _, d := range m.bundle.Detectors {
+		known[d.Name] = true
+	}
+	for _, e := range c.Cache {
+		if !known[e.Key] {
+			continue
+		}
+		if m.cache.Warm(e.Key, 1, e.Freq) {
+			warmed++
+		}
+	}
+	return warmed, nil
+}

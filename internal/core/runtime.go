@@ -132,6 +132,10 @@ type FrameResult struct {
 	// waiting out a failed fetch's backoff window), so a stale resident
 	// model served the frame.
 	Degraded bool
+	// Verdict is the frame's terminal disposition under overload (see
+	// FrameVerdict). The zero value is VerdictServed, so runs without
+	// the pressure machinery are unchanged.
+	Verdict FrameVerdict
 }
 
 // RunStats summarizes a runtime's history.
@@ -167,6 +171,16 @@ type RunStats struct {
 	// is served by the decided model or counted here.
 	DegradedFrames int
 	FallbackServed int
+	// Overload-survival counters (all zero without the pressure
+	// machinery): ShedFrames were dropped at admission by the shed
+	// ladder, DowngradedServed were served by the smallest resident
+	// model instead of the decided one, QuarantinedFrames were disposed
+	// because their stream was quarantined. Shed and quarantined frames
+	// do not count toward Frames — Frames remains "frames that ran the
+	// pipeline".
+	ShedFrames        int
+	DowngradedServed  int
+	QuarantinedFrames int
 }
 
 // MeanSceneDuration returns the average desired-model run length.
@@ -201,6 +215,10 @@ type Runtime struct {
 	retryCap       int
 	degradedWait   int
 	degradedStreak int
+	// planSuppressed is set by processFrameShed around stageFinish so a
+	// shed-ladder frame skips background prefetch planning (rung ≥ 1)
+	// while keeping the rest of the bookkeeping identical.
+	planSuppressed bool
 
 	prevDesired int
 	runLen      int
@@ -668,7 +686,7 @@ func (r *Runtime) stageFinish(res *FrameResult) {
 		if res.Switched {
 			r.pf.Observe(r.prevDesired, res.Desired)
 		}
-		if res.Switched || r.stats.Frames == 0 {
+		if (res.Switched || r.stats.Frames == 0) && !r.planSuppressed {
 			// Warm the cache toward the likeliest next switch targets.
 			r.pf.Plan(res.Desired)
 		}

@@ -78,6 +78,11 @@ type Cache struct {
 	// SetSizer); bytesUsed is the summed bytes of resident entries.
 	sizer     func(key string) int64
 	bytesUsed int64
+	// byteCap bounds bytesUsed when > 0 and a sizer is installed (see
+	// SetByteCapacity); watermark (0 < w ≤ 1) scales the byte ceiling
+	// for speculative admissions and sweeps under memory pressure.
+	byteCap   int64
+	watermark float64
 
 	hits      int64
 	misses    int64
@@ -148,6 +153,119 @@ func (c *Cache) SetSizer(fn func(key string) int64) {
 // this is the exact memory figure of the resident repertoire slice.
 func (c *Cache) BytesUsed() int64 { return c.bytesUsed }
 
+// SetByteCapacity bounds the resident set in serialized bytes: demand
+// admissions evict until the incoming model fits under n, speculative
+// admissions fit under the watermark fraction of n. The bound is only
+// enforced while a sizer is installed (without one every entry
+// measures 0 bytes). n <= 0 clears the bound. This is how a device
+// profile's GPU memory ceiling becomes the cache's real budget,
+// instead of the slot capacity silently diverging from it.
+func (c *Cache) SetByteCapacity(n int64) {
+	if n < 0 {
+		n = 0
+	}
+	c.byteCap = n
+}
+
+// ByteCapacity returns the configured byte capacity (0 = unbounded).
+func (c *Cache) ByteCapacity() int64 { return c.byteCap }
+
+// SetWatermark sets the byte-ceiling fraction (0 < frac ≤ 1) applied
+// to speculative admissions and watermark sweeps. Under memory
+// pressure the fraction tightens (e.g. 0.75) so the cache sheds cold
+// entries and keeps headroom; demand admissions still use the full
+// byte capacity — serving a frame is never blocked by the watermark.
+// Out-of-range values reset to 1.
+func (c *Cache) SetWatermark(frac float64) {
+	if frac <= 0 || frac > 1 {
+		frac = 1
+	}
+	c.watermark = frac
+}
+
+// Watermark returns the current watermark fraction (1 when unset).
+func (c *Cache) Watermark() float64 {
+	if c.watermark <= 0 || c.watermark > 1 {
+		return 1
+	}
+	return c.watermark
+}
+
+// effByteCap returns the watermark-scaled byte ceiling (0 when byte
+// capacity is unbounded or no sizer is installed).
+func (c *Cache) effByteCap() int64 {
+	if c.byteCap <= 0 || c.sizer == nil {
+		return 0
+	}
+	return int64(float64(c.byteCap) * c.Watermark())
+}
+
+// SweepToWatermark evicts unpinned entries (per the policy order)
+// until resident bytes fit under the watermark-scaled byte ceiling,
+// returning the evicted keys. Pinned entries — prefetched models
+// inside their first-use window — are never evicted by a sweep, even
+// if that leaves the cache above the watermark: the sweep is advisory
+// pressure relief, not a correctness bound. No-op without a byte
+// capacity and sizer.
+func (c *Cache) SweepToWatermark() []string {
+	target := c.effByteCap()
+	if target <= 0 {
+		return nil
+	}
+	var evicted []string
+	for c.bytesUsed > target {
+		victim := c.victimUnpinned()
+		if victim == "" {
+			break
+		}
+		c.evictEntry(victim)
+		evicted = append(evicted, victim)
+	}
+	return evicted
+}
+
+// Warm re-admits key from a restart checkpoint's residency manifest:
+// it inserts without evicting (admission is best-effort — restore must
+// never displace whatever already loaded), without touching the
+// hit/miss/prefetch counters (a restore is not a lookup), and seeds
+// the LFU perfect history with freq so the entry keeps its pre-crash
+// utility standing. Reports whether the key is resident afterwards.
+func (c *Cache) Warm(key string, size, freq int) bool {
+	if size <= 0 || key == "" {
+		return false
+	}
+	if _, ok := c.entries[key]; ok {
+		return true
+	}
+	if c.used+size > c.capacity {
+		return false
+	}
+	bytes := c.sizeOf(key)
+	if c.byteCap > 0 && c.sizer != nil && c.bytesUsed+bytes > c.byteCap {
+		return false
+	}
+	if freq < 0 {
+		freq = 0
+	}
+	if freq < c.history[key] {
+		freq = c.history[key]
+	}
+	c.history[key] = freq
+	c.clock++
+	e := &entry{
+		key:      key,
+		size:     size,
+		bytes:    bytes,
+		freq:     freq,
+		lastUsed: c.clock,
+		inserted: c.clock,
+	}
+	c.entries[key] = e
+	c.used += size
+	c.bytesUsed += e.bytes
+	return true
+}
+
 // sizeOf measures key under the installed sizer (0 without one).
 func (c *Cache) sizeOf(key string) int64 {
 	if c.sizer == nil {
@@ -216,7 +334,11 @@ func (c *Cache) Prefetch(key string, size int) (admitted bool, evicted []string,
 	if size > c.capacity {
 		return false, nil, fmt.Errorf("modelcache: %q (size %d) exceeds capacity %d", key, size, c.capacity)
 	}
-	for c.used+size > c.capacity {
+	incomingBytes := c.sizeOf(key)
+	if ceil := c.effByteCap(); ceil > 0 && incomingBytes > ceil {
+		return false, nil, nil
+	}
+	for c.overCommitted(size, incomingBytes, c.effByteCap()) {
 		victim := c.victimSpeculative()
 		if victim == "" {
 			return false, evicted, nil
@@ -228,7 +350,7 @@ func (c *Cache) Prefetch(key string, size int) (admitted bool, evicted []string,
 	e := &entry{
 		key:         key,
 		size:        size,
-		bytes:       c.sizeOf(key),
+		bytes:       incomingBytes,
 		freq:        c.history[key], // no use recorded yet
 		lastUsed:    c.clock,
 		inserted:    c.clock,
@@ -262,9 +384,19 @@ func (c *Cache) Request(key string, size int) (hit bool, evicted []string, err e
 	if size > c.capacity {
 		return false, nil, fmt.Errorf("modelcache: %q (size %d) exceeds capacity %d", key, size, c.capacity)
 	}
+	incomingBytes := c.sizeOf(key)
+	if c.byteCap > 0 && c.sizer != nil && incomingBytes > c.byteCap {
+		return false, nil, fmt.Errorf("modelcache: %q (%d bytes) exceeds byte capacity %d", key, incomingBytes, c.byteCap)
+	}
 	incomingFreq := c.history[key] + 1
 	c.history[key] = incomingFreq
-	for c.used+size > c.capacity {
+	// Demand admissions use the full byte capacity, not the watermark:
+	// serving the current frame always outranks keeping headroom.
+	byteCeil := int64(0)
+	if c.byteCap > 0 && c.sizer != nil {
+		byteCeil = c.byteCap
+	}
+	for c.overCommitted(size, incomingBytes, byteCeil) {
 		victim := c.victim()
 		if victim == "" {
 			return false, evicted, fmt.Errorf("modelcache: no evictable entry for %q", key)
@@ -276,7 +408,7 @@ func (c *Cache) Request(key string, size int) (hit bool, evicted []string, err e
 	e := &entry{
 		key:      key,
 		size:     size,
-		bytes:    c.sizeOf(key),
+		bytes:    incomingBytes,
 		freq:     incomingFreq,
 		lastUsed: c.clock,
 		inserted: c.clock,
@@ -303,6 +435,15 @@ func (c *Cache) removeEntry(key string) {
 	c.used -= e.size
 	c.bytesUsed -= e.bytes
 	delete(c.entries, key)
+}
+
+// overCommitted reports whether admitting (size, bytes) would exceed
+// the slot capacity or, when byteCeil > 0, the byte ceiling.
+func (c *Cache) overCommitted(size int, bytes, byteCeil int64) bool {
+	if c.used+size > c.capacity {
+		return true
+	}
+	return byteCeil > 0 && c.bytesUsed+bytes > byteCeil
 }
 
 // evictEntry removes key as an eviction, counting a wasted prefetch when

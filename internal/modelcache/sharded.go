@@ -251,6 +251,80 @@ func (s *Sharded) Prefetch(key string, size int) (admitted bool, evicted []strin
 	return admitted, evicted, err
 }
 
+// SetByteCapacity distributes a total byte capacity across shards the
+// same way slot capacity is distributed (even split, first shards take
+// the remainder), so the summed resident bytes never exceed total.
+// Like Cache.SetByteCapacity it only binds while a sizer is installed;
+// n <= 0 clears the bound on every shard.
+func (s *Sharded) SetByteCapacity(total int64) {
+	n := int64(len(s.shards))
+	base, extra := total/n, total%n
+	if total <= 0 {
+		base, extra = 0, 0
+	}
+	for i, sh := range s.shards {
+		slice := base
+		if int64(i) < extra {
+			slice++
+		}
+		sh.mu.Lock()
+		sh.c.SetByteCapacity(slice)
+		sh.mu.Unlock()
+	}
+}
+
+// ByteCapacity returns the summed per-shard byte capacities (0 when
+// unbounded).
+func (s *Sharded) ByteCapacity() int64 {
+	var total int64
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		total += sh.c.ByteCapacity()
+		sh.mu.Unlock()
+	}
+	return total
+}
+
+// SetWatermark sets the byte-ceiling fraction on every shard (see
+// Cache.SetWatermark).
+func (s *Sharded) SetWatermark(frac float64) {
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		sh.c.SetWatermark(frac)
+		sh.mu.Unlock()
+	}
+}
+
+// SweepToWatermark runs Cache.SweepToWatermark on every shard and
+// returns all evicted keys. Pinned entries are never evicted.
+func (s *Sharded) SweepToWatermark() []string {
+	var evicted []string
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		ev := sh.c.SweepToWatermark()
+		sh.mu.Unlock()
+		evicted = append(evicted, ev...)
+	}
+	s.evictions.Add(int64(len(evicted)))
+	s.resident.Add(-float64(len(evicted)))
+	return evicted
+}
+
+// Warm re-admits key into its shard from a restart checkpoint's
+// residency manifest (see Cache.Warm): best-effort, no eviction, no
+// hit/miss accounting, LFU history seeded with freq.
+func (s *Sharded) Warm(key string, size, freq int) bool {
+	sh := s.shardFor(key)
+	sh.mu.Lock()
+	resident := sh.c.Contains(key)
+	ok := sh.c.Warm(key, size, freq)
+	sh.mu.Unlock()
+	if ok && !resident {
+		s.resident.Add(1)
+	}
+	return ok
+}
+
 // SetPinWindow sets the prefetch first-use protection window on every
 // shard (see Cache.SetPinWindow).
 func (s *Sharded) SetPinWindow(n int) {

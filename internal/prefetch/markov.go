@@ -145,6 +145,52 @@ func (m *Markov) Row(from int) []float64 {
 	return out
 }
 
+// State copies out the transition matrix for checkpointing: dimension,
+// smoothing, observation count, and the raw (unsmoothed) counts and
+// row sums.
+func (m *Markov) State() (n int, alpha float64, obs int64, counts, rowSum []float64) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	counts = make([]float64, len(m.counts))
+	copy(counts, m.counts)
+	rowSum = make([]float64, len(m.rowSum))
+	copy(rowSum, m.rowSum)
+	return m.n, m.alpha, m.obs, counts, rowSum
+}
+
+// RestoreState overwrites the transition counts from a checkpoint
+// taken at dimension n. A checkpoint from a smaller repertoire
+// restores into the leading n×n block (the repertoire grew after the
+// snapshot — new models start empty exactly as Grow leaves them); a
+// checkpoint from a larger repertoire is rejected, as it references
+// models the current bundle does not have. The configured alpha is
+// kept: smoothing is an owner-side parameter, not restored state.
+func (m *Markov) RestoreState(n int, obs int64, counts, rowSum []float64) error {
+	if n <= 0 || len(counts) != n*n || len(rowSum) != n {
+		return fmt.Errorf("prefetch: markov restore geometry n=%d counts=%d rowSum=%d", n, len(counts), len(rowSum))
+	}
+	if obs < 0 {
+		return fmt.Errorf("prefetch: markov restore negative observations %d", obs)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if n > m.n {
+		return fmt.Errorf("prefetch: markov restore dimension %d exceeds current %d", n, m.n)
+	}
+	for i := range m.counts {
+		m.counts[i] = 0
+	}
+	for i := range m.rowSum {
+		m.rowSum[i] = 0
+	}
+	for i := 0; i < n; i++ {
+		copy(m.counts[i*m.n:i*m.n+n], counts[i*n:(i+1)*n])
+		m.rowSum[i] = rowSum[i]
+	}
+	m.obs = obs
+	return nil
+}
+
 // TopK returns the k likeliest next models given the current one, in
 // descending probability (ties broken by model index for determinism).
 // The current model itself is excluded — prefetching what is already

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"anole/internal/breaker"
@@ -121,6 +122,9 @@ type SchedulerStats struct {
 	// breaker has tripped (both zero without a breaker).
 	SkippedBreaker int64
 	BreakerOpens   int64
+	// SkippedPaused counts Plans dropped whole while planning was
+	// paused by resource pressure (see SetPaused).
+	SkippedPaused int64
 	// PrefetchedBytes is the payload total of completed prefetches.
 	PrefetchedBytes int64
 	// DemandFetches / DemandFailures / DemandBytes / DemandStall
@@ -156,6 +160,11 @@ type Scheduler struct {
 	demandActive int
 	closed       bool
 
+	// paused suspends background planning (see SetPaused); the demand
+	// path is unaffected. Atomic so the pressure monitor can flip it
+	// from any goroutine without taking the scheduler lock.
+	paused atomic.Bool
+
 	baseCtx   context.Context
 	cancelAll context.CancelFunc
 	wg        sync.WaitGroup
@@ -164,7 +173,7 @@ type Scheduler struct {
 	// private one); SchedulerStats is a snapshot view over them.
 	issued, completed, cancelled, failed *telemetry.Counter
 	skippedBudget, prefetchedBytes       *telemetry.Counter
-	skippedBreaker                       *telemetry.Counter
+	skippedBreaker, skippedPaused        *telemetry.Counter
 	demandFetches, demandFailures        *telemetry.Counter
 	demandBytes                          *telemetry.Counter
 	demandStall                          *telemetry.Histogram
@@ -216,6 +225,7 @@ func NewScheduler(cfg Config, store Store, models []Model) (*Scheduler, error) {
 		failed:          reg.Counter("anole_prefetch_failed_total", "background prefetches that failed (link down, transport error)"),
 		skippedBudget:   reg.Counter("anole_prefetch_skipped_budget_total", "predictions dropped by BudgetBytes"),
 		skippedBreaker:  reg.Counter("anole_prefetch_skipped_breaker_total", "plans dropped whole while the circuit breaker was open"),
+		skippedPaused:   reg.Counter("anole_prefetch_skipped_paused_total", "plans dropped whole while planning was paused by resource pressure"),
 		prefetchedBytes: reg.Counter("anole_prefetch_bytes_total", "payload bytes of completed prefetches"),
 		demandFetches:   reg.Counter("anole_prefetch_demand_fetches_total", "on-demand (miss path) fetches that succeeded"),
 		demandFailures:  reg.Counter("anole_prefetch_demand_failures_total", "on-demand fetches that failed"),
@@ -248,6 +258,12 @@ func (s *Scheduler) Tick() {
 // dropped — the miss path owns the link.
 func (s *Scheduler) Plan(current int) {
 	if s.cfg.TopK < 0 {
+		return
+	}
+	if s.paused.Load() {
+		// Resource pressure paused speculative work; the demand path
+		// still flows (a miss has no alternative).
+		s.skippedPaused.Inc()
 		return
 	}
 	if br := s.cfg.Breaker; br != nil && !br.Allow() {
@@ -522,6 +538,7 @@ func (s *Scheduler) Stats() SchedulerStats {
 		Failed:          s.failed.Value(),
 		SkippedBudget:   s.skippedBudget.Value(),
 		SkippedBreaker:  s.skippedBreaker.Value(),
+		SkippedPaused:   s.skippedPaused.Value(),
 		PrefetchedBytes: s.prefetchedBytes.Value(),
 		DemandFetches:   s.demandFetches.Value(),
 		DemandFailures:  s.demandFailures.Value(),
@@ -534,6 +551,17 @@ func (s *Scheduler) Stats() SchedulerStats {
 	}
 	return st
 }
+
+// SetPaused suspends (true) or resumes (false) background planning.
+// While paused, Plan returns immediately (counted in SkippedPaused)
+// without touching in-flight fetches; DemandFetch is unaffected. The
+// pressure monitor flips this at the Elevated level — speculative
+// link and memory traffic is the first thing to go when resources
+// tighten, because dropping it degrades nothing that is being served.
+func (s *Scheduler) SetPaused(p bool) { s.paused.Store(p) }
+
+// Paused reports whether background planning is suspended.
+func (s *Scheduler) Paused() bool { return s.paused.Load() }
 
 // Breaker returns the scheduler's shared circuit breaker (nil without
 // one).

@@ -1,0 +1,172 @@
+package pressure
+
+import (
+	"bytes"
+	"math"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+func sampleCheckpoint() *Checkpoint {
+	return &Checkpoint{
+		Generation: 7,
+		Markov: &MarkovState{
+			N:      3,
+			Alpha:  0.5,
+			Obs:    42,
+			Counts: []float64{0, 1, 2, 3, 4, 5, 6, 7, 8},
+			RowSum: []float64{3, 12, 21},
+		},
+		Cache: []CacheEntry{
+			{Key: "M_1", Freq: 9},
+			{Key: "M_4", Freq: 2},
+		},
+		Drift: []DriftWindow{
+			{Stream: 0, Count: 5, SumEntropy: 1.25, SumNovelty: 0.5,
+				Probes: 2, Disagreed: 1, Cooldown: 3, Seen: 100, Flagged: 4, Emitted: 1},
+			{Stream: 1, Seen: 7},
+		},
+	}
+}
+
+func encode(t testing.TB, c *Checkpoint) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := WriteCheckpoint(&buf, c); err != nil {
+		t.Fatalf("WriteCheckpoint: %v", err)
+	}
+	return buf.Bytes()
+}
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	want := sampleCheckpoint()
+	got, err := ReadCheckpoint(bytes.NewReader(encode(t, want)))
+	if err != nil {
+		t.Fatalf("ReadCheckpoint: %v", err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+func TestCheckpointRoundTripNoMarkov(t *testing.T) {
+	want := &Checkpoint{Generation: 1}
+	got, err := ReadCheckpoint(bytes.NewReader(encode(t, want)))
+	if err != nil {
+		t.Fatalf("ReadCheckpoint: %v", err)
+	}
+	if got.Markov != nil {
+		t.Fatal("markov materialized from nothing")
+	}
+	if got.Generation != 1 || len(got.Cache) != 0 || len(got.Drift) != 0 {
+		t.Fatalf("round trip mismatch: %+v", got)
+	}
+}
+
+func TestWriteCheckpointRejectsMalformed(t *testing.T) {
+	var buf bytes.Buffer
+	cases := map[string]*Checkpoint{
+		"nil":             nil,
+		"markov geometry": {Markov: &MarkovState{N: 2, Counts: []float64{1}, RowSum: []float64{1, 1}}},
+		"markov dim":      {Markov: &MarkovState{N: -1}},
+		"empty key":       {Cache: []CacheEntry{{Key: "", Freq: 1}}},
+		"negative freq":   {Cache: []CacheEntry{{Key: "m", Freq: -1}}},
+		"negative drift":  {Drift: []DriftWindow{{Stream: -1}}},
+	}
+	for name, c := range cases {
+		buf.Reset()
+		if err := WriteCheckpoint(&buf, c); err == nil {
+			t.Errorf("%s: WriteCheckpoint accepted malformed checkpoint", name)
+		}
+	}
+}
+
+func TestReadCheckpointRejectsDamage(t *testing.T) {
+	blob := encode(t, sampleCheckpoint())
+	damage := map[string][]byte{
+		"empty":       {},
+		"bad magic":   append([]byte("XXXX"), blob[4:]...),
+		"truncated":   blob[:len(blob)/2],
+		"missing crc": blob[:len(blob)-2],
+		"bit flip": func() []byte {
+			out := append([]byte(nil), blob...)
+			out[len(out)/2] ^= 0x01
+			return out
+		}(),
+		"version skew": func() []byte {
+			out := append([]byte(nil), blob...)
+			out[4] = 99
+			return out
+		}(),
+		"trailing garbage": append(append([]byte(nil), blob...), 0xFF),
+	}
+	for name, b := range damage {
+		if _, err := ReadCheckpoint(bytes.NewReader(b)); err == nil {
+			t.Errorf("%s: ReadCheckpoint accepted damaged input", name)
+		}
+	}
+}
+
+func TestSaveLoadCheckpoint(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "anole.ckpt")
+	want := sampleCheckpoint()
+	if err := SaveCheckpoint(path, want); err != nil {
+		t.Fatalf("SaveCheckpoint: %v", err)
+	}
+	got, err := LoadCheckpoint(path)
+	if err != nil {
+		t.Fatalf("LoadCheckpoint: %v", err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("save/load mismatch:\n got %+v\nwant %+v", got, want)
+	}
+	// A failed save must not leave temp litter next to the checkpoint.
+	if err := SaveCheckpoint(path, nil); err == nil {
+		t.Fatal("SaveCheckpoint accepted a nil checkpoint")
+	}
+	entries, err := os.ReadDir(filepath.Dir(path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("temp litter after failed save: %v", entries)
+	}
+	if _, err := LoadCheckpoint(filepath.Join(t.TempDir(), "missing")); err == nil {
+		t.Fatal("LoadCheckpoint read a missing file")
+	}
+}
+
+// FuzzReadCheckpoint asserts the decoder's contract under arbitrary
+// damage: it may reject, but it must never panic, and whatever it does
+// accept must be internally consistent — finite, within bounds, and
+// bit-for-bit re-encodable (no partial restore).
+func FuzzReadCheckpoint(f *testing.F) {
+	f.Add(encode(f, sampleCheckpoint()))
+	f.Add(encode(f, &Checkpoint{}))
+	f.Add(encode(f, &Checkpoint{
+		Generation: math.MaxUint64,
+		Markov:     &MarkovState{N: 1, Counts: []float64{0}, RowSum: []float64{0}},
+		Cache:      []CacheEntry{{Key: "k", Freq: 0}},
+	}))
+	blob := encode(f, sampleCheckpoint())
+	f.Add(blob[:len(blob)-5])
+	f.Add(append([]byte("ANLC"), 1, 0))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		c, err := ReadCheckpoint(bytes.NewReader(data))
+		if err != nil {
+			if c != nil {
+				t.Fatal("error with partial checkpoint returned")
+			}
+			return
+		}
+		var buf bytes.Buffer
+		if err := WriteCheckpoint(&buf, c); err != nil {
+			t.Fatalf("accepted checkpoint does not re-encode: %v", err)
+		}
+		if !bytes.Equal(buf.Bytes(), data) {
+			t.Fatalf("re-encode differs from accepted input:\n got %x\nwant %x", buf.Bytes(), data)
+		}
+	})
+}

@@ -1,0 +1,304 @@
+// Package pressure provides overload-survival machinery for the
+// multi-stream runtime: a resource-pressure monitor that folds thermal
+// state, cache residency, and queue delay into a discrete pressure
+// level; a CoDel-style deadline controller driving a shed ladder; a
+// per-stream watchdog that quarantines stalled streams; and a
+// versioned, CRC-checked checkpoint codec for crash/restart recovery.
+//
+// The package deliberately imports nothing from core, prefetch,
+// modelcache, or adapt — those layers import pressure and convert
+// their own state into the plain types defined here. That keeps the
+// dependency graph acyclic and the checkpoint format free of any
+// package-internal representation.
+package pressure
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"anole/internal/telemetry"
+)
+
+// Level is a discrete resource-pressure reading. Levels order:
+// Nominal < Elevated < Critical.
+type Level int
+
+const (
+	// Nominal means every signal is inside its envelope; no
+	// degradation is active.
+	Nominal Level = iota
+	// Elevated means at least one signal crossed its soft threshold:
+	// background work (prefetch planning) pauses, serving continues
+	// untouched.
+	Elevated
+	// Critical means at least one signal crossed its hard threshold:
+	// cache eviction watermarks tighten and non-essential uplink
+	// traffic (drift reports) defers.
+	Critical
+)
+
+func (l Level) String() string {
+	switch l {
+	case Nominal:
+		return "nominal"
+	case Elevated:
+		return "elevated"
+	case Critical:
+		return "critical"
+	default:
+		return "unknown"
+	}
+}
+
+// Sample is one per-tick observation fed to the Monitor.
+type Sample struct {
+	// Heat is the hottest stream device's thermal state: 1.0 is the
+	// sustained-power envelope, values above derate throughput.
+	Heat float64
+	// Residency is resident cache bytes over the device byte capacity
+	// (0 when no byte capacity is configured).
+	Residency float64
+	// Sojourn is the tick's worst served-frame latency over the frame
+	// deadline (0 when no deadline is configured). Values above 1 mean
+	// the tick backlog is growing faster than frames drain.
+	Sojourn float64
+}
+
+// MonitorConfig tunes the pressure thresholds. Zero values select the
+// documented defaults.
+type MonitorConfig struct {
+	// HeatElevated / HeatCritical are thermal-state thresholds.
+	// Defaults: 1.0 (at envelope) and 1.5.
+	HeatElevated float64
+	HeatCritical float64
+	// ResidencyElevated / ResidencyCritical are cache-fill fractions.
+	// Defaults: 0.85 and 0.95.
+	ResidencyElevated float64
+	ResidencyCritical float64
+	// SojournElevated / SojournCritical are latency/deadline ratios.
+	// Defaults: 1.0 and 4.0.
+	SojournElevated float64
+	SojournCritical float64
+	// HoldTicks is how many consecutive calmer observations must
+	// accumulate before the level steps down one notch. Escalation is
+	// immediate; relaxation is damped so the level does not flap at a
+	// threshold boundary. Default: 8.
+	HoldTicks int
+	// Metrics optionally publishes anole_pressure_* series.
+	Metrics *telemetry.Registry
+}
+
+func (c *MonitorConfig) withDefaults() MonitorConfig {
+	out := *c
+	if out.HeatElevated == 0 {
+		out.HeatElevated = 1.0
+	}
+	if out.HeatCritical == 0 {
+		out.HeatCritical = 1.5
+	}
+	if out.ResidencyElevated == 0 {
+		out.ResidencyElevated = 0.85
+	}
+	if out.ResidencyCritical == 0 {
+		out.ResidencyCritical = 0.95
+	}
+	if out.SojournElevated == 0 {
+		out.SojournElevated = 1.0
+	}
+	if out.SojournCritical == 0 {
+		out.SojournCritical = 4.0
+	}
+	if out.HoldTicks <= 0 {
+		out.HoldTicks = 8
+	}
+	return out
+}
+
+// Monitor folds per-tick resource samples into a discrete pressure
+// level with damped downward transitions, and fans level changes out
+// to subscribers. All methods are safe for concurrent use; a nil
+// *Monitor is a no-op whose Level is always Nominal.
+type Monitor struct {
+	cfg MonitorConfig
+
+	mu    sync.Mutex
+	level Level
+	calm  int // consecutive observations strictly below the current level
+	subs  []func(Level)
+
+	levelAtomic atomic.Int64 // lock-free Level() reads
+
+	// Telemetry handles (nil-safe).
+	gLevel         *telemetry.Gauge
+	cTransitions   *telemetry.Counter
+	cShedPrefetch  *telemetry.Counter
+	cShedDowngrade *telemetry.Counter
+	cShedDropped   *telemetry.Counter
+	cQuarantines   *telemetry.Counter
+	cQuarFrames    *telemetry.Counter
+	cSweeps        *telemetry.Counter
+	cSweepEvicted  *telemetry.Counter
+	cDeferred      *telemetry.Counter
+}
+
+// NewMonitor builds a Monitor from cfg (zero-value fields get
+// defaults).
+func NewMonitor(cfg MonitorConfig) *Monitor {
+	m := &Monitor{cfg: cfg.withDefaults()}
+	if reg := m.cfg.Metrics; reg != nil {
+		m.gLevel = reg.Gauge("anole_pressure_level",
+			"Current pressure level: 0 nominal, 1 elevated, 2 critical.")
+		m.cTransitions = reg.Counter("anole_pressure_transitions_total",
+			"Pressure level transitions (either direction).")
+		m.cShedPrefetch = reg.Counter("anole_pressure_shed_prefetch_total",
+			"Frames served with prefetch planning suppressed (ladder rung 1).")
+		m.cShedDowngrade = reg.Counter("anole_pressure_shed_downgrade_total",
+			"Frames downgraded to the cheapest resident model (ladder rung 2).")
+		m.cShedDropped = reg.Counter("anole_pressure_shed_dropped_total",
+			"Frames dropped with a shed verdict (ladder rung 3).")
+		m.cQuarantines = reg.Counter("anole_pressure_quarantines_total",
+			"Streams quarantined by the watchdog.")
+		m.cQuarFrames = reg.Counter("anole_pressure_quarantined_frames_total",
+			"Frames disposed with a quarantined verdict.")
+		m.cSweeps = reg.Counter("anole_pressure_watermark_sweeps_total",
+			"Critical-pressure cache watermark sweeps.")
+		m.cSweepEvicted = reg.Counter("anole_pressure_watermark_evicted_total",
+			"Cache entries evicted by watermark sweeps.")
+		m.cDeferred = reg.Counter("anole_pressure_deferred_reports_total",
+			"Drift report shipments deferred under critical pressure.")
+	}
+	return m
+}
+
+// Subscribe registers fn to be called synchronously (under no Monitor
+// lock) whenever the level changes. Subscribers registered before the
+// first Update see every transition.
+func (m *Monitor) Subscribe(fn func(Level)) {
+	if m == nil || fn == nil {
+		return
+	}
+	m.mu.Lock()
+	m.subs = append(m.subs, fn)
+	m.mu.Unlock()
+}
+
+// Level returns the current pressure level. Nil-safe.
+func (m *Monitor) Level() Level {
+	if m == nil {
+		return Nominal
+	}
+	return Level(m.levelAtomic.Load())
+}
+
+// classify maps a sample to its instantaneous level, before damping.
+func (m *Monitor) classify(s Sample) Level {
+	c := &m.cfg
+	if s.Heat >= c.HeatCritical || s.Residency >= c.ResidencyCritical || s.Sojourn >= c.SojournCritical {
+		return Critical
+	}
+	if s.Heat >= c.HeatElevated || s.Residency >= c.ResidencyElevated || s.Sojourn >= c.SojournElevated {
+		return Elevated
+	}
+	return Nominal
+}
+
+// Update folds one observation into the level. Escalation applies
+// immediately; de-escalation requires HoldTicks consecutive
+// observations strictly below the current level and then steps down
+// one notch at a time. Returns the (possibly new) level. Nil-safe.
+func (m *Monitor) Update(s Sample) Level {
+	if m == nil {
+		return Nominal
+	}
+	raw := m.classify(s)
+
+	m.mu.Lock()
+	prev := m.level
+	next := prev
+	switch {
+	case raw > prev:
+		next = raw
+		m.calm = 0
+	case raw < prev:
+		m.calm++
+		if m.calm >= m.cfg.HoldTicks {
+			next = prev - 1
+			m.calm = 0
+		}
+	default:
+		m.calm = 0
+	}
+	var subs []func(Level)
+	if next != prev {
+		m.level = next
+		m.levelAtomic.Store(int64(next))
+		subs = append(subs, m.subs...)
+	}
+	m.mu.Unlock()
+
+	if next != prev {
+		if m.gLevel != nil {
+			m.gLevel.Set(float64(next))
+		}
+		m.cTransitions.Inc()
+		for _, fn := range subs {
+			fn(next)
+		}
+	}
+	return next
+}
+
+// The Note* methods below are the single funnel for anole_pressure_*
+// event counters; callers hold no Monitor lock and all handles are
+// nil-safe, so they may be invoked from any goroutine including when
+// the Monitor was built without a registry.
+
+// NoteShed counts one frame affected by the given ladder rung.
+func (m *Monitor) NoteShed(r Rung) {
+	if m == nil {
+		return
+	}
+	switch r {
+	case ShedPrefetch:
+		m.cShedPrefetch.Inc()
+	case ShedDowngrade:
+		m.cShedDowngrade.Inc()
+	case ShedDrop:
+		m.cShedDropped.Inc()
+	}
+}
+
+// NoteQuarantine counts one stream entering quarantine.
+func (m *Monitor) NoteQuarantine() {
+	if m == nil {
+		return
+	}
+	m.cQuarantines.Inc()
+}
+
+// NoteQuarantinedFrame counts one frame disposed while its stream was
+// quarantined.
+func (m *Monitor) NoteQuarantinedFrame() {
+	if m == nil {
+		return
+	}
+	m.cQuarFrames.Inc()
+}
+
+// NoteSweep counts one watermark sweep that evicted n entries.
+func (m *Monitor) NoteSweep(n int) {
+	if m == nil {
+		return
+	}
+	m.cSweeps.Inc()
+	m.cSweepEvicted.Add(int64(n))
+}
+
+// NoteDeferredReports counts one drift shipment deferred under
+// critical pressure.
+func (m *Monitor) NoteDeferredReports() {
+	if m == nil {
+		return
+	}
+	m.cDeferred.Inc()
+}
