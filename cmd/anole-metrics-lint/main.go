@@ -1,0 +1,27 @@
+// Command anole-metrics-lint validates a Prometheus text exposition on
+// stdin against the repository metric naming scheme: every series under
+// the anole_ prefix, inside a known component family, kind-aware
+// suffixes (counters _total, gauges bare, histograms carrying a unit),
+// no duplicates, and no series without a # TYPE declaration.
+//
+// CI pipes the live /metrics scrape of anole-server through it, so a
+// metric added outside the scheme fails the build rather than landing
+// on a dashboard misnamed:
+//
+//	curl -fsS http://host:port/metrics | anole-metrics-lint
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"anole/internal/telemetry"
+)
+
+func main() {
+	if err := telemetry.LintText(os.Stdin); err != nil {
+		fmt.Fprintln(os.Stderr, "anole-metrics-lint:", err)
+		os.Exit(1)
+	}
+	fmt.Println("metrics scheme ok")
+}

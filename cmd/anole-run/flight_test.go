@@ -1,0 +1,108 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"anole/internal/flight"
+)
+
+// TestRunFlightDumpOnRollback is the seeded-chaos rollback smoke the CI
+// observability job replays: with -min-f1-ratio pinned impossibly high
+// the retrained candidate can never pass its canary, the forced
+// rollback trips the flight recorder, and the -flight-dump artifact on
+// disk decodes into a dump whose trigger and spans carry the drift
+// journey's trace.
+func TestRunFlightDumpOnRollback(t *testing.T) {
+	path := cheapBundlePath(t)
+	dir := t.TempDir()
+	dumpPath := filepath.Join(dir, "flight.json")
+	jsonPath := filepath.Join(dir, "stats.json")
+	var out strings.Builder
+	err := run(&out, []string{
+		"-bundle", path, "-streams", "2", "-clips", "1", "-frames", "150",
+		"-cache", "4", "-adapt", "-drift-window", "15", "-canary-frames", "30",
+		"-min-f1-ratio", "1e9", "-flight", "-flight-dump", dumpPath, "-slo",
+		"-json", jsonPath,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The run summary reports the anomaly freeze.
+	if !strings.Contains(out.String(), "frozen on anomaly") {
+		t.Errorf("output missing flight freeze line:\n%s", out.String())
+	}
+
+	// The JSON report's adapt, slo and flight blocks agree: a rollback
+	// happened and froze the recorder on it.
+	raw, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep report
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatalf("stats JSON: %v\n%s", err, raw)
+	}
+	// (The ratio gate is skipped while the incumbent's windowed F1 is
+	// zero, so an early canary may still promote — what the smoke pins
+	// is that at least one rollback happened and tripped the recorder.)
+	if rep.Adapt == nil || rep.Adapt.Rollbacks < 1 {
+		t.Fatalf("expected a forced rollback, adapt block: %+v", rep.Adapt)
+	}
+	if rep.SLO == nil {
+		t.Fatal("report missing slo block")
+	}
+	if rep.Flight == nil || !rep.Flight.Frozen || rep.Flight.Events == 0 {
+		t.Fatalf("flight block: %+v", rep.Flight)
+	}
+	if !strings.HasPrefix(rep.Flight.DumpReason, "rollback:") {
+		t.Fatalf("dump reason %q", rep.Flight.DumpReason)
+	}
+
+	// The artifact on disk is a valid dump causally linked to the
+	// journey: the trigger is the rollback, its trace is a canary-stream
+	// drift trace, and the embedded spans all belong to that trace.
+	f, err := os.Open(dumpPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	dump, err := flight.ReadDump(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dump.Reason != rep.Flight.DumpReason {
+		t.Fatalf("artifact reason %q, report says %q", dump.Reason, rep.Flight.DumpReason)
+	}
+	if dump.Trigger.Kind != flight.KindRollback {
+		t.Fatalf("trigger kind %q", dump.Trigger.Kind)
+	}
+	if !strings.HasPrefix(dump.Trigger.Trace, "d") || !strings.Contains(dump.Trigger.Trace, ".g") {
+		t.Fatalf("trigger trace %q is not a drift trace", dump.Trigger.Trace)
+	}
+	if len(dump.Spans) == 0 {
+		t.Fatal("dump has no causally linked spans")
+	}
+	events := make(map[string]bool)
+	for _, s := range dump.Spans {
+		if s.Trace != dump.Trigger.Trace {
+			t.Fatalf("dump span off-trace: %+v", s)
+		}
+		events[s.Event] = true
+	}
+	for _, want := range []string{"report", "canary_start", "rollback"} {
+		if !events[want] {
+			t.Errorf("dump spans missing journey event %q (have %v)", want, events)
+		}
+	}
+	if dump.Metrics["anole_adapt_rollbacks_total"] < 1 {
+		t.Fatalf("dump metrics: rollbacks_total = %v", dump.Metrics["anole_adapt_rollbacks_total"])
+	}
+	if dump.Config["streams"] != "2" {
+		t.Fatalf("dump config echo: %v", dump.Config)
+	}
+}

@@ -93,11 +93,13 @@ import (
 	"anole/internal/detect"
 	"anole/internal/device"
 	"anole/internal/faults"
+	"anole/internal/flight"
 	"anole/internal/netsim"
 	"anole/internal/prefetch"
 	"anole/internal/pressure"
 	"anole/internal/repo"
 	"anole/internal/sampling"
+	"anole/internal/slo"
 	"anole/internal/synth"
 	"anole/internal/telemetry"
 	"anole/internal/trace"
@@ -145,7 +147,13 @@ func run(w io.Writer, args []string) error {
 		restorePath = fs.String("restore", "", "warm-start from this checkpoint file; corrupt or unreadable falls back to cold start (requires -streams >= 2)")
 		driftWin    = fs.Int("drift-window", 30, "drift-detector window in frames (with -adapt)")
 		canaryFr    = fs.Int("canary-frames", 60, "canary-stream frames before a rollout verdict (with -adapt)")
-		metricsAddr = fs.String("metrics-addr", "", "serve live /metrics, /debug/spans and /debug/pprof on this address during the run (e.g. 127.0.0.1:0)")
+		minF1Ratio  = fs.Float64("min-f1-ratio", 0.5, "canary-to-incumbent F1 ratio below which a canary rolls back (with -adapt)")
+		flightOn    = fs.Bool("flight", false, "run the anomaly flight recorder: bounded event rings frozen and dumped when a rollback, Critical pressure, quarantine or checkpoint reject lands (requires -streams >= 2)")
+		flightDump  = fs.String("flight-dump", "", "write the flight-recorder dump artifact to this file the moment an anomaly trips (with -flight)")
+		sloOn       = fs.Bool("slo", false, "evaluate fleet SLOs (frame p99 latency, served/degraded fractions, swap staleness) with multi-window burn rates; adds the anole_slo_* series and an \"slo\" block to -json (requires -streams >= 2)")
+		sloLatency  = fs.Duration("slo-latency-target", 50*time.Millisecond, "frame p99 latency objective (with -slo)")
+		sloStale    = fs.Duration("slo-staleness-target", 10*time.Second, "publish-to-swap staleness objective (with -slo)")
+		metricsAddr = fs.String("metrics-addr", "", "serve live /metrics, /debug/spans, /debug/flight and /debug/pprof on this address during the run (e.g. 127.0.0.1:0)")
 		jsonPath    = fs.String("json", "", "write aggregate stats JSON to this file (\"-\" for stdout)")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -172,6 +180,12 @@ func run(w io.Writer, args []string) error {
 	if *ckptEvery > 0 && *adaptOn {
 		return fmt.Errorf("-checkpoint-every cannot chunk an -adapt run (checkpoint is still written on completion)")
 	}
+	if (*flightOn || *sloOn) && *streams < 2 {
+		return fmt.Errorf("-flight and -slo observe the multi-stream fleet: -streams must be >= 2")
+	}
+	if *flightDump != "" && !*flightOn {
+		return fmt.Errorf("-flight-dump needs -flight")
+	}
 
 	bundle, err := repo.LoadFile(*bundlePath)
 	if err != nil {
@@ -191,6 +205,10 @@ func run(w io.Writer, args []string) error {
 		return fmt.Errorf("unknown device %q (want nano, tx2 or laptop)", *devName)
 	}
 	reg := telemetry.NewRegistry()
+	// rec is assigned below, after the link (whose clock it shares) is
+	// built; the breaker transition hook closes over the variable and
+	// nil-safe Record ignores transitions before assignment.
+	var rec *flight.Recorder
 	var pfCfg *prefetch.Config
 	var lf *prefetch.LinkFetcher
 	if *prefetchOn {
@@ -201,6 +219,14 @@ func run(w io.Writer, args []string) error {
 				CorruptRate:      *crptRate,
 				BreakerThreshold: *brkThresh,
 				BreakerCooldown:  *brkCool,
+				OnBreaker: func(from, to breaker.State) {
+					rec.Record(flight.Event{
+						Stream: flight.GlobalStream,
+						Kind:   flight.KindBreaker,
+						Detail: to.String(),
+						Value:  float64(to),
+					})
+				},
 			}
 		}
 		pfCfg, lf, err = linkPrefetchConfig(bundle, *stability, *pfBudget, *seed, chaos, reg)
@@ -217,6 +243,43 @@ func run(w io.Writer, args []string) error {
 	}
 	spans := telemetry.NewTracer(0, spanClock)
 
+	if *flightOn {
+		fcfg := flight.Config{
+			Now:    spanClock,
+			Spans:  spans,
+			Gather: reg,
+			Info: map[string]string{
+				"seed":    fmt.Sprint(*seed),
+				"streams": fmt.Sprint(*streams),
+				"device":  *devName,
+				"chaos":   fmt.Sprint(*chaosOn),
+				"adapt":   fmt.Sprint(*adaptOn),
+			},
+			Metrics: reg,
+		}
+		if *flightDump != "" {
+			path := *flightDump
+			fcfg.OnDump = func(d *flight.Dump) {
+				f, err := os.Create(path)
+				if err != nil {
+					return
+				}
+				defer f.Close()
+				_ = flight.WriteDump(f, d)
+			}
+		}
+		rec = flight.NewRecorder(fcfg)
+	}
+	var eng *slo.Engine
+	if *sloOn {
+		eng = slo.NewEngine(slo.Config{
+			LatencyTarget:   *sloLatency,
+			StalenessTarget: *sloStale,
+			Now:             spanClock,
+			Metrics:         reg,
+		})
+	}
+
 	var metricsURL string
 	if *metricsAddr != "" {
 		ln, err := net.Listen("tcp", *metricsAddr)
@@ -226,6 +289,7 @@ func run(w io.Writer, args []string) error {
 		mux := http.NewServeMux()
 		mux.Handle("/metrics", telemetry.MetricsHandler(reg))
 		mux.Handle("/debug/spans", telemetry.SpansHandler(spans))
+		mux.Handle("/debug/flight", flight.Handler(rec))
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
 		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -246,7 +310,7 @@ func run(w io.Writer, args []string) error {
 	if *streams > 1 {
 		var ao *adaptOptions
 		if *adaptOn {
-			ao = &adaptOptions{DriftWindow: *driftWin, CanaryFrames: *canaryFr}
+			ao = &adaptOptions{DriftWindow: *driftWin, CanaryFrames: *canaryFr, MinF1Ratio: *minF1Ratio}
 		}
 		ro := runOptions{
 			Thermal:         *thermalOn,
@@ -254,6 +318,8 @@ func run(w io.Writer, args []string) error {
 			Checkpoint:      *ckptPath,
 			CheckpointEvery: *ckptEvery,
 			Restore:         *restorePath,
+			Flight:          rec,
+			SLO:             eng,
 		}
 		if err := runMulti(w, bundle, profile, *streams, *cache, *clips, *frames, *seed, *batchOn, *tracePath, pfCfg, lf, ao, ro, *jsonPath, reg, spans); err != nil {
 			return err
@@ -341,7 +407,7 @@ func run(w io.Writer, args []string) error {
 	if tracer != nil {
 		fmt.Fprintf(w, "trace: %d events written to %s\n", tracer.Count(), *tracePath)
 	}
-	if err := writeReport(w, *jsonPath, buildReport(st, sched, pfBreaker(pfCfg), nil, nil, reg, spans)); err != nil {
+	if err := writeReport(w, *jsonPath, buildReport(st, sched, pfBreaker(pfCfg), nil, nil, nil, nil, reg, spans)); err != nil {
 		return err
 	}
 	settled()
@@ -394,6 +460,14 @@ type report struct {
 	// (-deadline): final level and shed-ladder rung plus the per-verdict
 	// frame counts.
 	Pressure *core.PressureStats `json:"pressure,omitempty"`
+	// SLO is present only when -slo was set: windowed objectives, burn
+	// rates, and fleet percentiles as of run end — the same values the
+	// anole_slo_* gauges export.
+	SLO *slo.Status `json:"slo,omitempty"`
+	// Flight is present only when -flight was set: recorder state plus
+	// the captured dump's reason. The full dump artifact is written by
+	// -flight-dump and served on /debug/flight?dump=1.
+	Flight *flightStatus `json:"flight,omitempty"`
 	// Metrics is the run's full telemetry counter set, flattened with
 	// telemetry.Map (histograms expand to _count/_sum/_p50/_p95/_p99).
 	// Live /metrics (-metrics-addr) serves exactly these values once the
@@ -404,7 +478,15 @@ type report struct {
 	Spans []telemetry.Span `json:"spans,omitempty"`
 }
 
-func buildReport(st core.RunStats, sched *prefetch.Scheduler, brk *breaker.Breaker, ast *adapt.LoopStats, press *core.PressureStats, reg *telemetry.Registry, spans *telemetry.Tracer) report {
+// flightStatus is the -json report's flight-recorder block.
+type flightStatus struct {
+	Frozen     bool   `json:"frozen"`
+	Events     int    `json:"events"`
+	Dropped    int64  `json:"dropped"`
+	DumpReason string `json:"dumpReason,omitempty"`
+}
+
+func buildReport(st core.RunStats, sched *prefetch.Scheduler, brk *breaker.Breaker, ast *adapt.LoopStats, press *core.PressureStats, eng *slo.Engine, rec *flight.Recorder, reg *telemetry.Registry, spans *telemetry.Tracer) report {
 	rep := report{
 		Frames:            st.Frames,
 		Switches:          st.Switches,
@@ -436,6 +518,23 @@ func buildReport(st core.RunStats, sched *prefetch.Scheduler, brk *breaker.Break
 	}
 	rep.Adapt = ast
 	rep.Pressure = press
+	if eng != nil {
+		// Status refreshes the anole_slo_* gauges, so it must run before
+		// the registry snapshot below for scrape == report to hold.
+		sst := eng.Status()
+		rep.SLO = &sst
+	}
+	if rec != nil {
+		fst := flightStatus{
+			Frozen:  rec.Frozen(),
+			Events:  len(rec.Snapshot()),
+			Dropped: rec.Dropped(),
+		}
+		if d := rec.LastDump(); d != nil {
+			fst.DumpReason = d.Reason
+		}
+		rep.Flight = &fst
+	}
 	if reg != nil {
 		rep.Metrics = telemetry.Map(reg)
 	}
@@ -488,6 +587,9 @@ type chaosConfig struct {
 	CorruptRate      float64
 	BreakerThreshold int
 	BreakerCooldown  int // frames
+	// OnBreaker, when non-nil, observes every breaker state transition
+	// (the flight recorder's KindBreaker feed).
+	OnBreaker func(from, to breaker.State)
 }
 
 // linkPrefetchConfig builds the prefetch configuration used by
@@ -527,6 +629,7 @@ func linkPrefetchConfig(bundle *core.Bundle, stability float64, budget int64, se
 			Cooldown:         time.Duration(chaos.BreakerCooldown) * lf.Interval(),
 			Now:              lf.Now,
 			Metrics:          reg,
+			OnTransition:     chaos.OnBreaker,
 		})
 	}
 	return cfg, lf, nil
@@ -536,15 +639,19 @@ func linkPrefetchConfig(bundle *core.Bundle, stability float64, budget int64, se
 type adaptOptions struct {
 	DriftWindow  int
 	CanaryFrames int
+	MinF1Ratio   float64
 }
 
-// runOptions carries the overload-survival knobs into runMulti.
+// runOptions carries the overload-survival and observability knobs into
+// runMulti.
 type runOptions struct {
 	Thermal         bool
 	Deadline        time.Duration
 	Checkpoint      string
 	CheckpointEvery int
 	Restore         string
+	Flight          *flight.Recorder
+	SLO             *slo.Engine
 }
 
 // saveCheckpoint snapshots the fleet's warm state (plus the adapt
@@ -590,7 +697,7 @@ func unseenScene(b *core.Bundle) (synth.Scene, error) {
 // and the canary rollout loop around the fleet. With -prefetch the
 // transport learns a new generation's models before they become
 // fetchable.
-func adaptLoop(mrt *core.MultiRuntime, bundle *core.Bundle, world *synth.World, seed uint64, ao *adaptOptions, lf *prefetch.LinkFetcher, reg *telemetry.Registry, spans *telemetry.Tracer) (*adapt.Loop, error) {
+func adaptLoop(mrt *core.MultiRuntime, bundle *core.Bundle, world *synth.World, seed uint64, ao *adaptOptions, lf *prefetch.LinkFetcher, rec *flight.Recorder, eng *slo.Engine, reg *telemetry.Registry, spans *telemetry.Tracer) (*adapt.Loop, error) {
 	srv, err := repo.NewServer(bundle)
 	if err != nil {
 		return nil, err
@@ -615,6 +722,7 @@ func adaptLoop(mrt *core.MultiRuntime, bundle *core.Bundle, world *synth.World, 
 		Train:       detect.TrainConfig{Epochs: 20},
 		Sampling:    sampling.Config{Kappa: 600},
 		Metrics:     reg,
+		Tracer:      spans,
 	})
 	if err != nil {
 		return nil, err
@@ -622,12 +730,15 @@ func adaptLoop(mrt *core.MultiRuntime, bundle *core.Bundle, world *synth.World, 
 	cfg := adapt.LoopConfig{
 		Drift: adapt.DriftConfig{Window: ao.DriftWindow, Cooldown: 1},
 		// The candidate serves a scene the incumbent cannot, so shared-
-		// scene slack is tolerated; a broken model still lands far below.
-		Rollout:   adapt.RolloutConfig{CanaryFrames: ao.CanaryFrames, MinF1Ratio: 0.5},
+		// scene slack is tolerated by the default -min-f1-ratio; a broken
+		// model still lands far below.
+		Rollout:   adapt.RolloutConfig{CanaryFrames: ao.CanaryFrames, MinF1Ratio: ao.MinF1Ratio},
 		Submitter: ctrl,
 		Source:    adapt.NewServerSource(srv),
 		Metrics:   reg,
 		Tracer:    spans,
+		Flight:    rec,
+		SLO:       eng,
 	}
 	if lf != nil {
 		cfg.RegisterModels = lf.AddModels
@@ -652,6 +763,8 @@ func runMulti(w io.Writer, bundle *core.Bundle, profile device.Profile, streams,
 		Tracer:     spans,
 		Batch:      batch,
 		Deadline:   ro.Deadline,
+		Flight:     ro.Flight,
+		SLO:        ro.SLO,
 	}
 	if ro.Thermal {
 		mcfg.Thermal = device.DefaultThermal()
@@ -694,7 +807,7 @@ func runMulti(w io.Writer, bundle *core.Bundle, profile device.Profile, streams,
 		for i := range inputs[0] {
 			inputs[0][i] = world.GenerateFrame(novel, 1, arng)
 		}
-		if loop, err = adaptLoop(mrt, bundle, world, seed, ao, lf, reg, spans); err != nil {
+		if loop, err = adaptLoop(mrt, bundle, world, seed, ao, lf, ro.Flight, ro.SLO, reg, spans); err != nil {
 			return err
 		}
 	}
@@ -827,6 +940,19 @@ func runMulti(w io.Writer, bundle *core.Bundle, profile device.Profile, streams,
 		fmt.Fprintf(w, "adapt: canaries %d  promotions %d  rollbacks %d  rejected %d  fleet generation %d\n",
 			st.CanaryStarts, st.Promotions, st.Rollbacks, st.RejectedCandidates, st.FleetGeneration)
 	}
+	if eng := ro.SLO; eng != nil {
+		sst := eng.Status()
+		fmt.Fprintf(w, "slo: p99 %.1f ms  served %.3f  degraded %.3f  staleness %.1f ms  alerts %v\n",
+			1e3*sst.Long.LatencyP99.Seconds(), sst.Long.ServedFraction,
+			sst.Long.DegradedFraction, 1e3*sst.Long.SwapStaleness.Seconds(), sst.Alerts)
+	}
+	if rec := ro.Flight; rec != nil {
+		line := fmt.Sprintf("flight: %d events retained", len(rec.Snapshot()))
+		if d := rec.LastDump(); d != nil {
+			line += fmt.Sprintf("  frozen on anomaly %q (%d events dropped since)", d.Reason, rec.Dropped())
+		}
+		fmt.Fprintln(w, line)
+	}
 	if tracers != nil {
 		total := 0
 		for _, tr := range tracers {
@@ -834,5 +960,5 @@ func runMulti(w io.Writer, bundle *core.Bundle, profile device.Profile, streams,
 		}
 		fmt.Fprintf(w, "trace: %d events written to %s.stream{0..%d}\n", total, tracePath, streams-1)
 	}
-	return writeReport(w, jsonPath, buildReport(agg, sched, pfBreaker(pfCfg), ast, press, reg, spans))
+	return writeReport(w, jsonPath, buildReport(agg, sched, pfBreaker(pfCfg), ast, press, ro.SLO, ro.Flight, reg, spans))
 }

@@ -2,6 +2,7 @@ package main
 
 import (
 	"encoding/json"
+	"io"
 	"math"
 	"net/http"
 	"os"
@@ -155,6 +156,117 @@ func TestRunMetricsAddrMatchesJSONReport(t *testing.T) {
 
 	if !strings.Contains(out.String(), "debug: serving /metrics") {
 		t.Errorf("output missing debug listener line:\n%s", out.String())
+	}
+}
+
+// TestRunFullSurfaceScrapeMatchesReport re-asserts the "live scrape ==
+// JSON report exactly" invariant over the full current metric surface:
+// a multi-stream run with adaptation, deadline shedding, thermal
+// throttling, the SLO engine and the flight recorder all on, so the
+// anole_adapt_*, anole_pressure_*, anole_slo_* and anole_flight_*
+// families join the core/cache/prefetch set, and the scraped exposition
+// passes the strict naming-scheme lint end to end.
+func TestRunFullSurfaceScrapeMatchesReport(t *testing.T) {
+	path := cheapBundlePath(t)
+	jsonPath := filepath.Join(t.TempDir(), "stats.json")
+
+	var (
+		scraped   []telemetry.ParsedSeries
+		lintErr   error
+		scrapeErr error
+	)
+	testHookMetricsSettled = func(addr string) {
+		resp, err := http.Get("http://" + addr + "/metrics")
+		if err != nil {
+			scrapeErr = err
+			return
+		}
+		defer resp.Body.Close()
+		var buf strings.Builder
+		if _, err := io.Copy(&buf, resp.Body); err != nil {
+			scrapeErr = err
+			return
+		}
+		scraped, scrapeErr = telemetry.ParseText(strings.NewReader(buf.String()))
+		lintErr = telemetry.LintText(strings.NewReader(buf.String()))
+	}
+	defer func() { testHookMetricsSettled = nil }()
+
+	err := run(new(strings.Builder), []string{
+		"-bundle", path, "-streams", "2", "-clips", "1", "-frames", "120",
+		"-cache", "4", "-adapt", "-drift-window", "15", "-canary-frames", "30",
+		"-deadline", "60ms", "-thermal", "-slo", "-flight",
+		"-metrics-addr", "127.0.0.1:0", "-json", jsonPath,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scrapeErr != nil {
+		t.Fatalf("scrape: %v", scrapeErr)
+	}
+	if scraped == nil {
+		t.Fatal("settled hook never ran — was the listener started?")
+	}
+	if lintErr != nil {
+		t.Fatalf("live exposition fails the scheme lint: %v", lintErr)
+	}
+
+	raw, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep report
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatalf("stats JSON: %v", err)
+	}
+	if rep.Adapt == nil || rep.SLO == nil || rep.Flight == nil || rep.Pressure == nil {
+		t.Fatalf("report missing an observability block: adapt=%v slo=%v flight=%v pressure=%v",
+			rep.Adapt != nil, rep.SLO != nil, rep.Flight != nil, rep.Pressure != nil)
+	}
+
+	// Every plain counter/gauge in the report must match the live scrape
+	// exactly; histogram quantiles come from the sample ring, not the
+	// exposition.
+	checked := 0
+	families := map[string]bool{}
+	for name, want := range rep.Metrics {
+		rest := strings.TrimPrefix(name, "anole_")
+		if i := strings.IndexByte(rest, '_'); i > 0 {
+			families[rest[:i]] = true
+		}
+		if strings.HasSuffix(name, "_p50") || strings.HasSuffix(name, "_p95") || strings.HasSuffix(name, "_p99") {
+			continue
+		}
+		got, ok := telemetry.SeriesValue(scraped, name)
+		if !ok {
+			t.Errorf("live /metrics missing %s", name)
+			continue
+		}
+		if math.Abs(got-want) > 1e-9 {
+			t.Errorf("%s: live %v, report %v", name, got, want)
+		}
+		checked++
+	}
+	if checked < 30 {
+		t.Fatalf("only %d series compared — scrape or report suspiciously small", checked)
+	}
+	// The full surface means every observability family is present.
+	for _, fam := range []string{"core", "modelcache", "adapt", "pressure", "slo", "flight"} {
+		if !families[fam] {
+			t.Errorf("metric family %q absent from the report (have %v)", fam, families)
+		}
+	}
+
+	// The families must carry live values consistent with the
+	// structured report blocks.
+	if got := rep.Metrics["anole_adapt_fleet_generation"]; got != float64(rep.Adapt.FleetGeneration) {
+		t.Errorf("fleet generation gauge %v, adapt block %d", got, rep.Adapt.FleetGeneration)
+	}
+	if got := rep.Metrics["anole_flight_events_total"]; got < float64(rep.Flight.Events) {
+		t.Errorf("flight events counter %v below retained %d", got, rep.Flight.Events)
+	}
+	if got := rep.Metrics["anole_slo_served_fraction"]; got != rep.SLO.Long.ServedFraction {
+		t.Errorf("served-fraction gauge %v, slo block %v", got, rep.SLO.Long.ServedFraction)
 	}
 }
 

@@ -105,6 +105,10 @@ func newHandler(bundle *core.Bundle, spanBuffer int, seed uint64, adaptOn bool) 
 			Train:       detect.TrainConfig{Epochs: 20},
 			Sampling:    sampling.Config{Kappa: 600},
 			Metrics:     reg,
+			// Cloud-side causal spans: cluster → retrain → publish →
+			// rollback, each tagged with the drift report's trace ID so
+			// /debug/spans?trace= stitches into the device's journey.
+			Tracer: spans,
 		})
 		if err != nil {
 			return nil, nil, err

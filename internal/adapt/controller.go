@@ -51,6 +51,11 @@ type ControllerConfig struct {
 	RetrainHook func(*core.Bundle) (*core.Bundle, error)
 	// Metrics, when non-nil, receives anole_adapt_retrain* counters.
 	Metrics *telemetry.Registry
+	// Tracer, when non-nil, records one StageAdapt span per cloud-side
+	// causal milestone — cluster, retrain, publish, rollback — tagged
+	// with the triggering drift report's trace ID, so /debug/spans on
+	// the cloud stitches into the device's frame and report spans.
+	Tracer *telemetry.Tracer
 }
 
 func (c *ControllerConfig) fill() {
@@ -67,11 +72,12 @@ func (c *ControllerConfig) fill() {
 
 // cluster pools the evidence for one emerging-scene signature.
 type cluster struct {
-	centroid tensor.Vector
-	weight   int // reports merged into the centroid
-	frames   []*synth.Frame
+	centroid  tensor.Vector
+	weight    int // reports merged into the centroid
+	frames    []*synth.Frame
 	retrained bool
 	gen       uint64 // generation the retrain published as
+	trace     string // trace of the report that triggered the retrain
 }
 
 // Controller is the cloud half of the adaptation loop: it clusters
@@ -143,10 +149,11 @@ func (c *Controller) Submit(rep *Report) (uint64, bool, error) {
 	c.received++
 	cl := c.assign(rep.Centroid)
 	cl.frames = append(cl.frames, rep.Exemplars...)
+	c.span(rep.Stream, "cluster", rep.Trace)
 	if cl.retrained || cl.weight < c.cfg.MinReports || len(cl.frames) < c.cfg.MinFrames {
 		return 0, false, nil
 	}
-	gen, err := c.retrain(cl)
+	gen, err := c.retrain(cl, rep.Stream, rep.Trace)
 	if err != nil {
 		c.failures++
 		if c.mFailures != nil {
@@ -183,11 +190,34 @@ func (c *Controller) assign(centroid tensor.Vector) *cluster {
 	return cl
 }
 
+// tracedPublisher is the optional Publisher surface for threading the
+// drift journey's trace ID into the published generation's lineage;
+// repo.Server satisfies it.
+type tracedPublisher interface {
+	PublishTraced(b *core.Bundle, note, trace string) (uint64, error)
+}
+
+// span records one cloud-side control-plane event on the tracer.
+func (c *Controller) span(stream int, event, trace string) {
+	if c.cfg.Tracer == nil {
+		return
+	}
+	c.cfg.Tracer.Record(telemetry.Span{
+		Seq:    c.cfg.Tracer.NextSeq(),
+		Stream: stream,
+		Stage:  StageAdapt,
+		Model:  -1,
+		Event:  event,
+		Trace:  trace,
+	})
+}
+
 // retrain expands the base repertoire with a specialist for the cluster
-// and publishes it. The expansion seed mixes the controller seed with
-// the cluster ordinal so successive emerging scenes train on independent
-// but reproducible streams.
-func (c *Controller) retrain(cl *cluster) (uint64, error) {
+// and publishes it, stamping the triggering report's trace on the
+// lineage when the publisher supports it. The expansion seed mixes the
+// controller seed with the cluster ordinal so successive emerging
+// scenes train on independent but reproducible streams.
+func (c *Controller) retrain(cl *cluster, stream int, trace string) (uint64, error) {
 	ordinal := uint64(0)
 	for i, other := range c.clusters {
 		if other == cl {
@@ -210,18 +240,26 @@ func (c *Controller) retrain(cl *cluster) (uint64, error) {
 			return 0, fmt.Errorf("adapt: retrain hook: %w", err)
 		}
 	}
+	c.span(stream, "retrain", trace)
 	note := fmt.Sprintf("adapt: specialist for drift cluster %d (%d reports, %d frames)",
 		ordinal, cl.weight, len(cl.frames))
-	gen, err := c.pub.Publish(nb, note)
+	var gen uint64
+	if tp, ok := c.pub.(tracedPublisher); ok {
+		gen, err = tp.PublishTraced(nb, note, trace)
+	} else {
+		gen, err = c.pub.Publish(nb, note)
+	}
 	if err != nil {
 		return 0, fmt.Errorf("adapt: publish: %w", err)
 	}
 	cl.retrained = true
 	cl.gen = gen
+	cl.trace = trace
 	c.retrains++
 	if c.mRetrains != nil {
 		c.mRetrains.Inc()
 	}
+	c.span(stream, "publish", trace)
 	return gen, nil
 }
 
@@ -241,23 +279,38 @@ type rollbacker interface {
 	Generation() uint64
 }
 
+// tracedRollbacker extends rollbacker with trace-stamped lineage;
+// repo.Server satisfies it.
+type tracedRollbacker interface {
+	RollbackTraced(to uint64, note, trace string) error
+}
+
 // NoteRollback tells the controller a canary of failedGen was rolled
 // back. The cluster that produced it is reopened so fresh evidence can
 // trigger a new (differently seeded) retrain, and if the publisher
 // supports rollback and still serves the failed generation, the
-// repository is reverted to restoredGen.
+// repository is reverted to restoredGen with the failed journey's
+// trace on the lineage entry.
 func (c *Controller) NoteRollback(failedGen, restoredGen uint64) error {
+	var trace string
 	for _, cl := range c.clusters {
 		if cl.retrained && cl.gen == failedGen {
+			trace = cl.trace
 			cl.retrained = false
 			cl.gen = 0
+			cl.trace = ""
 			cl.weight = 0 // demand fresh reports before retrying
 			cl.frames = cl.frames[:0]
 		}
 	}
+	c.span(-1, "rollback", trace)
 	rb, ok := c.pub.(rollbacker)
 	if !ok || rb.Generation() != failedGen {
 		return nil
 	}
-	return rb.Rollback(restoredGen, fmt.Sprintf("adapt: canary of generation %d failed", failedGen))
+	note := fmt.Sprintf("adapt: canary of generation %d failed", failedGen)
+	if trb, ok := c.pub.(tracedRollbacker); ok {
+		return trb.RollbackTraced(restoredGen, note, trace)
+	}
+	return rb.Rollback(restoredGen, note)
 }

@@ -28,6 +28,7 @@ import (
 	"anole/internal/detect"
 	"anole/internal/pressure"
 	"anole/internal/synth"
+	"anole/internal/telemetry"
 	"anole/internal/tensor"
 )
 
@@ -146,6 +147,12 @@ type Report struct {
 	Centroid tensor.Vector
 	// Exemplars are the flagged frames (≤ MaxExemplars).
 	Exemplars []*synth.Frame
+	// Trace is the report's causal trace ID (telemetry.DriftTrace),
+	// minted at emission and carried through the uplink, the cloud
+	// controller, the published generation's lineage, and the canary
+	// rollout — one ID reconstructs the whole device→cloud→device
+	// adaptation journey.
+	Trace string
 }
 
 // SizeBytes approximates the report's wire size for link accounting:
@@ -297,6 +304,7 @@ func (d *DriftDetector) windowVerdict() *Report {
 		Seq:          d.seen,
 		At:           d.now(),
 		Generation:   d.gen,
+		Trace:        telemetry.DriftTrace(d.stream, d.gen, int(d.emitted)),
 		Window:       d.count,
 		MeanEntropy:  meanEntropy,
 		MeanNovelty:  meanNovelty,

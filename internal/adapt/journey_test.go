@@ -1,0 +1,271 @@
+package adapt
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"anole/internal/core"
+	"anole/internal/detect"
+	"anole/internal/flight"
+	"anole/internal/repo"
+	"anole/internal/slo"
+	"anole/internal/telemetry"
+	"anole/internal/testutil"
+)
+
+// journeyHarness is loopHarness plus the observability stack: one
+// shared tracer across the device loop and the cloud controller (the
+// in-process equivalent of stitching both sides' /debug/spans?trace=
+// dumps), a flight recorder, and an SLO engine.
+type journeyHarness struct {
+	*loopHarness
+	tracer *telemetry.Tracer
+	rec    *flight.Recorder
+	eng    *slo.Engine
+	dumps  []*flight.Dump
+}
+
+func newJourneyHarness(t *testing.T, fx testutil.Fixture, seed uint64, minF1Ratio float64,
+	hook func(*core.Bundle) (*core.Bundle, error)) *journeyHarness {
+	t.Helper()
+	srv, err := repo.NewServer(fx.Bundle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := telemetry.NewRegistry()
+	tracer := telemetry.NewTracer(1024, nil)
+	ccfg := testControllerConfig(fx, seed)
+	ccfg.RetrainHook = hook
+	ccfg.Tracer = tracer
+	ctrl, err := NewController(fx.Bundle, srv, ccfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mrt, err := core.NewMultiRuntime(fx.Bundle, core.MultiRuntimeConfig{Streams: 2, CacheSlots: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A ticking fake clock makes publish→promote staleness strictly
+	// positive and keeps every SLO sample inside the long window.
+	var tick time.Duration
+	h := &journeyHarness{
+		loopHarness: &loopHarness{srv: srv, ctrl: ctrl, mrt: mrt, reg: reg},
+		tracer:      tracer,
+		eng: slo.NewEngine(slo.Config{
+			Now:     func() time.Duration { tick += time.Millisecond; return tick },
+			Metrics: reg,
+		}),
+	}
+	h.rec = flight.NewRecorder(flight.Config{
+		Spans:   tracer,
+		Gather:  reg,
+		Info:    map[string]string{"test": t.Name()},
+		OnDump:  func(d *flight.Dump) { h.dumps = append(h.dumps, d) },
+		Metrics: reg,
+	})
+	loop, err := NewLoop(mrt, LoopConfig{
+		Drift:     DriftConfig{Window: 30, MinExemplars: 16, MaxExemplars: 48, Cooldown: 1},
+		Rollout:   RolloutConfig{CanaryStream: 0, CanaryFrames: 60, MinF1Ratio: minF1Ratio},
+		Submitter: ctrl,
+		Source:    NewServerSource(srv),
+		Metrics:   reg,
+		Tracer:    tracer,
+		Flight:    h.rec,
+		SLO:       h.eng,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.loop = loop
+	return h
+}
+
+// traceEvents returns the ordered control-plane event names recorded
+// under one trace ID (spans come back oldest first).
+func traceEvents(tracer *telemetry.Tracer, trace string) []string {
+	var events []string
+	for _, s := range tracer.SnapshotFiltered(trace, -1, 0) {
+		if s.Event != "" {
+			events = append(events, s.Event)
+		}
+	}
+	return events
+}
+
+// TestJourneyTraceStitchesPromotion is the tentpole acceptance test:
+// one drift report's trace ID, read off the published generation's
+// lineage, reconstructs the whole device→cloud→device adaptation
+// journey from the span store — report shipped, clustered, retrained,
+// published, canaried, promoted — in causal order.
+func TestJourneyTraceStitchesPromotion(t *testing.T) {
+	fx := testutil.Shared(t)
+	h := newJourneyHarness(t, fx, 101, 0.5, nil)
+	defer h.mrt.Close()
+
+	if _, err := h.loop.Run(driftStreams(t, fx, 240, 101), nil); err != nil {
+		t.Fatal(err)
+	}
+	st := h.loop.Stats()
+	if st.Promotions != 1 || st.Rollbacks != 0 {
+		t.Fatalf("expected one clean promotion: %+v", st)
+	}
+
+	// The repository lineage anchors the journey: the publish event for
+	// generation 2 carries the triggering drift report's trace ID.
+	var trace string
+	for _, e := range h.srv.Lineage() {
+		if e.Event == "publish" && e.Generation == 2 {
+			trace = e.Trace
+		}
+	}
+	if trace == "" {
+		t.Fatal("published lineage entry carries no trace ID")
+	}
+	if !strings.HasPrefix(trace, "d0.") {
+		t.Fatalf("trace %q is not a stream-0 drift trace", trace)
+	}
+
+	// One SnapshotFiltered call on that ID yields the full journey.
+	want := []string{"report", "cluster", "retrain", "publish", "canary_start", "promote"}
+	got := traceEvents(h.tracer, trace)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("journey events for trace %s:\ngot  %v\nwant %v", trace, got, want)
+	}
+	spans := h.tracer.SnapshotFiltered(trace, -1, 0)
+	for i := 1; i < len(spans); i++ {
+		if spans[i].Seq <= spans[i-1].Seq {
+			t.Fatalf("journey spans out of causal order: %+v", spans)
+		}
+	}
+	for _, s := range spans {
+		if s.Stage != StageAdapt {
+			t.Fatalf("journey span on stage %q, want %q", s.Stage, StageAdapt)
+		}
+	}
+
+	// The promotion fed the flight recorder (a swap event, no anomaly)
+	// and the SLO engine (one staleness sample on the canary stream).
+	if h.rec.Frozen() {
+		t.Fatal("clean promotion froze the flight recorder")
+	}
+	var swaps int
+	for _, ev := range h.rec.Snapshot() {
+		if ev.Kind == flight.KindSwap && ev.Detail == "promote" {
+			swaps++
+			if ev.Trace != trace {
+				t.Fatalf("swap event trace %q, want %q", ev.Trace, trace)
+			}
+		}
+	}
+	if swaps != 1 {
+		t.Fatalf("flight recorder saw %d promote swaps, want 1", swaps)
+	}
+	if stat := h.eng.Status(); stat.Long.SwapStaleness <= 0 {
+		t.Fatalf("SLO engine saw no swap staleness: %+v", stat.Long)
+	}
+}
+
+// TestJourneyRollbackFlightDump injects a regressed candidate and
+// requires the rollback anomaly to freeze the flight recorder with a
+// dump whose events and spans are causally linked to the journey's
+// trace — and the dump artifact to round-trip through WriteDump and
+// ReadDump bit-for-bit.
+func TestJourneyRollbackFlightDump(t *testing.T) {
+	fx := testutil.Shared(t)
+	sabotage := func(b *core.Bundle) (*core.Bundle, error) {
+		bad := *b
+		n := b.NumModels()
+		bad.Detectors = make([]*detect.Detector, n)
+		bad.Infos = make([]core.ModelInfo, n)
+		for i := range bad.Detectors {
+			bad.Detectors[i] = b.Detectors[n-1-i]
+			bad.Infos[i] = b.Infos[n-1-i]
+		}
+		return &bad, nil
+	}
+	h := newJourneyHarness(t, fx, 101, 0.9, sabotage)
+	defer h.mrt.Close()
+
+	if _, err := h.loop.Run(driftStreams(t, fx, 150, 101), nil); err != nil {
+		t.Fatal(err)
+	}
+	if st := h.loop.Stats(); st.Rollbacks != 1 || st.Promotions != 0 {
+		t.Fatalf("regression not rolled back: %+v", st)
+	}
+
+	// The rollback tripped the recorder: frozen, dump captured, OnDump
+	// fired once.
+	if !h.rec.Frozen() {
+		t.Fatal("rollback did not freeze the flight recorder")
+	}
+	dump := h.rec.LastDump()
+	if dump == nil {
+		t.Fatal("no dump captured")
+	}
+	if len(h.dumps) != 1 || h.dumps[0] != dump {
+		t.Fatalf("OnDump fired %d times", len(h.dumps))
+	}
+	if !strings.HasPrefix(dump.Reason, "rollback:generation ") {
+		t.Fatalf("dump reason %q", dump.Reason)
+	}
+	if dump.Trigger.Kind != flight.KindRollback {
+		t.Fatalf("trigger kind %q", dump.Trigger.Kind)
+	}
+	trace := dump.Trigger.Trace
+	if !strings.HasPrefix(trace, "d0.") {
+		t.Fatalf("trigger trace %q is not a stream-0 drift trace", trace)
+	}
+
+	// The dump's spans are the journey causally linked to the trigger:
+	// the same trace threads report → cluster → retrain → publish →
+	// canary_start → rollback. The rollback lands twice — once from the
+	// cloud repository reverting its generation (stream -1), once from
+	// the device loop restoring the canary stream.
+	want := []string{"report", "cluster", "retrain", "publish", "canary_start", "rollback", "rollback"}
+	var got []string
+	for _, s := range dump.Spans {
+		if s.Trace != trace {
+			t.Fatalf("dump span off-trace: %+v", s)
+		}
+		if s.Event != "" {
+			got = append(got, s.Event)
+		}
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("dump journey events:\ngot  %v\nwant %v", got, want)
+	}
+
+	// The canary stream's ring captured the trigger, the metrics
+	// snapshot and config echo are embedded, and the repository lineage
+	// records the rollback under the same trace.
+	if len(dump.StreamEvents) == 0 {
+		t.Fatal("dump has no canary-stream events")
+	}
+	if dump.Metrics["anole_adapt_rollbacks_total"] != 1 {
+		t.Fatalf("dump metrics: rollbacks_total = %v", dump.Metrics["anole_adapt_rollbacks_total"])
+	}
+	if dump.Config["test"] != t.Name() {
+		t.Fatalf("dump config echo: %v", dump.Config)
+	}
+	last := h.srv.Lineage()[len(h.srv.Lineage())-1]
+	if last.Event != "rollback" || last.Trace != trace {
+		t.Fatalf("lineage tail %+v does not record the traced rollback", last)
+	}
+
+	// Artifact round-trip: WriteDump output decodes back to an
+	// identical dump.
+	var buf bytes.Buffer
+	if err := flight.WriteDump(&buf, dump); err != nil {
+		t.Fatal(err)
+	}
+	back, err := flight.ReadDump(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back, dump) {
+		t.Fatal("dump did not round-trip through WriteDump/ReadDump")
+	}
+}

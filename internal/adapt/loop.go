@@ -4,12 +4,15 @@ import (
 	"bytes"
 	"crypto/sha256"
 	"fmt"
+	"time"
 
 	"anole/internal/core"
 	"anole/internal/detect"
+	"anole/internal/flight"
 	"anole/internal/prefetch"
 	"anole/internal/pressure"
 	"anole/internal/repo"
+	"anole/internal/slo"
 	"anole/internal/synth"
 	"anole/internal/telemetry"
 )
@@ -90,8 +93,15 @@ type LoopConfig struct {
 	Metrics *telemetry.Registry
 	// Tracer, when non-nil, records one span per control-plane event
 	// (report send, canary start, promotion, rollback) under the
-	// StageAdapt stage.
+	// StageAdapt stage, tagged with the drift journey's trace ID.
 	Tracer *telemetry.Tracer
+	// Flight, when non-nil, receives the loop's anomaly-relevant
+	// events: rollbacks (which trip a diagnostic dump), candidate
+	// rejections, promotions, and checkpoint restores/rejects.
+	Flight *flight.Recorder
+	// SLO, when non-nil, is fed swap staleness at each promotion — the
+	// publish-to-fleet-swap delay of the adaptation loop.
+	SLO *slo.Engine
 }
 
 // StageAdapt is the telemetry span stage recorded for control-plane
@@ -145,13 +155,20 @@ type Loop struct {
 	candGen   uint64
 	cand      *core.Bundle
 	breakBase int64 // prefetch breaker opens when the canary began
+	// candTrace is the drift journey trace that published the candidate
+	// under canary; candPubAt is when its publish verdict arrived (on
+	// the SLO clock), feeding swap staleness at promotion.
+	candTrace string
+	candPubAt time.Duration
 	// deferred is a generation published while a canary was already in
 	// flight (rollouts are single-flight); it is considered once the
-	// active canary resolves.
-	deferred uint64
-	pending  []*Report
-	chunks   []streamChunk
-	stats    LoopStats
+	// active canary resolves, carrying its own trace and publish time.
+	deferred      uint64
+	deferredTrace string
+	deferredPubAt time.Duration
+	pending       []*Report
+	chunks        []streamChunk
+	stats         LoopStats
 
 	mDrift, mSent, mFailed, mBytes *telemetry.Counter
 	mCanary, mPromote, mRollback   *telemetry.Counter
@@ -336,9 +353,10 @@ func (l *Loop) controlPhase() error {
 		// its turn now. startCanary re-verifies it against the (possibly
 		// just-promoted) fleet; a stale candidate is rejected there.
 		if gen := l.deferred; gen != 0 {
-			l.deferred = 0
+			trace, pubAt := l.deferredTrace, l.deferredPubAt
+			l.deferred, l.deferredTrace, l.deferredPubAt = 0, "", 0
 			if gen > l.fleetGen {
-				if err := l.startCanary(gen); err != nil {
+				if err := l.startCanary(gen, trace, pubAt); err != nil {
 					return err
 				}
 			}
@@ -381,7 +399,7 @@ func (l *Loop) shipReports() error {
 		if l.mBytes != nil {
 			l.mBytes.Add(size)
 		}
-		l.span(rep.Stream, "report")
+		l.span(rep.Stream, "report", rep.Trace)
 		gen, published, err := l.cfg.Submitter.Submit(rep)
 		if err != nil {
 			// A failed retrain is a cloud-side problem; the report was
@@ -395,25 +413,44 @@ func (l *Loop) shipReports() error {
 			// Single-flight: park the newer generation until the active
 			// canary resolves (latest publish wins).
 			l.deferred = gen
+			l.deferredTrace = rep.Trace
+			l.deferredPubAt = l.cfg.SLO.Now()
 			continue
 		}
-		if err := l.startCanary(gen); err != nil {
+		if err := l.startCanary(gen, rep.Trace, l.cfg.SLO.Now()); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
+// traceAware is the optional BundleSource surface for stamping the
+// drift journey's trace ID on outbound repository requests (the HTTP
+// bundle source forwards it to repo.Client.SetTrace), so the fetch of
+// the candidate this journey published carries the same trace.
+type traceAware interface{ SetTrace(trace string) }
+
 // startCanary fetches, verifies, and deploys generation gen to the
-// canary stream. Any verification failure rejects the candidate without
+// canary stream, carrying the publishing journey's trace ID and
+// publish time. Any verification failure rejects the candidate without
 // touching the fleet — nothing unverified is ever served.
-func (l *Loop) startCanary(gen uint64) error {
+func (l *Loop) startCanary(gen uint64, trace string, pubAt time.Duration) error {
+	if ta, ok := l.cfg.Source.(traceAware); ok {
+		ta.SetTrace(trace)
+	}
 	nb, err := l.verifyCandidate(gen)
 	if err != nil {
 		l.stats.RejectedCandidates++
 		if l.mRejected != nil {
 			l.mRejected.Inc()
 		}
+		l.cfg.Flight.Record(flight.Event{
+			Stream: l.cfg.Rollout.CanaryStream,
+			Kind:   flight.KindSwap,
+			Detail: "reject",
+			Trace:  trace,
+			Value:  float64(gen),
+		})
 		if pa, ok := l.cfg.Submitter.(promotionAware); ok {
 			// The cloud serves a generation no device will run; revert it.
 			if rbErr := pa.NoteRollback(gen, l.fleetGen); rbErr != nil {
@@ -441,12 +478,13 @@ func (l *Loop) startCanary(gen uint64) error {
 		return err
 	}
 	l.candGen, l.cand = gen, nb
+	l.candTrace, l.candPubAt = trace, pubAt
 	l.dets[canary].SetBundle(nb, gen)
 	l.stats.CanaryStarts++
 	if l.mCanary != nil {
 		l.mCanary.Inc()
 	}
-	l.span(canary, "canary_start")
+	l.span(canary, "canary_start", trace)
 	return nil
 }
 
@@ -534,7 +572,17 @@ func (l *Loop) resolveCanary() error {
 		if l.gGeneration != nil {
 			l.gGeneration.Set(float64(l.fleetGen))
 		}
-		l.span(canary, "promote")
+		l.span(canary, "promote", l.candTrace)
+		l.cfg.Flight.Record(flight.Event{
+			Stream: flight.GlobalStream,
+			Kind:   flight.KindSwap,
+			Detail: "promote",
+			Trace:  l.candTrace,
+			Value:  float64(l.fleetGen),
+		})
+		// Swap staleness: how long the fleet waited between the cloud
+		// publishing this generation and every stream serving it.
+		l.cfg.SLO.ObserveStaleness(canary, l.cfg.SLO.Now()-l.candPubAt)
 	} else {
 		if err := l.m.SwapStreamBundle(canary, l.fleet); err != nil {
 			return fmt.Errorf("adapt: rollback canary to generation %d: %w", l.fleetGen, err)
@@ -549,7 +597,16 @@ func (l *Loop) resolveCanary() error {
 		if l.mRollback != nil {
 			l.mRollback.Inc()
 		}
-		l.span(canary, "rollback")
+		l.span(canary, "rollback", l.candTrace)
+		// A rollback is an anomaly: this Record freezes the flight ring
+		// and captures a diagnostic dump with the journey's trace.
+		l.cfg.Flight.Record(flight.Event{
+			Stream: canary,
+			Kind:   flight.KindRollback,
+			Detail: fmt.Sprintf("generation %d", l.candGen),
+			Trace:  l.candTrace,
+			Value:  float64(l.candGen),
+		})
 	}
 	purged := l.m.PurgeStaleModels()
 	l.stats.PurgedModels += int64(purged)
@@ -557,11 +614,14 @@ func (l *Loop) resolveCanary() error {
 		l.mPurged.Add(int64(purged))
 	}
 	l.candGen, l.cand = 0, nil
+	l.candTrace, l.candPubAt = "", 0
 	return nil
 }
 
-// span records one control-plane event on the tracer.
-func (l *Loop) span(stream int, event string) {
+// span records one control-plane event on the tracer, tagged with the
+// drift journey's trace ID so /debug/spans?trace= stitches the event
+// into the device→cloud→device adaptation journey.
+func (l *Loop) span(stream int, event, trace string) {
 	if l.cfg.Tracer == nil {
 		return
 	}
@@ -570,7 +630,8 @@ func (l *Loop) span(stream int, event string) {
 		Stream: stream,
 		Stage:  StageAdapt,
 		Model:  -1,
-		Err:    event,
+		Event:  event,
+		Trace:  trace,
 	})
 }
 
@@ -597,7 +658,18 @@ func (l *Loop) CaptureCheckpoint(c *pressure.Checkpoint) {
 // the window). A mismatch is not an error: the loop simply cold-starts
 // its detectors and reports how many windows it restored.
 func (l *Loop) RestoreCheckpoint(c *pressure.Checkpoint) (restored int) {
-	if c == nil || c.Generation != l.fleetGen {
+	if c == nil {
+		return 0
+	}
+	if c.Generation != l.fleetGen {
+		// A rejected checkpoint is an anomaly — the device lost its
+		// warm-start state to a generation skew worth diagnosing.
+		l.cfg.Flight.Record(flight.Event{
+			Stream: flight.GlobalStream,
+			Kind:   flight.KindCheckpoint,
+			Detail: flight.DetailReject,
+			Value:  float64(c.Generation),
+		})
 		return 0
 	}
 	for _, w := range c.Drift {
@@ -607,6 +679,12 @@ func (l *Loop) RestoreCheckpoint(c *pressure.Checkpoint) (restored int) {
 		l.dets[w.Stream].RestoreState(w)
 		restored++
 	}
+	l.cfg.Flight.Record(flight.Event{
+		Stream: flight.GlobalStream,
+		Kind:   flight.KindCheckpoint,
+		Detail: flight.DetailRestore,
+		Value:  float64(restored),
+	})
 	return restored
 }
 

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"anole/internal/synth"
+	"anole/internal/telemetry"
 	"anole/internal/tensor"
 )
 
@@ -30,6 +31,7 @@ type reportWire struct {
 	Signals      int       `json:"signals"`
 	Centroid     []float64 `json:"centroid"`
 	Exemplars    []byte    `json:"exemplars"`
+	Trace        string    `json:"trace,omitempty"`
 }
 
 // WriteReport serializes a report for the POST /v1/drift endpoint. A
@@ -40,7 +42,7 @@ func WriteReport(w io.Writer, rep *Report) error {
 		return fmt.Errorf("adapt: nil report")
 	}
 	var pack bytes.Buffer
-	if err := synth.EncodeFrames(&pack, rep.Exemplars); err != nil {
+	if err := synth.EncodeFramesTrace(&pack, rep.Exemplars, rep.Trace); err != nil {
 		return fmt.Errorf("adapt: encode exemplars: %w", err)
 	}
 	return json.NewEncoder(w).Encode(reportWire{
@@ -55,6 +57,7 @@ func WriteReport(w io.Writer, rep *Report) error {
 		Signals:      rep.Signals,
 		Centroid:     rep.Centroid,
 		Exemplars:    pack.Bytes(),
+		Trace:        rep.Trace,
 	})
 }
 
@@ -65,9 +68,13 @@ func ReadReport(r io.Reader) (*Report, error) {
 	if err := json.NewDecoder(r).Decode(&w); err != nil {
 		return nil, fmt.Errorf("adapt: decode report envelope: %w", err)
 	}
-	frames, err := synth.DecodeFrames(bytes.NewReader(w.Exemplars))
+	frames, packTrace, err := synth.DecodeFramesTrace(bytes.NewReader(w.Exemplars))
 	if err != nil {
 		return nil, fmt.Errorf("adapt: decode exemplars: %w", err)
+	}
+	trace := w.Trace
+	if trace == "" {
+		trace = packTrace
 	}
 	return &Report{
 		Stream:       w.Stream,
@@ -81,6 +88,7 @@ func ReadReport(r io.Reader) (*Report, error) {
 		Signals:      w.Signals,
 		Centroid:     tensor.Vector(w.Centroid),
 		Exemplars:    frames,
+		Trace:        trace,
 	}, nil
 }
 
@@ -114,6 +122,10 @@ func NewDriftHandler(s Submitter) http.Handler {
 		if err != nil {
 			writeVerdict(w, http.StatusBadRequest, submitVerdict{Error: err.Error()})
 			return
+		}
+		if rep.Trace == "" {
+			// Older clients carry the trace only in the HTTP header.
+			rep.Trace = r.Header.Get(telemetry.TraceHeader)
 		}
 		mu.Lock()
 		gen, published, err := s.Submit(rep)
@@ -153,7 +165,15 @@ func (h *HTTPSubmitter) Submit(rep *Report) (uint64, bool, error) {
 	if client == nil {
 		client = http.DefaultClient
 	}
-	resp, err := client.Post(h.URL, "application/json", &body)
+	req, err := http.NewRequest(http.MethodPost, h.URL, &body)
+	if err != nil {
+		return 0, false, fmt.Errorf("adapt: build drift request: %w", err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if rep.Trace != "" {
+		req.Header.Set(telemetry.TraceHeader, rep.Trace)
+	}
+	resp, err := client.Do(req)
 	if err != nil {
 		return 0, false, fmt.Errorf("adapt: post drift report: %w", err)
 	}

@@ -67,6 +67,12 @@ type Config struct {
 	// transition counters (anole_breaker_*) on the given telemetry
 	// registry, so /metrics shows admission mode and trip counts live.
 	Metrics *telemetry.Registry
+	// OnTransition, when non-nil, observes every state change with the
+	// old and new states (an Open-state cooldown refresh is not a
+	// transition). The flight recorder hangs its breaker events here.
+	// It runs with the breaker's lock held: keep it fast and never call
+	// back into the breaker.
+	OnTransition func(from, to State)
 }
 
 // Breaker is a three-state circuit breaker. All methods are safe for
@@ -115,6 +121,7 @@ func (b *Breaker) stateLocked() State {
 		b.halfOpens++
 		b.halfOpensCtr.Inc()
 		b.stateGauge.Set(float64(HalfOpen))
+		b.notifyLocked(Open, HalfOpen)
 	}
 	return b.state
 }
@@ -137,9 +144,13 @@ func (b *Breaker) Allow() bool {
 func (b *Breaker) Success() {
 	b.mu.Lock()
 	defer b.mu.Unlock()
+	from := b.state
 	b.state = Closed
 	b.failures = 0
 	b.stateGauge.Set(float64(Closed))
+	if from != Closed {
+		b.notifyLocked(from, Closed)
+	}
 }
 
 // Failure records a failed attempt. In Closed it counts toward the
@@ -164,12 +175,21 @@ func (b *Breaker) Failure() {
 // openLocked transitions to Open and stamps the cooldown start; b.mu
 // held.
 func (b *Breaker) openLocked() {
+	from := b.state
 	b.state = Open
 	b.failures = 0
 	b.openedAt = b.cfg.Now()
 	b.opens++
 	b.opensCtr.Inc()
 	b.stateGauge.Set(float64(Open))
+	b.notifyLocked(from, Open)
+}
+
+// notifyLocked invokes the transition hook; b.mu held.
+func (b *Breaker) notifyLocked(from, to State) {
+	if b.cfg.OnTransition != nil {
+		b.cfg.OnTransition(from, to)
+	}
 }
 
 // Opens returns how many times the breaker has tripped open.

@@ -316,7 +316,7 @@ func TestMultiRuntimeBatchMetricsAndChunking(t *testing.T) {
 	if got := reg.Counter("anole_core_batched_frames_total", "").Value(); got != int64(streams*perStream) {
 		t.Fatalf("batched frames %d, want %d", got, streams*perStream)
 	}
-	if got := reg.Histogram("anole_core_batch_size", "", nil).Count(); got != wantDispatches {
+	if got := reg.Histogram("anole_core_batch_size_frames", "", nil).Count(); got != wantDispatches {
 		t.Fatalf("batch size observations %d, want %d", got, wantDispatches)
 	}
 }

@@ -36,7 +36,7 @@ func newBatchMetrics(reg *telemetry.Registry) batchMetrics {
 	return batchMetrics{
 		dispatches:    reg.Counter("anole_core_batch_dispatches_total", "batched decide dispatches"),
 		batchedFrames: reg.Counter("anole_core_batched_frames_total", "frames processed through the batched path"),
-		batchSize:     reg.Histogram("anole_core_batch_size", "frames per batched dispatch", []float64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024}),
+		batchSize:     reg.Histogram("anole_core_batch_size_frames", "frames per batched dispatch", []float64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024}),
 		occupancy:     reg.Gauge("anole_core_tick_occupancy", "fraction of streams ready in the current tick"),
 	}
 }

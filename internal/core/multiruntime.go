@@ -6,9 +6,11 @@ import (
 	"time"
 
 	"anole/internal/device"
+	"anole/internal/flight"
 	"anole/internal/modelcache"
 	"anole/internal/prefetch"
 	"anole/internal/pressure"
+	"anole/internal/slo"
 	"anole/internal/stats"
 	"anole/internal/synth"
 	"anole/internal/telemetry"
@@ -97,6 +99,15 @@ type MultiRuntimeConfig struct {
 	// value enables it even without a Deadline — the monitor and
 	// watchdog run, the shed ladder stays at ShedNone.
 	Pressure *PressureConfig
+	// Flight, when non-nil, receives the fleet's anomaly-relevant
+	// events: non-served terminal frame verdicts, pressure-level
+	// transitions, quarantines and bundle swaps. Anomalies freeze the
+	// recorder and capture a diagnostic dump (see internal/flight).
+	Flight *flight.Recorder
+	// SLO, when non-nil, is fed every offered frame's terminal outcome
+	// (latency, served, degraded) so the engine can compute windowed
+	// objectives and burn rates (see internal/slo).
+	SLO *slo.Engine
 }
 
 // MultiRuntime serves N independent frame streams over one shared
@@ -131,6 +142,11 @@ type MultiRuntime struct {
 	// press is the overload-survival machinery (nil unless a Deadline
 	// or PressureConfig enabled it — see pressure.go).
 	press *pressureState
+	// flt and slo are the observability attachments (both optional,
+	// both nil-safe): the flight recorder sees anomaly-relevant events,
+	// the SLO engine sees every terminal frame outcome.
+	flt *flight.Recorder
+	slo *slo.Engine
 }
 
 // NewMultiRuntime validates the bundle once, builds the shared sharded
@@ -179,6 +195,8 @@ func NewMultiRuntime(b *Bundle, cfg MultiRuntimeConfig) (*MultiRuntime, error) {
 		batch:    cfg.Batch,
 		maxBatch: maxBatch,
 		bmet:     newBatchMetrics(cfg.Metrics),
+		flt:      cfg.Flight,
+		slo:      cfg.SLO,
 	}
 	if cfg.Batch {
 		m.bstate = newBatchState(b, workers)
@@ -244,6 +262,12 @@ func NewMultiRuntime(b *Bundle, cfg MultiRuntimeConfig) (*MultiRuntime, error) {
 // Dropping back below each threshold undoes the reaction.
 func (m *MultiRuntime) pressureReact(watermark float64) func(pressure.Level) {
 	return func(lv pressure.Level) {
+		m.flt.Record(flight.Event{
+			Stream: flight.GlobalStream,
+			Kind:   flight.KindPressure,
+			Detail: lv.String(),
+			Value:  float64(lv),
+		})
 		if m.pf != nil {
 			m.pf.SetPaused(lv >= pressure.Elevated)
 		}
@@ -287,6 +311,7 @@ func (m *MultiRuntime) SwapStreamBundle(i int, b *Bundle) error {
 	if err := m.streams[i].SwapBundle(b); err != nil {
 		return err
 	}
+	m.flt.Record(flight.Event{Stream: i, Kind: flight.KindSwap, Detail: "canary"})
 	m.mixed = false
 	for _, rt := range m.streams {
 		if rt.Bundle() != m.bundle {
@@ -316,6 +341,7 @@ func (m *MultiRuntime) SwapAllBundles(b *Bundle) error {
 	}
 	m.bundle = b
 	m.mixed = false
+	m.flt.Record(flight.Event{Stream: flight.GlobalStream, Kind: flight.KindSwap, Detail: "fleet"})
 	return nil
 }
 
@@ -448,8 +474,37 @@ func (m *MultiRuntime) ProcessStreams(streams [][]*synth.Frame, obs StreamObserv
 		if m.press != nil {
 			m.observePressureTick(tick, ready, results)
 		}
+		if m.slo != nil || m.flt != nil {
+			m.observeTickOutcomes(tick, ready, results)
+		}
 	}
 	return results, nil
+}
+
+// observeTickOutcomes feeds one completed tick's terminal frame
+// outcomes to the SLO engine and flight recorder. Served and
+// downgraded frames count as served for the availability objective;
+// every non-served verdict lands in the flight ring (downgraded frames
+// carry their frame trace — shed and quarantined frames never entered
+// the pipeline, so they have none).
+func (m *MultiRuntime) observeTickOutcomes(tick int, ready []int, results [][]FrameResult) {
+	for _, i := range ready {
+		res := results[i][tick]
+		served := res.Verdict == VerdictServed || res.Verdict == VerdictDowngraded
+		m.slo.ObserveFrame(i, res.Latency, served, res.Degraded || res.Verdict == VerdictDowngraded)
+		if m.flt != nil && res.Verdict != VerdictServed {
+			var trace string
+			if res.Verdict == VerdictDowngraded {
+				trace = m.streams[i].frameTrace
+			}
+			m.flt.Record(flight.Event{
+				Stream: i,
+				Kind:   flight.KindVerdict,
+				Detail: res.Verdict.String(),
+				Trace:  trace,
+			})
+		}
+	}
 }
 
 // processTickSerial runs one tick's ready frames inline in ascending

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"anole/internal/flight"
 	"anole/internal/pressure"
 	"anole/internal/synth"
 	"anole/internal/telemetry"
@@ -286,6 +287,7 @@ func (m *MultiRuntime) processTickGuarded(tick int, live []int, rung pressure.Ru
 			// alive; the watchdog releases it for a probe later.
 			if ps.wd.Quarantine(i) {
 				ps.mon.NoteQuarantine()
+				m.flt.Record(flight.Event{Stream: i, Kind: flight.KindQuarantine, Detail: "error"})
 			}
 			res = disposedResult(VerdictQuarantined)
 			m.streams[i].stats.QuarantinedFrames++
@@ -337,8 +339,9 @@ func (m *MultiRuntime) observePressureTick(tick int, ready []int, results [][]Fr
 		}
 	}
 	ps.ctl.ObserveTick(worst, served)
-	for range ps.wd.ObserveTick(ps.active, ps.progress) {
+	for _, qi := range ps.wd.ObserveTick(ps.active, ps.progress) {
 		ps.mon.NoteQuarantine()
+		m.flt.Record(flight.Event{Stream: qi, Kind: flight.KindQuarantine, Detail: "stall"})
 	}
 	var heat float64
 	for _, d := range m.devs {

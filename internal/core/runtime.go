@@ -243,6 +243,11 @@ type Runtime struct {
 	met      frameMetrics
 	tracer   *telemetry.Tracer
 	streamID int
+	// frameTrace is the causal trace ID of the frame currently in
+	// flight, minted in beginFrame and stamped on every stage span. It
+	// is derived purely from (stream, seq), so seeded reruns mint
+	// identical IDs. Empty when tracing is off.
+	frameTrace string
 }
 
 // NewRuntime prepares the OMI loop for a downloaded bundle.
@@ -456,11 +461,15 @@ func (r *Runtime) validateFrame(f *synth.Frame) error {
 	return nil
 }
 
-// beginFrame opens one frame: it reserves the tracer sequence and
-// advances the shared link clock — one frame elapses per processed
-// frame, so background transfers progress at the link's simulated rate.
+// beginFrame opens one frame: it reserves the tracer sequence, mints
+// the frame's causal trace ID, and advances the shared link clock —
+// one frame elapses per processed frame, so background transfers
+// progress at the link's simulated rate.
 func (r *Runtime) beginFrame() int64 {
 	seq := r.tracer.NextSeq()
+	if r.tracer != nil {
+		r.frameTrace = telemetry.FrameTrace(r.streamID, seq)
+	}
 	if r.pf != nil {
 		r.pf.Tick()
 	}

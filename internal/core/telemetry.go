@@ -57,6 +57,7 @@ func (r *Runtime) recordStage(seq int64, stage string, model int, dur time.Durat
 		Stream:   r.streamID,
 		Stage:    stage,
 		Model:    model,
+		Trace:    r.frameTrace,
 		Dur:      dur,
 		Hit:      hit,
 		Degraded: degraded,

@@ -1,0 +1,83 @@
+package flight
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"anole/internal/telemetry"
+)
+
+// DumpVersion is the flight-dump format version WriteDump emits and
+// ReadDump accepts. Bump it when the Dump schema changes shape
+// incompatibly; ReadDump rejects versions it does not know rather than
+// silently misreading fields.
+const DumpVersion = 1
+
+// maxDumpBytes bounds how much JSON ReadDump will buffer — a guard
+// against a truncated-then-padded or adversarial artifact exhausting
+// memory.
+const maxDumpBytes = 32 << 20
+
+// Dump is the diagnostic bundle captured when an anomaly freezes the
+// recorder: the trigger, the retained global and per-stream events,
+// the spans causally linked to the trigger's trace, a flattened
+// metrics snapshot, and the run-configuration echo.
+type Dump struct {
+	Version int           `json:"version"`
+	Reason  string        `json:"reason"`
+	At      time.Duration `json:"atNs"`
+	Trigger Event         `json:"trigger"`
+	// Events is the global ring at trip time, oldest first.
+	Events []Event `json:"events"`
+	// StreamEvents is the trigger stream's ring (empty for global
+	// triggers).
+	StreamEvents []Event `json:"streamEvents,omitempty"`
+	// Spans are the tracer spans linked to the trigger: its whole trace
+	// when it carries one, otherwise the most recent spans.
+	Spans []telemetry.Span `json:"spans,omitempty"`
+	// Metrics is the flattened telemetry snapshot (telemetry.Map).
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+	// Config echoes the run configuration the recorder was built with.
+	Config map[string]string `json:"config,omitempty"`
+}
+
+// WriteDump serializes a dump as indented JSON — the artifact format
+// CI uploads and ReadDump decodes.
+func WriteDump(w io.Writer, d *Dump) error {
+	if d == nil {
+		return fmt.Errorf("flight: nil dump")
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	if err := enc.Encode(d); err != nil {
+		return fmt.Errorf("flight: encode dump: %w", err)
+	}
+	return nil
+}
+
+// ReadDump decodes a flight-dump artifact, rejecting malformed JSON,
+// unknown format versions, oversized payloads, and trailing garbage.
+func ReadDump(r io.Reader) (*Dump, error) {
+	data, err := io.ReadAll(io.LimitReader(r, maxDumpBytes+1))
+	if err != nil {
+		return nil, fmt.Errorf("flight: read dump: %w", err)
+	}
+	if len(data) > maxDumpBytes {
+		return nil, fmt.Errorf("flight: dump exceeds %d bytes", maxDumpBytes)
+	}
+	dec := json.NewDecoder(bytes.NewReader(data))
+	var d Dump
+	if err := dec.Decode(&d); err != nil {
+		return nil, fmt.Errorf("flight: decode dump: %w", err)
+	}
+	if dec.More() {
+		return nil, fmt.Errorf("flight: trailing data after dump")
+	}
+	if d.Version != DumpVersion {
+		return nil, fmt.Errorf("flight: unsupported dump version %d (want %d)", d.Version, DumpVersion)
+	}
+	return &d, nil
+}

@@ -1,0 +1,56 @@
+package flight
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"anole/internal/telemetry"
+)
+
+// FuzzReadDump throws arbitrary bytes at the flight-dump decoder:
+// ReadDump must never panic, and anything it accepts must re-encode
+// and re-decode to the same dump (the codec is its own inverse on its
+// accepted language).
+func FuzzReadDump(f *testing.F) {
+	seed := &Dump{
+		Version: DumpVersion,
+		Reason:  "pressure:critical",
+		At:      3 * time.Millisecond,
+		Trigger: Event{Seq: 2, Stream: 1, Kind: KindPressure, Detail: "critical", Value: 2},
+		Events:  []Event{{Seq: 1, Stream: 1, Kind: KindVerdict, Detail: "shed", Trace: "f1.4"}},
+		Spans:   []telemetry.Span{{Seq: 4, Stream: 1, Stage: "decide", Trace: "f1.4"}},
+		Metrics: map[string]float64{"anole_core_frames_total": 4},
+		Config:  map[string]string{"streams": "2"},
+	}
+	var buf bytes.Buffer
+	if err := WriteDump(&buf, seed); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte(`{"version":1}`))
+	f.Add([]byte(`{"version":2}`))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`[]`))
+	f.Add([]byte(``))
+	f.Add([]byte(`{"version":1,"events":[{"seq":-1,"stream":-5,"kind":"???"}]}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		d, err := ReadDump(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var out bytes.Buffer
+		if err := WriteDump(&out, d); err != nil {
+			t.Fatalf("accepted dump failed to re-encode: %v", err)
+		}
+		d2, err := ReadDump(&out)
+		if err != nil {
+			t.Fatalf("re-encoded dump rejected: %v", err)
+		}
+		if d2.Version != d.Version || d2.Reason != d.Reason || d2.Trigger != d.Trigger ||
+			len(d2.Events) != len(d.Events) || len(d2.Spans) != len(d.Spans) {
+			t.Fatalf("round trip drifted:\n first %+v\nsecond %+v", d, d2)
+		}
+	})
+}

@@ -1,0 +1,66 @@
+package flight
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+)
+
+// status is the /debug/flight response envelope: the recorder's live
+// state plus the last captured dump (null until an anomaly trips).
+type status struct {
+	Frozen  bool    `json:"frozen"`
+	Dropped int64   `json:"dropped"`
+	Recent  []Event `json:"recent"`
+	Dump    *Dump   `json:"dump,omitempty"`
+}
+
+// recentLimit caps the live-event window the handler returns alongside
+// the dump.
+const recentLimit = 64
+
+// Handler serves the recorder over HTTP — the GET /debug/flight
+// surface. The response carries the frozen flag, the most recent
+// global events (?stream=N selects one stream's ring instead), and the
+// last captured dump when an anomaly has tripped. ?dump=1 returns the
+// bare dump artifact (404 until one exists), byte-identical to the
+// WriteDump file format.
+func Handler(r *Recorder) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		q := req.URL.Query()
+		if q.Get("dump") == "1" {
+			d := r.LastDump()
+			if d == nil {
+				http.Error(w, "no flight dump captured", http.StatusNotFound)
+				return
+			}
+			w.Header().Set("Content-Type", "application/json")
+			_ = WriteDump(w, d)
+			return
+		}
+		events := r.Snapshot()
+		if v := q.Get("stream"); v != "" {
+			n, err := strconv.Atoi(v)
+			if err != nil || n < 0 {
+				http.Error(w, "bad stream: want a non-negative integer", http.StatusBadRequest)
+				return
+			}
+			events = r.StreamSnapshot(n)
+		}
+		if len(events) > recentLimit {
+			events = events[len(events)-recentLimit:]
+		}
+		if events == nil {
+			events = []Event{}
+		}
+		st := status{Recent: events, Dump: r.LastDump()}
+		if r != nil {
+			st.Frozen = r.Frozen()
+			st.Dropped = r.Dropped()
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", " ")
+		_ = enc.Encode(st)
+	})
+}

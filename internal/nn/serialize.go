@@ -100,9 +100,9 @@ func (wts *Weights) SizeBytes() int64 {
 			if l.quantBits > 8 {
 				sz = 2
 			}
-			n += 1 + 8            // bits + dims
-			n += 8 + nw*sz        // W scale + values
-			n += 8 + nb*sz        // B scale + values
+			n += 1 + 8     // bits + dims
+			n += 8 + nw*sz // W scale + values
+			n += 8 + nb*sz // B scale + values
 			continue
 		}
 		n += 8 + (nw+nb)*8 // dims + float64 payload

@@ -73,6 +73,10 @@ type LineageEntry struct {
 	// Note is the publisher's free-form annotation (e.g. the drift
 	// signature the generation was trained for).
 	Note string `json:"note,omitempty"`
+	// Trace is the causal trace ID of the drift journey that produced
+	// this event (the triggering drift report's ID), so one trace links
+	// a device's report through retrain, publish and rollback history.
+	Trace string `json:"trace,omitempty"`
 }
 
 // ManifestModel summarizes one repertoire model.
@@ -157,7 +161,7 @@ func etagFor(data []byte) string {
 // generation (1).
 func NewServer(b *core.Bundle) (*Server, error) {
 	s := &Server{history: make(map[uint64]*generationState)}
-	if _, err := s.publishLocked(b, "seed"); err != nil {
+	if _, err := s.publishLocked(b, "seed", ""); err != nil {
 		return nil, err
 	}
 	return s, nil
@@ -229,12 +233,20 @@ func buildGeneration(b *core.Bundle, gen uint64, versions map[string]uint64, lin
 // under /v1/generation/, so devices mid-canary keep a stable reference
 // and a rollback can restore it bit-for-bit.
 func (s *Server) Publish(b *core.Bundle, note string) (uint64, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.publishLocked(b, note)
+	return s.PublishTraced(b, note, "")
 }
 
-func (s *Server) publishLocked(b *core.Bundle, note string) (uint64, error) {
+// PublishTraced is Publish carrying the causal trace ID of the drift
+// journey that produced the generation; the trace lands in the new
+// lineage entry, linking the published bundle back to the device report
+// that triggered its retrain.
+func (s *Server) PublishTraced(b *core.Bundle, note, trace string) (uint64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.publishLocked(b, note, trace)
+}
+
+func (s *Server) publishLocked(b *core.Bundle, note, trace string) (uint64, error) {
 	gen := s.nextGen + 1
 	var parent uint64
 	versions := make(map[string]uint64)
@@ -257,6 +269,7 @@ func (s *Server) publishLocked(b *core.Bundle, note string) (uint64, error) {
 		BundleSHA256: st.manifest.BundleSHA256,
 		AddedModels:  added,
 		Note:         note,
+		Trace:        trace,
 	}
 	lineage := append(append([]LineageEntry(nil), s.lineage...), entry)
 	st, _, err = buildGeneration(b, gen, versions, lineage)
@@ -279,6 +292,13 @@ func (s *Server) publishLocked(b *core.Bundle, note string) (uint64, error) {
 // `to` again is precisely the signal that the newer generation was
 // withdrawn.
 func (s *Server) Rollback(to uint64, note string) error {
+	return s.RollbackTraced(to, note, "")
+}
+
+// RollbackTraced is Rollback carrying the causal trace ID of the drift
+// journey whose generation is being withdrawn, so the lineage records
+// which adaptation attempt failed.
+func (s *Server) RollbackTraced(to uint64, note, trace string) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	st, ok := s.history[to]
@@ -295,6 +315,7 @@ func (s *Server) Rollback(to uint64, note string) error {
 		Event:        LineageEventRollback,
 		BundleSHA256: st.manifest.BundleSHA256,
 		Note:         note,
+		Trace:        trace,
 	}
 	lineage := append(append([]LineageEntry(nil), s.lineage...), entry)
 	m := st.manifest
@@ -502,8 +523,30 @@ type Client struct {
 	jitterMu sync.Mutex
 	jitter   *xrand.RNG
 
+	// traceMu guards trace, the causal trace ID stamped on outgoing
+	// requests as the X-Anole-Trace header (see SetTrace).
+	traceMu sync.Mutex
+	trace   string
+
 	metOnce sync.Once
 	met     *clientMetrics
+}
+
+// SetTrace sets the causal trace ID stamped on subsequent requests as
+// the telemetry.TraceHeader header (empty clears it). The adaptation
+// loop sets it around a canary fetch so the repository's span ring
+// links the download to the drift journey that published the bundle.
+func (c *Client) SetTrace(trace string) {
+	c.traceMu.Lock()
+	c.trace = trace
+	c.traceMu.Unlock()
+}
+
+// currentTrace returns the trace ID to stamp on a request.
+func (c *Client) currentTrace() string {
+	c.traceMu.Lock()
+	defer c.traceMu.Unlock()
+	return c.trace
 }
 
 // clientMetrics are the repo.Client telemetry handles, bound lazily on
@@ -800,6 +843,9 @@ func (c *Client) fetchOnce(ctx context.Context, path, etag string) (data []byte,
 	}
 	if etag != "" {
 		req.Header.Set("If-None-Match", etag)
+	}
+	if trace := c.currentTrace(); trace != "" {
+		req.Header.Set(telemetry.TraceHeader, trace)
 	}
 	resp, err := c.httpClient().Do(req)
 	if err != nil {

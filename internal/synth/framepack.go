@@ -10,10 +10,11 @@ import (
 // Frame-pack format (all little-endian):
 //
 //	magic    [4]byte "ANLF"
-//	version  uint16 (1)
+//	version  uint16 (1 or 2)
 //	featDim  uint16
 //	cells    uint16
 //	count    uint32
+//	trace    uint16 length + bytes (version 2 only)
 //	frames   count × (the corpus file's per-frame encoding)
 //	crc32    uint32 (IEEE, over everything after the magic)
 //
@@ -21,17 +22,29 @@ import (
 // from any corpus — drift reports ship their exemplar frames to the
 // adaptation controller in it. Unlike the corpus format it carries no
 // world configuration: the receiver only needs the frames' geometry,
-// which the header pins.
+// which the header pins. Version 2 additionally carries the drift
+// report's causal trace ID, so the evidence payload itself names the
+// device→cloud journey it belongs to; a pack without a trace is
+// written as version 1, byte-identical to pre-trace encoders.
 const (
-	framePackMagic   = "ANLF"
-	framePackVersion = 1
-	maxPackFrames    = 1 << 16
+	framePackMagic         = "ANLF"
+	framePackVersion       = 1
+	framePackVersionTraced = 2
+	maxPackFrames          = 1 << 16
+	maxPackTrace           = 256
 )
 
-// EncodeFrames serializes frames as a frame pack. All frames must share
-// one cell count and feature dimension; at least one frame is required
-// (an empty pack has no geometry to pin).
+// EncodeFrames serializes frames as a version-1 frame pack. All frames
+// must share one cell count and feature dimension; at least one frame
+// is required (an empty pack has no geometry to pin).
 func EncodeFrames(w io.Writer, frames []*Frame) error {
+	return EncodeFramesTrace(w, frames, "")
+}
+
+// EncodeFramesTrace serializes frames as a frame pack carrying a causal
+// trace ID. An empty trace writes the version-1 layout (bit-identical
+// to EncodeFrames); a non-empty one writes version 2.
+func EncodeFramesTrace(w io.Writer, frames []*Frame, trace string) error {
 	if len(frames) == 0 {
 		return fmt.Errorf("synth: empty frame pack")
 	}
@@ -48,13 +61,28 @@ func EncodeFrames(w io.Writer, frames []*Frame) error {
 				i, f.NumCells(), f.FeatDim(), cells, featDim)
 		}
 	}
+	if len(trace) > maxPackTrace {
+		return fmt.Errorf("synth: trace %d bytes exceeds pack limit %d", len(trace), maxPackTrace)
+	}
+	version := uint16(framePackVersion)
+	if trace != "" {
+		version = framePackVersionTraced
+	}
 	if _, err := w.Write([]byte(framePackMagic)); err != nil {
 		return fmt.Errorf("synth: write magic: %w", err)
 	}
 	crc := crc32.NewIEEE()
 	mw := io.MultiWriter(w, crc)
-	if err := binWrite(mw, uint16(framePackVersion), uint16(featDim), uint16(cells), uint32(len(frames))); err != nil {
+	if err := binWrite(mw, version, uint16(featDim), uint16(cells), uint32(len(frames))); err != nil {
 		return fmt.Errorf("synth: write pack header: %w", err)
+	}
+	if version == framePackVersionTraced {
+		if err := binWrite(mw, uint16(len(trace))); err != nil {
+			return fmt.Errorf("synth: write pack trace length: %w", err)
+		}
+		if _, err := mw.Write([]byte(trace)); err != nil {
+			return fmt.Errorf("synth: write pack trace: %w", err)
+		}
 	}
 	cfg := Config{GridW: cells, GridH: 1, FeatDim: featDim}
 	for i, f := range frames {
@@ -68,17 +96,26 @@ func EncodeFrames(w io.Writer, frames []*Frame) error {
 	return nil
 }
 
-// DecodeFrames deserializes a frame pack written by EncodeFrames,
-// verifying the checksum. The frames carry their scene labels and
-// ground-truth objects; Dataset/Clip/Index provenance does not travel.
+// DecodeFrames deserializes a frame pack written by EncodeFrames (or
+// EncodeFramesTrace — the trace is discarded), verifying the checksum.
+// The frames carry their scene labels and ground-truth objects;
+// Dataset/Clip/Index provenance does not travel.
 func DecodeFrames(r io.Reader) ([]*Frame, error) {
+	frames, _, err := DecodeFramesTrace(r)
+	return frames, err
+}
+
+// DecodeFramesTrace deserializes a frame pack of either version,
+// returning the causal trace ID a version-2 pack carries (empty for
+// version 1).
+func DecodeFramesTrace(r io.Reader) ([]*Frame, string, error) {
 	br := bufio.NewReader(r)
 	magic := make([]byte, 4)
 	if _, err := io.ReadFull(br, magic); err != nil {
-		return nil, fmt.Errorf("synth: read magic: %w", err)
+		return nil, "", fmt.Errorf("synth: read magic: %w", err)
 	}
 	if string(magic) != framePackMagic {
-		return nil, fmt.Errorf("synth: bad frame-pack magic %q", magic)
+		return nil, "", fmt.Errorf("synth: bad frame-pack magic %q", magic)
 	}
 	crc := crc32.NewIEEE()
 	tr := io.TeeReader(br, crc)
@@ -87,23 +124,38 @@ func DecodeFrames(r io.Reader) ([]*Frame, error) {
 		count                   uint32
 	)
 	if err := binRead(tr, &version, &featDim, &cells, &count); err != nil {
-		return nil, fmt.Errorf("synth: read pack header: %w", err)
+		return nil, "", fmt.Errorf("synth: read pack header: %w", err)
 	}
-	if version != framePackVersion {
-		return nil, fmt.Errorf("synth: unsupported frame-pack version %d", version)
+	if version != framePackVersion && version != framePackVersionTraced {
+		return nil, "", fmt.Errorf("synth: unsupported frame-pack version %d", version)
 	}
 	if count == 0 || count > maxPackFrames {
-		return nil, fmt.Errorf("synth: implausible frame count %d", count)
+		return nil, "", fmt.Errorf("synth: implausible frame count %d", count)
 	}
 	if featDim == 0 || cells == 0 {
-		return nil, fmt.Errorf("synth: implausible geometry %d×%d", cells, featDim)
+		return nil, "", fmt.Errorf("synth: implausible geometry %d×%d", cells, featDim)
+	}
+	var trace string
+	if version == framePackVersionTraced {
+		var tlen uint16
+		if err := binRead(tr, &tlen); err != nil {
+			return nil, "", fmt.Errorf("synth: read pack trace length: %w", err)
+		}
+		if tlen > maxPackTrace {
+			return nil, "", fmt.Errorf("synth: pack trace %d bytes exceeds limit %d", tlen, maxPackTrace)
+		}
+		tb := make([]byte, tlen)
+		if _, err := io.ReadFull(tr, tb); err != nil {
+			return nil, "", fmt.Errorf("synth: read pack trace: %w", err)
+		}
+		trace = string(tb)
 	}
 	cfg := Config{GridW: int(cells), GridH: 1, FeatDim: int(featDim)}
 	frames := make([]*Frame, 0, count)
 	for i := 0; i < int(count); i++ {
 		f, err := readFrame(tr, cfg)
 		if err != nil {
-			return nil, fmt.Errorf("synth: read pack frame %d: %w", i, err)
+			return nil, "", fmt.Errorf("synth: read pack frame %d: %w", i, err)
 		}
 		f.Index = i
 		frames = append(frames, f)
@@ -111,10 +163,10 @@ func DecodeFrames(r io.Reader) ([]*Frame, error) {
 	wantCRC := crc.Sum32()
 	var gotCRC uint32
 	if err := binRead(br, &gotCRC); err != nil {
-		return nil, fmt.Errorf("synth: read pack checksum: %w", err)
+		return nil, "", fmt.Errorf("synth: read pack checksum: %w", err)
 	}
 	if gotCRC != wantCRC {
-		return nil, fmt.Errorf("synth: frame-pack checksum mismatch: stored %08x, computed %08x", gotCRC, wantCRC)
+		return nil, "", fmt.Errorf("synth: frame-pack checksum mismatch: stored %08x, computed %08x", gotCRC, wantCRC)
 	}
-	return frames, nil
+	return frames, trace, nil
 }

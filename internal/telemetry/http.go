@@ -22,15 +22,42 @@ func MetricsHandler(g Gatherer) http.Handler {
 	})
 }
 
+// DefaultSpanDumpLimit caps how many spans one /debug/spans request
+// returns when the caller does not pass an explicit limit, so a large
+// ring does not dump megabytes per request.
+const DefaultSpanDumpLimit = 4096
+
 // SpansHandler serves the tracer's retained spans as a JSON array,
-// oldest first — the GET /debug/spans surface.
+// oldest first — the GET /debug/spans surface. Query parameters narrow
+// the dump: ?stream=N keeps one stream's spans, ?trace=ID keeps one
+// causal trace's, and ?limit=N caps the response to the most recent N
+// spans (default DefaultSpanDumpLimit).
 func SpansHandler(t *Tracer) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "application/json")
-		spans := t.Snapshot()
+		q := r.URL.Query()
+		stream := -1
+		if v := q.Get("stream"); v != "" {
+			n, err := strconv.Atoi(v)
+			if err != nil || n < 0 {
+				http.Error(w, "bad stream: want a non-negative integer", http.StatusBadRequest)
+				return
+			}
+			stream = n
+		}
+		limit := DefaultSpanDumpLimit
+		if v := q.Get("limit"); v != "" {
+			n, err := strconv.Atoi(v)
+			if err != nil || n <= 0 {
+				http.Error(w, "bad limit: want a positive integer", http.StatusBadRequest)
+				return
+			}
+			limit = n
+		}
+		spans := t.SnapshotFiltered(q.Get("trace"), stream, limit)
 		if spans == nil {
 			spans = []Span{}
 		}
+		w.Header().Set("Content-Type", "application/json")
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", " ")
 		_ = enc.Encode(spans)
@@ -72,6 +99,7 @@ func InstrumentHandler(reg *Registry, tracer *Tracer, component string, next htt
 			Stage: r.Method + " " + r.URL.Path,
 			Model: -1,
 			Dur:   d,
+			Trace: r.Header.Get(TraceHeader),
 		}
 		if rec.status >= 500 {
 			errors.Inc()
@@ -132,6 +160,75 @@ func ParseText(r io.Reader) ([]ParsedSeries, error) {
 		return nil, err
 	}
 	return out, nil
+}
+
+// LintText validates a Prometheus text exposition (the format WriteText
+// emits) against the repository metric naming scheme: every metric's
+// kind is read from its # TYPE header, every series must belong to a
+// declared metric (histograms expose _bucket/_sum/_count under the
+// declared base name), and the declared set must pass ValidateScheme's
+// family, suffix and uniqueness rules. This is the Go half of the CI
+// scrape check — cmd/anole-metrics-lint pipes a live scrape through it.
+func LintText(r io.Reader) error {
+	kinds := make(map[string]Kind)
+	var samples []Sample
+	var body strings.Builder
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		rest, isType := strings.CutPrefix(line, "# TYPE ")
+		if !isType {
+			if !strings.HasPrefix(line, "#") {
+				body.WriteString(line)
+				body.WriteByte('\n')
+			}
+			continue
+		}
+		name, kindText, found := strings.Cut(rest, " ")
+		if !found {
+			return fmt.Errorf("telemetry: malformed TYPE line %q", line)
+		}
+		var k Kind
+		switch kindText {
+		case "counter":
+			k = KindCounter
+		case "gauge":
+			k = KindGauge
+		case "histogram":
+			k = KindHistogram
+		default:
+			return fmt.Errorf("telemetry: metric %q declares unknown type %q", name, kindText)
+		}
+		if _, dup := kinds[name]; dup {
+			return fmt.Errorf("telemetry: metric %q declared twice", name)
+		}
+		kinds[name] = k
+		samples = append(samples, Sample{Name: name, Kind: k})
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	series, err := ParseText(strings.NewReader(body.String()))
+	if err != nil {
+		return err
+	}
+	for _, s := range series {
+		if _, ok := kinds[s.Name]; ok {
+			continue
+		}
+		base := s.Name
+		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+			if b, ok := strings.CutSuffix(s.Name, suffix); ok {
+				base = b
+				break
+			}
+		}
+		if kinds[base] != KindHistogram {
+			return fmt.Errorf("telemetry: series %q has no TYPE declaration", s.Name)
+		}
+	}
+	return ValidateScheme(samples)
 }
 
 // SeriesValue returns the value of the unlabeled series name in a

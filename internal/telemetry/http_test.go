@@ -122,3 +122,53 @@ func TestScrapedQuantileInterpolates(t *testing.T) {
 		t.Fatal("absent histogram reported present")
 	}
 }
+
+// TestLintTextAcceptsRealExposition feeds LintText a genuine registry
+// scrape — counters, gauges and histograms across several families —
+// and expects a clean pass.
+func TestLintTextAcceptsRealExposition(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("anole_core_frames_total", "frames").Add(7)
+	r.Gauge("anole_slo_served_fraction", "served").Set(0.99)
+	r.Histogram("anole_prefetch_wait_seconds", "wait", nil).Observe(0.05)
+	var sb strings.Builder
+	if err := WriteText(&sb, r); err != nil {
+		t.Fatal(err)
+	}
+	if err := LintText(strings.NewReader(sb.String())); err != nil {
+		t.Fatalf("clean exposition rejected: %v", err)
+	}
+}
+
+// TestLintTextRejectsSchemeViolations pins each failure mode the CI
+// scrape check exists to catch.
+func TestLintTextRejectsSchemeViolations(t *testing.T) {
+	cases := map[string]string{
+		"series without TYPE": "anole_core_frames_total 1\n",
+		"unknown family": "# TYPE anole_mystery_frames_total counter\n" +
+			"anole_mystery_frames_total 1\n",
+		"counter missing _total": "# TYPE anole_core_frames counter\n" +
+			"anole_core_frames 1\n",
+		"gauge ending _total": "# TYPE anole_core_pending_total gauge\n" +
+			"anole_core_pending_total 1\n",
+		"unitless histogram": "# TYPE anole_core_batch histogram\n" +
+			"anole_core_batch_bucket{le=\"+Inf\"} 1\n" +
+			"anole_core_batch_sum 1\nanole_core_batch_count 1\n",
+		"duplicate TYPE": "# TYPE anole_core_frames_total counter\n" +
+			"# TYPE anole_core_frames_total counter\n" +
+			"anole_core_frames_total 1\n",
+		"unknown type keyword": "# TYPE anole_core_frames_total summary\n" +
+			"anole_core_frames_total 1\n",
+		"duplicate series": "# TYPE anole_core_frames_total counter\n" +
+			"anole_core_frames_total 1\nanole_core_frames_total 2\n",
+		"outside anole_ namespace": "# TYPE requests_total counter\n" +
+			"requests_total 1\n",
+		"histogram series under non-histogram base": "# TYPE anole_core_frames_total counter\n" +
+			"anole_core_frames_total 1\nanole_core_wait_seconds_bucket{le=\"+Inf\"} 1\n",
+	}
+	for name, text := range cases {
+		if err := LintText(strings.NewReader(text)); err == nil {
+			t.Errorf("%s: accepted\n%s", name, text)
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package telemetry
 
 import (
+	"strconv"
 	"sync"
 	"time"
 )
@@ -23,6 +24,16 @@ type Span struct {
 	Hit      bool          `json:"hit,omitempty"`
 	Degraded bool          `json:"degraded,omitempty"`
 	Err      string        `json:"err,omitempty"`
+	// Trace is the causal trace ID the span belongs to: every span of
+	// one frame's pipeline shares the frame's trace, and every hop of an
+	// adaptation journey (drift report → cluster → retrain → publish →
+	// canary → swap) shares the drift report's. Empty for untraced
+	// spans.
+	Trace string `json:"trace,omitempty"`
+	// Event optionally names a causal milestone inside the trace (e.g.
+	// "report", "publish", "canary_start", "rollback", "swap"), letting
+	// a trace query reconstruct the journey without parsing Err.
+	Event string `json:"event,omitempty"`
 }
 
 // Pipeline stage names recorded by core.Runtime, in frame order. The
@@ -34,6 +45,29 @@ const (
 	StageFetch  = "fetch"
 	StageDetect = "detect"
 )
+
+// TraceHeader is the HTTP header carrying a causal trace ID across the
+// device↔cloud boundary: repo fetches and drift-report submissions set
+// it, and InstrumentHandler copies it into the server-side request
+// span, so one trace ID stitches both ends of every wire hop.
+const TraceHeader = "X-Anole-Trace"
+
+// FrameTrace mints the deterministic trace ID assigned at frame
+// admission: "f<stream>.<seq>". Seq is globally monotone across
+// streams sharing a Tracer, so the ID is unique within a run and
+// reproducible across seeded reruns.
+func FrameTrace(stream int, seq int64) string {
+	return "f" + strconv.Itoa(stream) + "." + strconv.FormatInt(seq, 10)
+}
+
+// DriftTrace mints the deterministic trace ID assigned at drift-report
+// creation: "d<stream>.g<generation>.<n>" where n counts the
+// detector's emitted reports. The same ID then travels with the report
+// to the cloud and back down with the generation it triggers, so the
+// full device→cloud→device adaptation journey shares one trace.
+func DriftTrace(stream int, generation uint64, n int) string {
+	return "d" + strconv.Itoa(stream) + ".g" + strconv.FormatUint(generation, 10) + "." + strconv.Itoa(n)
+}
 
 // Tracer records spans into a bounded ring buffer: the most recent
 // Cap() spans are retained, older ones overwritten. The clock is
@@ -132,4 +166,29 @@ func (t *Tracer) Snapshot() []Span {
 	out = append(out, t.ring[head:]...)
 	out = append(out, t.ring[:head]...)
 	return out
+}
+
+// SnapshotFiltered returns the retained spans oldest-first, keeping
+// only those matching a non-empty trace ID and/or a non-negative
+// stream filter, then capping the result to the most recent limit
+// spans (limit <= 0 means no cap). Nil tracers read as empty.
+func (t *Tracer) SnapshotFiltered(trace string, stream, limit int) []Span {
+	spans := t.Snapshot()
+	if trace != "" || stream >= 0 {
+		kept := spans[:0]
+		for _, s := range spans {
+			if trace != "" && s.Trace != trace {
+				continue
+			}
+			if stream >= 0 && s.Stream != stream {
+				continue
+			}
+			kept = append(kept, s)
+		}
+		spans = kept
+	}
+	if limit > 0 && len(spans) > limit {
+		spans = spans[len(spans)-limit:]
+	}
+	return spans
 }

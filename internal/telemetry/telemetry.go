@@ -24,7 +24,10 @@
 // deterministic telemetry.
 package telemetry
 
-import "fmt"
+import (
+	"fmt"
+	"strings"
+)
 
 // validName reports whether name fits the metric naming scheme:
 // lowercase snake_case, beginning with a letter. The "anole_" prefix is
@@ -47,12 +50,46 @@ func validName(name string) bool {
 	return true
 }
 
+// schemeFamilies are the instrumented component families the scheme
+// admits as the segment after the "anole_" prefix. A metric outside
+// them is either a typo or a new subsystem that must be added here
+// deliberately — which is how the family list stays an inventory of
+// what the fleet exports.
+var schemeFamilies = map[string]bool{
+	"core":       true,
+	"modelcache": true,
+	"prefetch":   true,
+	"breaker":    true,
+	"repo":       true,
+	"adapt":      true,
+	"pressure":   true,
+	"server":     true,
+	"slo":        true,
+	"flight":     true,
+}
+
+// histogramUnits are the unit suffixes a histogram name may carry.
+// A unitless histogram ("anole_core_batch_size") is ambiguous on a
+// dashboard; the scheme demands the unit in the name.
+var histogramUnits = []string{"_seconds", "_bytes", "_frames"}
+
 // ValidateScheme checks a gathered snapshot against the repository
-// naming convention — every metric name must be valid snake_case and
-// carry the "anole_" prefix — and against accidental duplicates (two
-// registries in a Multi exporting the same name). It returns the first
-// violation found, nil when the snapshot is clean. CI scrapes /metrics
-// and fails the build on exactly these conditions.
+// naming convention and returns the first violation found (nil when
+// the snapshot is clean). The rules:
+//
+//   - every name is lowercase snake_case under the "anole_" prefix;
+//   - the segment after the prefix names a known component family
+//     (core, modelcache, prefetch, breaker, repo, adapt, pressure,
+//     server, slo, flight);
+//   - no name appears twice (two registries in a Multi exporting the
+//     same series);
+//   - kind-aware suffixes, for samples whose Kind is set: counters end
+//     "_total", gauges are bare nouns (never "_total"), histograms end
+//     in a unit ("_seconds", "_bytes" or "_frames").
+//
+// CI scrapes /metrics and fails the build on exactly these
+// conditions. Samples with a zero Kind (hand-built fixtures) skip the
+// kind rules; everything produced by Registry.Gather carries its Kind.
 func ValidateScheme(samples []Sample) error {
 	seen := make(map[string]bool, len(samples))
 	for _, s := range samples {
@@ -62,10 +99,36 @@ func ValidateScheme(samples []Sample) error {
 		if len(s.Name) < 6 || s.Name[:6] != "anole_" {
 			return fmt.Errorf("telemetry: metric %q outside the anole_ namespace", s.Name)
 		}
+		family, _, _ := strings.Cut(s.Name[6:], "_")
+		if !schemeFamilies[family] {
+			return fmt.Errorf("telemetry: metric %q names unknown family %q", s.Name, family)
+		}
 		if seen[s.Name] {
 			return fmt.Errorf("telemetry: duplicate metric name %q", s.Name)
 		}
 		seen[s.Name] = true
+		switch s.Kind {
+		case KindCounter:
+			if !strings.HasSuffix(s.Name, "_total") {
+				return fmt.Errorf("telemetry: counter %q must end in _total", s.Name)
+			}
+		case KindGauge:
+			if strings.HasSuffix(s.Name, "_total") {
+				return fmt.Errorf("telemetry: gauge %q must not end in _total", s.Name)
+			}
+		case KindHistogram:
+			unit := false
+			for _, u := range histogramUnits {
+				if strings.HasSuffix(s.Name, u) {
+					unit = true
+					break
+				}
+			}
+			if !unit {
+				return fmt.Errorf("telemetry: histogram %q must carry a unit suffix (%s)",
+					s.Name, strings.Join(histogramUnits, ", "))
+			}
+		}
 	}
 	return nil
 }
