@@ -17,6 +17,15 @@ import (
 	"anole/internal/synth"
 )
 
+// mustSim builds a simulator for a known-good registry profile.
+func mustSim(p device.Profile) *device.Simulator {
+	sim, err := device.NewSimulator(p)
+	if err != nil {
+		panic(err)
+	}
+	return sim
+}
+
 // dealStreams deals the lab's test frames round-robin into n streams of
 // perStream frames each, wrapping around the fixture when it is shorter
 // than the demand. Frames are read-only inputs, so streams may share
@@ -148,7 +157,7 @@ func BenchmarkMultiStream_VsSequential(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		var sequential time.Duration
 		for s := 0; s < streams; s++ {
-			sim := device.NewSimulator(device.JetsonTX2NX)
+			sim := mustSim(device.JetsonTX2NX)
 			rt, err := core.NewRuntime(l.Bundle, core.RuntimeConfig{CacheSlots: slots, Device: sim})
 			if err != nil {
 				b.Fatal(err)

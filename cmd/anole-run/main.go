@@ -7,6 +7,7 @@
 //
 //	anole-run -bundle anole.bundle [-seed N] [-clips N] [-frames N]
 //	          [-device nano|tx2|laptop] [-cache N] [-streams N]
+//	          [-fleet SPEC] [-plan]
 //	          [-prefetch] [-prefetch-budget BYTES] [-link-stability P]
 //	          [-chaos] [-outage-rate P] [-corrupt-rate P]
 //	          [-breaker-threshold N] [-breaker-cooldown FRAMES]
@@ -19,6 +20,19 @@
 // over one shared thread-safe model cache (core.MultiRuntime), printing
 // per-stream and aggregate statistics; -trace then writes one JSONL
 // file per stream, suffixed ".streamK".
+//
+// With -fleet "nano:40,tx2:40,laptop:20" (requires -streams >= 2,
+// overrides -device) the streams run on a heterogeneous device fleet:
+// the spec's weights are scaled to the stream count and each stream is
+// deterministically assigned a registry profile (nano, tx2, laptop,
+// cpu-fast, cpu-slow; "name@mode" pins a power mode). Per-stream lines
+// gain the device class, the -json report gains a "fleet" block with
+// per-class aggregates, and with -slo the per-class p99 percentiles
+// export as anole_fleet_<class>_* gauges. With -plan (requires -fleet,
+// incompatible with -adapt) each stream additionally runs the model
+// variant — full precision or a quantized copy (q8/q6/q4) — that is the
+// most accurate its device can serve within the memory ceiling and the
+// 33ms latency budget; pressure-level transitions re-plan.
 //
 // With -prefetch the model cache sits behind a simulated device↔cloud
 // link (netsim, self-transition stability -link-stability): a desired
@@ -85,6 +99,7 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"os"
+	"sort"
 	"time"
 
 	"anole/internal/adapt"
@@ -129,6 +144,8 @@ func run(w io.Writer, args []string) error {
 		devName     = fs.String("device", "tx2", "device profile: nano, tx2 or laptop")
 		cache       = fs.Int("cache", 5, "model cache capacity in compressed-model slots")
 		streams     = fs.Int("streams", 1, "independent frame streams sharing the model cache")
+		fleetSpec   = fs.String("fleet", "", "heterogeneous device fleet spec, e.g. \"nano:40,tx2:40,laptop:20\" (requires -streams >= 2; overrides -device)")
+		planOn      = fs.Bool("plan", false, "per-device planning: each stream runs the most accurate model variant (fp32/q8/q6/q4) its device can serve (requires -fleet, incompatible with -adapt)")
 		batchOn     = fs.Bool("batch", false, "batch each tick's ready streams through the decision and detection models (deterministic, bit-identical results)")
 		tracePath   = fs.String("trace", "", "write a JSONL decision trace to this file")
 		prefetchOn  = fs.Bool("prefetch", false, "serve model bytes over a simulated device-cloud link with transition-aware prefetching")
@@ -186,6 +203,15 @@ func run(w io.Writer, args []string) error {
 	if *flightDump != "" && !*flightOn {
 		return fmt.Errorf("-flight-dump needs -flight")
 	}
+	if *fleetSpec != "" && *streams < 2 {
+		return fmt.Errorf("-fleet assigns devices across the multi-stream fleet: -streams must be >= 2")
+	}
+	if *planOn && *fleetSpec == "" {
+		return fmt.Errorf("-plan selects variants per fleet device: it needs -fleet")
+	}
+	if *planOn && *adaptOn {
+		return fmt.Errorf("-plan and -adapt both own bundle assignment; pick one")
+	}
 
 	bundle, err := repo.LoadFile(*bundlePath)
 	if err != nil {
@@ -203,6 +229,12 @@ func run(w io.Writer, args []string) error {
 		profile = device.Laptop
 	default:
 		return fmt.Errorf("unknown device %q (want nano, tx2 or laptop)", *devName)
+	}
+	var fleet device.Fleet
+	if *fleetSpec != "" {
+		if fleet, err = device.BuildFleet(*fleetSpec, *streams, *seed); err != nil {
+			return err
+		}
 	}
 	reg := telemetry.NewRegistry()
 	// rec is assigned below, after the link (whose clock it shares) is
@@ -252,6 +284,7 @@ func run(w io.Writer, args []string) error {
 				"seed":    fmt.Sprint(*seed),
 				"streams": fmt.Sprint(*streams),
 				"device":  *devName,
+				"fleet":   *fleetSpec,
 				"chaos":   fmt.Sprint(*chaosOn),
 				"adapt":   fmt.Sprint(*adaptOn),
 			},
@@ -314,6 +347,9 @@ func run(w io.Writer, args []string) error {
 		}
 		ro := runOptions{
 			Thermal:         *thermalOn,
+			Fleet:           fleet,
+			FleetSpec:       *fleetSpec,
+			Plan:            *planOn,
 			Deadline:        *deadline,
 			Checkpoint:      *ckptPath,
 			CheckpointEvery: *ckptEvery,
@@ -328,7 +364,10 @@ func run(w io.Writer, args []string) error {
 		return nil
 	}
 
-	sim := device.NewSimulator(profile)
+	sim, err := device.NewSimulator(profile)
+	if err != nil {
+		return err
+	}
 	if *thermalOn {
 		sim.EnableThermal(device.DefaultThermal())
 	}
@@ -464,6 +503,11 @@ type report struct {
 	// rates, and fleet percentiles as of run end — the same values the
 	// anole_slo_* gauges export.
 	SLO *slo.Status `json:"slo,omitempty"`
+	// Fleet is present only when -fleet was set: per-device-class
+	// aggregates (streams, frames, mean latency, energy, planner
+	// variants). Per-class p99 percentiles live in SLO.Classes when
+	// -slo also ran.
+	Fleet []classReport `json:"fleet,omitempty"`
 	// Flight is present only when -flight was set: recorder state plus
 	// the captured dump's reason. The full dump artifact is written by
 	// -flight-dump and served on /debug/flight?dump=1.
@@ -645,7 +689,13 @@ type adaptOptions struct {
 // runOptions carries the overload-survival and observability knobs into
 // runMulti.
 type runOptions struct {
-	Thermal         bool
+	Thermal bool
+	// Fleet is the -fleet heterogeneous device assignment (nil = the
+	// uniform -device profile); FleetSpec is the raw spec for display.
+	// Plan enables per-device variant selection over the fleet.
+	Fleet           device.Fleet
+	FleetSpec       string
+	Plan            bool
 	Deadline        time.Duration
 	Checkpoint      string
 	CheckpointEvery int
@@ -766,6 +816,13 @@ func runMulti(w io.Writer, bundle *core.Bundle, profile device.Profile, streams,
 		Flight:     ro.Flight,
 		SLO:        ro.SLO,
 	}
+	if ro.Fleet != nil {
+		mcfg.Fleet = ro.Fleet
+		mcfg.Device = nil
+	}
+	if ro.Plan {
+		mcfg.Plan = &core.PlanConfig{}
+	}
 	if ro.Thermal {
 		mcfg.Thermal = device.DefaultThermal()
 	}
@@ -853,8 +910,15 @@ func runMulti(w io.Writer, bundle *core.Bundle, profile device.Profile, streams,
 	if batch {
 		mode = "batched"
 	}
+	platform := profile.Name
+	if ro.Fleet != nil {
+		platform = "fleet " + ro.FleetSpec
+		if ro.Plan {
+			platform += " (planned)"
+		}
+	}
 	fmt.Fprintf(w, "streaming %d streams x %d clips x %d frames on %s (cache %d, LFU, %s)\n\n",
-		streams, clips, frames, profile.Name, cache, mode)
+		streams, clips, frames, platform, cache, mode)
 	if loop != nil {
 		fmt.Fprintf(w, "adapt: stream 0 enters unseen scene %s (drift window %d, canary %d frames)\n\n",
 			novel, ao.DriftWindow, ao.CanaryFrames)
@@ -906,8 +970,34 @@ func runMulti(w io.Writer, bundle *core.Bundle, profile device.Profile, streams,
 	for s := 0; s < streams; s++ {
 		st := mrt.StreamStats(s)
 		sim := mrt.StreamDevice(s)
-		fmt.Fprintf(w, "stream %d: %d frames  F1 %.3f  switches %d  %.1f FPS busy  %.1f J\n",
-			s, st.Frames, st.Detection.F1, st.Switches, sim.FPS(), sim.EnergyJ())
+		tag := ""
+		if ro.Fleet != nil {
+			tag = " [" + ro.Fleet[s].Class
+			if v := mrt.StreamVariant(s); v != "" {
+				tag += " " + v
+			}
+			tag += "]"
+		}
+		fmt.Fprintf(w, "stream %d%s: %d frames  F1 %.3f  switches %d  %.1f FPS busy  %.1f J\n",
+			s, tag, st.Frames, st.Detection.F1, st.Switches, sim.FPS(), sim.EnergyJ())
+	}
+	var fleetClasses []classReport
+	if ro.Fleet != nil {
+		fleetClasses = fleetReport(mrt)
+	}
+	for _, cr := range fleetClasses {
+		variants := ""
+		for _, v := range cr.Variants {
+			if variants != "" {
+				variants += " "
+			}
+			variants += fmt.Sprintf("%s×%d", v.Variant, v.Streams)
+		}
+		if variants != "" {
+			variants = "  variants " + variants
+		}
+		fmt.Fprintf(w, "fleet %s (%s): %d streams  %d frames  mean %.1f ms/frame  %.1f J%s\n",
+			cr.Class, cr.Profile, cr.Streams, cr.Frames, cr.MeanLatencyMs, cr.EnergyJ, variants)
 	}
 
 	// Drain the shared scheduler before snapshotting the aggregate, so
@@ -945,6 +1035,11 @@ func runMulti(w io.Writer, bundle *core.Bundle, profile device.Profile, streams,
 		fmt.Fprintf(w, "slo: p99 %.1f ms  served %.3f  degraded %.3f  staleness %.1f ms  alerts %v\n",
 			1e3*sst.Long.LatencyP99.Seconds(), sst.Long.ServedFraction,
 			sst.Long.DegradedFraction, 1e3*sst.Long.SwapStaleness.Seconds(), sst.Alerts)
+		for _, cs := range sst.Classes {
+			fmt.Fprintf(w, "slo fleet %s: p99 max %.1f ms  p99 median %.1f ms  served min %.3f  (%d streams)\n",
+				cs.Class, 1e3*cs.LatencyP99Max.Seconds(), 1e3*cs.LatencyP99P50.Seconds(),
+				cs.ServedFractionMin, cs.Streams)
+		}
 	}
 	if rec := ro.Flight; rec != nil {
 		line := fmt.Sprintf("flight: %d events retained", len(rec.Snapshot()))
@@ -960,5 +1055,75 @@ func runMulti(w io.Writer, bundle *core.Bundle, profile device.Profile, streams,
 		}
 		fmt.Fprintf(w, "trace: %d events written to %s.stream{0..%d}\n", total, tracePath, streams-1)
 	}
-	return writeReport(w, jsonPath, buildReport(agg, sched, pfBreaker(pfCfg), ast, press, ro.SLO, ro.Flight, reg, spans))
+	rep := buildReport(agg, sched, pfBreaker(pfCfg), ast, press, ro.SLO, ro.Flight, reg, spans)
+	rep.Fleet = fleetClasses
+	return writeReport(w, jsonPath, rep)
+}
+
+// variantCount is one (variant, stream count) cell of a class report.
+type variantCount struct {
+	Variant string `json:"variant"`
+	Streams int    `json:"streams"`
+}
+
+// classReport aggregates one device class of the fleet for the -json
+// report's "fleet" block and the run summary.
+type classReport struct {
+	Class         string         `json:"class"`
+	Profile       string         `json:"profile"`
+	Streams       int            `json:"streams"`
+	Frames        int            `json:"frames"`
+	MeanLatencyMs float64        `json:"meanLatencyMs"`
+	EnergyJ       float64        `json:"energyJ"`
+	Variants      []variantCount `json:"variants,omitempty"`
+}
+
+// fleetReport folds per-stream stats into per-class aggregates, sorted
+// by class (nil without -fleet).
+func fleetReport(mrt *core.MultiRuntime) []classReport {
+	fl := mrt.Fleet()
+	if fl == nil {
+		return nil
+	}
+	byClass := make(map[string]*classReport)
+	var order []string
+	var latency = make(map[string]time.Duration)
+	variants := make(map[string]map[string]int)
+	for s, a := range fl {
+		cr := byClass[a.Class]
+		if cr == nil {
+			cr = &classReport{Class: a.Class, Profile: a.Profile.Name}
+			byClass[a.Class] = cr
+			order = append(order, a.Class)
+			variants[a.Class] = make(map[string]int)
+		}
+		st := mrt.StreamStats(s)
+		cr.Streams++
+		cr.Frames += st.Frames
+		latency[a.Class] += st.TotalLatency
+		if sim := mrt.StreamDevice(s); sim != nil {
+			cr.EnergyJ += sim.EnergyJ()
+		}
+		if v := mrt.StreamVariant(s); v != "" {
+			variants[a.Class][v]++
+		}
+	}
+	sort.Strings(order)
+	out := make([]classReport, 0, len(order))
+	for _, class := range order {
+		cr := byClass[class]
+		if cr.Frames > 0 {
+			cr.MeanLatencyMs = 1e3 * latency[class].Seconds() / float64(cr.Frames)
+		}
+		names := make([]string, 0, len(variants[class]))
+		for v := range variants[class] {
+			names = append(names, v)
+		}
+		sort.Strings(names)
+		for _, v := range names {
+			cr.Variants = append(cr.Variants, variantCount{Variant: v, Streams: variants[class][v]})
+		}
+		out = append(out, *cr)
+	}
+	return out
 }

@@ -348,3 +348,84 @@ func TestRunAdaptJSON(t *testing.T) {
 		}
 	}
 }
+
+func TestRunRejectsBadFleetFlags(t *testing.T) {
+	cases := map[string][]string{
+		"fleet single stream": {"-fleet", "nano:1", "-streams", "1"},
+		"plan without fleet":  {"-streams", "2", "-plan"},
+		"plan with adapt":     {"-streams", "2", "-fleet", "nano:1,tx2:1", "-plan", "-adapt"},
+	}
+	for name, args := range cases {
+		if err := run(io.Discard, args); err == nil {
+			t.Errorf("%s: expected validation error", name)
+		}
+	}
+	// A malformed spec fails before any streaming.
+	path := cheapBundlePath(t)
+	err := run(io.Discard, []string{"-bundle", path, "-streams", "2", "-fleet", "warp9:1"})
+	if err == nil || !strings.Contains(err.Error(), "warp9") {
+		t.Fatalf("expected unknown-profile error, got %v", err)
+	}
+}
+
+// TestRunFleetPlanJSON drives a planned mixed fleet end to end with SLO
+// evaluation: the summary must carry per-class fleet lines with planner
+// variants, and the -json report must contain the "fleet" block, the
+// per-class SLO percentiles and the anole_fleet_* / anole_plan_* series.
+func TestRunFleetPlanJSON(t *testing.T) {
+	path := cheapBundlePath(t)
+	jsonPath := filepath.Join(t.TempDir(), "stats.json")
+	const streams = 4
+	var out strings.Builder
+	err := run(&out, []string{
+		"-bundle", path, "-streams", fmt.Sprint(streams),
+		"-clips", "1", "-frames", "20", "-cache", "12",
+		"-fleet", "nano:1,tx2:1", "-plan", "-slo", "-json", jsonPath,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"fleet nano (Jetson Nano):", "fleet tx2 (Jetson TX2 NX):", "variants", "slo fleet nano:"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+
+	raw, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep report
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatalf("stats JSON: %v\n%s", err, raw)
+	}
+	if len(rep.Fleet) != 2 {
+		t.Fatalf("fleet block %+v, want nano and tx2", rep.Fleet)
+	}
+	total := 0
+	for _, cr := range rep.Fleet {
+		total += cr.Streams
+		if cr.Frames == 0 || len(cr.Variants) == 0 {
+			t.Fatalf("class %s missing frames or variants: %+v", cr.Class, cr)
+		}
+	}
+	if total != streams {
+		t.Fatalf("fleet classes cover %d streams, want %d", total, streams)
+	}
+	if rep.SLO == nil || len(rep.SLO.Classes) != 2 {
+		t.Fatalf("slo classes missing: %+v", rep.SLO)
+	}
+	foundFleetGauge := false
+	for name := range rep.Metrics {
+		if strings.HasPrefix(name, "anole_fleet_") {
+			foundFleetGauge = true
+			break
+		}
+	}
+	if !foundFleetGauge {
+		t.Fatal("no anole_fleet_* series in metrics")
+	}
+	if _, ok := rep.Metrics["anole_plan_infeasible_streams"]; !ok {
+		t.Fatal("no anole_plan_infeasible_streams gauge in metrics")
+	}
+}

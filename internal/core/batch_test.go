@@ -37,7 +37,7 @@ func TestMultiRuntimeBatchedSingleStreamMatchesRuntime(t *testing.T) {
 		single, err := core.NewRuntime(fx.Bundle, core.RuntimeConfig{
 			CacheSlots:       3,
 			SwitchHysteresis: hysteresis,
-			Device:           device.NewSimulator(device.JetsonTX2NX),
+			Device:           mustSim(device.JetsonTX2NX),
 		})
 		if err != nil {
 			t.Fatal(err)
@@ -369,7 +369,7 @@ func TestMultiRuntimeBatchedStressMatchesSequential(t *testing.T) {
 		single, err := core.NewRuntime(fx.Bundle, core.RuntimeConfig{
 			Store:            store,
 			SwitchHysteresis: 2,
-			Device:           device.NewSimulator(device.JetsonTX2NX),
+			Device:           mustSim(device.JetsonTX2NX),
 		})
 		if err != nil {
 			t.Fatal(err)

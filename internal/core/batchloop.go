@@ -10,6 +10,7 @@ import (
 	"anole/internal/nn"
 	"anole/internal/synth"
 	"anole/internal/telemetry"
+	"anole/internal/tensor"
 )
 
 // batchMetrics are the batched-execution telemetry handles. All handles
@@ -41,20 +42,23 @@ func newBatchMetrics(reg *telemetry.Registry) batchMetrics {
 	}
 }
 
-// batchState is the reusable working set of the batched event loop: the
-// held encoder/head batch scratches (so steady-state ticks allocate
-// nothing), the per-chunk frame bookkeeping, and the per-model grouping
-// used by the grouped detector pass. It belongs to the ProcessStreams
-// goroutine; the detector groups borrow disjoint slices of it.
-type batchState struct {
-	enc  *nn.BatchScratch // held from the encoder's pool
-	head *nn.BatchScratch // held from the decision head's pool
+// bundleBatch is the batched working set for one bundle: held
+// encoder/head batch scratches, the chunk positions currently staged on
+// it, and the per-model grouping for the detector pass. Streams on a
+// heterogeneous fleet may run different planner variants, and each
+// variant is its own Bundle — so batching groups by bundle, and a
+// homogeneous fleet collapses to exactly one group (the original
+// single-bundle fast path).
+type bundleBatch struct {
+	bundle *Bundle
+	enc    *nn.BatchScratch // held from this bundle's encoder pool
+	head   *nn.BatchScratch // held from this bundle's decision-head pool
 
-	// Per chunk position j: the tracer sequence, the simulated detect
-	// duration, and the in-flight frame result.
-	seqs []int64
-	durs []time.Duration
-	res  []FrameResult
+	// posns lists the chunk positions staged on this bundle this tick;
+	// embs/scores hold their batched MSS outputs row-aligned with posns.
+	posns  []int
+	embs   *tensor.Matrix
+	scores *tensor.Matrix
 
 	// Per model u: which chunk positions resolved to it this tick, and
 	// the reusable frame/dst slices handed to DetectBatch.
@@ -62,19 +66,54 @@ type batchState struct {
 	gframes [][]*synth.Frame
 	gdsts   [][][]detect.CellPred
 
-	// sem bounds concurrent detector groups at the worker budget.
-	sem chan struct{}
+	seen bool // staged frames this chunk; unseen groups are pruned
 }
 
-func newBatchState(b *Bundle, workers int) *batchState {
+func newBundleBatch(b *Bundle) *bundleBatch {
 	n := b.NumModels()
-	return &batchState{
+	return &bundleBatch{
+		bundle:  b,
 		enc:     b.Encoder.Weights.AcquireBatchScratch(),
 		head:    b.Decision.Head.AcquireBatchScratch(),
 		members: make([][]int, n),
 		gframes: make([][]*synth.Frame, n),
 		gdsts:   make([][][]detect.CellPred, n),
-		sem:     make(chan struct{}, workers),
+	}
+}
+
+// release returns the held scratches to their bundle's pools.
+func (g *bundleBatch) release() {
+	g.bundle.Encoder.Weights.ReleaseBatchScratch(g.enc)
+	g.bundle.Decision.Head.ReleaseBatchScratch(g.head)
+	g.enc, g.head = nil, nil
+}
+
+// batchState is the reusable working set of the batched event loop: one
+// bundleBatch per distinct stream bundle (lazily created, pruned when a
+// bundle falls out of use), and the per-chunk frame bookkeeping. It
+// belongs to the ProcessStreams goroutine; the detector groups borrow
+// disjoint slices of it.
+type batchState struct {
+	groups map[*Bundle]*bundleBatch
+	order  []*bundleBatch // groups in first-staged order this chunk
+
+	// Per chunk position j: the group and batch row the frame was staged
+	// on, the tracer sequence, the simulated detect duration, and the
+	// in-flight frame result.
+	groupOf []*bundleBatch
+	rowOf   []int
+	seqs    []int64
+	durs    []time.Duration
+	res     []FrameResult
+
+	// sem bounds concurrent detector groups at the worker budget.
+	sem chan struct{}
+}
+
+func newBatchState(workers int) *batchState {
+	return &batchState{
+		groups: make(map[*Bundle]*bundleBatch),
+		sem:    make(chan struct{}, workers),
 	}
 }
 
@@ -84,17 +123,44 @@ func (bs *batchState) ensure(n int) {
 		bs.res = make([]FrameResult, n)
 		bs.seqs = make([]int64, n)
 		bs.durs = make([]time.Duration, n)
+		bs.groupOf = make([]*bundleBatch, n)
+		bs.rowOf = make([]int, n)
 	}
 	bs.res = bs.res[:n]
 	bs.seqs = bs.seqs[:n]
 	bs.durs = bs.durs[:n]
+	bs.groupOf = bs.groupOf[:n]
+	bs.rowOf = bs.rowOf[:n]
 }
 
-// release returns the held scratches to their pools.
-func (bs *batchState) release(b *Bundle) {
-	b.Encoder.Weights.ReleaseBatchScratch(bs.enc)
-	b.Decision.Head.ReleaseBatchScratch(bs.head)
-	bs.enc, bs.head = nil, nil
+// groupFor returns the bundleBatch for b, creating it on first use.
+func (bs *batchState) groupFor(b *Bundle) *bundleBatch {
+	g, ok := bs.groups[b]
+	if !ok {
+		g = newBundleBatch(b)
+		bs.groups[b] = g
+	}
+	return g
+}
+
+// prune releases groups whose bundle staged no frame this chunk — a
+// re-plan or bundle swap moved its streams elsewhere.
+func (bs *batchState) prune() {
+	for b, g := range bs.groups {
+		if !g.seen {
+			g.release()
+			delete(bs.groups, b)
+		}
+	}
+}
+
+// releaseAll returns every group's scratches to their pools.
+func (bs *batchState) releaseAll() {
+	for b, g := range bs.groups {
+		g.release()
+		delete(bs.groups, b)
+	}
+	bs.order = bs.order[:0]
 }
 
 // processTickBatched runs one tick's ready streams through the batched
@@ -109,15 +175,18 @@ func (m *MultiRuntime) processTickBatched(tick int, ready []int, streams [][]*sy
 	return nil
 }
 
-// processChunkBatched is one batched dispatch: the chunk's frames run
-// the scene encoder and decision head as single matrix batches, then
-// each frame's cache resolution and device accounting runs sequentially
-// in ascending stream order (the shared cache and link see the same
-// deterministic order every run), then frames are detected in per-model
-// groups, and finally scoring, bookkeeping and the observer run
-// sequentially in stream order again. Per frame the arithmetic is
-// bit-identical to Runtime.ProcessFrame: the batched kernels preserve
-// each dot product's summation order and the stage methods are shared.
+// processChunkBatched is one batched dispatch: the chunk's frames are
+// partitioned by the bundle each stream currently runs (one partition on
+// a homogeneous fleet; one per planner variant in use on a mixed fleet),
+// each partition runs the scene encoder and decision head as single
+// matrix batches, then each frame's cache resolution and device
+// accounting runs sequentially in GLOBAL ascending stream order (the
+// shared cache and link see the same deterministic order every run),
+// then frames are detected in per-(bundle, model) groups, and finally
+// scoring, bookkeeping and the observer run sequentially in stream order
+// again. Per frame the arithmetic is bit-identical to
+// Runtime.ProcessFrame: the batched kernels preserve each dot product's
+// summation order and the stage methods are shared.
 func (m *MultiRuntime) processChunkBatched(tick int, chunk []int, streams [][]*synth.Frame, results [][]FrameResult, obs StreamObserver) error {
 	bs := m.bstate
 	n := len(chunk)
@@ -131,23 +200,49 @@ func (m *MultiRuntime) processChunkBatched(tick int, chunk []int, streams [][]*s
 		}
 	}
 
-	// MSS as one batch: stage every frame's feature vector as a row,
-	// then one encoder pass and one head pass for the whole chunk.
-	feats := bs.enc.In(n, synth.FrameFeatureDim(m.bundle.FeatDim))
-	for j, i := range chunk {
-		synth.FrameFeatureInto(feats.Row(j), streams[i][tick])
+	// Partition the chunk by each stream's current bundle. Re-plans swap
+	// bundles between ticks, never inside one, so the partition is stable
+	// for the whole chunk.
+	bs.order = bs.order[:0]
+	for _, g := range bs.groups {
+		g.seen = false
+		g.posns = g.posns[:0]
 	}
-	embs := m.bundle.Encoder.EmbedBatchInto(bs.enc.Out(n, m.bundle.Encoder.EmbedDim()), feats, bs.enc)
-	scores := m.bundle.Decision.ScoresBatchInto(bs.head.Out(n, m.bundle.NumModels()), embs, bs.head)
+	for j, i := range chunk {
+		g := bs.groupFor(m.streams[i].Bundle())
+		if !g.seen {
+			g.seen = true
+			bs.order = append(bs.order, g)
+		}
+		bs.groupOf[j] = g
+		bs.rowOf[j] = len(g.posns)
+		g.posns = append(g.posns, j)
+	}
 
-	// Sequential backbone: clocks, hysteresis, cache and link in
-	// ascending stream order.
+	// MSS per partition: stage every frame's feature vector as a row,
+	// then one encoder pass and one head pass per bundle.
+	for _, g := range bs.order {
+		rows := len(g.posns)
+		feats := g.enc.In(rows, synth.FrameFeatureDim(g.bundle.FeatDim))
+		for r, j := range g.posns {
+			synth.FrameFeatureInto(feats.Row(r), streams[chunk[j]][tick])
+		}
+		g.embs = g.bundle.Encoder.EmbedBatchInto(g.enc.Out(rows, g.bundle.Encoder.EmbedDim()), feats, g.enc)
+		g.scores = g.bundle.Decision.ScoresBatchInto(g.head.Out(rows, g.bundle.NumModels()), g.embs, g.head)
+		m.bmet.dispatches.Inc()
+		m.bmet.batchSize.Observe(float64(rows))
+	}
+
+	// Sequential backbone: clocks, hysteresis, cache and link in global
+	// ascending stream order — interleaving the partitions here keeps
+	// shared-state ordering identical to the unbatched loop.
 	for j, i := range chunk {
 		rt := m.streams[i]
 		f := streams[i][tick]
+		g, r := bs.groupOf[j], bs.rowOf[j]
 		bs.res[j] = FrameResult{}
 		seq := rt.beginFrame()
-		rt.adoptDecision(embs.Row(j), scores.Row(j))
+		rt.adoptDecision(g.embs.Row(r), g.scores.Row(r))
 		rank := rt.stageDecide(seq, &bs.res[j])
 		if err := rt.stageResolve(f, seq, rank, &bs.res[j]); err != nil {
 			return fmt.Errorf("core: stream %d: %w", i, err)
@@ -156,40 +251,46 @@ func (m *MultiRuntime) processChunkBatched(tick int, chunk []int, streams [][]*s
 		bs.seqs[j] = seq
 	}
 
-	// Group frames by serving model and run one batched detector pass
-	// per distinct model — groups in parallel up to the worker budget.
-	// Each stream belongs to exactly one group, so the groups touch
-	// disjoint predsBuf sets.
+	// Group frames by (bundle, serving model) and run one batched
+	// detector pass per group — groups in parallel up to the worker
+	// budget. Each stream belongs to exactly one group, so the groups
+	// touch disjoint predsBuf sets.
 	groups := 0
-	for u := range bs.members {
-		bs.members[u] = bs.members[u][:0]
-	}
-	for j := range chunk {
-		u := bs.res[j].Used
-		if len(bs.members[u]) == 0 {
-			groups++
+	for _, g := range bs.order {
+		for u := range g.members {
+			g.members[u] = g.members[u][:0]
 		}
-		bs.members[u] = append(bs.members[u], j)
+		for _, j := range g.posns {
+			u := bs.res[j].Used
+			if len(g.members[u]) == 0 {
+				groups++
+			}
+			g.members[u] = append(g.members[u], j)
+		}
 	}
 	if groups <= 1 || m.workers <= 1 {
-		for u := range bs.members {
-			if len(bs.members[u]) > 0 {
-				m.detectGroup(tick, u, chunk, streams)
+		for _, g := range bs.order {
+			for u := range g.members {
+				if len(g.members[u]) > 0 {
+					m.detectGroup(g, tick, u, chunk, streams)
+				}
 			}
 		}
 	} else {
 		var wg sync.WaitGroup
-		for u := range bs.members {
-			if len(bs.members[u]) == 0 {
-				continue
+		for _, g := range bs.order {
+			for u := range g.members {
+				if len(g.members[u]) == 0 {
+					continue
+				}
+				wg.Add(1)
+				bs.sem <- struct{}{}
+				go func(g *bundleBatch, u int) {
+					defer wg.Done()
+					m.detectGroup(g, tick, u, chunk, streams)
+					<-bs.sem
+				}(g, u)
 			}
-			wg.Add(1)
-			bs.sem <- struct{}{}
-			go func(u int) {
-				defer wg.Done()
-				m.detectGroup(tick, u, chunk, streams)
-				<-bs.sem
-			}(u)
 		}
 		wg.Wait()
 	}
@@ -208,29 +309,27 @@ func (m *MultiRuntime) processChunkBatched(tick int, chunk []int, streams [][]*s
 		results[i][tick] = bs.res[j]
 	}
 
-	m.bmet.dispatches.Inc()
 	m.bmet.batchedFrames.Add(int64(n))
-	m.bmet.batchSize.Observe(float64(n))
+	bs.prune()
 	return nil
 }
 
-// detectGroup runs one serving model's batched detector pass over its
-// member frames, writing each stream's predictions back into that
-// stream's predsBuf for finishDetect.
-func (m *MultiRuntime) detectGroup(tick, u int, chunk []int, streams [][]*synth.Frame) {
-	bs := m.bstate
-	frames := bs.gframes[u][:0]
-	dsts := bs.gdsts[u][:0]
-	for _, j := range bs.members[u] {
+// detectGroup runs one (bundle, serving model) group's batched detector
+// pass over its member frames, writing each stream's predictions back
+// into that stream's predsBuf for finishDetect.
+func (m *MultiRuntime) detectGroup(g *bundleBatch, tick, u int, chunk []int, streams [][]*synth.Frame) {
+	frames := g.gframes[u][:0]
+	dsts := g.gdsts[u][:0]
+	for _, j := range g.members[u] {
 		i := chunk[j]
 		frames = append(frames, streams[i][tick])
 		dsts = append(dsts, m.streams[i].predsBuf)
 	}
-	out := m.bundle.Detectors[u].DetectBatch(dsts, frames)
-	for k, j := range bs.members[u] {
+	out := g.bundle.Detectors[u].DetectBatch(dsts, frames)
+	for k, j := range g.members[u] {
 		m.streams[chunk[j]].predsBuf = out[k]
 	}
-	bs.gframes[u], bs.gdsts[u] = frames, out
+	g.gframes[u], g.gdsts[u] = frames, out
 }
 
 // tickJob is one (stream, tick) frame dispatched to the unbatched

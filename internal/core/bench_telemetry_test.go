@@ -24,7 +24,7 @@ func benchRuntime(b *testing.B, reg *telemetry.Registry, tr *telemetry.Tracer) (
 	}
 	rt, err := core.NewRuntime(fx.Bundle, core.RuntimeConfig{
 		CacheSlots: 3,
-		Device:     device.NewSimulator(device.JetsonTX2NX),
+		Device:     mustSim(device.JetsonTX2NX),
 		Metrics:    reg,
 		Tracer:     tr,
 	})

@@ -176,6 +176,7 @@ func (b *Bundle) ModelCost(i, cells int) device.ModelCost {
 		Name:              d.Name,
 		FLOPsPerInference: d.FrameFLOPs(cells),
 		WeightBytes:       d.WeightBytes(),
+		QuantBits:         d.Weights().QuantBits(),
 	}
 }
 

@@ -11,6 +11,15 @@ import (
 	"anole/internal/xrand"
 )
 
+// mustSim builds a simulator for a known-good registry profile.
+func mustSim(p device.Profile) *device.Simulator {
+	sim, err := device.NewSimulator(p)
+	if err != nil {
+		panic(err)
+	}
+	return sim
+}
+
 func TestProfileProducesValidBundle(t *testing.T) {
 	fx := testutil.Shared(t)
 	b := fx.Bundle
@@ -177,7 +186,7 @@ func TestRuntimeFirstFrameAlwaysServed(t *testing.T) {
 
 func TestRuntimeWithDeviceChargesLatency(t *testing.T) {
 	fx := testutil.Shared(t)
-	sim := device.NewSimulator(device.JetsonTX2NX)
+	sim := mustSim(device.JetsonTX2NX)
 	rt, err := core.NewRuntime(fx.Bundle, core.RuntimeConfig{CacheSlots: 2, Device: sim})
 	if err != nil {
 		t.Fatal(err)
@@ -219,7 +228,7 @@ func TestRuntimeWithDeviceChargesLatency(t *testing.T) {
 
 func TestRuntimeCacheBoundsResidency(t *testing.T) {
 	fx := testutil.Shared(t)
-	sim := device.NewSimulator(device.JetsonNano)
+	sim := mustSim(device.JetsonNano)
 	rt, err := core.NewRuntime(fx.Bundle, core.RuntimeConfig{CacheSlots: 2, Device: sim})
 	if err != nil {
 		t.Fatal(err)

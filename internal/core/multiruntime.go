@@ -39,12 +39,28 @@ type MultiRuntimeConfig struct {
 	// owned by exactly one worker, so per-stream state needs no locks —
 	// only the shared cache is contended.
 	Workers int
-	// Device, when non-nil, gives every stream its own simulator of
-	// this profile, charging decision, load and inference costs in
-	// simulated time. Streams progress concurrently, so the aggregate
-	// simulated makespan is the maximum per-stream latency, not the
-	// sum.
+	// Fleet assigns each stream its own device profile and power mode:
+	// Fleet[i] is stream i's device, so a mixed fleet (Jetsons, laptops,
+	// phone-class CPUs) runs under one event loop with per-stream
+	// latency, energy, memory and thermal accounting. Its length must
+	// equal Streams. Empty means no device simulation unless the
+	// deprecated Device field is set.
+	Fleet device.Fleet
+	// Device is the deprecated single-profile form of Fleet: a non-nil
+	// profile behaves exactly like device.UniformFleet(*Device, Streams).
+	// Ignored when Fleet is non-empty.
+	//
+	// Deprecated: use Fleet.
 	Device *device.Profile
+	// Plan, when non-nil, enables OODIn-style per-device planning
+	// (requires a fleet): the runtime builds quantized variants of the
+	// bundle and solves, per stream, for the variant whose size fits the
+	// device's cache byte capacity and whose estimated latency meets the
+	// budget, re-planning when the pressure monitor changes level (a
+	// throttled device may no longer sustain full precision). Mutually
+	// exclusive with external bundle swaps (SwapStreamBundle /
+	// SwapAllBundles return an error while planning owns the fleet).
+	Plan *PlanConfig
 	// Prefetch, when non-nil, builds ONE shared prefetch.Scheduler over
 	// the shared cache (the Fetcher field must be set) and attaches it
 	// to every stream: model bytes travel the device↔cloud link, absent
@@ -134,11 +150,11 @@ type MultiRuntime struct {
 	maxBatch int
 	bstate   *batchState
 	bmet     batchMetrics
-	// mixed marks a canary phase: at least one stream runs a bundle
-	// other than m.bundle, so the batched path (which stages the shared
-	// encoder/head for the whole tick) falls back to the serial
-	// per-frame loop until the fleet converges again.
-	mixed bool
+	// fleet is the per-stream device assignment (empty without device
+	// simulation); plan is the per-device variant selector state (nil
+	// unless PlanConfig enabled it — see plan.go).
+	fleet device.Fleet
+	plan  *planState
 	// press is the overload-survival machinery (nil unless a Deadline
 	// or PressureConfig enabled it — see pressure.go).
 	press *pressureState
@@ -186,6 +202,23 @@ func NewMultiRuntime(b *Bundle, cfg MultiRuntimeConfig) (*MultiRuntime, error) {
 	if maxBatch <= 0 {
 		maxBatch = 256
 	}
+	// Resolve the per-stream device fleet: the deprecated single-profile
+	// Device field is a uniform fleet of itself.
+	fleet := cfg.Fleet
+	if len(fleet) == 0 && cfg.Device != nil {
+		fleet = device.UniformFleet(*cfg.Device, cfg.Streams)
+	}
+	if len(fleet) > 0 {
+		if len(fleet) != cfg.Streams {
+			return nil, fmt.Errorf("core: fleet has %d assignments for %d streams", len(fleet), cfg.Streams)
+		}
+		if err := fleet.Validate(); err != nil {
+			return nil, fmt.Errorf("core: %w", err)
+		}
+	}
+	if cfg.Plan != nil && len(fleet) == 0 {
+		return nil, fmt.Errorf("core: per-device planning needs a device fleet (set Fleet or Device)")
+	}
 	m := &MultiRuntime{
 		bundle:   b,
 		cache:    cache,
@@ -195,30 +228,50 @@ func NewMultiRuntime(b *Bundle, cfg MultiRuntimeConfig) (*MultiRuntime, error) {
 		batch:    cfg.Batch,
 		maxBatch: maxBatch,
 		bmet:     newBatchMetrics(cfg.Metrics),
+		fleet:    fleet,
 		flt:      cfg.Flight,
 		slo:      cfg.SLO,
 	}
 	if cfg.Batch {
-		m.bstate = newBatchState(b, workers)
+		m.bstate = newBatchState(workers)
+	}
+	// One byte-size registry covers the fleet bundle and every planner
+	// variant, so streams on different variants share correct byte
+	// accounting in the shared cache.
+	sizer := newSizerRegistry()
+	sizer.add(b)
+	pfModels := PrefetchModels(b)
+	if cfg.Plan != nil {
+		ps, err := newPlanState(b, cfg.Plan, cfg.Streams, cfg.Metrics)
+		if err != nil {
+			return nil, err
+		}
+		m.plan = ps
+		for _, v := range ps.variants[1:] {
+			sizer.add(v.bundle)
+			pfModels = append(pfModels, PrefetchModels(v.bundle)...)
+		}
 	}
 	if cfg.Prefetch != nil {
 		pcfg := *cfg.Prefetch
 		if pcfg.Metrics == nil {
 			pcfg.Metrics = cfg.Metrics
 		}
-		sched, err := prefetch.NewScheduler(pcfg, cache, PrefetchModels(b))
+		sched, err := prefetch.NewScheduler(pcfg, cache, pfModels)
 		if err != nil {
 			return nil, err
 		}
 		m.pf = sched
 	}
-	if cfg.Device != nil {
-		// Satellite memory budget: the profile's GPU memory bounds the
-		// cache in bytes, not just slots. The sizer measures serialized
-		// model bytes while the device charges paper-scale bytes
-		// (WeightBytes × BytesScale), so the budget converts real GPU
-		// bytes back down to sizer units.
-		if byteCap := int64(cfg.Device.GPUMemoryMB * float64(1<<20) / device.BytesScale); byteCap > 0 {
+	if len(fleet) > 0 {
+		// Satellite memory budget: GPU memory bounds the cache in bytes,
+		// not just slots. The sizer measures serialized model bytes while
+		// the device charges paper-scale bytes (WeightBytes × BytesScale),
+		// so the budget converts real GPU bytes back down to sizer units.
+		// The shared cache is sized to the roomiest device; tighter
+		// per-device ceilings are enforced by the planner, which never
+		// assigns a stream a variant exceeding its own device's capacity.
+		if byteCap := int64(fleet.MaxGPUMemoryMB() * float64(1<<20) / device.BytesScale); byteCap > 0 {
 			cache.SetByteCapacity(byteCap)
 		}
 	}
@@ -228,8 +281,12 @@ func NewMultiRuntime(b *Bundle, cfg MultiRuntimeConfig) (*MultiRuntime, error) {
 	}
 	for i := range m.streams {
 		var dev *device.Simulator
-		if cfg.Device != nil {
-			dev = device.NewSimulator(*cfg.Device)
+		if len(fleet) > 0 {
+			var err error
+			dev, err = device.NewSimulatorAtMode(fleet[i].Profile, fleet[i].Mode)
+			if err != nil {
+				return nil, fmt.Errorf("core: stream %d: %w", i, err)
+			}
 			if cfg.Thermal != nil {
 				dev.EnableThermal(cfg.Thermal)
 			}
@@ -242,6 +299,7 @@ func NewMultiRuntime(b *Bundle, cfg MultiRuntimeConfig) (*MultiRuntime, error) {
 			Metrics:             cfg.Metrics,
 			Tracer:              cfg.Tracer,
 			StreamID:            i,
+			sizer:               sizer,
 			DegradedRetryFrames: cfg.DegradedRetryFrames,
 			DegradedRetryCap:    cfg.DegradedRetryCap,
 		})
@@ -250,8 +308,19 @@ func NewMultiRuntime(b *Bundle, cfg MultiRuntimeConfig) (*MultiRuntime, error) {
 		}
 		m.streams[i] = rt
 		m.devs[i] = dev
+		if m.slo != nil && len(fleet) > 0 {
+			m.slo.SetStreamClass(int32(i), fleet[i].Class)
+		}
 	}
 	m.press = newPressureState(cfg.Streams, cfg.Deadline, cfg.Pressure, cfg.Metrics, m.pressureReact(cfg.Pressure.criticalWatermark()))
+	if m.press != nil {
+		m.press.latScale = fleetLatencyScales(fleet)
+	}
+	if m.plan != nil {
+		if err := m.applyInitialPlan(); err != nil {
+			return nil, err
+		}
+	}
 	return m, nil
 }
 
@@ -278,6 +347,10 @@ func (m *MultiRuntime) pressureReact(watermark float64) func(pressure.Level) {
 		} else {
 			m.cache.SetWatermark(1)
 		}
+		// A level transition means the thermal/residency picture changed:
+		// re-run per-device planning so throttled devices can step down
+		// to a cheaper variant (and recovered ones step back up).
+		m.replanStreams()
 	}
 }
 
@@ -299,12 +372,14 @@ func (m *MultiRuntime) StreamBundle(i int) *Bundle { return m.streams[i].Bundle(
 func (m *MultiRuntime) Cache() *modelcache.Sharded { return m.cache }
 
 // SwapStreamBundle deploys b on stream i only — the canary step of a
-// rollout. While any stream's bundle differs from the fleet's, batched
-// execution falls back to the serial per-frame loop (the batched path
-// stages one shared encoder/head per tick), so a canary trades batch
-// throughput for isolation until it resolves. Call only between
-// ProcessStreams calls.
+// rollout. Mixed-bundle fleets stay on the batched path: the batcher
+// groups each tick's frames by the bundle they run, so a canary batches
+// within its own group. Call only between ProcessStreams calls. Not
+// available while per-device planning owns the fleet's bundles.
 func (m *MultiRuntime) SwapStreamBundle(i int, b *Bundle) error {
+	if m.plan != nil {
+		return fmt.Errorf("core: bundle swaps are not available with per-device planning enabled")
+	}
 	if i < 0 || i >= len(m.streams) {
 		return fmt.Errorf("core: swap on stream %d of %d", i, len(m.streams))
 	}
@@ -312,21 +387,17 @@ func (m *MultiRuntime) SwapStreamBundle(i int, b *Bundle) error {
 		return err
 	}
 	m.flt.Record(flight.Event{Stream: i, Kind: flight.KindSwap, Detail: "canary"})
-	m.mixed = false
-	for _, rt := range m.streams {
-		if rt.Bundle() != m.bundle {
-			m.mixed = true
-			break
-		}
-	}
 	return nil
 }
 
 // SwapAllBundles deploys b on every stream and adopts it as the shared
-// fleet bundle — the promote (or rollback) step of a rollout. The
-// batched working set is rebuilt against the new bundle. Call only
-// between ProcessStreams calls.
+// fleet bundle — the promote (or rollback) step of a rollout. Call only
+// between ProcessStreams calls. Not available while per-device planning
+// owns the fleet's bundles.
 func (m *MultiRuntime) SwapAllBundles(b *Bundle) error {
+	if m.plan != nil {
+		return fmt.Errorf("core: bundle swaps are not available with per-device planning enabled")
+	}
 	if err := b.Validate(); err != nil {
 		return err
 	}
@@ -336,25 +407,38 @@ func (m *MultiRuntime) SwapAllBundles(b *Bundle) error {
 		}
 	}
 	if m.bstate != nil {
-		m.bstate.release(m.bundle)
-		m.bstate = newBatchState(b, m.workers)
+		// Retired bundles' batch scratches are pruned lazily by the next
+		// tick; releasing here keeps promotion prompt.
+		m.bstate.releaseAll()
 	}
 	m.bundle = b
-	m.mixed = false
 	m.flt.Record(flight.Event{Stream: flight.GlobalStream, Kind: flight.KindSwap, Detail: "fleet"})
 	return nil
 }
 
-// PurgeStaleModels evicts every cached model that is not part of the
-// current fleet bundle and returns how many were removed — the
-// old-generation cleanup run after a promotion (never during a canary,
-// when two generations legitimately coexist). Pinned or mid-prefetch
-// entries are removed like any other: the fleet no longer references
-// them.
+// PurgeStaleModels evicts every cached model that no live bundle
+// references and returns how many were removed — the old-generation
+// cleanup run after a promotion (never during a canary, when two
+// generations legitimately coexist). "Live" covers the fleet bundle,
+// every stream's current bundle, and — under per-device planning — every
+// variant a replan could still select. Pinned or mid-prefetch entries
+// are removed like any other: nothing live references them.
 func (m *MultiRuntime) PurgeStaleModels() int {
 	keep := make(map[string]bool, m.bundle.NumModels())
 	for _, d := range m.bundle.Detectors {
 		keep[d.Name] = true
+	}
+	for _, rt := range m.streams {
+		for _, d := range rt.Bundle().Detectors {
+			keep[d.Name] = true
+		}
+	}
+	if m.plan != nil {
+		for _, v := range m.plan.variants {
+			for _, d := range v.bundle.Detectors {
+				keep[d.Name] = true
+			}
+		}
 	}
 	purged := 0
 	for _, key := range m.cache.Keys() {
@@ -381,14 +465,18 @@ func (m *MultiRuntime) Close() {
 		m.pf = nil
 	}
 	if m.bstate != nil {
-		m.bstate.release(m.bundle)
+		m.bstate.releaseAll()
 		m.bstate = nil
 	}
 }
 
 // StreamDevice returns stream i's device simulator (nil without a
-// Device profile). Read it only after ProcessStreams returns.
+// fleet). Read it only after ProcessStreams returns.
 func (m *MultiRuntime) StreamDevice(i int) *device.Simulator { return m.devs[i] }
+
+// Fleet returns the per-stream device assignment (nil without device
+// simulation). The returned slice is the runtime's own — do not mutate.
+func (m *MultiRuntime) Fleet() device.Fleet { return m.fleet }
 
 // StreamObserver is invoked after every processed frame. Calls for one
 // stream are always sequential and frame-ordered. In the unbatched mode
@@ -456,11 +544,6 @@ func (m *MultiRuntime) ProcessStreams(streams [][]*synth.Frame, obs StreamObserv
 		switch {
 		case m.press != nil:
 			err = m.processTickPressure(tick, ready, streams, results, obs)
-		case m.batch && m.mixed:
-			// Canary in progress: streams disagree on the bundle, so the
-			// shared-encoder batch staging is invalid. Serial keeps the
-			// (tick, stream) order and observer contract identical.
-			err = m.processTickSerial(tick, ready, streams, results, obs)
 		case m.batch:
 			err = m.processTickBatched(tick, ready, streams, results, obs)
 		case loop != nil:

@@ -45,7 +45,7 @@ func TestMultiRuntimeSingleStreamMatchesRuntime(t *testing.T) {
 		single, err := core.NewRuntime(fx.Bundle, core.RuntimeConfig{
 			CacheSlots:       3,
 			SwitchHysteresis: hysteresis,
-			Device:           device.NewSimulator(device.JetsonTX2NX),
+			Device:           mustSim(device.JetsonTX2NX),
 		})
 		if err != nil {
 			t.Fatal(err)

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"anole/internal/device"
 	"anole/internal/flight"
 	"anole/internal/pressure"
 	"anole/internal/synth"
@@ -78,6 +79,14 @@ type pressureState struct {
 	wd       *pressure.Watchdog
 	deadline time.Duration
 
+	// latScale normalizes each stream's served latency for the shared
+	// deadline controller: the ratio of the fleet's fastest mode
+	// throughput to stream i's (≥ 1). Dividing a slow device's latency
+	// by its scale gives every stream a deadline proportional to its
+	// hardware — a nano is not "overloaded" merely for being a nano.
+	// Nil (uniform fleet, or no fleet) means no normalization.
+	latScale []float64
+
 	// Per-tick scratch, sized to the stream count.
 	active   []bool
 	progress []bool
@@ -118,6 +127,37 @@ func newPressureState(streams int, deadline time.Duration, cfg *PressureConfig, 
 		ps.mon.Subscribe(onLevel)
 	}
 	return ps
+}
+
+// fleetLatencyScales derives the controller's per-stream latency
+// normalization from a device fleet: scale[i] is the ratio of the
+// fleet's fastest mode throughput to stream i's. Returns nil for a
+// uniform fleet (or none), so homogeneous runs keep the controller's
+// historical raw-latency behavior bit for bit.
+func fleetLatencyScales(fleet device.Fleet) []float64 {
+	if len(fleet) == 0 {
+		return nil
+	}
+	gflops := make([]float64, len(fleet))
+	fastest := 0.0
+	uniform := true
+	for i, a := range fleet {
+		gflops[i] = a.Profile.Modes[a.Mode].GFLOPS
+		if gflops[i] > fastest {
+			fastest = gflops[i]
+		}
+		if gflops[i] != gflops[0] {
+			uniform = false
+		}
+	}
+	if uniform || fastest <= 0 {
+		return nil
+	}
+	scales := make([]float64, len(fleet))
+	for i := range scales {
+		scales[i] = fastest / gflops[i]
+	}
+	return scales
 }
 
 // criticalWatermark returns the sweep fraction for a config (0.75
@@ -249,11 +289,11 @@ func (m *MultiRuntime) processTickPressure(tick int, ready []int, streams [][]*s
 	}
 	rung := ps.ctl.Rung()
 	if rung == pressure.ShedNone {
-		if m.batch && !m.mixed {
-			// Nominal + uniform fleet: the batched path runs untouched,
-			// so batched and unbatched stay bit-identical. (A frame
-			// error here aborts as it always has; error-to-quarantine
-			// applies on the serial paths.)
+		if m.batch {
+			// Nominal: the batched path runs untouched, so batched and
+			// unbatched stay bit-identical. (A frame error here aborts
+			// as it always has; error-to-quarantine applies on the
+			// serial paths.)
 			return m.processTickBatched(tick, ps.live, streams, results, obs)
 		}
 		return m.processTickGuarded(tick, ps.live, pressure.ShedNone, streams, results, obs)
@@ -330,8 +370,12 @@ func (m *MultiRuntime) observePressureTick(tick int, ready []int, results [][]Fr
 			served = true
 			ps.active[i] = true
 			ps.progress[i] = true
-			if res.Latency > worst {
-				worst = res.Latency
+			lat := res.Latency
+			if ps.latScale != nil {
+				lat = time.Duration(float64(lat) / ps.latScale[i])
+			}
+			if lat > worst {
+				worst = lat
 			}
 		default:
 			// Shed frames are fleet policy and quarantined frames are
@@ -427,6 +471,12 @@ func (m *MultiRuntime) CaptureCheckpoint() *pressure.Checkpoint {
 	for _, key := range m.cache.Keys() {
 		c.Cache = append(c.Cache, pressure.CacheEntry{Key: key, Freq: m.cache.Freq(key)})
 	}
+	if m.fleet != nil {
+		c.Fleet = make([]string, len(m.fleet))
+		for i, a := range m.fleet {
+			c.Fleet[i] = a.Class
+		}
+	}
 	return c
 }
 
@@ -442,6 +492,19 @@ func (m *MultiRuntime) RestoreCheckpoint(c *pressure.Checkpoint) (warmed int, er
 	if c == nil {
 		return 0, fmt.Errorf("core: nil checkpoint")
 	}
+	// A checkpoint captured on one fleet layout must not warm another:
+	// stream indices would map to different hardware. Checkpoints without
+	// a fleet section (v1, or single-device runs) restore anywhere.
+	if len(c.Fleet) > 0 && m.fleet != nil {
+		if len(c.Fleet) != len(m.fleet) {
+			return 0, fmt.Errorf("core: checkpoint fleet has %d streams, runtime %d", len(c.Fleet), len(m.fleet))
+		}
+		for i, class := range c.Fleet {
+			if class != m.fleet[i].Class {
+				return 0, fmt.Errorf("core: checkpoint stream %d class %q, runtime %q", i, class, m.fleet[i].Class)
+			}
+		}
+	}
 	if c.Markov != nil && m.pf != nil {
 		if err := m.pf.Markov().RestoreState(c.Markov.N, c.Markov.Obs, c.Markov.Counts, c.Markov.RowSum); err != nil {
 			return 0, fmt.Errorf("core: restore markov: %w", err)
@@ -450,6 +513,13 @@ func (m *MultiRuntime) RestoreCheckpoint(c *pressure.Checkpoint) (warmed int, er
 	known := make(map[string]bool, m.bundle.NumModels())
 	for _, d := range m.bundle.Detectors {
 		known[d.Name] = true
+	}
+	if m.plan != nil {
+		for _, v := range m.plan.variants {
+			for _, d := range v.bundle.Detectors {
+				known[d.Name] = true
+			}
+		}
 	}
 	for _, e := range c.Cache {
 		if !known[e.Key] {

@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"sync"
 	"time"
 
 	"anole/internal/detect"
@@ -79,6 +80,11 @@ type RuntimeConfig struct {
 	// (MultiRuntime sets it per stream).
 	Tracer   *telemetry.Tracer
 	StreamID int
+	// sizer, when non-nil, is the shared byte-size registry the store's
+	// byte accounting reads (MultiRuntime passes one registry covering
+	// the fleet bundle and every planner variant, so streams on
+	// different variants never clobber each other's sizes).
+	sizer *sizerRegistry
 	// DegradedRetryFrames and DegradedRetryCap control the stale-serve
 	// hysteresis entered when the decided model cannot be fetched: after
 	// a failed demand fetch the runtime serves the best resident model
@@ -219,6 +225,14 @@ type Runtime struct {
 	// shed-ladder frame skips background prefetch planning (rung ≥ 1)
 	// while keeping the rest of the bookkeeping identical.
 	planSuppressed bool
+	// sizer is the byte-size registry backing the store's sizer func.
+	sizer *sizerRegistry
+	// pfOffset shifts this stream's model indices into the shared
+	// prefetch scheduler's model space when the stream runs a planner
+	// variant: variant v's detector i registers at v×NumModels+i, so
+	// the Markov chain and link transfers track each variant's models
+	// separately. Zero for the base bundle.
+	pfOffset int
 
 	prevDesired int
 	runLen      int
@@ -282,7 +296,12 @@ func NewRuntime(b *Bundle, cfg RuntimeConfig) (*Runtime, error) {
 			store = cache
 		}
 	}
-	wireSizer(store, b)
+	sizer := cfg.sizer
+	if sizer == nil {
+		sizer = newSizerRegistry()
+	}
+	sizer.add(b)
+	wireSizer(store, sizer)
 	retryBase := cfg.DegradedRetryFrames
 	if retryBase <= 0 {
 		retryBase = 4
@@ -297,6 +316,7 @@ func NewRuntime(b *Bundle, cfg RuntimeConfig) (*Runtime, error) {
 	r := &Runtime{
 		bundle:      b,
 		cache:       store,
+		sizer:       sizer,
 		dev:         cfg.Device,
 		hysteresis:  cfg.SwitchHysteresis,
 		retryBase:   retryBase,
@@ -351,19 +371,42 @@ type byteSizedStore interface {
 	SetSizer(func(key string) int64)
 }
 
-// wireSizer points the store's byte accounting at the bundle's frozen
-// weights: each cache key (detector name) maps to the exact serialized
-// size of its program (Weights.SizeBytes).
-func wireSizer(store ModelStore, b *Bundle) {
-	bs, ok := store.(byteSizedStore)
-	if !ok {
-		return
-	}
-	sizes := make(map[string]int64, len(b.Detectors))
+// sizerRegistry is the byte-size map behind a store's sizer func: each
+// cache key (detector name) maps to the exact serialized size of its
+// program (Weights.SizeBytes). It accumulates — registering a new bundle
+// (a generation swap, a planner variant) merges its sizes instead of
+// clobbering the old ones, so entries from earlier generations or other
+// streams' variants keep correct byte accounting until they are evicted.
+// Reads and writes can race between a swap and a background prefetch
+// completion, hence the lock.
+type sizerRegistry struct {
+	mu    sync.RWMutex
+	sizes map[string]int64
+}
+
+func newSizerRegistry() *sizerRegistry {
+	return &sizerRegistry{sizes: make(map[string]int64)}
+}
+
+func (sr *sizerRegistry) add(b *Bundle) {
+	sr.mu.Lock()
 	for _, d := range b.Detectors {
-		sizes[d.Name] = d.SizeBytes()
+		sr.sizes[d.Name] = d.SizeBytes()
 	}
-	bs.SetSizer(func(key string) int64 { return sizes[key] })
+	sr.mu.Unlock()
+}
+
+func (sr *sizerRegistry) size(key string) int64 {
+	sr.mu.RLock()
+	defer sr.mu.RUnlock()
+	return sr.sizes[key]
+}
+
+// wireSizer points the store's byte accounting at the registry.
+func wireSizer(store ModelStore, sr *sizerRegistry) {
+	if bs, ok := store.(byteSizedStore); ok {
+		bs.SetSizer(sr.size)
+	}
 }
 
 // Prefetcher returns the attached prefetch scheduler (nil when
@@ -401,7 +444,12 @@ func (r *Runtime) SwapBundle(b *Bundle) error {
 		return fmt.Errorf("core: swap bundle feat dim %d, runtime %d", b.FeatDim, r.bundle.FeatDim)
 	}
 	r.bundle = b
-	wireSizer(r.cache, b)
+	// Merge the new generation's sizes and re-measure the store's
+	// residents: keys shared between generations (a promote keeps
+	// detector names) take the incoming sizes, other bundles' keys keep
+	// theirs, so BytesUsed stays the exact sum over the resident set.
+	r.sizer.add(b)
+	wireSizer(r.cache, r.sizer)
 	n := b.NumModels()
 	for len(r.stats.DesiredCounts) < n {
 		r.stats.DesiredCounts = append(r.stats.DesiredCounts, 0)
@@ -572,7 +620,7 @@ func (r *Runtime) stageResolve(f *synth.Frame, seq int64, rank []int, res *Frame
 			} else {
 				r.stats.ColdMisses++
 				r.met.coldMisses.Inc()
-				stall, ferr := r.pf.DemandFetch(context.Background(), res.Desired)
+				stall, ferr := r.pf.DemandFetch(context.Background(), r.pfOffset+res.Desired)
 				r.recordStage(seq, telemetry.StageFetch, res.Desired, stall, false, ferr != nil, ferr)
 				if ferr != nil {
 					// Link unreachable: back off before the next probe.
@@ -693,11 +741,11 @@ func (r *Runtime) stageFinish(res *FrameResult) {
 	res.Switched = r.prevDesired >= 0 && res.Desired != r.prevDesired
 	if r.pf != nil {
 		if res.Switched {
-			r.pf.Observe(r.prevDesired, res.Desired)
+			r.pf.Observe(r.pfOffset+r.prevDesired, r.pfOffset+res.Desired)
 		}
 		if (res.Switched || r.stats.Frames == 0) && !r.planSuppressed {
 			// Warm the cache toward the likeliest next switch targets.
-			r.pf.Plan(res.Desired)
+			r.pf.Plan(r.pfOffset + res.Desired)
 		}
 	}
 	if res.Switched {

@@ -22,7 +22,7 @@ func TestRuntimeTelemetryMatchesRunStats(t *testing.T) {
 	tr := telemetry.NewTracer(0, func() time.Duration { return 0 })
 	rt, err := core.NewRuntime(fx.Bundle, core.RuntimeConfig{
 		CacheSlots: 3,
-		Device:     device.NewSimulator(device.JetsonTX2NX),
+		Device:     mustSim(device.JetsonTX2NX),
 		Metrics:    reg,
 		Tracer:     tr,
 	})
@@ -182,7 +182,7 @@ func TestRuntimeTelemetryDisabledIsFreeOfSideEffects(t *testing.T) {
 	run := func(reg *telemetry.Registry, tr *telemetry.Tracer) []core.FrameResult {
 		rt, err := core.NewRuntime(fx.Bundle, core.RuntimeConfig{
 			CacheSlots: 3,
-			Device:     device.NewSimulator(device.JetsonTX2NX),
+			Device:     mustSim(device.JetsonTX2NX),
 			Metrics:    reg,
 			Tracer:     tr,
 		})

@@ -65,6 +65,51 @@ type Profile struct {
 	// used unless a mode is selected explicitly.
 	Modes       []PowerMode
 	DefaultMode int
+	// BatteryWh is the device's energy envelope in watt-hours. Zero
+	// means wall-powered (unbounded); fleet planning treats a positive
+	// value as the budget a deployment must live within.
+	BatteryWh float64
+}
+
+// Validate checks that a profile is internally consistent: at least one
+// power mode, a default mode in range, positive memory/bandwidth, and
+// sane wattage on every mode. NewSimulator and NewSimulatorAtMode refuse
+// profiles that fail validation instead of dividing by zero later.
+func (p Profile) Validate() error {
+	if len(p.Modes) == 0 {
+		return fmt.Errorf("device: profile %q has no power modes", p.Name)
+	}
+	if p.DefaultMode < 0 || p.DefaultMode >= len(p.Modes) {
+		return fmt.Errorf("device: profile %q default mode %d out of range [0,%d)",
+			p.Name, p.DefaultMode, len(p.Modes))
+	}
+	if p.GPUMemoryMB <= 0 {
+		return fmt.Errorf("device: profile %q has non-positive GPU memory %v", p.Name, p.GPUMemoryMB)
+	}
+	if p.IOBandwidthMBps <= 0 {
+		return fmt.Errorf("device: profile %q has non-positive IO bandwidth %v", p.Name, p.IOBandwidthMBps)
+	}
+	if p.FrameworkInitMs < 0 || p.DispatchOverheadMs < 0 {
+		return fmt.Errorf("device: profile %q has negative overhead", p.Name)
+	}
+	if p.BatteryWh < 0 {
+		return fmt.Errorf("device: profile %q has negative battery envelope %v", p.Name, p.BatteryWh)
+	}
+	for i, m := range p.Modes {
+		if m.GFLOPS <= 0 {
+			return fmt.Errorf("device: profile %q mode %d (%s) has non-positive throughput %v",
+				p.Name, i, m.Name, m.GFLOPS)
+		}
+		if m.BudgetW <= 0 {
+			return fmt.Errorf("device: profile %q mode %d (%s) has non-positive power budget %v",
+				p.Name, i, m.Name, m.BudgetW)
+		}
+		if m.IdleW < 0 || m.ActiveW < m.IdleW {
+			return fmt.Errorf("device: profile %q mode %d (%s) has inconsistent wattage idle=%v active=%v",
+				p.Name, i, m.Name, m.IdleW, m.ActiveW)
+		}
+	}
+	return nil
 }
 
 // The three platforms of Table I. Throughput, bandwidth and power figures
@@ -80,6 +125,7 @@ var (
 		Modes: []PowerMode{
 			{Name: "10W", BudgetW: 10, Cores: 4, GFLOPS: 236, IdleW: 1.5, ActiveW: 9.0},
 		},
+		BatteryWh: 37, // 3S LiPo pack typical of Nano robotics carriers
 	}
 	JetsonTX2NX = Profile{
 		Name:               "Jetson TX2 NX",
@@ -94,6 +140,7 @@ var (
 			{Name: "20W-6core", BudgetW: 20, Cores: 6, GFLOPS: 1330, IdleW: 2.5, ActiveW: 17.8},
 		},
 		DefaultMode: 3,
+		BatteryWh:   58, // 4S pack on the TX2 NX dev carrier
 	}
 	Laptop = Profile{
 		Name:               "Laptop (i7 + RTX 2070)",
@@ -104,6 +151,36 @@ var (
 		Modes: []PowerMode{
 			{Name: "AC", BudgetW: 180, Cores: 12, GFLOPS: 2100, IdleW: 25, ActiveW: 140},
 		},
+		BatteryWh: 99, // largest airline-legal pack
+	}
+
+	// CPUFast and CPUSlow are CPU-only analogs bracketing the phone SoCs
+	// a real deployment sees (OODIn's heterogeneity argument): a flagship
+	// big-core cluster and a budget handset. CPUSlow's small memory
+	// ceiling is deliberate — it is the profile on which per-device
+	// planning's memory constraint actually binds.
+	CPUFast = Profile{
+		Name:               "CPU (fast)",
+		GPUMemoryMB:        3072,
+		IOBandwidthMBps:    250,
+		FrameworkInitMs:    350,
+		DispatchOverheadMs: 1.2,
+		Modes: []PowerMode{
+			{Name: "sustained", BudgetW: 6, Cores: 4, GFLOPS: 420, IdleW: 0.9, ActiveW: 5.5},
+			{Name: "boost", BudgetW: 9, Cores: 8, GFLOPS: 560, IdleW: 1.1, ActiveW: 8.2},
+		},
+		BatteryWh: 17, // ~4500 mAh handset
+	}
+	CPUSlow = Profile{
+		Name:               "CPU (slow)",
+		GPUMemoryMB:        512,
+		IOBandwidthMBps:    60,
+		FrameworkInitMs:    1400,
+		DispatchOverheadMs: 4.0,
+		Modes: []PowerMode{
+			{Name: "sustained", BudgetW: 3, Cores: 4, GFLOPS: 85, IdleW: 0.5, ActiveW: 2.8},
+		},
+		BatteryWh: 11, // ~3000 mAh budget handset
 	}
 )
 
@@ -120,6 +197,23 @@ type ModelCost struct {
 	FLOPsPerInference int64
 	// WeightBytes is the unscaled serialized parameter size.
 	WeightBytes int64
+	// QuantBits is the weight bit width the model runs at; 0 (or ≥ 64)
+	// means full precision. Integer kernels execute faster than fp32 on
+	// mobile silicon, so Infer divides by QuantSpeedup(QuantBits).
+	QuantBits int
+}
+
+// QuantSpeedup returns the execution-throughput multiplier of running at
+// the given weight bit width relative to full precision: 1 at fp32, rising
+// linearly in the saved bits to ≈1.58× at int8 and ≈1.63× at 4-bit — the
+// regime mobile integer kernels report versus fp32. The substitute models'
+// FLOP counts do not change under nn.Quantize (same arithmetic, narrower
+// weights), so the simulator carries the kernel speedup here instead.
+func QuantSpeedup(bits int) float64 {
+	if bits <= 0 || bits >= 64 {
+		return 1
+	}
+	return 1 + float64(64-bits)/96
 }
 
 // ScaledFLOPs returns the paper-scale per-inference compute.
@@ -143,6 +237,7 @@ func (m ModelCost) ExecMemoryMB() float64 { return m.LoadMemoryMB()*3 + 450 }
 type Simulator struct {
 	profile Profile
 	mode    PowerMode
+	modeIdx int
 
 	busy        time.Duration // time spent computing or loading
 	idle        time.Duration // explicit idle time (waiting for frames)
@@ -162,16 +257,22 @@ type Simulator struct {
 }
 
 // NewSimulator creates a simulator for profile at its default power mode.
-func NewSimulator(profile Profile) *Simulator {
-	return &Simulator{profile: profile, mode: profile.Modes[profile.DefaultMode]}
+// The profile must pass Validate; an invalid profile (no modes, zero
+// memory, inconsistent wattage) is an error rather than a later panic.
+func NewSimulator(profile Profile) (*Simulator, error) {
+	return NewSimulatorAtMode(profile, profile.DefaultMode)
 }
 
-// NewSimulatorAtMode selects a specific power mode by index.
+// NewSimulatorAtMode selects a specific power mode by index. The profile
+// must pass Validate.
 func NewSimulatorAtMode(profile Profile, mode int) (*Simulator, error) {
+	if err := profile.Validate(); err != nil {
+		return nil, err
+	}
 	if mode < 0 || mode >= len(profile.Modes) {
 		return nil, fmt.Errorf("device: %s has no mode %d", profile.Name, mode)
 	}
-	return &Simulator{profile: profile, mode: profile.Modes[mode]}, nil
+	return &Simulator{profile: profile, mode: profile.Modes[mode], modeIdx: mode}, nil
 }
 
 // Profile returns the simulated device profile.
@@ -180,11 +281,27 @@ func (s *Simulator) Profile() Profile { return s.profile }
 // Mode returns the active power mode.
 func (s *Simulator) Mode() PowerMode { return s.mode }
 
+// ModeIndex returns the index of the active power mode within the
+// profile's Modes.
+func (s *Simulator) ModeIndex() int { return s.modeIdx }
+
+// SetMode switches the simulator to another power mode mid-run (DVFS).
+// Accrued time, energy and thermal state carry over — only the wattage
+// and throughput of subsequent work change.
+func (s *Simulator) SetMode(mode int) error {
+	if mode < 0 || mode >= len(s.profile.Modes) {
+		return fmt.Errorf("device: %s has no mode %d", s.profile.Name, mode)
+	}
+	s.mode = s.profile.Modes[mode]
+	s.modeIdx = mode
+	return nil
+}
+
 // Infer charges one inference of model and returns its simulated
 // latency, lengthened by thermal throttling when a thermal model is
 // attached and the device is hot.
 func (s *Simulator) Infer(model ModelCost) time.Duration {
-	throughput := s.mode.GFLOPS * 1e9 * s.ThrottleFactor()
+	throughput := s.mode.GFLOPS * 1e9 * s.ThrottleFactor() * QuantSpeedup(model.QuantBits)
 	seconds := model.ScaledFLOPs()/throughput + s.profile.DispatchOverheadMs/1e3
 	d := time.Duration(seconds * float64(time.Second))
 	s.busy += d
@@ -318,7 +435,7 @@ func (s *Simulator) FitsInMemory(model ModelCost) bool {
 // Reset clears all counters but keeps the framework-initialized flag
 // cleared too (a fresh process).
 func (s *Simulator) Reset() {
-	*s = Simulator{profile: s.profile, mode: s.mode}
+	*s = Simulator{profile: s.profile, mode: s.mode, modeIdx: s.modeIdx}
 }
 
 // ResetCounters zeroes time, energy and operation counters while keeping

@@ -12,6 +12,16 @@ var tinyModel = ModelCost{Name: "tiny", FLOPsPerInference: 48_000, WeightBytes: 
 
 var deepModel = ModelCost{Name: "deep", FLOPsPerInference: 510_000, WeightBytes: 32_000}
 
+// mustSim builds a simulator for a known-valid profile.
+func mustSim(t *testing.T, p Profile) *Simulator {
+	t.Helper()
+	s, err := NewSimulator(p)
+	if err != nil {
+		t.Fatalf("NewSimulator(%s): %v", p.Name, err)
+	}
+	return s
+}
+
 func TestProfilesOrdering(t *testing.T) {
 	ps := Profiles()
 	if len(ps) != 3 {
@@ -32,8 +42,8 @@ func TestProfilesOrdering(t *testing.T) {
 
 func TestInferLatencyOrdering(t *testing.T) {
 	// Table IV shape: TX2 NX fastest, Nano slowest for the same model.
-	nano := NewSimulator(JetsonNano)
-	tx2 := NewSimulator(JetsonTX2NX)
+	nano := mustSim(t, JetsonNano)
+	tx2 := mustSim(t, JetsonTX2NX)
 	lat := map[string]time.Duration{
 		"nano": nano.Infer(tinyModel),
 		"tx2":  tx2.Infer(tinyModel),
@@ -45,7 +55,7 @@ func TestInferLatencyOrdering(t *testing.T) {
 
 func TestDeepSlowerThanTiny(t *testing.T) {
 	for _, p := range Profiles() {
-		s := NewSimulator(p)
+		s := mustSim(t, p)
 		tiny := s.Infer(tinyModel)
 		deep := s.Infer(deepModel)
 		if deep <= tiny {
@@ -57,7 +67,7 @@ func TestDeepSlowerThanTiny(t *testing.T) {
 func TestTinyLatencyMagnitude(t *testing.T) {
 	// With FLOPsScale the tiny detector should land in the paper's
 	// regime: ~1-60 ms on Jetson-class devices.
-	s := NewSimulator(JetsonTX2NX)
+	s := mustSim(t, JetsonTX2NX)
 	lat := s.Infer(tinyModel)
 	if lat < time.Millisecond || lat > 100*time.Millisecond {
 		t.Fatalf("tiny latency on TX2 = %v, want milliseconds", lat)
@@ -65,7 +75,7 @@ func TestTinyLatencyMagnitude(t *testing.T) {
 }
 
 func TestFirstLoadPaysFrameworkInit(t *testing.T) {
-	s := NewSimulator(JetsonTX2NX)
+	s := mustSim(t, JetsonTX2NX)
 	first := s.LoadModel(tinyModel)
 	second := s.LoadModel(tinyModel)
 	if first <= second {
@@ -78,7 +88,7 @@ func TestFirstLoadPaysFrameworkInit(t *testing.T) {
 }
 
 func TestMemoryAccounting(t *testing.T) {
-	s := NewSimulator(JetsonNano)
+	s := mustSim(t, JetsonNano)
 	if s.ResidentMemoryMB() != 0 {
 		t.Fatal("fresh simulator has resident memory")
 	}
@@ -101,7 +111,7 @@ func TestMemoryAccounting(t *testing.T) {
 }
 
 func TestPeakMemoryIncludesExecution(t *testing.T) {
-	s := NewSimulator(JetsonNano)
+	s := mustSim(t, JetsonNano)
 	s.LoadModel(tinyModel)
 	s.Infer(tinyModel)
 	if s.PeakMemoryMB() <= s.ResidentMemoryMB() {
@@ -110,7 +120,7 @@ func TestPeakMemoryIncludesExecution(t *testing.T) {
 }
 
 func TestFitsInMemory(t *testing.T) {
-	s := NewSimulator(JetsonNano)
+	s := mustSim(t, JetsonNano)
 	if !s.FitsInMemory(tinyModel) {
 		t.Fatal("tiny model should fit on Nano")
 	}
@@ -121,7 +131,7 @@ func TestFitsInMemory(t *testing.T) {
 }
 
 func TestEnergyAndPower(t *testing.T) {
-	s := NewSimulator(JetsonTX2NX)
+	s := mustSim(t, JetsonTX2NX)
 	if s.AveragePowerW() != 0 {
 		t.Fatal("no-time power should be 0")
 	}
@@ -176,7 +186,7 @@ func TestNewSimulatorAtModeValidation(t *testing.T) {
 }
 
 func TestFPS(t *testing.T) {
-	s := NewSimulator(JetsonTX2NX)
+	s := mustSim(t, JetsonTX2NX)
 	if s.FPS() != 0 {
 		t.Fatal("fresh FPS should be 0")
 	}
@@ -194,7 +204,7 @@ func TestFPS(t *testing.T) {
 }
 
 func TestCountersAndReset(t *testing.T) {
-	s := NewSimulator(JetsonNano)
+	s := mustSim(t, JetsonNano)
 	s.Infer(tinyModel)
 	s.LoadModel(tinyModel)
 	if s.Inferences() != 1 || s.Loads() != 1 {
@@ -227,7 +237,7 @@ func TestModelCostScaling(t *testing.T) {
 }
 
 func TestLoadLatencyProportionalToSize(t *testing.T) {
-	s := NewSimulator(JetsonTX2NX)
+	s := mustSim(t, JetsonTX2NX)
 	s.LoadModel(tinyModel) // absorb framework init
 	small := s.LoadModel(tinyModel)
 	big := s.LoadModel(deepModel)
@@ -237,9 +247,9 @@ func TestLoadLatencyProportionalToSize(t *testing.T) {
 }
 
 func TestThermalThrottlingUnderSustainedLoad(t *testing.T) {
-	hot := NewSimulator(JetsonTX2NX) // 20W mode, ActiveW 17.8 >> sustainable 7W
+	hot := mustSim(t, JetsonTX2NX) // 20W mode, ActiveW 17.8 >> sustainable 7W
 	hot.EnableThermal(DefaultThermal())
-	cold := NewSimulator(JetsonTX2NX)
+	cold := mustSim(t, JetsonTX2NX)
 
 	first := hot.Infer(deepModel)
 	if first != cold.Infer(deepModel) {
@@ -267,7 +277,7 @@ func TestThermalThrottlingUnderSustainedLoad(t *testing.T) {
 }
 
 func TestThermalDisabledByDefault(t *testing.T) {
-	s := NewSimulator(JetsonTX2NX)
+	s := mustSim(t, JetsonTX2NX)
 	for i := 0; i < 500; i++ {
 		s.Infer(deepModel)
 	}
@@ -277,7 +287,7 @@ func TestThermalDisabledByDefault(t *testing.T) {
 }
 
 func TestThermalLightLoadStaysCool(t *testing.T) {
-	s := NewSimulator(JetsonTX2NX)
+	s := mustSim(t, JetsonTX2NX)
 	s.EnableThermal(DefaultThermal())
 	// 30 FPS duty cycle with the tiny model: mostly idle.
 	for i := 0; i < 2000; i++ {

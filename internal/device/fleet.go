@@ -1,0 +1,289 @@
+package device
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"anole/internal/xrand"
+)
+
+// This file models a heterogeneous device fleet: which profile (and power
+// mode) each of N streams runs on. The paper's cross-scene claim is a
+// fleet claim — many devices with different SoCs, memory ceilings and
+// thermal envelopes — so the runtime assigns a device per stream instead
+// of cloning one profile everywhere.
+
+// Assignment binds one stream to a device profile and power mode. Class
+// is the short registry name ("nano", "tx2", ...) plus the mode suffix
+// when a non-default mode was requested; fleet-wide percentiles aggregate
+// by it.
+type Assignment struct {
+	Class   string
+	Profile Profile
+	Mode    int
+}
+
+// Fleet is the per-stream device assignment: Fleet[i] is stream i's
+// device. A nil/empty fleet means "unspecified" and callers fall back to
+// a uniform single-profile fleet.
+type Fleet []Assignment
+
+// Validate checks every assignment: a valid profile and a mode index in
+// range.
+func (f Fleet) Validate() error {
+	for i, a := range f {
+		if err := a.Profile.Validate(); err != nil {
+			return fmt.Errorf("fleet stream %d: %w", i, err)
+		}
+		if a.Mode < 0 || a.Mode >= len(a.Profile.Modes) {
+			return fmt.Errorf("fleet stream %d: %s has no mode %d", i, a.Profile.Name, a.Mode)
+		}
+		if a.Class == "" {
+			return fmt.Errorf("fleet stream %d: empty class", i)
+		}
+	}
+	return nil
+}
+
+// Classes returns the distinct class names in the fleet, sorted.
+func (f Fleet) Classes() []string {
+	seen := map[string]bool{}
+	for _, a := range f {
+		seen[a.Class] = true
+	}
+	out := make([]string, 0, len(seen))
+	for c := range seen {
+		out = append(out, c)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Counts returns how many streams each class holds.
+func (f Fleet) Counts() map[string]int {
+	out := map[string]int{}
+	for _, a := range f {
+		out[a.Class]++
+	}
+	return out
+}
+
+// MaxGPUMemoryMB returns the largest memory ceiling across the fleet
+// (used to size shared caches; per-device ceilings are enforced by the
+// planner at variant-selection time).
+func (f Fleet) MaxGPUMemoryMB() float64 {
+	max := 0.0
+	for _, a := range f {
+		if a.Profile.GPUMemoryMB > max {
+			max = a.Profile.GPUMemoryMB
+		}
+	}
+	return max
+}
+
+// UniformFleet assigns the same profile at its default mode to every
+// stream — the compat shim for the old single-device configuration.
+func UniformFleet(p Profile, streams int) Fleet {
+	f := make(Fleet, streams)
+	class := registryName(p)
+	for i := range f {
+		f[i] = Assignment{Class: class, Profile: p, Mode: p.DefaultMode}
+	}
+	return f
+}
+
+// registry maps short fleet-spec names to profiles. LookupProfile is the
+// public accessor.
+var registry = map[string]Profile{
+	"nano":     JetsonNano,
+	"tx2":      JetsonTX2NX,
+	"laptop":   Laptop,
+	"cpu-fast": CPUFast,
+	"cpu-slow": CPUSlow,
+}
+
+// RegistryNames returns the short profile names a FleetSpec may use,
+// sorted.
+func RegistryNames() []string {
+	out := make([]string, 0, len(registry))
+	for k := range registry {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// LookupProfile resolves a short registry name ("nano", "tx2", "laptop",
+// "cpu-fast", "cpu-slow") to its profile.
+func LookupProfile(name string) (Profile, bool) {
+	p, ok := registry[name]
+	return p, ok
+}
+
+// registryName returns the short name of a known profile, or a sanitized
+// form of its display name for profiles outside the registry.
+func registryName(p Profile) string {
+	for k, v := range registry {
+		if v.Name == p.Name {
+			return k
+		}
+	}
+	return sanitizeClass(p.Name)
+}
+
+// sanitizeClass lowercases and squeezes a name into [a-z0-9_]+ so it can
+// embed into a metric name (anole_fleet_<class>_...).
+func sanitizeClass(s string) string {
+	var b strings.Builder
+	lastUnder := true // suppress leading underscore
+	for _, r := range strings.ToLower(s) {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9':
+			b.WriteRune(r)
+			lastUnder = false
+		default:
+			if !lastUnder {
+				b.WriteByte('_')
+				lastUnder = true
+			}
+		}
+	}
+	out := strings.TrimRight(b.String(), "_")
+	if out == "" {
+		return "device"
+	}
+	if out[0] >= '0' && out[0] <= '9' {
+		out = "d" + out
+	}
+	return out
+}
+
+// FleetEntry is one parsed term of a fleet spec: a profile, an optional
+// power-mode override, and a relative weight.
+type FleetEntry struct {
+	Class   string
+	Profile Profile
+	Mode    int
+	Weight  int
+}
+
+// FleetSpec is a parsed fleet composition.
+type FleetSpec struct {
+	Entries []FleetEntry
+}
+
+// ParseFleetSpec parses a composition string like "nano:40,tx2:40,laptop:20".
+// Each term is <profile>[@mode]:<weight> where profile is a registry name,
+// mode an optional power-mode index, and weight a positive integer share.
+// Weights are relative — "nano:2,tx2:2,laptop:1" describes the same mix.
+func ParseFleetSpec(spec string) (FleetSpec, error) {
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return FleetSpec{}, fmt.Errorf("device: empty fleet spec")
+	}
+	var out FleetSpec
+	for _, term := range strings.Split(spec, ",") {
+		term = strings.TrimSpace(term)
+		if term == "" {
+			return FleetSpec{}, fmt.Errorf("device: empty term in fleet spec %q", spec)
+		}
+		name, weightStr, ok := strings.Cut(term, ":")
+		if !ok {
+			return FleetSpec{}, fmt.Errorf("device: fleet term %q missing :weight", term)
+		}
+		name = strings.TrimSpace(name)
+		mode := -1 // default mode
+		if base, modeStr, hasMode := strings.Cut(name, "@"); hasMode {
+			m, err := strconv.Atoi(strings.TrimSpace(modeStr))
+			if err != nil {
+				return FleetSpec{}, fmt.Errorf("device: fleet term %q has malformed mode: %v", term, err)
+			}
+			name, mode = strings.TrimSpace(base), m
+		}
+		prof, ok := LookupProfile(name)
+		if !ok {
+			return FleetSpec{}, fmt.Errorf("device: unknown fleet profile %q (known: %s)",
+				name, strings.Join(RegistryNames(), ", "))
+		}
+		class := name
+		if mode < 0 {
+			mode = prof.DefaultMode
+		} else {
+			if mode >= len(prof.Modes) {
+				return FleetSpec{}, fmt.Errorf("device: %s has no mode %d", prof.Name, mode)
+			}
+			if mode != prof.DefaultMode {
+				class = fmt.Sprintf("%s_m%d", name, mode)
+			}
+		}
+		w, err := strconv.Atoi(strings.TrimSpace(weightStr))
+		if err != nil {
+			return FleetSpec{}, fmt.Errorf("device: fleet term %q has malformed weight: %v", term, err)
+		}
+		if w <= 0 {
+			return FleetSpec{}, fmt.Errorf("device: fleet term %q has non-positive weight %d", term, w)
+		}
+		out.Entries = append(out.Entries, FleetEntry{Class: class, Profile: prof, Mode: mode, Weight: w})
+	}
+	return out, nil
+}
+
+// Build deterministically assigns the spec's profiles to streams. Stream
+// counts per class follow the weights by largest-remainder apportionment
+// (every class with positive weight gets at least its rounded share, the
+// total is exactly streams), and the class→stream placement is a seeded
+// shuffle so neighbouring stream IDs don't all share a device class. The
+// same (spec, streams, seed) always yields the same fleet.
+func (s FleetSpec) Build(streams int, seed uint64) (Fleet, error) {
+	if len(s.Entries) == 0 {
+		return nil, fmt.Errorf("device: empty fleet spec")
+	}
+	if streams <= 0 {
+		return nil, fmt.Errorf("device: fleet needs a positive stream count, got %d", streams)
+	}
+	total := 0
+	for _, e := range s.Entries {
+		total += e.Weight
+	}
+	// Largest-remainder apportionment: floor everyone, then hand the
+	// leftover streams to the largest fractional remainders (ties broken
+	// by entry order for determinism).
+	counts := make([]int, len(s.Entries))
+	type rem struct {
+		idx  int
+		frac float64
+	}
+	rems := make([]rem, len(s.Entries))
+	assigned := 0
+	for i, e := range s.Entries {
+		exact := float64(streams) * float64(e.Weight) / float64(total)
+		counts[i] = int(exact)
+		rems[i] = rem{idx: i, frac: exact - float64(counts[i])}
+		assigned += counts[i]
+	}
+	sort.SliceStable(rems, func(a, b int) bool { return rems[a].frac > rems[b].frac })
+	for k := 0; assigned < streams; k++ {
+		counts[rems[k%len(rems)].idx]++
+		assigned++
+	}
+	fleet := make(Fleet, 0, streams)
+	for i, e := range s.Entries {
+		for n := 0; n < counts[i]; n++ {
+			fleet = append(fleet, Assignment{Class: e.Class, Profile: e.Profile, Mode: e.Mode})
+		}
+	}
+	rng := xrand.NewLabeled(seed, "device-fleet")
+	rng.Shuffle(len(fleet), func(a, b int) { fleet[a], fleet[b] = fleet[b], fleet[a] })
+	return fleet, nil
+}
+
+// BuildFleet parses spec and builds a fleet in one step.
+func BuildFleet(spec string, streams int, seed uint64) (Fleet, error) {
+	s, err := ParseFleetSpec(spec)
+	if err != nil {
+		return nil, err
+	}
+	return s.Build(streams, seed)
+}

@@ -10,6 +10,17 @@ import (
 	"anole/internal/synth"
 )
 
+// mustSim builds a simulator for a registry profile. The built-in
+// profiles the figures run on always validate, so a failure here is a
+// programming error, not an input error.
+func mustSim(p device.Profile) *device.Simulator {
+	sim, err := device.NewSimulator(p)
+	if err != nil {
+		panic(err)
+	}
+	return sim
+}
+
 // Fig4aResult is the per-frame inference latency of the deep and
 // compressed detectors over the first frames of a clip, with the
 // first-frame model-load spike (§V-B, Fig. 4a).
@@ -41,7 +52,7 @@ func RunFig4a(l *Lab, clips, frames int) (Fig4aResult, error) {
 	run := func(model device.ModelCost) []float64 {
 		acc := make([]float64, frames)
 		for c := 0; c < clips; c++ {
-			sim := device.NewSimulator(device.JetsonTX2NX)
+			sim := mustSim(device.JetsonTX2NX)
 			for i := 0; i < frames; i++ {
 				var lat time.Duration
 				if i == 0 {
@@ -172,10 +183,10 @@ func RunTable4(l *Lab) Table4Result {
 	var rows []Table4Row
 	for mi, m := range models {
 		for _, prof := range device.Profiles() {
-			sim := device.NewSimulator(prof)
+			sim := mustSim(prof)
 			sim.LoadModel(m) // absorb framework init outside the steady-state figure
 			lat := sim.Infer(m)
-			loadSim := device.NewSimulator(prof)
+			loadSim := mustSim(prof)
 			loadSim.LoadModel(device.ModelCost{Name: "warm", FLOPsPerInference: 1, WeightBytes: 1})
 			loadTime := loadSim.LoadModel(m) // warm load: transfer only
 			rows = append(rows, Table4Row{

@@ -71,7 +71,7 @@ func RunOffload(l *Lab, frames int, stabilities []float64) (OffloadResult, error
 	res := OffloadResult{Deadline: deadline, Frames: frames}
 
 	// Local Anole on the TX2 NX.
-	sim := device.NewSimulator(device.JetsonTX2NX)
+	sim := mustSim(device.JetsonTX2NX)
 	rt, err := core.NewRuntime(l.Bundle, core.RuntimeConfig{CacheSlots: 5, Device: sim})
 	if err != nil {
 		return OffloadResult{}, err

@@ -56,7 +56,7 @@ func RunThermal(l *Lab, frames int) (ThermalResult, error) {
 	var res ThermalResult
 
 	// SDM: one deep inference per frame.
-	sdmSim := device.NewSimulator(device.JetsonTX2NX)
+	sdmSim := mustSim(device.JetsonTX2NX)
 	sdmSim.EnableThermal(device.DefaultThermal())
 	deep := deepModelCost(l, cells)
 	sdmSim.LoadModel(deep)
@@ -77,7 +77,7 @@ func RunThermal(l *Lab, frames int) (ThermalResult, error) {
 	})
 
 	// Anole: decision + compressed inference per frame via the runtime.
-	anoleSim := device.NewSimulator(device.JetsonTX2NX)
+	anoleSim := mustSim(device.JetsonTX2NX)
 	anoleSim.EnableThermal(device.DefaultThermal())
 	rt, err := core.NewRuntime(l.Bundle, core.RuntimeConfig{CacheSlots: 5, Device: anoleSim})
 	if err != nil {

@@ -62,6 +62,21 @@ func quantScale(xs []float64, bits int) float64 {
 	return maxAbs / levels
 }
 
+// QuantAccuracyFactor estimates the validation-quality multiplier of
+// running at the given weight bit width: 1 at full precision (bits 0 or
+// ≥ 16), decaying quadratically as the grid coarsens — post-training
+// quantization is near-lossless at 8 bits (~1% here), noticeable at 4
+// (~6%), and severe at 2 (~12%). Per-device planning multiplies a
+// variant's measured full-precision F1 by this factor to rank variants
+// without running validation for every (model, width) pair.
+func QuantAccuracyFactor(bits int) float64 {
+	if bits <= 0 || bits >= 16 {
+		return 1
+	}
+	saved := float64(16-bits) / 14 // 0 at 16 bits → 1 at 2 bits
+	return 1 - 0.12*saved*saved
+}
+
 // QuantBits returns the bit width the network's dense layers were
 // quantized to, or 0 for full-precision networks. Mixed-precision
 // networks report the first dense layer's width.

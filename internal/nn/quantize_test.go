@@ -171,3 +171,27 @@ func TestQuantizedCloneKeepsBits(t *testing.T) {
 		t.Fatal("clone lost quantization marker")
 	}
 }
+
+func TestQuantAccuracyFactor(t *testing.T) {
+	if QuantAccuracyFactor(0) != 1 || QuantAccuracyFactor(16) != 1 || QuantAccuracyFactor(32) != 1 {
+		t.Fatal("full precision must not be penalized")
+	}
+	prev := 1.0
+	for _, bits := range []int{12, 8, 6, 4, 2} {
+		f := QuantAccuracyFactor(bits)
+		if f >= prev {
+			t.Fatalf("factor not decreasing as bits shrink: %d-bit %v >= %v", bits, f, prev)
+		}
+		if f < 0.8 {
+			t.Fatalf("%d-bit factor %v below the plausible floor", bits, f)
+		}
+		prev = f
+	}
+	// 8-bit quantization is near-lossless; 2-bit is not.
+	if f := QuantAccuracyFactor(8); f < 0.95 {
+		t.Fatalf("8-bit factor %v should be near-lossless", f)
+	}
+	if f := QuantAccuracyFactor(2); f > 0.92 {
+		t.Fatalf("2-bit factor %v should show real degradation", f)
+	}
+}

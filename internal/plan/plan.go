@@ -1,0 +1,129 @@
+// Package plan solves OODIn-style per-device model selection
+// (arXiv:2106.04723): given one device's operating point — compute
+// throughput after thermal throttling, memory ceiling, latency budget —
+// and the repertoire's per-variant cost/accuracy estimates, pick the
+// model variant and quantization level that stream should run.
+//
+// The solver is deliberately small and total: memory is a hard
+// constraint (a variant that cannot fit in the device's model-cache
+// byte capacity is never selected), latency is a soft constraint
+// (among memory-feasible variants the most accurate one meeting the
+// budget wins; if none meets it, the fastest memory-feasible variant is
+// returned with Feasible=false so the caller can degrade gracefully
+// instead of failing). Re-planning on thermal state changes is just
+// calling Select again with the new throttle factor.
+package plan
+
+import (
+	"fmt"
+	"time"
+
+	"anole/internal/device"
+)
+
+// Variant is one candidate configuration of the repertoire: the full
+// bundle at some quantization level.
+type Variant struct {
+	// Name labels the variant ("fp32", "q8", ...).
+	Name string
+	// QuantBits is the detector weight width (0 = full precision).
+	QuantBits int
+	// DecideFLOPs is the unscaled per-frame cost of the scene
+	// encoder + decision head, which always runs at full precision.
+	DecideFLOPs int64
+	// DetectFLOPs is the unscaled per-frame cost of one detector at
+	// the planning cell count.
+	DetectFLOPs int64
+	// SizeBytes is the total serialized size of the variant's
+	// detectors — the model-cache residency cost (cache sizer units).
+	SizeBytes int64
+	// Accuracy is the expected quality in [0,1] (validation F1 scaled
+	// by the quantization penalty).
+	Accuracy float64
+}
+
+// Device is one stream's operating point at planning time.
+type Device struct {
+	// Name is only for error messages.
+	Name string
+	// GFLOPS is the active power mode's compute throughput.
+	GFLOPS float64
+	// Throttle is the current thermal derate in (0,1]; 0 is treated
+	// as 1 (no throttling).
+	Throttle float64
+	// DispatchOverheadMs is the fixed per-inference cost.
+	DispatchOverheadMs float64
+	// MemoryBytes is the device's model-cache byte capacity
+	// (GPUMemoryMB scaled into cache sizer units).
+	MemoryBytes int64
+	// LatencyBudget is the per-frame target; 0 disables the latency
+	// constraint.
+	LatencyBudget time.Duration
+}
+
+// Choice is the solver's answer for one device.
+type Choice struct {
+	// Index into the variants slice.
+	Index int
+	// Latency is the estimated per-frame latency of the choice.
+	Latency time.Duration
+	// Feasible reports whether the choice meets the latency budget
+	// (always true when the budget is 0).
+	Feasible bool
+}
+
+// EstimateLatency predicts one frame's compute latency for v on dev: the
+// decision stage at full precision plus the detector stage at the
+// variant's quantized throughput, each paying the dispatch overhead —
+// mirroring how core.Runtime charges device.Simulator.Infer.
+func EstimateLatency(dev Device, v Variant) time.Duration {
+	throttle := dev.Throttle
+	if throttle <= 0 || throttle > 1 {
+		throttle = 1
+	}
+	thr := dev.GFLOPS * 1e9 * throttle
+	dispatch := dev.DispatchOverheadMs / 1e3
+	decide := float64(v.DecideFLOPs) * device.FLOPsScale / thr
+	detect := float64(v.DetectFLOPs) * device.FLOPsScale / (thr * device.QuantSpeedup(v.QuantBits))
+	return time.Duration((decide + detect + 2*dispatch) * float64(time.Second))
+}
+
+// Select picks the variant for one device. Memory is hard: variants
+// whose SizeBytes exceed dev.MemoryBytes are excluded outright, and an
+// error is returned if nothing fits. Among the fitting variants the
+// most accurate one whose estimated latency meets the budget wins
+// (ties to the lower latency); when none meets the budget the fastest
+// fitting variant is returned with Feasible=false.
+func Select(dev Device, variants []Variant) (Choice, error) {
+	if len(variants) == 0 {
+		return Choice{}, fmt.Errorf("plan: no variants to select from")
+	}
+	best := Choice{Index: -1}
+	var bestAcc float64
+	fastest := Choice{Index: -1}
+	for i, v := range variants {
+		if dev.MemoryBytes > 0 && v.SizeBytes > dev.MemoryBytes {
+			continue
+		}
+		lat := EstimateLatency(dev, v)
+		if fastest.Index < 0 || lat < fastest.Latency {
+			fastest = Choice{Index: i, Latency: lat}
+		}
+		if dev.LatencyBudget > 0 && lat > dev.LatencyBudget {
+			continue
+		}
+		if best.Index < 0 || v.Accuracy > bestAcc ||
+			(v.Accuracy == bestAcc && lat < best.Latency) {
+			best = Choice{Index: i, Latency: lat, Feasible: true}
+			bestAcc = v.Accuracy
+		}
+	}
+	if best.Index >= 0 {
+		return best, nil
+	}
+	if fastest.Index >= 0 {
+		return fastest, nil // over budget, but the least-bad fit
+	}
+	return Choice{}, fmt.Errorf("plan: no variant fits device %s memory ceiling (%d bytes)",
+		dev.Name, dev.MemoryBytes)
+}

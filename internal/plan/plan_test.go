@@ -1,0 +1,139 @@
+package plan
+
+import (
+	"testing"
+	"time"
+
+	"anole/internal/device"
+)
+
+// Variants shaped like a real repertoire: full precision is the most
+// accurate and biggest, each quantization step trades accuracy for
+// speed and size.
+var bank = []Variant{
+	{Name: "fp32", QuantBits: 0, DecideFLOPs: 20_000, DetectFLOPs: 480_000, SizeBytes: 40_000, Accuracy: 0.90},
+	{Name: "q8", QuantBits: 8, DecideFLOPs: 20_000, DetectFLOPs: 480_000, SizeBytes: 11_000, Accuracy: 0.88},
+	{Name: "q4", QuantBits: 4, DecideFLOPs: 20_000, DetectFLOPs: 480_000, SizeBytes: 6_000, Accuracy: 0.83},
+}
+
+func dev(gflops float64, memBytes int64, budget time.Duration) Device {
+	return Device{Name: "test", GFLOPS: gflops, DispatchOverheadMs: 1, MemoryBytes: memBytes, LatencyBudget: budget}
+}
+
+func TestSelectPrefersAccuracyWhenEverythingFits(t *testing.T) {
+	// A fast device with ample memory and a loose budget runs full
+	// precision: it is the most accurate feasible variant.
+	c, err := Select(dev(2000, 1_000_000, time.Second), bank)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Index != 0 || !c.Feasible {
+		t.Fatalf("choice = %+v, want fp32 feasible", c)
+	}
+}
+
+func TestSelectQuantizesUnderTightBudget(t *testing.T) {
+	// Budget set between fp32's latency and q8's: the solver must step
+	// down exactly one quantization level, not to the floor.
+	slow := dev(100, 1_000_000, 0)
+	fpLat := EstimateLatency(slow, bank[0])
+	q8Lat := EstimateLatency(slow, bank[1])
+	if q8Lat >= fpLat {
+		t.Fatalf("q8 (%v) should beat fp32 (%v) on the same device", q8Lat, fpLat)
+	}
+	slow.LatencyBudget = q8Lat + (fpLat-q8Lat)/2
+	c, err := Select(slow, bank)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Index != 1 || !c.Feasible {
+		t.Fatalf("choice = %+v, want q8 feasible", c)
+	}
+}
+
+func TestSelectMemoryCeilingIsHard(t *testing.T) {
+	// Ceiling below fp32's size: fp32 must never be chosen no matter
+	// how loose the latency budget is.
+	c, err := Select(dev(2000, 12_000, time.Hour), bank)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Index != 1 {
+		t.Fatalf("choice = %+v, want q8 (fp32 exceeds the ceiling)", c)
+	}
+	// Ceiling below everything: error, not a silent violation.
+	if _, err := Select(dev(2000, 100, time.Hour), bank); err == nil {
+		t.Fatal("no variant fits, Select must error")
+	}
+	// MemoryBytes 0 disables the constraint.
+	c, err = Select(dev(2000, 0, time.Hour), bank)
+	if err != nil || c.Index != 0 {
+		t.Fatalf("unconstrained memory: choice = %+v, err = %v", c, err)
+	}
+}
+
+func TestSelectInfeasibleFallsBackToFastest(t *testing.T) {
+	// Budget nobody can meet: the fastest fitting variant comes back
+	// flagged infeasible so the caller can degrade deliberately.
+	c, err := Select(dev(1, 1_000_000, time.Nanosecond), bank)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Feasible {
+		t.Fatal("nanosecond budget reported feasible")
+	}
+	if c.Index != 2 {
+		t.Fatalf("choice = %+v, want the fastest variant (q4)", c)
+	}
+}
+
+func TestReplanOnThrottleChange(t *testing.T) {
+	// A cool device meets the budget at full precision; the same device
+	// throttled to 40% must step down. This is the pressure-monitor
+	// re-planning path.
+	d := dev(300, 1_000_000, 0)
+	d.LatencyBudget = EstimateLatency(d, bank[0]) + time.Millisecond
+	cool, err := Select(d, bank)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cool.Index != 0 {
+		t.Fatalf("cool choice = %+v, want fp32", cool)
+	}
+	d.Throttle = 0.4
+	hot, err := Select(d, bank)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hot.Index == 0 {
+		t.Fatal("throttled device kept full precision past its budget")
+	}
+}
+
+func TestEstimateLatencyMatchesSimulator(t *testing.T) {
+	// The planner's latency model must agree with what the simulator
+	// will actually charge (decision at fp + detect at the variant's
+	// width, one dispatch each).
+	sim, err := device.NewSimulator(device.JetsonTX2NX)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := bank[1]
+	d := Device{
+		GFLOPS:             sim.Mode().GFLOPS,
+		Throttle:           sim.ThrottleFactor(),
+		DispatchOverheadMs: sim.Profile().DispatchOverheadMs,
+	}
+	got := EstimateLatency(d, v)
+	want := sim.Infer(device.ModelCost{FLOPsPerInference: v.DecideFLOPs}) +
+		sim.Infer(device.ModelCost{FLOPsPerInference: v.DetectFLOPs, QuantBits: v.QuantBits})
+	if diff := got - want; diff < -time.Microsecond || diff > time.Microsecond {
+		t.Fatalf("estimate %v vs simulator %v", got, want)
+	}
+}
+
+func TestSelectEmptyBank(t *testing.T) {
+	if _, err := Select(dev(100, 0, 0), nil); err == nil {
+		t.Fatal("empty bank accepted")
+	}
+}

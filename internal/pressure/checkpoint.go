@@ -14,7 +14,7 @@ import (
 // Checkpoint format (all little-endian):
 //
 //	magic      [4]byte "ANLC"
-//	version    uint16 (1)
+//	version    uint16 (2)
 //	generation uint64
 //	hasMarkov  uint8 (0|1)
 //	  n        uint32            (models; rows == cols)
@@ -28,6 +28,8 @@ import (
 //	  windows  driftN × (stream uint32, count uint32, sumEntropy float64,
 //	           sumNovelty float64, probes uint32, disagreed float64,
 //	           cooldown uint32, seen uint64, flagged uint64, emitted uint64)
+//	fleetN     uint32                              (version ≥ 2 only)
+//	  classes  fleetN × (classLen uint16, class bytes)
 //	crc32      uint32 (IEEE, over everything after the magic)
 //
 // This is the warm state worth surviving a process death: the Markov
@@ -39,13 +41,20 @@ import (
 // scratch, hysteresis streaks, drift exemplar frames and centroids —
 // is deliberately not checkpointed: it is either re-derivable, owned
 // by the repository, or too short-lived to matter across a restart.
+//
+// Version 2 appends the fleet section: the per-stream device class the
+// checkpoint was captured on, so a restore onto a different fleet
+// layout (where stream indices mean different hardware) is refused.
+// Version-1 files (no fleet section) remain readable and restore
+// anywhere.
 const (
 	checkpointMagic   = "ANLC"
-	checkpointVersion = 1
+	checkpointVersion = 2
 	maxMarkovModels   = 1 << 12
 	maxCacheEntries   = 1 << 16
 	maxCacheKeyLen    = 1 << 10
 	maxDriftWindows   = 1 << 16
+	maxFleetStreams   = 1 << 16
 )
 
 // Checkpoint is the plain, package-neutral snapshot of warm runtime
@@ -62,6 +71,10 @@ type Checkpoint struct {
 	Cache []CacheEntry
 	// Drift holds one in-progress drift-detector window per stream.
 	Drift []DriftWindow
+	// Fleet is the per-stream device class the checkpoint was captured
+	// on (nil for single-device runs and version-1 files). A restore
+	// onto a different fleet layout is refused by the caller.
+	Fleet []string
 }
 
 // MarkovState mirrors prefetch.Markov's counts matrix.
@@ -122,6 +135,9 @@ func WriteCheckpoint(w io.Writer, c *Checkpoint) error {
 	if len(c.Drift) > maxDriftWindows {
 		return fmt.Errorf("pressure: %d drift windows exceed limit %d", len(c.Drift), maxDriftWindows)
 	}
+	if len(c.Fleet) > maxFleetStreams {
+		return fmt.Errorf("pressure: %d fleet streams exceed limit %d", len(c.Fleet), maxFleetStreams)
+	}
 	if _, err := w.Write([]byte(checkpointMagic)); err != nil {
 		return fmt.Errorf("pressure: write magic: %w", err)
 	}
@@ -180,6 +196,20 @@ func WriteCheckpoint(w io.Writer, c *Checkpoint) error {
 			return fmt.Errorf("pressure: write drift window %d: %w", i, err)
 		}
 	}
+	if err := binWrite(mw, uint32(len(c.Fleet))); err != nil {
+		return fmt.Errorf("pressure: write fleet count: %w", err)
+	}
+	for i, class := range c.Fleet {
+		if len(class) == 0 || len(class) > maxCacheKeyLen {
+			return fmt.Errorf("pressure: fleet stream %d class length %d out of range", i, len(class))
+		}
+		if err := binWrite(mw, uint16(len(class))); err != nil {
+			return fmt.Errorf("pressure: write fleet stream %d: %w", i, err)
+		}
+		if _, err := mw.Write([]byte(class)); err != nil {
+			return fmt.Errorf("pressure: write fleet stream %d: %w", i, err)
+		}
+	}
 	if err := binWrite(w, crc.Sum32()); err != nil {
 		return fmt.Errorf("pressure: write checksum: %w", err)
 	}
@@ -209,7 +239,7 @@ func ReadCheckpoint(r io.Reader) (*Checkpoint, error) {
 	if err := binRead(tr, &version, &gen); err != nil {
 		return nil, fmt.Errorf("pressure: read header: %w", err)
 	}
-	if version != checkpointVersion {
+	if version != 1 && version != checkpointVersion {
 		return nil, fmt.Errorf("pressure: unsupported checkpoint version %d", version)
 	}
 	c := &Checkpoint{Generation: gen}
@@ -317,6 +347,32 @@ func ReadCheckpoint(r io.Reader) (*Checkpoint, error) {
 			Flagged:    int64(flagged),
 			Emitted:    int64(emitted),
 		})
+	}
+	if version >= 2 {
+		var fleetN uint32
+		if err := binRead(tr, &fleetN); err != nil {
+			return nil, fmt.Errorf("pressure: read fleet count: %w", err)
+		}
+		if fleetN > maxFleetStreams {
+			return nil, fmt.Errorf("pressure: implausible fleet stream count %d", fleetN)
+		}
+		if fleetN > 0 {
+			c.Fleet = make([]string, 0, fleetN)
+			for i := 0; i < int(fleetN); i++ {
+				var classLen uint16
+				if err := binRead(tr, &classLen); err != nil {
+					return nil, fmt.Errorf("pressure: read fleet stream %d: %w", i, err)
+				}
+				if classLen == 0 || classLen > maxCacheKeyLen {
+					return nil, fmt.Errorf("pressure: fleet stream %d implausible class length %d", i, classLen)
+				}
+				class := make([]byte, classLen)
+				if _, err := io.ReadFull(tr, class); err != nil {
+					return nil, fmt.Errorf("pressure: read fleet stream %d class: %w", i, err)
+				}
+				c.Fleet = append(c.Fleet, string(class))
+			}
+		}
 	}
 	wantCRC := crc.Sum32()
 	var gotCRC uint32

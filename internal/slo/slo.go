@@ -131,6 +131,11 @@ type Engine struct {
 	framesTotal int64
 	stales      []staleSample
 	stalesTotal int64
+	// classes maps stream → device class on a heterogeneous fleet (see
+	// SetStreamClass); classGauges lazily holds the per-class
+	// anole_fleet_* handles, keyed "<class>/<metric>".
+	classes     map[int32]string
+	classGauges map[string]*telemetry.Gauge
 
 	// Telemetry handles (nil-safe), refreshed by Status.
 	gLatencyP99 *telemetry.Gauge
@@ -171,6 +176,25 @@ func NewEngine(cfg Config) *Engine {
 			"Frame outcomes folded into the SLO engine.")
 	}
 	return e
+}
+
+// SetStreamClass tags a stream with its device class ("nano", "tx2",
+// ...), partitioning fleet percentile aggregation: Status additionally
+// reports FleetStats per class and publishes them as
+// anole_fleet_<class>_* gauges — a mixed fleet's slow devices get their
+// own p99 instead of dominating (or hiding inside) the fleet-wide one.
+// The class must already be metric-name-safe ([a-z0-9_]+, as
+// device.Fleet classes are). Nil-safe.
+func (e *Engine) SetStreamClass(stream int32, class string) {
+	if e == nil || class == "" {
+		return
+	}
+	e.mu.Lock()
+	if e.classes == nil {
+		e.classes = make(map[int32]string)
+	}
+	e.classes[stream] = class
+	e.mu.Unlock()
 }
 
 // Now returns the engine clock reading (0 for nil) — exported so
@@ -286,6 +310,15 @@ type Status struct {
 
 	Fleet   FleetStats    `json:"fleet"`
 	Streams []StreamStats `json:"streams,omitempty"`
+	// Classes holds per-device-class fleet aggregation (sorted by
+	// class), present only when SetStreamClass tagged streams.
+	Classes []ClassStats `json:"classes,omitempty"`
+}
+
+// ClassStats is FleetStats restricted to one device class.
+type ClassStats struct {
+	Class string `json:"class"`
+	FleetStats
 }
 
 // windowAcc accumulates one window's tallies during the single pass.
@@ -312,6 +345,13 @@ func (e *Engine) Status() Status {
 	now := e.cfg.Now()
 	frames := append([]frameSample(nil), e.frames...)
 	stales := append([]staleSample(nil), e.stales...)
+	var classes map[int32]string
+	if len(e.classes) > 0 {
+		classes = make(map[int32]string, len(e.classes))
+		for s, c := range e.classes {
+			classes[s] = c
+		}
+	}
 	e.mu.Unlock()
 
 	var st Status
@@ -348,6 +388,7 @@ func (e *Engine) Status() Status {
 	sort.Strings(st.Alerts)
 
 	st.Streams, st.Fleet = fleetStats(perStream)
+	st.Classes = e.classStats(perStream, classes)
 
 	// Refresh the exported gauges from the long window.
 	e.gLatencyP99.Set(st.Long.LatencyP99.Seconds())
@@ -422,6 +463,63 @@ func (e *Engine) window(frames []frameSample, stales []staleSample, now, w time.
 		SwapStaleness:    acc.worstSt,
 	}
 	return out, acc
+}
+
+// classStats partitions the per-stream long-window buckets by device
+// class and folds each partition through fleetStats, refreshing the
+// per-class anole_fleet_* gauges. Streams with no class tag are left
+// out of every partition (they still count in the fleet-wide stats).
+func (e *Engine) classStats(perStream map[int32]*windowAcc, classes map[int32]string) []ClassStats {
+	if len(classes) == 0 || len(perStream) == 0 {
+		return nil
+	}
+	byClass := make(map[string]map[int32]*windowAcc)
+	for id, sa := range perStream {
+		class, ok := classes[id]
+		if !ok {
+			continue
+		}
+		part := byClass[class]
+		if part == nil {
+			part = make(map[int32]*windowAcc)
+			byClass[class] = part
+		}
+		part[id] = sa
+	}
+	out := make([]ClassStats, 0, len(byClass))
+	for class, part := range byClass {
+		_, fs := fleetStats(part)
+		out = append(out, ClassStats{Class: class, FleetStats: fs})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Class < out[j].Class })
+	for _, cs := range out {
+		e.classGauge(cs.Class, "latency_p99_p50_seconds", "Median stream p99 latency in this device class, long window.").Set(cs.LatencyP99P50.Seconds())
+		e.classGauge(cs.Class, "latency_p99_p95_seconds", "p95 stream p99 latency in this device class, long window.").Set(cs.LatencyP99P95.Seconds())
+		e.classGauge(cs.Class, "latency_p99_max_seconds", "Worst stream p99 latency in this device class, long window.").Set(cs.LatencyP99Max.Seconds())
+		e.classGauge(cs.Class, "served_fraction_min", "Worst stream served fraction in this device class, long window.").Set(cs.ServedFractionMin)
+		e.classGauge(cs.Class, "streams", "Streams of this device class reporting in the long window.").Set(float64(cs.Streams))
+	}
+	return out
+}
+
+// classGauge returns the lazily-registered anole_fleet_<class>_<metric>
+// gauge, or nil (a nil-safe no-op handle) without a registry.
+func (e *Engine) classGauge(class, metric, help string) *telemetry.Gauge {
+	if e.cfg.Metrics == nil {
+		return nil
+	}
+	key := class + "/" + metric
+	e.mu.Lock()
+	g, ok := e.classGauges[key]
+	if !ok {
+		if e.classGauges == nil {
+			e.classGauges = make(map[string]*telemetry.Gauge)
+		}
+		g = e.cfg.Metrics.Gauge("anole_fleet_"+class+"_"+metric, help)
+		e.classGauges[key] = g
+	}
+	e.mu.Unlock()
+	return g
 }
 
 // fleetStats folds the per-stream long-window buckets into sorted

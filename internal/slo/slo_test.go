@@ -244,3 +244,72 @@ func TestRingBound(t *testing.T) {
 		t.Fatalf("ring did not bound samples: %d", st.Long.Frames)
 	}
 }
+
+// TestClassStats partitions the fleet percentiles by device class: two
+// classes with well-separated per-stream latencies must each report
+// their own p99 aggregates, sorted by class, and export them as
+// anole_fleet_<class>_* gauges.
+func TestClassStats(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	at, now := fixedClock()
+	e := NewEngine(Config{Metrics: reg, Now: now, LongWindow: 10 * time.Second})
+	*at = time.Second
+
+	// Streams 0-1 are "nano" at 20ms, streams 2-3 "tx2" at 5ms; stream
+	// 4 has no class and must stay out of every class bucket.
+	for _, s := range []int32{0, 1} {
+		e.SetStreamClass(s, "nano")
+	}
+	for _, s := range []int32{2, 3} {
+		e.SetStreamClass(s, "tx2")
+	}
+	for s := 0; s < 5; s++ {
+		lat := 20 * time.Millisecond
+		if s >= 2 {
+			lat = 5 * time.Millisecond
+		}
+		for f := 0; f < 4; f++ {
+			e.ObserveFrame(s, lat, true, false)
+		}
+	}
+
+	st := e.Status()
+	if len(st.Classes) != 2 {
+		t.Fatalf("classes %+v, want nano and tx2", st.Classes)
+	}
+	nano, tx2 := st.Classes[0], st.Classes[1]
+	if nano.Class != "nano" || tx2.Class != "tx2" {
+		t.Fatalf("classes not sorted: %q, %q", nano.Class, tx2.Class)
+	}
+	if nano.Streams != 2 || tx2.Streams != 2 {
+		t.Fatalf("class stream counts %d/%d, want 2/2", nano.Streams, tx2.Streams)
+	}
+	if nano.LatencyP99Max != 20*time.Millisecond || tx2.LatencyP99Max != 5*time.Millisecond {
+		t.Fatalf("class p99 max nano=%v tx2=%v", nano.LatencyP99Max, tx2.LatencyP99Max)
+	}
+	if nano.ServedFractionMin != 1 || tx2.ServedFractionMin != 1 {
+		t.Fatalf("served fraction min nano=%v tx2=%v", nano.ServedFractionMin, tx2.ServedFractionMin)
+	}
+
+	m := telemetry.Map(reg)
+	if m["anole_fleet_nano_latency_p99_max_seconds"] != 0.02 {
+		t.Fatalf("nano gauge %v", m["anole_fleet_nano_latency_p99_max_seconds"])
+	}
+	if m["anole_fleet_tx2_latency_p99_max_seconds"] != 0.005 {
+		t.Fatalf("tx2 gauge %v", m["anole_fleet_tx2_latency_p99_max_seconds"])
+	}
+	if m["anole_fleet_nano_streams"] != 2 {
+		t.Fatalf("nano streams gauge %v", m["anole_fleet_nano_streams"])
+	}
+	if err := telemetry.ValidateScheme(reg.Gather()); err != nil {
+		t.Fatalf("scheme: %v", err)
+	}
+
+	// SetStreamClass is nil-safe and ignores empty classes.
+	var nilE *Engine
+	nilE.SetStreamClass(0, "nano")
+	e.SetStreamClass(9, "")
+	if st := e.Status(); len(st.Classes) != 2 {
+		t.Fatalf("empty class leaked into stats: %+v", st.Classes)
+	}
+}

@@ -66,6 +66,10 @@ var schemeFamilies = map[string]bool{
 	"server":     true,
 	"slo":        true,
 	"flight":     true,
+	// fleet carries the per-device-class SLO aggregates
+	// (anole_fleet_<class>_...), plan the per-device variant planner.
+	"fleet": true,
+	"plan":  true,
 }
 
 // histogramUnits are the unit suffixes a histogram name may carry.
@@ -80,7 +84,7 @@ var histogramUnits = []string{"_seconds", "_bytes", "_frames"}
 //   - every name is lowercase snake_case under the "anole_" prefix;
 //   - the segment after the prefix names a known component family
 //     (core, modelcache, prefetch, breaker, repo, adapt, pressure,
-//     server, slo, flight);
+//     server, slo, flight, fleet, plan);
 //   - no name appears twice (two registries in a Multi exporting the
 //     same series);
 //   - kind-aware suffixes, for samples whose Kind is set: counters end
